@@ -1,0 +1,82 @@
+"""Ablation — expansion controls: exponent rounding decimals and the
+probability prune floor.  These trade expansion size (and therefore speed)
+against estimation accuracy; the bench shows the accuracy cost is nil for
+sane settings while the expansion shrinks.
+"""
+
+import numpy as np
+
+from repro.core import SubrangeEstimator
+
+from _bench_utils import THRESHOLDS, emit
+
+DB = "D2"
+SAMPLE = 300
+
+
+def test_ablation_expansion_controls(benchmark, databases, query_log):
+    __, rep = databases[DB]
+    queries = [q for q in query_log[:SAMPLE * 3] if q.n_terms >= 3][:SAMPLE]
+    reference = SubrangeEstimator(decimals=10)
+    cheap = SubrangeEstimator(decimals=4, prune_floor=1e-9)
+
+    def estimate_cheap():
+        for query in queries[:40]:
+            cheap.estimate_many(query, rep, THRESHOLDS)
+
+    benchmark(estimate_cheap)
+
+    # Drift is evaluated at thresholds placed mid-cell on the coarse
+    # exponent grid (decimals=4 -> multiples of 1e-4, midpoints at +5e-5).
+    # A threshold sitting exactly ON a grid point (like 0.1) is ambiguous
+    # by construction: rounding legitimately moves boundary exponents from
+    # "just above" to "equal", flipping their mass across the strict
+    # inequality — that is a property of the threshold, not an error.
+    # Rounding also accumulates across the <= 6 per-term multiplies, so
+    # probability mass within ~6 * 5e-5 of a threshold can flip either way;
+    # the assertions below bound the resulting NoDoc drift accordingly.
+    midcell_thresholds = [t + 5e-5 for t in THRESHOLDS]
+    ref_sizes = []
+    cheap_sizes = []
+    nodoc_drift = []
+    pruned = []
+    for query in queries:
+        g_ref = reference.expand(query, rep)
+        g_cheap = cheap.expand(query, rep)
+        ref_sizes.append(g_ref.n_terms)
+        cheap_sizes.append(g_cheap.n_terms)
+        pruned.append(g_cheap.pruned_mass)
+        for threshold in midcell_thresholds:
+            nodoc_drift.append(
+                abs(
+                    g_ref.est_nodoc(threshold, rep.n_documents)
+                    - g_cheap.est_nodoc(threshold, rep.n_documents)
+                )
+            )
+    emit(
+        "ablation_expansion",
+        "\n".join(
+            [
+                "",
+                f"=== ablation: expansion controls on {DB} "
+                f"({len(queries)} multi-term queries) ===",
+                f"mean expansion terms: reference {np.mean(ref_sizes):.0f}  "
+                f"vs decimals=4+prune {np.mean(cheap_sizes):.0f}",
+                f"NoDoc drift across thresholds: mean "
+                f"{np.mean(nodoc_drift):.4f}  max {max(nodoc_drift):.4f}  "
+                f"(n = {rep.n_documents})",
+                f"max pruned probability mass: {max(pruned):.2e}",
+            ]
+        ),
+    )
+
+    # Coarser controls shrink the expansion ...
+    assert np.mean(cheap_sizes) <= np.mean(ref_sizes)
+    # ... while NoDoc estimates stay put for the vast majority of cases
+    # (individual queries with probability mass piled right at a threshold
+    # can flip that mass, bounded by a few percent of the database) ...
+    assert float(np.percentile(nodoc_drift, 99)) < 1.0
+    assert np.mean(nodoc_drift) < 0.1
+    assert max(nodoc_drift) < 0.05 * rep.n_documents
+    # ... and pruned mass stays accounted for and tiny.
+    assert max(pruned) < 1e-6

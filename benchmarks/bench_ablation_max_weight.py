@@ -1,0 +1,77 @@
+"""Ablation — the max-weight subrange on/off, everything else fixed.
+
+Isolates the paper's key design element: the singleton subrange holding the
+maximum normalized weight with probability 1/n.  Runs the same 4-equal
+scheme with and without it, plus the triplet (estimated-max) middle ground.
+"""
+
+from repro.core import SubrangeEstimator
+from repro.evaluation import MethodSpec, run_usefulness_experiment
+from repro.representatives import SubrangeScheme
+
+from _bench_utils import THRESHOLDS, emit
+
+DB = "D1"
+SAMPLE = 1200
+
+
+def test_ablation_max_weight(benchmark, databases, query_log):
+    engine, rep = databases[DB]
+    queries = query_log[:SAMPLE]
+    methods = [
+        MethodSpec(
+            "with-max",
+            SubrangeEstimator(scheme=SubrangeScheme.equal(4, include_max=True)),
+            rep,
+            label="4 equal + stored max",
+        ),
+        MethodSpec(
+            "without-max",
+            SubrangeEstimator(scheme=SubrangeScheme.equal(4, include_max=False)),
+            rep,
+            label="4 equal, no max subrange",
+        ),
+        MethodSpec(
+            "estimated-max",
+            SubrangeEstimator(
+                scheme=SubrangeScheme.equal(4, include_max=True),
+                use_stored_max=False,
+            ),
+            rep.as_triplets(),
+            label="4 equal + estimated max",
+        ),
+    ]
+    result = benchmark.pedantic(
+        run_usefulness_experiment,
+        args=(engine, queries, methods, THRESHOLDS),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "",
+        f"=== ablation: max-weight subrange on {DB} "
+        f"({len(queries)} queries) ===",
+    ]
+    summaries = {}
+    for spec in methods:
+        rows = result.metrics[spec.key]
+        summary = (
+            sum(r.match for r in rows),
+            sum(r.mismatch for r in rows),
+            sum(r.d_avgsim for r in rows),
+        )
+        summaries[spec.key] = summary
+        lines.append(f"{spec.label:>28}  match {summary[0]:>5}  "
+                     f"mismatch {summary[1]:>4}  sum d-S {summary[2]:.3f}")
+    emit("ablation_max_weight", "\n".join(lines))
+
+    # Stored max gives at least as many matches as no max at the high
+    # thresholds, where the top of the weight distribution decides.
+    high = slice(3, None)  # T >= 0.4
+    with_max = sum(
+        r.match for r in result.metrics["with-max"][high]
+    )
+    without = sum(
+        r.match for r in result.metrics["without-max"][high]
+    )
+    assert with_max >= without

@@ -1,0 +1,59 @@
+"""Ablation — quantization levels: how few bits does the representative
+really need?  Sweeps 4, 16, 64, 256 levels (2-8 bits per number) on D1 and
+reports how the subrange method's accuracy degrades.
+"""
+
+from repro.core import SubrangeEstimator
+from repro.evaluation import MethodSpec, run_usefulness_experiment
+from repro.representatives import quantize_representative
+
+from _bench_utils import THRESHOLDS, emit
+
+DB = "D1"
+SAMPLE = 1200
+LEVELS = (4, 16, 64, 256)
+
+
+def test_ablation_quantizer_levels(benchmark, databases, query_log):
+    engine, rep = databases[DB]
+    queries = query_log[:SAMPLE]
+    methods = [MethodSpec("exact", SubrangeEstimator(), rep, label="exact")]
+    for levels in LEVELS:
+        methods.append(
+            MethodSpec(
+                f"q{levels}",
+                SubrangeEstimator(),
+                quantize_representative(rep, levels=levels),
+                label=f"{levels} levels",
+            )
+        )
+    result = benchmark.pedantic(
+        run_usefulness_experiment,
+        args=(engine, queries, methods, THRESHOLDS),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "",
+        f"=== ablation: quantizer levels on {DB} ({len(queries)} queries) ===",
+    ]
+    summaries = {}
+    for spec in methods:
+        rows = result.metrics[spec.key]
+        summary = (
+            sum(r.match for r in rows),
+            sum(r.mismatch for r in rows),
+            sum(r.d_nodoc for r in rows),
+            sum(r.d_avgsim for r in rows),
+        )
+        summaries[spec.key] = summary
+        lines.append(f"{spec.label:>12}  match {summary[0]:>5}  mismatch "
+                     f"{summary[1]:>4}  sum d-N {summary[2]:>7.2f}  "
+                     f"sum d-S {summary[3]:.3f}")
+    emit("ablation_quantizer", "\n".join(lines))
+
+    exact_match = summaries["exact"][0]
+    # 256 levels (the paper's byte) is indistinguishable from exact.
+    assert abs(summaries["q256"][0] - exact_match) <= max(3, 0.02 * exact_match)
+    # Even 16 levels stays within a few percent — the scheme is robust.
+    assert abs(summaries["q16"][0] - exact_match) <= 0.1 * exact_match

@@ -1,0 +1,80 @@
+"""Extension bench — document-count-driven retrieval allocation.
+
+Demonstrates the usefulness measure's threshold-awareness end to end: for a
+desired document count k the broker inverts the fleet's expected NoDoc to a
+threshold and hands each engine an integer quota.  Measures how many of the
+true global top-k documents the quota-driven retrieval recovers versus
+querying every engine for k documents (the wasteful baseline).
+"""
+
+import numpy as np
+
+from _bench_utils import emit
+from repro.engine import SearchEngine
+from repro.metasearch import allocate_documents
+
+K = 10
+SAMPLE = 150
+
+
+def test_allocation_recovers_top_k(benchmark, corpus_model, query_log):
+    engines = {
+        f"group{g:02d}": SearchEngine(corpus_model.generate_group(g))
+        for g in range(8)
+    }
+    from repro.representatives import build_representative
+
+    representatives = {
+        name: build_representative(engine) for name, engine in engines.items()
+    }
+    queries = [q for q in query_log[: SAMPLE * 2] if q.n_terms >= 2][:SAMPLE]
+
+    def allocate_sample():
+        for query in queries[:25]:
+            allocate_documents(query, representatives, K)
+
+    benchmark(allocate_sample)
+
+    recovered = []
+    invocations_saved = []
+    for query in queries:
+        # Global truth: the top-K documents across the fleet.
+        all_hits = []
+        for name, engine in engines.items():
+            all_hits.extend(engine.top_k(query, K))
+        all_hits.sort(reverse=True)
+        truth_ids = {h.doc_id for h in all_hits[:K]}
+        if not truth_ids:
+            continue
+
+        quotas = allocate_documents(query, representatives, K)
+        retrieved = []
+        for name, quota in quotas.items():
+            if quota > 0:
+                retrieved.extend(engines[name].top_k(query, quota))
+        retrieved.sort(reverse=True)
+        got_ids = {h.doc_id for h in retrieved[:K]}
+        recovered.append(len(truth_ids & got_ids) / len(truth_ids))
+        invocations_saved.append(
+            1.0 - sum(1 for q in quotas.values() if q > 0) / len(engines)
+        )
+
+    mean_recall = float(np.mean(recovered))
+    mean_saved = float(np.mean(invocations_saved))
+    emit(
+        "allocation",
+        "\n".join(
+            [
+                "",
+                f"=== top-{K} allocation over {len(engines)} engines "
+                f"({len(recovered)} queries) ===",
+                f"mean top-{K} recall via quotas : {mean_recall:.1%}",
+                f"mean engine invocations saved  : {mean_saved:.1%}",
+            ]
+        ),
+    )
+
+    # Quota-driven retrieval must recover the vast majority of the true
+    # top-k while skipping a meaningful share of engines.
+    assert mean_recall >= 0.75
+    assert mean_saved >= 0.2

@@ -1,0 +1,65 @@
+"""Substrate bench — indexing throughput and query latency.
+
+Not a paper table: operational numbers for the retrieval substrate every
+experiment stands on.  Benchmarks index construction over D2 (1,466 docs)
+and reports exact-search latency percentiles across the query log, plus
+the index save/load round-trip cost.
+"""
+
+import time
+
+import numpy as np
+
+from repro.index import InvertedIndex, load_index, save_index
+
+from _bench_utils import emit
+
+DB = "D2"
+SAMPLE = 1000
+
+
+def test_engine_substrate(benchmark, databases, query_log, tmp_path_factory):
+    engine, __ = databases[DB]
+    collection = engine.collection
+    queries = query_log[:SAMPLE]
+
+    benchmark(InvertedIndex, collection)
+
+    latencies = []
+    for query in queries:
+        start = time.perf_counter()
+        engine.similarities(query)
+        latencies.append((time.perf_counter() - start) * 1e6)
+    latencies = np.asarray(latencies)
+
+    tmp_dir = tmp_path_factory.mktemp("index-store")
+    path = tmp_dir / "d2.npz"
+    save_start = time.perf_counter()
+    save_index(engine.index, path)
+    save_ms = (time.perf_counter() - save_start) * 1000
+    load_start = time.perf_counter()
+    loaded = load_index(path)
+    load_ms = (time.perf_counter() - load_start) * 1000
+
+    emit(
+        "engine_substrate",
+        "\n".join(
+            [
+                "",
+                f"=== retrieval substrate on {DB} "
+                f"({collection.n_documents} docs, "
+                f"{collection.n_terms} terms) ===",
+                f"exact search latency over {len(queries)} queries (us): "
+                f"p50 {np.percentile(latencies, 50):.0f}  "
+                f"p95 {np.percentile(latencies, 95):.0f}  "
+                f"p99 {np.percentile(latencies, 99):.0f}",
+                f"index save: {save_ms:.0f} ms "
+                f"({path.stat().st_size / 1024:.0f} KiB compressed)  "
+                f"load: {load_ms:.0f} ms",
+            ]
+        ),
+    )
+
+    assert loaded.n_terms == engine.index.n_terms
+    # Exact search stays interactive.
+    assert np.percentile(latencies, 99) < 100_000  # < 100 ms

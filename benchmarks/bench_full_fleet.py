@@ -1,0 +1,58 @@
+"""Full-environment bench — all 53 newsgroup engines, as in the paper.
+
+The paper's data is 53 newsgroup snapshots; its tables evaluate three
+merged databases, but the system the introduction motivates is the full
+fleet.  This bench registers all 53 synthetic engines with a broker and
+measures, across the threshold grid: selection recall/precision against
+the exhaustive oracle, and the fraction of engine invocations (and thereby
+network/processing cost) the usefulness estimates save versus broadcasting.
+"""
+
+from repro.engine import SearchEngine
+from repro.evaluation import evaluate_selection
+from repro.metasearch import MetasearchBroker
+
+from _bench_utils import emit
+
+SAMPLE = 400
+GRID = (0.2, 0.3, 0.4)
+
+
+def test_full_fleet_selection(benchmark, corpus_model, query_log):
+    broker = MetasearchBroker()
+    for group in range(corpus_model.n_groups):
+        broker.register(SearchEngine(corpus_model.generate_group(group)))
+    queries = query_log[:SAMPLE]
+
+    def select_sample():
+        for query in queries[:25]:
+            broker.select(query, 0.3)
+
+    benchmark(select_sample)
+
+    lines = [
+        "",
+        f"=== full fleet: {len(broker)} engines, {len(queries)} queries ===",
+        f"{'T':>4} {'exact':>7} {'recall':>8} {'precision':>10} "
+        f"{'invoked/bcast':>14}",
+    ]
+    recalls = []
+    for threshold in GRID:
+        quality = evaluate_selection(broker, queries, threshold)
+        invoked = sum(
+            len(broker.select(query, threshold)) for query in queries
+        )
+        share = invoked / (len(broker) * len(queries))
+        recalls.append(quality.recall)
+        lines.append(
+            f"{threshold:>4.1f} {quality.exact_rate:>7.1%} "
+            f"{quality.recall:>8.1%} {quality.precision:>10.1%} "
+            f"{share:>14.1%}"
+        )
+    emit("full_fleet", "\n".join(lines))
+
+    # At fleet scale the estimates must keep selection sharp: high recall
+    # of truly useful engines while invoking a small fraction of the fleet.
+    assert min(recalls) >= 0.85
+    final_share = invoked / (len(broker) * len(queries))
+    assert final_share <= 0.5

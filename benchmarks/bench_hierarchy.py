@@ -1,0 +1,101 @@
+"""Extension bench — the "more than two levels" generalization.
+
+Builds a three-level hierarchy over 16 synthetic newsgroup engines (root ->
+4 regional brokers -> 4 engines each), routes a query log through it, and
+measures (a) correctness — the hierarchy finds the same documents as a flat
+broker — and (b) the work saved by pruning whole subtrees with one
+estimate.  Also re-verifies the single-term guarantee across levels, which
+holds because inner representatives are exact merges.
+"""
+
+from repro.engine import SearchEngine
+from repro.metasearch import BrokerNode
+
+from _bench_utils import emit
+
+N_ENGINES = 16
+FANOUT = 4
+THRESHOLD = 0.3
+SAMPLE = 300
+
+
+def test_hierarchy_pruning(benchmark, corpus_model, query_log):
+    leaves = [
+        BrokerNode.leaf(SearchEngine(corpus_model.generate_group(g)))
+        for g in range(N_ENGINES)
+    ]
+    regions = [
+        BrokerNode.inner(f"region{r}", leaves[r * FANOUT: (r + 1) * FANOUT])
+        for r in range(N_ENGINES // FANOUT)
+    ]
+    root = BrokerNode.inner("root", regions)
+    queries = query_log[:SAMPLE]
+
+    def run_sample():
+        for query in queries[:40]:
+            root.search(query, THRESHOLD)
+
+    benchmark(run_sample)
+
+    from repro.core import SubrangeEstimator
+
+    estimator = SubrangeEstimator()
+    total_visits = 0
+    total_flat_estimates = 0
+    guarantee_violations = 0
+    subset_violations = 0
+    docs_found = 0
+    docs_available = 0
+    for query in queries:
+        report = root.search(query, THRESHOLD)
+        total_visits += len(report.visited_nodes)
+        total_flat_estimates += N_ENGINES  # a flat broker estimates all
+        broadcast_ids = set()
+        flat_selected = set()
+        for leaf in leaves:
+            broadcast_ids.update(
+                h.doc_id for h in leaf.engine.search(query, THRESHOLD)
+            )
+            if estimator.estimate(
+                query, leaf.representative, THRESHOLD
+            ).identifies_useful:
+                flat_selected.add(leaf.name)
+        tree_ids = {h.doc_id for h in report.hits}
+        docs_found += len(tree_ids)
+        docs_available += len(broadcast_ids)
+        # A hierarchy can only ever invoke engines a flat selective broker
+        # would also invoke (leaf estimates gate both).
+        if not set(report.invoked_engines) <= flat_selected:
+            subset_violations += 1
+        if query.is_single_term:
+            truth = set(root.true_engines(query, THRESHOLD))
+            if set(report.invoked_engines) != truth:
+                guarantee_violations += 1
+
+    doc_recall = docs_found / docs_available if docs_available else 1.0
+    emit(
+        "hierarchy",
+        "\n".join(
+            [
+                "",
+                f"=== 3-level hierarchy over {N_ENGINES} engines "
+                f"({len(queries)} queries, threshold {THRESHOLD}) ===",
+                f"estimates computed (hierarchy) : {total_visits}",
+                f"estimates computed (flat)      : {total_flat_estimates}",
+                f"estimate reduction             : "
+                f"{1 - total_visits / total_flat_estimates:.1%}",
+                f"document recall vs broadcast   : {doc_recall:.1%}",
+                f"single-term guarantee breaches : {guarantee_violations}",
+            ]
+        ),
+    )
+
+    # The single-term guarantee composes across levels exactly.
+    assert guarantee_violations == 0
+    # Hierarchical invocation is always a subset of flat selection.
+    assert subset_violations == 0
+    # Multi-term selection is estimation-based at every level, so a few
+    # documents are traded for the pruning; recall must stay high.
+    assert doc_recall >= 0.9
+    # And pruning must save real work against the flat broker.
+    assert total_visits < 0.9 * total_flat_estimates

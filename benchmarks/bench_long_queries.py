@@ -1,0 +1,80 @@
+"""Scaling bench — expansion growth and latency vs query length.
+
+The paper evaluates on queries of <= 6 terms; the generating-function
+product grows multiplicatively with query length, so a practical system
+must know where the cliff is.  This bench sweeps query lengths 1..12 with
+the six-subrange method on D2, recording expansion size and per-query
+latency with and without the expansion controls (exponent rounding + prune
+floor), and asserts the controls keep long queries tractable.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import SubrangeEstimator
+from repro.corpus.synth import QueryLogModel
+
+from _bench_utils import THRESHOLDS, emit
+
+DB = "D2"
+LENGTHS = (1, 2, 4, 6, 8, 10, 12)
+PER_LENGTH = 25
+
+
+def test_long_query_scaling(benchmark, corpus_model, databases):
+    __, rep = databases[DB]
+    loose = SubrangeEstimator(decimals=10)
+    controlled = SubrangeEstimator(decimals=4, prune_floor=1e-10)
+
+    queries_by_length = {}
+    for length in LENGTHS:
+        probs = [0.0] * length
+        probs[-1] = 1.0
+        log = QueryLogModel(corpus_model, length_probs=probs, seed=13)
+        queries_by_length[length] = log.generate(PER_LENGTH)
+
+    def controlled_longest():
+        for query in queries_by_length[LENGTHS[-1]][:10]:
+            controlled.estimate_many(query, rep, THRESHOLDS)
+
+    benchmark(controlled_longest)
+
+    lines = [
+        "",
+        f"=== expansion scaling vs query length on {DB} "
+        f"({PER_LENGTH} queries per length) ===",
+        f"{'len':>4} {'terms(loose)':>13} {'terms(ctrl)':>12} "
+        f"{'ms/query(ctrl)':>15}",
+    ]
+    controlled_sizes = {}
+    for length in LENGTHS:
+        controlled_terms = []
+        start = time.perf_counter()
+        for query in queries_by_length[length]:
+            controlled_terms.append(controlled.expand(query, rep).n_terms)
+        elapsed_ms = (time.perf_counter() - start) * 1000 / PER_LENGTH
+        # The uncontrolled product grows ~6^len terms; past 6 terms it is
+        # too large to even materialize — which is the point of the bench.
+        if length <= 6:
+            loose_terms = [
+                loose.expand(query, rep).n_terms
+                for query in queries_by_length[length][:8]
+            ]
+            loose_cell = f"{np.mean(loose_terms):>13.0f}"
+        else:
+            loose_cell = f"{'intractable':>13}"
+        controlled_sizes[length] = float(np.mean(controlled_terms))
+        lines.append(
+            f"{length:>4} {loose_cell} "
+            f"{controlled_sizes[length]:>12.0f} {elapsed_ms:>15.2f}"
+        )
+    emit("long_queries", "\n".join(lines))
+
+    # With the controls, expansion size grows far slower than the naive
+    # multiplicative bound (6 subranges ** length).
+    assert controlled_sizes[12] < 6**6
+    # And long queries stay sub-linear relative to uncontrolled blowup:
+    # controlled 12-term expansions are within ~100x of 4-term ones rather
+    # than the ~6^8 the raw product would suggest.
+    assert controlled_sizes[12] <= 150 * max(controlled_sizes[4], 1.0)

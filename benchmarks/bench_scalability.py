@@ -1,0 +1,49 @@
+"""Section 3.2 scalability table — representative size vs collection size.
+
+Reprints the paper's WSJ/FR/DOE rows (reproduced exactly from the published
+term counts), adds the synthetic D1/D2/D3 rows, and benchmarks the sizing
+computation.
+"""
+
+from repro.evaluation import format_sizing_table
+from repro.representatives import (
+    PAPER_COLLECTION_STATS,
+    sizing_for_collection,
+)
+
+from _bench_utils import emit
+
+
+def test_scalability_table(benchmark, databases):
+    collections = [engine.collection for engine, __ in databases.values()]
+    rows = benchmark(
+        lambda: [sizing_for_collection(c) for c in collections]
+    )
+    emit(
+        "scalability",
+        "\n".join(
+            [
+                "",
+                "=== Section 3.2 table: paper collections (published stats) ===",
+                format_sizing_table(PAPER_COLLECTION_STATS),
+                "",
+                "=== Section 3.2 table: synthetic databases ===",
+                format_sizing_table(rows),
+            ]
+        ),
+    )
+
+    # The paper's published arithmetic must reproduce exactly.
+    by_name = {r.name: r for r in PAPER_COLLECTION_STATS}
+    assert round(by_name["WSJ"].representative_pages) == 1563
+    assert abs(by_name["WSJ"].percent - 3.85) < 0.01
+    assert round(by_name["FR"].representative_pages) == 1263
+    assert abs(by_name["FR"].percent - 3.79) < 0.01
+    assert round(by_name["DOE"].representative_pages) == 1862
+    assert abs(by_name["DOE"].percent - 7.40) < 0.01
+    # One-byte coding lands in the claimed 1.5-3% band for the paper rows.
+    for row in PAPER_COLLECTION_STATS:
+        assert 1.4 <= row.quantized_percent <= 3.1
+    # Our synthetic rows: quantized is 8/20 of full, by construction.
+    for row in rows:
+        assert abs(row.quantized_pages / row.representative_pages - 0.4) < 1e-9

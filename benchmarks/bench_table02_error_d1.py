@@ -1,0 +1,34 @@
+"""Table 2 — d-N and d-S on D1 for the three estimation methods.
+
+Shares the Table 1 sweep (one expansion answers both tables, the paper's
+"little additional effort" point) and benchmarks the subrange estimator's
+threshold-independent expansion kernel in isolation.
+"""
+
+from repro.core import SubrangeEstimator
+from repro.evaluation import format_error_table
+
+from _bench_utils import THRESHOLDS, print_with_reference
+
+DB = "D1"
+TABLE = "table2"
+
+
+def test_table02_error_d1(benchmark, results, databases, sample_queries):
+    __, rep = databases[DB]
+    estimator = SubrangeEstimator()
+
+    def expand_all():
+        for query in sample_queries:
+            estimator.estimate_many(query, rep, THRESHOLDS)
+
+    benchmark(expand_all)
+    result = results.exact(DB)
+    print_with_reference(TABLE, format_error_table(result))
+    # The paper's conclusion: subrange has the smallest d-S at every
+    # threshold and the smallest total d-N.
+    rows = result.metrics
+    for i in range(len(THRESHOLDS)):
+        assert rows["subrange"][i].d_avgsim <= rows["gloss-hc"][i].d_avgsim
+    total = lambda key: sum(r.d_nodoc for r in rows[key])
+    assert total("subrange") <= total("prev") <= total("gloss-hc")

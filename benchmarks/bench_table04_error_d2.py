@@ -1,0 +1,33 @@
+"""Table 4 — d-N and d-S on D2.  Benchmarks the previous-method kernel
+(threshold-dependent, so it re-expands per threshold — the costly path)."""
+
+from repro.core import PreviousMethodEstimator
+from repro.evaluation import format_error_table
+
+from _bench_utils import THRESHOLDS, print_with_reference
+
+DB = "D2"
+TABLE = "table4"
+
+
+def test_table04_error_d2(benchmark, results, databases, sample_queries):
+    __, rep = databases[DB]
+    estimator = PreviousMethodEstimator()
+
+    def estimate_all():
+        for query in sample_queries:
+            estimator.estimate_many(query, rep, THRESHOLDS)
+
+    benchmark(estimate_all)
+    result = results.exact(DB)
+    print_with_reference(TABLE, format_error_table(result))
+    rows = result.metrics
+    # Subrange dominates the high-correlation baseline at every threshold;
+    # against the previous method we assert on totals (our VLDB'98
+    # reconstruction estimates AvgSim more sharply than the original, so
+    # individual thresholds can tie — see EXPERIMENTS.md).
+    for i in range(len(THRESHOLDS)):
+        assert rows["subrange"][i].d_avgsim <= rows["gloss-hc"][i].d_avgsim
+    total = lambda key, field: sum(getattr(r, field) for r in rows[key])
+    assert total("subrange", "d_nodoc") <= total("prev", "d_nodoc")
+    assert total("subrange", "d_avgsim") <= total("gloss-hc", "d_avgsim")

@@ -1,0 +1,28 @@
+"""Table 5 — match/mismatch on D3 (merge of the 26 smallest newsgroups,
+the most heterogeneous database).  Benchmarks the gGlOSS high-correlation
+kernel, the cheapest of the three methods."""
+
+from repro.core import GlossHighCorrelationEstimator
+from repro.evaluation import format_match_table
+
+from _bench_utils import THRESHOLDS, print_with_reference
+
+DB = "D3"
+TABLE = "table5"
+
+
+def test_table05_match_d3(benchmark, results, databases, sample_queries):
+    __, rep = databases[DB]
+    estimator = GlossHighCorrelationEstimator()
+
+    def estimate_all():
+        for query in sample_queries:
+            estimator.estimate_many(query, rep, THRESHOLDS)
+
+    benchmark(estimate_all)
+    result = results.exact(DB)
+    print_with_reference(TABLE, format_match_table(result))
+    rows = result.metrics
+    for i in range(len(THRESHOLDS)):
+        assert rows["subrange"][i].match >= rows["prev"][i].match
+        assert rows["prev"][i].match >= rows["gloss-hc"][i].match

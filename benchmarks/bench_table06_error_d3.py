@@ -1,0 +1,27 @@
+"""Table 6 — d-N and d-S on D3.  Benchmarks exact truth computation (the
+index-backed similarity scan every experiment row depends on)."""
+
+from repro.core import true_usefulness_many
+from repro.evaluation import format_error_table
+
+from _bench_utils import THRESHOLDS, print_with_reference
+
+DB = "D3"
+TABLE = "table6"
+
+
+def test_table06_error_d3(benchmark, results, databases, sample_queries):
+    engine, __ = databases[DB]
+
+    def truth_all():
+        for query in sample_queries:
+            true_usefulness_many(engine, query, THRESHOLDS)
+
+    benchmark(truth_all)
+    result = results.exact(DB)
+    print_with_reference(TABLE, format_error_table(result))
+    rows = result.metrics
+    total = lambda key, field: sum(getattr(r, field) for r in rows[key])
+    assert total("subrange", "d_avgsim") <= total("prev", "d_avgsim")
+    assert total("prev", "d_avgsim") <= total("gloss-hc", "d_avgsim")
+    assert total("subrange", "d_nodoc") <= total("gloss-hc", "d_nodoc")

@@ -1,0 +1,23 @@
+"""Table 7 — subrange method on D1 with every representative number coded
+in one byte (Section 3.2).  The paper's finding: essentially no difference
+from Tables 1-2.  Benchmarks the quantization pass itself."""
+
+from repro.evaluation import format_combined_table
+from repro.representatives import quantize_representative
+
+from _bench_utils import print_with_reference
+
+DB = "D1"
+TABLE = "table7"
+
+
+def test_table07_quantized_d1(benchmark, results, databases):
+    __, rep = databases[DB]
+    benchmark(quantize_representative, rep)
+    result = results.quantized(DB)
+    print_with_reference(TABLE, format_combined_table(result, "subrange"))
+    # Robustness claim: quantized match within a whisker of the exact run.
+    exact = results.exact(DB).metrics["subrange"]
+    quantized = result.metrics["subrange"]
+    for e_row, q_row in zip(exact, quantized):
+        assert abs(e_row.match - q_row.match) <= max(3, 0.02 * e_row.match)

@@ -1,0 +1,29 @@
+"""Table 8 — one-byte representative on D2.  Benchmarks subrange estimation
+against the quantized representative (same estimator code path as exact)."""
+
+from repro.core import SubrangeEstimator
+from repro.evaluation import format_combined_table
+from repro.representatives import quantize_representative
+
+from _bench_utils import THRESHOLDS, print_with_reference
+
+DB = "D2"
+TABLE = "table8"
+
+
+def test_table08_quantized_d2(benchmark, results, databases, sample_queries):
+    __, rep = databases[DB]
+    quantized_rep = quantize_representative(rep)
+    estimator = SubrangeEstimator()
+
+    def estimate_all():
+        for query in sample_queries:
+            estimator.estimate_many(query, quantized_rep, THRESHOLDS)
+
+    benchmark(estimate_all)
+    result = results.quantized(DB)
+    print_with_reference(TABLE, format_combined_table(result, "subrange"))
+    exact = results.exact(DB).metrics["subrange"]
+    quantized = result.metrics["subrange"]
+    for e_row, q_row in zip(exact, quantized):
+        assert abs(e_row.match - q_row.match) <= max(5, 0.03 * e_row.match)

@@ -1,0 +1,22 @@
+"""Table 9 — one-byte representative on D3.  Benchmarks representative
+construction from the index (the engine-side export cost)."""
+
+from repro.evaluation import format_combined_table
+from repro.representatives import build_representative
+
+from _bench_utils import print_with_reference
+
+DB = "D3"
+TABLE = "table9"
+
+
+def test_table09_quantized_d3(benchmark, results, databases):
+    engine, __ = databases[DB]
+    benchmark(build_representative, engine)
+    result = results.quantized(DB)
+    print_with_reference(TABLE, format_combined_table(result, "subrange"))
+    exact = results.exact(DB).metrics["subrange"]
+    quantized = result.metrics["subrange"]
+    for e_row, q_row in zip(exact, quantized):
+        assert abs(e_row.match - q_row.match) <= max(5, 0.03 * e_row.match)
+        assert abs(e_row.d_avgsim - q_row.d_avgsim) <= 0.02

@@ -1,0 +1,28 @@
+"""Table 11 — estimated max weight on D2.  Benchmarks the triplet-mode
+per-term polynomial construction (includes the normal-quantile call)."""
+
+from repro.core import SubrangeEstimator
+from repro.evaluation import format_combined_table
+
+from _bench_utils import print_with_reference
+
+DB = "D2"
+TABLE = "table11"
+
+
+def test_table11_triplet_d2(benchmark, results, databases):
+    __, rep = databases[DB]
+    estimator = SubrangeEstimator(use_stored_max=False)
+    stats = [s.without_max_weight() for __, s in list(rep.items())[:500]]
+
+    def build_polynomials():
+        for s in stats:
+            estimator.term_polynomial(0.7, s, rep.n_documents)
+
+    benchmark(build_polynomials)
+    result = results.triplet(DB)
+    print_with_reference(TABLE, format_combined_table(result, "subrange"))
+    exact = results.exact(DB).metrics["subrange"]
+    triplet = result.metrics["subrange"]
+    assert sum(r.mismatch for r in triplet) > sum(r.mismatch for r in exact)
+    assert sum(r.d_avgsim for r in triplet) > sum(r.d_avgsim for r in exact)

@@ -1,0 +1,20 @@
+"""Table 12 — estimated max weight on D3 (most heterogeneous database).
+Benchmarks the as_triplets representative derivation."""
+
+from repro.evaluation import format_combined_table
+
+from _bench_utils import print_with_reference
+
+DB = "D3"
+TABLE = "table12"
+
+
+def test_table12_triplet_d3(benchmark, results, databases):
+    __, rep = databases[DB]
+    benchmark(rep.as_triplets)
+    result = results.triplet(DB)
+    print_with_reference(TABLE, format_combined_table(result, "subrange"))
+    exact = results.exact(DB).metrics["subrange"]
+    triplet = result.metrics["subrange"]
+    assert sum(r.mismatch for r in triplet) > sum(r.mismatch for r in exact)
+    assert sum(r.d_avgsim for r in triplet) > sum(r.d_avgsim for r in exact)

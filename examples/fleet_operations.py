@@ -1,0 +1,87 @@
+"""Operating a metasearch fleet: incremental representatives, merging,
+and document-count-driven allocation.
+
+Three operational scenarios beyond the basic routing demo:
+
+1. An engine streams new documents and keeps its representative current
+   with O(1)-per-posting sufficient statistics — no rebuild.
+2. Two engines are federated; their representatives merge exactly, the
+   operation behind the paper's D2/D3 construction.
+3. A user asks for "the best 10 documents" rather than a threshold; the
+   broker inverts the fleet's expected NoDoc to a threshold and hands each
+   engine an integer retrieval quota.
+
+Run:  python examples/fleet_operations.py
+"""
+
+from repro import SearchEngine, build_representative
+from repro.corpus.synth import NewsgroupModel, QueryLogModel
+from repro.metasearch import allocate_documents, threshold_for_k
+from repro.representatives import RepresentativeAccumulator
+
+
+def weights_of(engine, doc_index):
+    """{term: normalized weight} of one indexed document."""
+    out = {}
+    vocabulary = engine.collection.vocabulary
+    for term_id, plist in engine.index.items():
+        hits = plist.doc_indices == doc_index
+        if hits.any():
+            out[vocabulary.term_of(term_id)] = float(plist.weights[hits][0])
+    return out
+
+
+def main() -> None:
+    model = NewsgroupModel(seed=77)
+    engine_a = SearchEngine(model.generate_group(2))
+    engine_b = SearchEngine(model.generate_group(3))
+
+    print("-- 1. streaming maintenance --")
+    accumulator = RepresentativeAccumulator.from_index(engine_a)
+    print(f"seeded from index: {accumulator}")
+    # Stream three "new" documents (borrowed from engine B for the demo).
+    for doc_index in range(3):
+        accumulator.add_document(weights_of(engine_b, doc_index))
+    print(f"after 3 streamed documents: {accumulator}")
+
+    print("\n-- 2. exact representative merging --")
+    acc_a = RepresentativeAccumulator.from_index(engine_a)
+    acc_b = RepresentativeAccumulator.from_index(engine_b)
+    merged = RepresentativeAccumulator.merged("federated", [acc_a, acc_b])
+    print(f"A: {acc_a.n_documents} docs / {acc_a.n_terms} terms")
+    print(f"B: {acc_b.n_documents} docs / {acc_b.n_terms} terms")
+    print(f"merged: {merged.n_documents} docs / {merged.n_terms} terms")
+    rep = merged.to_representative()
+    sample_term = next(iter(rep.items()))
+    print(f"sample merged stats: {sample_term}")
+
+    print("\n-- 3. top-k quota allocation --")
+    engines = {
+        f"group{g:02d}": SearchEngine(model.generate_group(g))
+        for g in range(6)
+    }
+    representatives = {
+        name: build_representative(engine)
+        for name, engine in engines.items()
+    }
+    queries = QueryLogModel(model, seed=9).generate(200)
+    query = next(q for q in queries if q.n_terms >= 3)
+    k = 10
+    threshold = threshold_for_k(query, representatives, k)
+    quotas = allocate_documents(query, representatives, k)
+    print(f"query {query.terms}, want {k} documents")
+    print(f"inverted threshold: {threshold:.4f}")
+    for name in sorted(quotas):
+        print(f"  {name}: quota {quotas[name]}")
+    retrieved = []
+    for name, quota in quotas.items():
+        if quota > 0:
+            retrieved.extend(engines[name].top_k(query, quota))
+    retrieved.sort(reverse=True)
+    print("retrieved (merged):")
+    for hit in retrieved[:k]:
+        print(f"  {hit.doc_id}  sim={hit.similarity:.4f}  from {hit.engine}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Hierarchical metasearch — the paper's "more than two levels".
+
+Builds a three-level broker tree over twelve newsgroup engines, routes
+queries top-down, and shows whole subtrees being pruned by a single
+usefulness estimate on their (exactly merged) representative.
+
+Run:  python examples/hierarchical_metasearch.py
+"""
+
+from repro.corpus.synth import NewsgroupModel, QueryLogModel
+from repro.engine import SearchEngine
+from repro.metasearch import BrokerNode
+
+N_ENGINES = 12
+FANOUT = 4
+THRESHOLD = 0.3
+
+
+def main() -> None:
+    model = NewsgroupModel(seed=31)
+    print(f"building {N_ENGINES} engines and a 3-level hierarchy ...")
+    leaves = [
+        BrokerNode.leaf(SearchEngine(model.generate_group(g)))
+        for g in range(N_ENGINES)
+    ]
+    regions = [
+        BrokerNode.inner(f"region{r}", leaves[r * FANOUT: (r + 1) * FANOUT])
+        for r in range(N_ENGINES // FANOUT)
+    ]
+    root = BrokerNode.inner("root", regions)
+    print(f"hierarchy: {root} depth={root.depth()}")
+
+    queries = QueryLogModel(model, seed=8).generate(200)
+    shown = 0
+    for query in queries:
+        report = root.search(query, THRESHOLD, limit=3)
+        if report.hits and shown < 4:
+            shown += 1
+            print(f"\nquery {query.terms}")
+            print(f"  visited : {report.visited_nodes}")
+            print(f"  pruned  : {report.pruned_subtrees}")
+            print(f"  invoked : {report.invoked_engines}")
+            for hit in report.hits:
+                print(f"    {hit.doc_id} sim={hit.similarity:.3f} ({hit.engine})")
+
+    visits = 0
+    for query in queries:
+        visits += len(root.search(query, THRESHOLD).visited_nodes)
+    flat = N_ENGINES * len(queries)
+    print(f"\nover {len(queries)} queries: {visits} node estimates vs "
+          f"{flat} for a flat broker ({1 - visits / flat:.0%} saved)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: estimate a search engine's usefulness without searching it.
+
+Builds two tiny engines from raw text, publishes their compact
+representatives, and shows that the subrange estimator — looking only at
+the representatives — agrees with the exhaustive ground truth about which
+engine is worth querying.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Collection,
+    Query,
+    SearchEngine,
+    SubrangeEstimator,
+    build_representative,
+    true_usefulness,
+)
+
+DB_SPACE = [
+    ("s1", "The rocket engine ignited and the spacecraft rose toward orbit."),
+    ("s2", "Astronauts aboard the station photographed the comet's long tail."),
+    ("s3", "A new telescope mirror focuses faint light from distant galaxies."),
+    ("s4", "Mission control confirmed the orbiter's thruster burn succeeded."),
+    ("s5", "The probe's camera returned images of craters on the icy moon."),
+]
+
+DB_COOKING = [
+    ("c1", "Simmer the tomato sauce slowly and season it with fresh basil."),
+    ("c2", "Knead the bread dough until smooth, then let it rise an hour."),
+    ("c3", "Roast the vegetables with olive oil, garlic and a pinch of salt."),
+    ("c4", "Whisk eggs and sugar until pale before folding in the flour."),
+    ("c5", "A sharp knife and a steady hand make slicing onions painless."),
+]
+
+
+def main() -> None:
+    engines = [
+        SearchEngine(Collection.from_texts("space-news", DB_SPACE)),
+        SearchEngine(Collection.from_texts("cooking-tips", DB_COOKING)),
+    ]
+    # Each engine exports a compact statistical representative; this is all
+    # the metasearch side ever sees.
+    representatives = {e.name: build_representative(e) for e in engines}
+
+    estimator = SubrangeEstimator()
+    threshold = 0.2
+
+    for text in ("telescope galaxies", "bread dough", "olive oil garlic"):
+        query = Query.from_text(text)
+        print(f"query: {text!r}  (threshold {threshold})")
+        for engine in engines:
+            rep = representatives[engine.name]
+            est = estimator.estimate(query, rep, threshold)
+            truth = true_usefulness(engine, query, threshold)
+            print(
+                f"  {engine.name:12s}  estimated NoDoc={est.nodoc:5.2f} "
+                f"AvgSim={est.avgsim:.3f}   true NoDoc={truth.nodoc:.0f} "
+                f"AvgSim={truth.avgsim:.3f}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Scalability of database representatives (Section 3.2).
+
+Prints the paper's WSJ/FR/DOE sizing table from its published statistics,
+appends rows for our synthetic D1/D2/D3, and demonstrates that the one-byte
+quantization of the representative barely moves the stored statistics.
+
+Run:  python examples/representative_sizing.py
+"""
+
+import numpy as np
+
+from repro import SearchEngine, build_representative, quantize_representative
+from repro.corpus.synth import build_paper_databases
+from repro.evaluation import format_sizing_table
+from repro.representatives import PAPER_COLLECTION_STATS, sizing_for_collection
+
+
+def main() -> None:
+    print("== Section 3.2 table: paper collections (published statistics) ==")
+    print(format_sizing_table(PAPER_COLLECTION_STATS))
+
+    print("\n== Same accounting for the synthetic databases ==")
+    databases = build_paper_databases()
+    print(format_sizing_table(sizing_for_collection(c) for c in databases))
+
+    print("\n== Effect of one-byte quantization on the stored statistics ==")
+    engine = SearchEngine(databases[0])
+    exact = build_representative(engine)
+    approx = quantize_representative(exact)
+    errors = {"probability": [], "mean": [], "std": [], "max_weight": []}
+    for term, stats in exact.items():
+        q = approx.get(term)
+        errors["probability"].append(abs(stats.probability - q.probability))
+        errors["mean"].append(abs(stats.mean - q.mean))
+        errors["std"].append(abs(stats.std - q.std))
+        errors["max_weight"].append(abs(stats.max_weight - q.max_weight))
+    for field, errs in errors.items():
+        arr = np.asarray(errs)
+        print(
+            f"  {field:12s} mean abs error {arr.mean():.2e}   "
+            f"max abs error {arr.max():.2e}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Small-scale reproduction of the paper's Tables 1-2 (and 7/10 variants).
+
+Runs the three-method comparison — gGlOSS high-correlation, the previous
+method, and the subrange method — on the synthetic D1 with a reduced query
+log, then shows the quantized-representative (Table 7) and triplet
+(Table 10) conditions.  The full-size runs live in benchmarks/.
+
+Run:  python examples/reproduce_tables.py  [n_queries]
+"""
+
+import sys
+
+from repro import (
+    GlossHighCorrelationEstimator,
+    PreviousMethodEstimator,
+    SearchEngine,
+    SubrangeEstimator,
+    build_representative,
+    quantize_representative,
+)
+from repro.corpus.synth import NewsgroupModel, QueryLogModel, build_paper_databases
+from repro.evaluation import (
+    MethodSpec,
+    format_combined_table,
+    format_error_table,
+    format_match_table,
+    run_usefulness_experiment,
+)
+
+
+def main(n_queries: int = 1200) -> None:
+    model = NewsgroupModel()
+    d1, __, __ = build_paper_databases(model)
+    engine = SearchEngine(d1)
+    rep = build_representative(engine)
+    queries = QueryLogModel(model).generate(n_queries)
+
+    methods = [
+        MethodSpec("gloss-hc", GlossHighCorrelationEstimator(), rep),
+        MethodSpec("prev", PreviousMethodEstimator(), rep),
+        MethodSpec("subrange", SubrangeEstimator(), rep),
+    ]
+    result = run_usefulness_experiment(engine, queries, methods)
+    print("== Tables 1-2 analogue (full-precision quadruplets) ==")
+    print(format_match_table(result))
+    print()
+    print(format_error_table(result))
+
+    print("\n== Table 7 analogue (one byte per stored number) ==")
+    quantized = quantize_representative(rep)
+    result_q = run_usefulness_experiment(
+        engine,
+        queries,
+        [MethodSpec("subrange-1byte", SubrangeEstimator(), quantized,
+                    label="subrange, 1-byte rep")],
+    )
+    print(format_combined_table(result_q, "subrange-1byte"))
+
+    print("\n== Table 10 analogue (max weight estimated, triplets) ==")
+    result_t = run_usefulness_experiment(
+        engine,
+        queries,
+        [MethodSpec("subrange-triplet",
+                    SubrangeEstimator(use_stored_max=False),
+                    rep.as_triplets(),
+                    label="subrange, estimated mw")],
+    )
+    print(format_combined_table(result_t, "subrange-triplet"))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1200)

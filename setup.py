@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so `pip install -e .`
+works on environments whose setuptools predates PEP 660 editable wheels
+(and without network access for build isolation).
+"""
+
+from setuptools import setup
+
+setup()

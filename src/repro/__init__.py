@@ -1,0 +1,82 @@
+"""repro — reproduction of "Estimating the Usefulness of Search Engines"
+(Meng, Liu, Yu, Wu, Rishe; ICDE 1999).
+
+The library implements, end to end, the paper's subrange-based statistical
+method for estimating how useful a local search engine's database is for a
+query — ``NoDoc`` (documents above a similarity threshold) and ``AvgSim``
+(their average similarity) — plus every substrate the evaluation needs:
+a vector-space retrieval stack, database representatives, the gGlOSS and
+previous-method baselines, a metasearch broker, synthetic newsgroup corpora,
+and the full Section 4 experiment harness.
+
+Quickstart::
+
+    from repro import (
+        Collection, Query, SearchEngine, SubrangeEstimator,
+        build_representative, true_usefulness,
+    )
+
+    collection = Collection.from_texts("demo", [("d1", "databases rule"),
+                                                ("d2", "search engines")])
+    engine = SearchEngine(collection)
+    rep = build_representative(engine)
+    query = Query.from_text("search engines")
+    est = SubrangeEstimator().estimate(query, rep, threshold=0.3)
+    true = true_usefulness(engine, query, threshold=0.3)
+"""
+
+from repro.core import (
+    BasicEstimator,
+    GenFunc,
+    GlossDisjointEstimator,
+    GlossHighCorrelationEstimator,
+    PreviousMethodEstimator,
+    SubrangeEstimator,
+    Usefulness,
+    UsefulnessEstimator,
+    get_estimator,
+    true_usefulness,
+    true_usefulness_many,
+)
+from repro.corpus import Collection, Document, Query
+from repro.engine import SearchEngine, SearchHit
+from repro.metasearch import MetasearchBroker, ThresholdPolicy, TopKPolicy
+from repro.representatives import (
+    DatabaseRepresentative,
+    SubrangeScheme,
+    TermStats,
+    build_representative,
+    quantize_representative,
+)
+from repro.text import TextPipeline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BasicEstimator",
+    "Collection",
+    "DatabaseRepresentative",
+    "Document",
+    "GenFunc",
+    "GlossDisjointEstimator",
+    "GlossHighCorrelationEstimator",
+    "MetasearchBroker",
+    "PreviousMethodEstimator",
+    "Query",
+    "SearchEngine",
+    "SearchHit",
+    "SubrangeEstimator",
+    "SubrangeScheme",
+    "TermStats",
+    "TextPipeline",
+    "ThresholdPolicy",
+    "TopKPolicy",
+    "Usefulness",
+    "UsefulnessEstimator",
+    "__version__",
+    "build_representative",
+    "get_estimator",
+    "quantize_representative",
+    "true_usefulness",
+    "true_usefulness_many",
+]

@@ -1,0 +1,252 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-usefulness synth --out-dir data/          # corpora + query log
+    repro-usefulness represent --collection data/D1.jsonl.gz --out D1.rep.json
+    repro-usefulness estimate --collection ... --query "terms ..." --threshold 0.2
+    repro-usefulness evaluate --database D1 --queries 2000
+    repro-usefulness scalability
+
+Every command prints plain text to stdout; all randomness is seeded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core import get_estimator, true_usefulness
+from repro.corpus import (
+    Query,
+    analyze_collection,
+    load_collection,
+    load_trec_collection,
+    save_collection,
+    save_queries,
+)
+from repro.corpus.synth import NewsgroupModel, QueryLogModel, build_paper_databases
+from repro.engine import SearchEngine
+from repro.evaluation import (
+    MethodSpec,
+    format_error_table,
+    format_match_table,
+    format_sizing_table,
+    run_usefulness_experiment,
+)
+from repro.metasearch import allocate_documents, threshold_for_k
+from repro.representatives import (
+    DatabaseRepresentative,
+    PAPER_COLLECTION_STATS,
+    build_representative,
+    sizing_for_collection,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    model = NewsgroupModel(seed=args.seed)
+    d1, d2, d3 = build_paper_databases(model)
+    for collection in (d1, d2, d3):
+        path = out_dir / f"{collection.name}.jsonl.gz"
+        save_collection(collection, path)
+        print(f"wrote {path} ({collection.n_documents} docs, {collection.n_terms} terms)")
+    queries = QueryLogModel(model, seed=args.query_seed).generate(args.n_queries)
+    qpath = out_dir / "queries.jsonl.gz"
+    save_queries(queries, qpath)
+    print(f"wrote {qpath} ({len(queries)} queries)")
+    return 0
+
+
+def _cmd_represent(args: argparse.Namespace) -> int:
+    collection = load_collection(args.collection)
+    engine = SearchEngine(collection)
+    representative = build_representative(engine)
+    representative.save(args.out)
+    print(
+        f"wrote {args.out} ({representative.n_terms} terms, "
+        f"{representative.n_documents} docs)"
+    )
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    collection = load_collection(args.collection)
+    engine = SearchEngine(collection)
+    if args.representative:
+        representative = DatabaseRepresentative.load(args.representative)
+    else:
+        representative = build_representative(engine)
+    query = Query.from_terms(args.query.split())
+    estimator = get_estimator(args.method)
+    estimate = estimator.estimate(query, representative, args.threshold)
+    truth = true_usefulness(engine, query, args.threshold)
+    print(f"database : {collection.name} ({collection.n_documents} docs)")
+    print(f"query    : {' '.join(query.terms)}  (threshold {args.threshold})")
+    print(f"method   : {estimator.label}")
+    print(f"estimated: NoDoc={estimate.nodoc:.2f}  AvgSim={estimate.avgsim:.4f}")
+    print(f"true     : NoDoc={truth.nodoc:.0f}  AvgSim={truth.avgsim:.4f}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    model = NewsgroupModel(seed=args.seed)
+    d1, d2, d3 = build_paper_databases(model)
+    by_name = {"D1": d1, "D2": d2, "D3": d3}
+    collection = by_name[args.database]
+    engine = SearchEngine(collection)
+    representative = build_representative(engine)
+    queries = QueryLogModel(model, seed=args.query_seed).generate(args.queries)
+    methods = [
+        MethodSpec(name, get_estimator(name), representative)
+        for name in args.methods
+    ]
+    result = run_usefulness_experiment(engine, queries, methods)
+    print(format_match_table(result))
+    print()
+    print(format_error_table(result))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    collection = load_collection(args.collection)
+    stats = analyze_collection(collection)
+    print(f"collection           : {collection.name}")
+    print(f"documents            : {stats.n_documents}")
+    print(f"distinct terms       : {stats.n_terms}")
+    print(f"tokens               : {stats.n_tokens}")
+    print(f"mean / median length : {stats.mean_doc_length:.1f} / "
+          f"{stats.median_doc_length:.1f}")
+    print(f"Zipf exponent (head) : {stats.zipf_exponent:.2f} "
+          f"(R^2 {stats.zipf_r_squared:.3f})")
+    print(f"Heaps beta           : {stats.heaps_beta:.2f}")
+    print(f"df Gini coefficient  : {stats.df_gini:.2f}")
+    sizing = sizing_for_collection(collection)
+    print(f"representative       : {sizing.representative_pages:.1f} pages "
+          f"({sizing.percent:.2f}% of collection; "
+          f"{sizing.quantized_percent:.2f}% one-byte)")
+    return 0
+
+
+def _cmd_allocate(args: argparse.Namespace) -> int:
+    representatives = {}
+    for path in args.representatives:
+        representative = DatabaseRepresentative.load(path)
+        representatives[representative.name] = representative
+    query = Query.from_terms(args.query.split())
+    threshold = threshold_for_k(query, representatives, args.k)
+    quotas = allocate_documents(query, representatives, args.k)
+    print(f"query    : {' '.join(query.terms)}")
+    print(f"desired  : {args.k} documents")
+    print(f"threshold: {threshold:.4f}")
+    for name in sorted(quotas):
+        print(f"  {name}: {quotas[name]}")
+    return 0
+
+
+def _cmd_import_trec(args: argparse.Namespace) -> int:
+    collection = load_trec_collection(
+        args.files, name=args.name, limit=args.limit
+    )
+    save_collection(collection, args.out)
+    print(
+        f"wrote {args.out} ({collection.n_documents} docs, "
+        f"{collection.n_terms} terms)"
+    )
+    return 0
+
+
+def _cmd_scalability(args: argparse.Namespace) -> int:
+    rows = list(PAPER_COLLECTION_STATS)
+    if args.synthetic:
+        model = NewsgroupModel(seed=args.seed)
+        rows.extend(
+            sizing_for_collection(c) for c in build_paper_databases(model)
+        )
+    print(format_sizing_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-usefulness",
+        description="Usefulness estimation for metasearch engine selection "
+        "(Meng et al., ICDE 1999 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("synth", help="generate the synthetic D1/D2/D3 + query log")
+    p.add_argument("--out-dir", default="data")
+    p.add_argument("--seed", type=int, default=1999)
+    p.add_argument("--query-seed", type=int, default=42)
+    p.add_argument("--n-queries", type=int, default=6234)
+    p.set_defaults(func=_cmd_synth)
+
+    p = sub.add_parser("represent", help="build a database representative")
+    p.add_argument("--collection", required=True)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_represent)
+
+    p = sub.add_parser("estimate", help="estimate usefulness for one query")
+    p.add_argument("--collection", required=True)
+    p.add_argument("--representative", default=None)
+    p.add_argument("--query", required=True, help="space-separated terms")
+    p.add_argument("--threshold", type=float, default=0.2)
+    p.add_argument("--method", default="subrange")
+    p.set_defaults(func=_cmd_estimate)
+
+    p = sub.add_parser("evaluate", help="run the Section 4 comparison tables")
+    p.add_argument("--database", choices=("D1", "D2", "D3"), default="D1")
+    p.add_argument("--queries", type=int, default=6234)
+    p.add_argument(
+        "--methods",
+        nargs="+",
+        default=["gloss-hc", "prev", "subrange"],
+    )
+    p.add_argument("--seed", type=int, default=1999)
+    p.add_argument("--query-seed", type=int, default=42)
+    p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser("analyze", help="corpus statistics of a collection")
+    p.add_argument("--collection", required=True)
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser(
+        "allocate", help="per-engine retrieval quotas for a desired k"
+    )
+    p.add_argument("--representatives", nargs="+", required=True,
+                   help="representative JSON files, one per engine")
+    p.add_argument("--query", required=True, help="space-separated terms")
+    p.add_argument("-k", type=int, default=10)
+    p.set_defaults(func=_cmd_allocate)
+
+    p = sub.add_parser(
+        "import-trec", help="convert TREC SGML files into a collection"
+    )
+    p.add_argument("files", nargs="+")
+    p.add_argument("--name", required=True)
+    p.add_argument("--out", required=True)
+    p.add_argument("--limit", type=int, default=None)
+    p.set_defaults(func=_cmd_import_trec)
+
+    p = sub.add_parser("scalability", help="print the Section 3.2 sizing table")
+    p.add_argument("--synthetic", action="store_true",
+                   help="append rows for the synthetic D1/D2/D3")
+    p.add_argument("--seed", type=int, default=1999)
+    p.set_defaults(func=_cmd_scalability)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,252 @@
+"""Estimator interfaces and the estimator registry.
+
+Two families of estimators exist in the paper:
+
+* *Expansion estimators* (basic, subrange) build a threshold-independent
+  generating function per (query, database) and answer every threshold from
+  the same expansion — the paper's "little additional effort" observation.
+  They subclass :class:`ExpansionEstimator` and implement
+  :meth:`ExpansionEstimator.polynomials`.
+* *Direct estimators* (gGlOSS variants, the previous method) compute each
+  threshold independently and subclass :class:`UsefulnessEstimator` directly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.genfunc import GenFunc
+from repro.core.types import Usefulness
+from repro.corpus.query import Query
+from repro.representatives.representative import DatabaseRepresentative
+
+__all__ = [
+    "EstimateExplanation",
+    "ExpansionEstimator",
+    "TermContribution",
+    "UsefulnessEstimator",
+    "get_estimator",
+    "register_estimator",
+]
+
+
+@dataclass(frozen=True)
+class TermContribution:
+    """How one query term entered the generating function.
+
+    Attributes:
+        term: The term string.
+        query_weight: Its normalized query weight ``u``.
+        matched: Whether the representative knows the term.
+        polynomial_size: Number of (exponent, coeff) points contributed.
+        max_exponent: The largest similarity contribution the term can
+            make (``u * mw`` for the subrange method).
+        occurrence_probability: The representative's ``p`` (0 if unmatched).
+    """
+
+    term: str
+    query_weight: float
+    matched: bool
+    polynomial_size: int
+    max_exponent: float
+    occurrence_probability: float
+
+
+@dataclass(frozen=True)
+class EstimateExplanation:
+    """A debuggable account of one expansion-based estimate.
+
+    Attributes:
+        estimate: The (NoDoc, AvgSim) answer.
+        threshold: The threshold it answers.
+        terms: Per-query-term contributions, in query order.
+        expansion_terms: Size of the expanded generating function.
+        tail_mass: Probability mass above the threshold.
+        pruned_mass: Probability mass dropped by the prune floor.
+    """
+
+    estimate: Usefulness
+    threshold: float
+    terms: List[TermContribution]
+    expansion_terms: int
+    tail_mass: float
+    pruned_mass: float
+
+
+class UsefulnessEstimator(ABC):
+    """Estimates (NoDoc, AvgSim) from a database representative."""
+
+    #: Short machine name used by the registry, CLI and benchmark tables.
+    name: str = "abstract"
+    #: Human-readable label used in rendered tables.
+    label: str = "abstract"
+
+    @abstractmethod
+    def estimate(
+        self,
+        query: Query,
+        representative: DatabaseRepresentative,
+        threshold: float,
+    ) -> Usefulness:
+        """Estimated usefulness of the database for ``query`` at ``threshold``."""
+
+    def estimate_many(
+        self,
+        query: Query,
+        representative: DatabaseRepresentative,
+        thresholds: Sequence[float],
+    ) -> List[Usefulness]:
+        """Estimates for several thresholds; subclasses override when they
+        can share work across thresholds."""
+        return [self.estimate(query, representative, t) for t in thresholds]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ExpansionEstimator(UsefulnessEstimator):
+    """Estimator whose answers come from one generating-function expansion.
+
+    Args:
+        decimals: Exponent rounding applied while expanding (see
+            :class:`~repro.core.genfunc.GenFunc`).
+        prune_floor: Probability floor below which expansion terms are
+            dropped (their mass stays accounted in ``pruned_mass``).
+    """
+
+    def __init__(self, decimals: int = 8, prune_floor: float = 0.0):
+        self.decimals = decimals
+        self.prune_floor = prune_floor
+
+    @abstractmethod
+    def polynomials(
+        self, query: Query, representative: DatabaseRepresentative
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Per-query-term ``(exponents, coeffs)`` polynomials (Expr. (3)).
+
+        Terms unknown to the representative contribute nothing and must be
+        omitted; the returned list must follow query-term order (the
+        contract :meth:`explain` relies on to attribute polynomials back to
+        terms).
+        """
+
+    def expand(
+        self, query: Query, representative: DatabaseRepresentative
+    ) -> GenFunc:
+        """Expand the full generating function for (query, database)."""
+        return GenFunc.product(
+            self.polynomials(query, representative),
+            decimals=self.decimals,
+            prune_floor=self.prune_floor,
+        )
+
+    def estimate(
+        self,
+        query: Query,
+        representative: DatabaseRepresentative,
+        threshold: float,
+    ) -> Usefulness:
+        expansion = self.expand(query, representative)
+        return Usefulness(
+            nodoc=expansion.est_nodoc(threshold, representative.n_documents),
+            avgsim=expansion.est_avgsim(threshold),
+        )
+
+    def estimate_many(
+        self,
+        query: Query,
+        representative: DatabaseRepresentative,
+        thresholds: Sequence[float],
+    ) -> List[Usefulness]:
+        """One expansion answers every threshold."""
+        expansion = self.expand(query, representative)
+        n = representative.n_documents
+        return [
+            Usefulness(
+                nodoc=expansion.est_nodoc(t, n), avgsim=expansion.est_avgsim(t)
+            )
+            for t in thresholds
+        ]
+
+    def explain(
+        self,
+        query: Query,
+        representative: DatabaseRepresentative,
+        threshold: float,
+    ) -> EstimateExplanation:
+        """A per-term, inspectable account of one estimate.
+
+        Useful when an engine is selected (or skipped) unexpectedly: the
+        explanation shows which terms the representative matched, each
+        term's maximum possible contribution, the expansion size, and where
+        the probability mass sits relative to the threshold.
+        """
+        polys = self.polynomials(query, representative)
+        poly_iter = iter(polys)
+        contributions = []
+        for term, u in query.normalized_items():
+            stats = representative.get(term)
+            matched = stats is not None and stats.probability > 0.0
+            if matched:
+                exponents, __ = next(poly_iter)
+                contributions.append(
+                    TermContribution(
+                        term=term,
+                        query_weight=u,
+                        matched=True,
+                        polynomial_size=int(len(exponents)),
+                        max_exponent=float(np.max(exponents)),
+                        occurrence_probability=stats.probability,
+                    )
+                )
+            else:
+                contributions.append(
+                    TermContribution(
+                        term=term,
+                        query_weight=u,
+                        matched=False,
+                        polynomial_size=0,
+                        max_exponent=0.0,
+                        occurrence_probability=0.0,
+                    )
+                )
+        expansion = GenFunc.product(
+            polys, decimals=self.decimals, prune_floor=self.prune_floor
+        )
+        estimate = Usefulness(
+            nodoc=expansion.est_nodoc(threshold, representative.n_documents),
+            avgsim=expansion.est_avgsim(threshold),
+        )
+        return EstimateExplanation(
+            estimate=estimate,
+            threshold=threshold,
+            terms=contributions,
+            expansion_terms=expansion.n_terms,
+            tail_mass=expansion.tail_mass(threshold),
+            pruned_mass=expansion.pruned_mass,
+        )
+
+
+_REGISTRY: Dict[str, Callable[[], UsefulnessEstimator]] = {}
+
+
+def register_estimator(name: str, factory: Callable[[], UsefulnessEstimator]) -> None:
+    """Register an estimator factory under a short name."""
+    if name in _REGISTRY:
+        raise ValueError(f"estimator {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def get_estimator(name: str) -> UsefulnessEstimator:
+    """Instantiate a registered estimator ('subrange', 'basic', 'prev',
+    'gloss-hc', 'gloss-disjoint', 'subrange-triplet', ...)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown estimator {name!r}; known: {known}")
+    return factory()

@@ -1,0 +1,43 @@
+"""The basic (uniform-weight) estimation method — Proposition 1.
+
+Every document containing term ``t`` is assumed to carry the term's average
+weight ``w``, so the per-term polynomial is ``p * X^(u*w) + (1-p)``
+(Expression (7)).  Examples 3.1/3.2 of the paper execute exactly this
+method; it is also the foundation the subrange refinement builds on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.base import ExpansionEstimator, register_estimator
+from repro.corpus.query import Query
+from repro.representatives.representative import DatabaseRepresentative
+
+__all__ = ["BasicEstimator"]
+
+
+class BasicEstimator(ExpansionEstimator):
+    """Generating-function estimator with one weight point per term."""
+
+    name = "basic"
+    label = "basic method"
+
+    def polynomials(
+        self, query: Query, representative: DatabaseRepresentative
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        polys = []
+        for term, u in query.normalized_items():
+            stats = representative.get(term)
+            if stats is None or stats.probability <= 0.0:
+                continue
+            p = stats.probability
+            exponents = np.array([u * stats.mean, 0.0])
+            coeffs = np.array([p, 1.0 - p])
+            polys.append((exponents, coeffs))
+        return polys
+
+
+register_estimator("basic", BasicEstimator)

@@ -1,0 +1,59 @@
+"""Subrange estimation from exact empirical percentiles.
+
+The counterpart of :class:`~repro.core.subrange_estimator.SubrangeEstimator`
+that consumes an :class:`~repro.representatives.empirical.EmpiricalRepresentative`
+— the subrange medians are the term's true weight percentiles rather than
+normal-approximated ``w + c * sigma`` points.  Used by the ablation
+benchmarks to measure what the paper's normal approximation costs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.base import ExpansionEstimator, register_estimator
+from repro.corpus.query import Query
+from repro.representatives.empirical import EmpiricalRepresentative
+
+__all__ = ["EmpiricalSubrangeEstimator"]
+
+
+class EmpiricalSubrangeEstimator(ExpansionEstimator):
+    """Generating-function estimator over stored empirical medians."""
+
+    name = "subrange-empirical"
+    label = "subrange (empirical medians)"
+
+    def polynomials(
+        self, query: Query, representative: EmpiricalRepresentative
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        scheme = representative.scheme
+        masses = np.asarray(scheme.masses)
+        n = representative.n_documents
+        polys = []
+        for term, u in query.normalized_items():
+            stats = representative.get(term)
+            if stats is None or stats.probability <= 0.0:
+                continue
+            p = stats.probability
+            exponents: List[float] = []
+            coeffs: List[float] = []
+            remaining = p
+            if scheme.include_max and n > 0:
+                p_max = min(1.0 / n, p)
+                exponents.append(u * stats.max_weight)
+                coeffs.append(p_max)
+                remaining = p - p_max
+            if remaining > 0.0:
+                medians = np.minimum(np.asarray(stats.medians), stats.max_weight)
+                exponents.extend((u * medians).tolist())
+                coeffs.extend((remaining * masses).tolist())
+            exponents.append(0.0)
+            coeffs.append(1.0 - p)
+            polys.append((np.asarray(exponents), np.asarray(coeffs)))
+        return polys
+
+
+register_estimator("subrange-empirical", EmpiricalSubrangeEstimator)

@@ -1,0 +1,130 @@
+"""The subrange-based estimation method — the paper's contribution.
+
+For each query term the occurrence probability ``p`` is split across the
+subranges of a :class:`~repro.representatives.SubrangeScheme`; each subrange
+is represented by its median weight, approximated under the normal
+assumption as ``w + c_j * sigma`` (Expression (8)).  When the scheme includes
+the max-weight singleton, that subrange holds the term's maximum normalized
+weight with probability ``1/n`` — the component responsible for the paper's
+correct-identification guarantee on single-term queries.
+
+Two operating modes mirror the paper's experiments:
+
+* ``use_stored_max=True`` (default) — quadruplet representative; the stored
+  ``mw`` is used (Tables 1-9).
+* ``use_stored_max=False`` — triplet representative; ``mw`` is *estimated*
+  as the ``max_percentile`` (default 99.9) point of ``N(w, sigma^2)``
+  (Tables 10-12).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import ExpansionEstimator, register_estimator
+from repro.corpus.query import Query
+from repro.representatives.representative import DatabaseRepresentative
+from repro.representatives.subrange import SubrangeScheme
+from repro.representatives.term_stats import TermStats
+from repro.stats.normal import normal_quantile
+
+__all__ = ["SubrangeEstimator"]
+
+
+class SubrangeEstimator(ExpansionEstimator):
+    """Generating-function estimator with subrange-resolved term weights.
+
+    Args:
+        scheme: The subrange partition; defaults to the paper's six-subrange
+            evaluation configuration.
+        use_stored_max: Whether the representative's stored maximum
+            normalized weight may be used; when False (or absent from the
+            representative) it is estimated from ``(w, sigma)``.
+        max_percentile: Percentile of the normal approximation used to
+            estimate a missing maximum weight (the paper uses 99.9).
+        decimals / prune_floor: Expansion controls, see
+            :class:`~repro.core.base.ExpansionEstimator`.
+    """
+
+    name = "subrange"
+    label = "subrange method"
+
+    def __init__(
+        self,
+        scheme: Optional[SubrangeScheme] = None,
+        use_stored_max: bool = True,
+        max_percentile: float = 99.9,
+        decimals: int = 8,
+        prune_floor: float = 0.0,
+    ):
+        super().__init__(decimals=decimals, prune_floor=prune_floor)
+        self.scheme = scheme or SubrangeScheme.paper_six()
+        self.use_stored_max = use_stored_max
+        if not 0.0 < max_percentile < 100.0:
+            raise ValueError(
+                f"max_percentile must be in (0, 100), got {max_percentile!r}"
+            )
+        self.max_percentile = max_percentile
+        self._offsets = np.asarray(self.scheme.normal_offsets())
+        self._masses = np.asarray(self.scheme.masses)
+
+    # -- per-term polynomial ------------------------------------------------------
+
+    def _effective_max(self, stats: TermStats) -> float:
+        """The max weight used for clamping and for the singleton subrange."""
+        if self.use_stored_max and stats.max_weight is not None:
+            return stats.max_weight
+        return max(
+            stats.mean + normal_quantile(self.max_percentile / 100.0) * stats.std,
+            0.0,
+        )
+
+    def term_polynomial(
+        self, u: float, stats: TermStats, n_documents: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Expression (8) for one query term.
+
+        Args:
+            u: Normalized query weight of the term.
+            stats: The term's representative statistics.
+            n_documents: Database size ``n`` (the singleton max subrange has
+                probability ``1/n``).
+        """
+        p = stats.probability
+        mw = self._effective_max(stats)
+        exponents: List[float] = []
+        coeffs: List[float] = []
+        remaining = p
+        if self.scheme.include_max and n_documents > 0:
+            p_max = min(1.0 / n_documents, p)
+            exponents.append(u * mw)
+            coeffs.append(p_max)
+            remaining = p - p_max
+        if remaining > 0.0:
+            medians = np.clip(stats.mean + self._offsets * stats.std, 0.0, mw)
+            exponents.extend((u * medians).tolist())
+            coeffs.extend((remaining * self._masses).tolist())
+        exponents.append(0.0)
+        coeffs.append(1.0 - p)
+        return np.asarray(exponents), np.asarray(coeffs)
+
+    def polynomials(
+        self, query: Query, representative: DatabaseRepresentative
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        polys = []
+        for term, u in query.normalized_items():
+            stats = representative.get(term)
+            if stats is None or stats.probability <= 0.0:
+                continue
+            polys.append(
+                self.term_polynomial(u, stats, representative.n_documents)
+            )
+        return polys
+
+
+register_estimator("subrange", SubrangeEstimator)
+register_estimator(
+    "subrange-triplet", lambda: SubrangeEstimator(use_stored_max=False)
+)

@@ -1,0 +1,42 @@
+"""Exact usefulness — the ground truth of the evaluation.
+
+``NoDoc(T, q, D)`` and ``AvgSim(T, q, D)`` (Equations (1) and (2)) computed
+by scoring every document that shares a term with the query, via the
+engine's inverted index.  Used for the "true usefulness" columns of every
+table and as the oracle in tests of the estimators.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.types import Usefulness
+from repro.corpus.query import Query
+from repro.engine.search_engine import SearchEngine
+
+__all__ = ["true_usefulness", "true_usefulness_many"]
+
+
+def _usefulness_from_sims(sims: np.ndarray, threshold: float) -> Usefulness:
+    above = sims[sims > threshold]
+    if above.size == 0:
+        return Usefulness.zero()
+    return Usefulness(nodoc=float(above.size), avgsim=float(above.mean()))
+
+
+def true_usefulness(
+    engine: SearchEngine, query: Query, threshold: float
+) -> Usefulness:
+    """Exact (NoDoc, AvgSim) of the engine's database for ``query``."""
+    __, sims = engine.similarities(query)
+    return _usefulness_from_sims(sims, threshold)
+
+
+def true_usefulness_many(
+    engine: SearchEngine, query: Query, thresholds: Sequence[float]
+) -> List[Usefulness]:
+    """Exact usefulness at several thresholds from a single similarity scan."""
+    __, sims = engine.similarities(query)
+    return [_usefulness_from_sims(sims, t) for t in thresholds]

@@ -1,0 +1,47 @@
+"""Shared value types for usefulness estimation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Usefulness"]
+
+
+@dataclass(frozen=True)
+class Usefulness:
+    """The paper's usefulness pair for one (query, database, threshold).
+
+    Attributes:
+        nodoc: (Estimated or true) number of documents whose similarity with
+            the query exceeds the threshold — Equation (1).
+        avgsim: (Estimated or true) average similarity of those documents —
+            Equation (2); defined as 0 when ``nodoc`` is 0.
+    """
+
+    nodoc: float
+    avgsim: float
+
+    def __post_init__(self):
+        if self.nodoc < 0.0:
+            raise ValueError(f"nodoc must be >= 0, got {self.nodoc!r}")
+        if self.avgsim < 0.0:
+            raise ValueError(f"avgsim must be >= 0, got {self.avgsim!r}")
+
+    @property
+    def nodoc_rounded(self) -> int:
+        """NoDoc rounded to an integer, as the paper does before comparing
+        ("All estimated usefulnesses are rounded to integers").  Rounds half
+        up — an estimate of 0.5 documents identifies the database as useful —
+        rather than Python's default banker's rounding."""
+        return int(math.floor(self.nodoc + 0.5))
+
+    @property
+    def identifies_useful(self) -> bool:
+        """Whether this value identifies the database as useful (rounded
+        NoDoc of at least one document)."""
+        return self.nodoc_rounded >= 1
+
+    @classmethod
+    def zero(cls) -> "Usefulness":
+        return cls(nodoc=0.0, avgsim=0.0)

@@ -1,0 +1,173 @@
+"""Document collections — the "database" behind one local search engine.
+
+A :class:`Collection` stores documents in term-id space over its own
+:class:`~repro.vsm.Vocabulary`.  The paper's evaluation databases are built
+with exactly the operations provided here: D1 is one base collection, D2 and
+D3 are merges (:meth:`Collection.merged`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.corpus.document import Document
+from repro.text.pipeline import TextPipeline
+from repro.vsm.vector import SparseVector
+from repro.vsm.vocabulary import Vocabulary
+
+__all__ = ["Collection"]
+
+
+class Collection:
+    """An ordered set of documents sharing one vocabulary.
+
+    Documents are stored as sparse term-frequency vectors; the original term
+    lists are recoverable only up to ordering, which is all the retrieval
+    model needs.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.vocabulary = Vocabulary()
+        self._doc_ids: List[str] = []
+        self._doc_id_set: Dict[str, int] = {}
+        self._tf_vectors: List[SparseVector] = []
+        self._doc_lengths: List[int] = []
+        self._char_sizes: List[int] = []
+
+    # -- construction --------------------------------------------------------
+
+    def add_document(self, document: Document) -> int:
+        """Add one document; returns its internal index.
+
+        Raises :class:`ValueError` on duplicate ``doc_id`` — silent
+        duplicates would skew every statistic the representative stores.
+        """
+        if document.doc_id in self._doc_id_set:
+            raise ValueError(f"duplicate doc_id {document.doc_id!r}")
+        counts: Dict[int, float] = {}
+        for term in document.terms:
+            tid = self.vocabulary.add(term)
+            counts[tid] = counts.get(tid, 0.0) + 1.0
+        index = len(self._doc_ids)
+        self._doc_id_set[document.doc_id] = index
+        self._doc_ids.append(document.doc_id)
+        self._tf_vectors.append(SparseVector.from_mapping(counts))
+        self._doc_lengths.append(document.length)
+        text_size = (
+            len(document.text)
+            if document.text is not None
+            else sum(len(t) + 1 for t in document.terms)
+        )
+        self._char_sizes.append(text_size)
+        return index
+
+    @classmethod
+    def from_documents(cls, name: str, documents: Iterable[Document]) -> "Collection":
+        """Build a collection from already-pipelined documents."""
+        collection = cls(name)
+        for document in documents:
+            collection.add_document(document)
+        return collection
+
+    @classmethod
+    def from_texts(
+        cls,
+        name: str,
+        texts: Sequence[Tuple[str, str]],
+        pipeline: Optional[TextPipeline] = None,
+    ) -> "Collection":
+        """Build from ``(doc_id, raw_text)`` pairs through a text pipeline."""
+        pipeline = pipeline or TextPipeline()
+        docs = (
+            Document(doc_id=doc_id, terms=pipeline.terms(text), text=text)
+            for doc_id, text in texts
+        )
+        return cls.from_documents(name, docs)
+
+    @classmethod
+    def merged(cls, name: str, collections: Sequence["Collection"]) -> "Collection":
+        """Union of several collections under a fresh shared vocabulary.
+
+        This is how the paper builds D2 (two largest newsgroups) and D3 (26
+        smallest).  Document ids must remain globally unique; collides raise.
+        """
+        merged = cls(name)
+        for source in collections:
+            for i in range(len(source)):
+                terms: List[str] = []
+                for tid, tf in source._tf_vectors[i].items():
+                    terms.extend([source.vocabulary.term_of(tid)] * int(tf))
+                merged.add_document(Document(doc_id=source._doc_ids[i], terms=terms))
+        return merged
+
+    # -- accessors -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._doc_ids)
+
+    @property
+    def n_documents(self) -> int:
+        return len(self._doc_ids)
+
+    @property
+    def n_terms(self) -> int:
+        """Number of distinct terms in the collection."""
+        return len(self.vocabulary)
+
+    def doc_id(self, index: int) -> str:
+        return self._doc_ids[index]
+
+    def index_of(self, doc_id: str) -> int:
+        """Internal index of an external document id; raises KeyError."""
+        return self._doc_id_set[doc_id]
+
+    def tf_vector(self, index: int) -> SparseVector:
+        """Raw term-frequency vector of document ``index``."""
+        return self._tf_vectors[index]
+
+    def doc_length(self, index: int) -> int:
+        return self._doc_lengths[index]
+
+    def iter_tf_vectors(self) -> Iterator[Tuple[int, SparseVector]]:
+        """Iterate ``(index, tf_vector)`` over all documents."""
+        return enumerate(self._tf_vectors)
+
+    def terms_of(self, index: int) -> List[str]:
+        """Term strings (with repeats, sorted by id) of document ``index``."""
+        out: List[str] = []
+        for tid, tf in self._tf_vectors[index].items():
+            out.extend([self.vocabulary.term_of(tid)] * int(tf))
+        return out
+
+    # -- statistics -----------------------------------------------------------
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term`` (linear scan; the
+        inverted index in :mod:`repro.index` answers this in O(1))."""
+        tid = self.vocabulary.id_of(term)
+        if tid is None:
+            return 0
+        return sum(
+            1
+            for vec in self._tf_vectors
+            if np.searchsorted(vec.indices, tid) < vec.nnz
+            and vec.indices[np.searchsorted(vec.indices, tid)] == tid
+        )
+
+    def size_in_bytes(self) -> int:
+        """Approximate raw size of the document text, for the scalability
+        accounting of Section 3.2."""
+        return sum(self._char_sizes)
+
+    def size_in_pages(self, page_bytes: int = 2048) -> float:
+        """Collection size in pages (the paper uses 2 KB pages)."""
+        return self.size_in_bytes() / page_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"Collection({self.name!r}, docs={self.n_documents}, "
+            f"terms={self.n_terms})"
+        )

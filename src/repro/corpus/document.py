@@ -1,0 +1,38 @@
+"""Document model.
+
+A :class:`Document` is a unit of retrieval: an external identifier plus the
+final index terms (post-pipeline).  The raw text is optional — synthetic
+corpora are generated directly in term space — and never consulted by the
+retrieval or estimation code, only by presentation layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["Document"]
+
+
+@dataclass(frozen=True)
+class Document:
+    """An indexed document.
+
+    Attributes:
+        doc_id: External identifier, unique within its collection.
+        terms: Index terms in occurrence order (repeats carry tf).
+        text: Original raw text when the document came from text; None for
+            synthetic term-space documents.
+    """
+
+    doc_id: str
+    terms: List[str] = field(default_factory=list)
+    text: Optional[str] = None
+
+    @property
+    def length(self) -> int:
+        """Number of term occurrences (document length in tokens)."""
+        return len(self.terms)
+
+    def __repr__(self) -> str:
+        return f"Document({self.doc_id!r}, {self.length} terms)"

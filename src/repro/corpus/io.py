@@ -1,0 +1,104 @@
+"""Persistence for collections and query logs.
+
+Collections serialize to gzipped JSON-lines: a header record with the
+collection name followed by one record per document carrying the term-freq
+mapping.  Queries serialize to one JSON object per line.  The format is
+deliberately boring — greppable, diffable, stable across versions.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.corpus.collection import Collection
+from repro.corpus.document import Document
+from repro.corpus.query import Query
+
+__all__ = ["save_collection", "load_collection", "save_queries", "load_queries"]
+
+_FORMAT_VERSION = 1
+
+
+def _open_write(path: Path):
+    if path.suffix == ".gz":
+        return gzip.open(path, "wt", encoding="utf-8")
+    return open(path, "w", encoding="utf-8")
+
+
+def _open_read(path: Path):
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def save_collection(collection: Collection, path: Union[str, Path]) -> None:
+    """Write ``collection`` to ``path`` (gzip when the name ends in .gz)."""
+    path = Path(path)
+    with _open_write(path) as fh:
+        header = {
+            "format": _FORMAT_VERSION,
+            "kind": "collection",
+            "name": collection.name,
+            "n_documents": collection.n_documents,
+        }
+        fh.write(json.dumps(header) + "\n")
+        for i in range(len(collection)):
+            tf = {
+                collection.vocabulary.term_of(tid): int(count)
+                for tid, count in collection.tf_vector(i).items()
+            }
+            record = {"doc_id": collection.doc_id(i), "tf": tf}
+            fh.write(json.dumps(record) + "\n")
+
+
+def load_collection(path: Union[str, Path]) -> Collection:
+    """Read a collection written by :func:`save_collection`."""
+    path = Path(path)
+    with _open_read(path) as fh:
+        header = json.loads(fh.readline())
+        if header.get("kind") != "collection":
+            raise ValueError(f"{path} is not a collection file")
+        if header.get("format") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported collection format {header.get('format')!r}"
+            )
+        collection = Collection(header["name"])
+        for line in fh:
+            record = json.loads(line)
+            terms: List[str] = []
+            for term, count in record["tf"].items():
+                terms.extend([term] * int(count))
+            collection.add_document(Document(doc_id=record["doc_id"], terms=terms))
+    if collection.n_documents != header["n_documents"]:
+        raise ValueError(
+            f"{path}: header promises {header['n_documents']} documents, "
+            f"found {collection.n_documents}"
+        )
+    return collection
+
+
+def save_queries(queries: List[Query], path: Union[str, Path]) -> None:
+    """Write a query log, one JSON object per line."""
+    path = Path(path)
+    with _open_write(path) as fh:
+        for query in queries:
+            fh.write(
+                json.dumps({"terms": list(query.terms), "weights": list(query.weights)})
+                + "\n"
+            )
+
+
+def load_queries(path: Union[str, Path]) -> List[Query]:
+    """Read a query log written by :func:`save_queries`."""
+    path = Path(path)
+    queries = []
+    with _open_read(path) as fh:
+        for line in fh:
+            record = json.loads(line)
+            queries.append(
+                Query(terms=tuple(record["terms"]), weights=tuple(record["weights"]))
+            )
+    return queries

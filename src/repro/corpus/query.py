@@ -1,0 +1,97 @@
+"""Query model.
+
+A query is "simply a set of words submitted by a user ... transformed into a
+vector of terms with weights" (paper, Section 1).  :class:`Query` stores the
+distinct terms with raw (term-frequency) weights; the Cosine convention
+normalizes the weight vector to unit length before matching, which
+:meth:`Query.normalized_weights` provides.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.text.pipeline import TextPipeline
+
+__all__ = ["Query"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """An immutable weighted query.
+
+    Attributes:
+        terms: Distinct term strings, in first-occurrence order.
+        weights: Raw weights, parallel to ``terms`` (term frequency when
+            built from text).
+    """
+
+    terms: Tuple[str, ...]
+    weights: Tuple[float, ...]
+
+    def __post_init__(self):
+        if len(self.terms) != len(self.weights):
+            raise ValueError("terms and weights must have equal length")
+        if len(set(self.terms)) != len(self.terms):
+            raise ValueError("query terms must be distinct")
+        if any(w <= 0 for w in self.weights):
+            raise ValueError("query weights must be positive")
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_terms(cls, tokens: Iterable[str]) -> "Query":
+        """Build from a token stream; repeats accumulate term frequency."""
+        counts: Dict[str, float] = {}
+        order: List[str] = []
+        for token in tokens:
+            if token not in counts:
+                order.append(token)
+                counts[token] = 0.0
+            counts[token] += 1.0
+        return cls(terms=tuple(order), weights=tuple(counts[t] for t in order))
+
+    @classmethod
+    def from_text(cls, text: str, pipeline: Optional[TextPipeline] = None) -> "Query":
+        """Build from raw text through a text pipeline (default pipeline if
+        omitted).  An all-stopword query yields an empty query."""
+        pipeline = pipeline or TextPipeline()
+        return cls.from_terms(pipeline.terms(text))
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def n_terms(self) -> int:
+        """Number of distinct query terms (r in the paper's notation)."""
+        return len(self.terms)
+
+    @property
+    def is_single_term(self) -> bool:
+        """True for the single-term queries of the paper's guarantee."""
+        return len(self.terms) == 1
+
+    def norm(self) -> float:
+        """Euclidean norm of the raw weight vector."""
+        return math.sqrt(sum(w * w for w in self.weights))
+
+    def normalized_weights(self) -> np.ndarray:
+        """Unit-norm weights — the ``u_i`` of the Cosine similarity."""
+        arr = np.asarray(self.weights, dtype=float)
+        n = self.norm()
+        return arr / n if n > 0 else arr
+
+    def items(self) -> Iterable[Tuple[str, float]]:
+        """Iterate ``(term, raw_weight)`` pairs."""
+        return zip(self.terms, self.weights)
+
+    def normalized_items(self) -> Iterable[Tuple[str, float]]:
+        """Iterate ``(term, normalized_weight)`` pairs."""
+        return zip(self.terms, self.normalized_weights().tolist())
+
+    def __repr__(self) -> str:
+        shown = " ".join(self.terms[:6])
+        return f"Query({shown!r}, n_terms={self.n_terms})"

@@ -1,0 +1,29 @@
+"""Synthetic newsgroup corpora and SIFT-style query logs.
+
+The paper's evaluation data — 53 newsgroup snapshots collected at Stanford
+for gGlOSS, plus 6,234 real SIFT Netnews profile queries — is not publicly
+available.  This subpackage generates a statistical stand-in: 53 topic
+clusters over a Zipfian vocabulary with the same group-size profile (D1 =
+largest group with 761 documents, D2 = two largest merged with 1,466, D3 =
+26 smallest merged with 1,014) and a query log with the paper's length
+histogram (~31% single-term, max 6 terms).  See DESIGN.md §3 for why this
+substitution preserves the behaviour under study.
+"""
+
+from repro.corpus.synth.newsgroups import (
+    NewsgroupModel,
+    build_paper_databases,
+    paper_group_sizes,
+)
+from repro.corpus.synth.queries import QueryLogModel
+from repro.corpus.synth.wordgen import word_for_term_id
+from repro.corpus.synth.zipf import ZipfDistribution
+
+__all__ = [
+    "NewsgroupModel",
+    "QueryLogModel",
+    "ZipfDistribution",
+    "build_paper_databases",
+    "paper_group_sizes",
+    "word_for_term_id",
+]

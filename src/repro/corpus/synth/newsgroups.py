@@ -1,0 +1,191 @@
+"""Synthetic newsgroup corpus: 53 topic-clustered collections.
+
+Each group mixes a *group topic distribution* (a Zipf over a few hundred
+group-specific terms drawn from the mid-frequency band) with the shared
+background Zipf vocabulary.  Documents therefore carry both broadly common
+terms and bursty topical terms — the two ingredients whose statistics
+(document frequency, mean/std/max of normalized weights) drive the paper's
+estimators.  Merging groups (D2, D3) mixes distinct topic cores, which is
+exactly the inhomogeneity axis the paper manipulates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.corpus.collection import Collection
+from repro.corpus.document import Document
+from repro.corpus.synth.wordgen import word_for_term_id
+from repro.corpus.synth.zipf import ZipfDistribution
+
+__all__ = ["NewsgroupModel", "paper_group_sizes", "build_paper_databases"]
+
+_N_GROUPS = 53
+_LARGEST = 761          # |D1| in the paper
+_SECOND_LARGEST = 705   # so the two largest merge to |D2| = 1,466
+_SMALLEST_26_TOTAL = 1014  # |D3| in the paper
+
+
+def _arithmetic_sizes(start: int, end: int, count: int, total: int) -> List[int]:
+    """``count`` integers descending roughly from ``start`` to ``end`` that
+    sum exactly to ``total``."""
+    raw = np.linspace(start, end, count)
+    sizes = np.floor(raw).astype(int)
+    sizes = np.maximum(sizes, 1)
+    deficit = total - int(sizes.sum())
+    i = 0
+    step = 1 if deficit > 0 else -1
+    while deficit != 0:
+        candidate = sizes[i % count] + step
+        if candidate >= 1:
+            sizes[i % count] = candidate
+            deficit -= step
+        i += 1
+    return [int(s) for s in np.sort(sizes)[::-1]]
+
+
+def paper_group_sizes() -> List[int]:
+    """53 group sizes matching the paper's database construction.
+
+    ``sizes[0] = 761`` (D1), ``sizes[0] + sizes[1] = 1466`` (D2), and the 26
+    smallest sum to 1,014 (D3).  The 25 middle groups take an arithmetic
+    profile between the extremes; their exact sizes only matter to the
+    53-engine metasearch scenarios, not to the paper's tables.
+    """
+    middle = _arithmetic_sizes(600, 80, 25, total=8500)
+    smallest = _arithmetic_sizes(70, 10, 26, total=_SMALLEST_26_TOTAL)
+    return [_LARGEST, _SECOND_LARGEST] + middle + smallest
+
+
+class NewsgroupModel:
+    """Generator of the 53 synthetic newsgroup collections.
+
+    Args:
+        vocab_size: Size of the shared background vocabulary.
+        topic_size: Number of group-specific topical terms per group.
+        topic_band: (low, high) rank band the topical terms are drawn from;
+            mid-band terms are content-bearing but not ubiquitous.
+        topic_weight: Mean fraction of a document drawn from its group's
+            topic distribution rather than the background.
+        mean_length: Mean document length in tokens (lognormal).
+        length_sigma: Lognormal sigma of document length.
+        seed: Master seed; every group derives its own child stream, so
+            generating group 7 alone equals group 7 of a full run.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int = 30000,
+        topic_size: int = 250,
+        topic_band: Tuple[int, int] = (100, 8000),
+        topic_weight: float = 0.45,
+        mean_length: int = 120,
+        length_sigma: float = 0.55,
+        seed: int = 1999,
+        group_sizes: Optional[Sequence[int]] = None,
+    ):
+        if not 0.0 <= topic_weight <= 1.0:
+            raise ValueError(f"topic_weight must be in [0, 1], got {topic_weight!r}")
+        if topic_band[0] < 0 or topic_band[1] > vocab_size or topic_band[0] >= topic_band[1]:
+            raise ValueError(f"invalid topic_band {topic_band!r} for vocab {vocab_size}")
+        self.vocab_size = vocab_size
+        self.topic_size = topic_size
+        self.topic_band = topic_band
+        self.topic_weight = topic_weight
+        self.mean_length = mean_length
+        self.length_sigma = length_sigma
+        self.seed = seed
+        self.group_sizes = (
+            list(group_sizes) if group_sizes is not None else paper_group_sizes()
+        )
+        self.background = ZipfDistribution(vocab_size)
+        self._topic_terms_cache: dict = {}
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.group_sizes)
+
+    # -- group structure -----------------------------------------------------
+
+    def _group_rng(self, group: int, purpose: int) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence([self.seed, purpose, group])
+        )
+
+    def topic_terms(self, group: int) -> np.ndarray:
+        """The group's topical term ids (deterministic per seed/group)."""
+        if group not in self._topic_terms_cache:
+            rng = self._group_rng(group, purpose=0)
+            lo, hi = self.topic_band
+            terms = rng.choice(
+                np.arange(lo, hi), size=self.topic_size, replace=False
+            )
+            self._topic_terms_cache[group] = np.sort(terms)
+        return self._topic_terms_cache[group]
+
+    def topic_distribution(self, group: int) -> ZipfDistribution:
+        """Zipf over the group's topical terms — a few dominate, most are
+        rare, mirroring real topical vocabulary."""
+        return ZipfDistribution(self.topic_size, exponent=1.0, shift=1.0)
+
+    # -- sampling --------------------------------------------------------------
+
+    def _sample_length(self, rng: np.random.Generator) -> int:
+        mu = np.log(self.mean_length) - 0.5 * self.length_sigma**2
+        length = int(round(float(rng.lognormal(mu, self.length_sigma))))
+        return int(np.clip(length, 20, 8 * self.mean_length))
+
+    def sample_document_term_ids(
+        self, rng: np.random.Generator, group: int
+    ) -> np.ndarray:
+        """Term-id token stream for one document of ``group``."""
+        length = self._sample_length(rng)
+        # Per-document topicality jitters around the model mean.
+        alpha = float(np.clip(rng.normal(self.topic_weight, 0.12), 0.05, 0.9))
+        n_topic = int(round(alpha * length))
+        topic_ranks = self.topic_distribution(group).sample(rng, n_topic)
+        topic_ids = self.topic_terms(group)[topic_ranks]
+        background_ids = self.background.sample(rng, length - n_topic)
+        return np.concatenate([topic_ids, background_ids])
+
+    def generate_group(self, group: int) -> Collection:
+        """Materialize group ``group`` as a :class:`Collection`."""
+        if not 0 <= group < self.n_groups:
+            raise ValueError(f"group must be in [0, {self.n_groups}), got {group!r}")
+        rng = self._group_rng(group, purpose=1)
+        collection = Collection(f"group{group:02d}")
+        for doc_index in range(self.group_sizes[group]):
+            term_ids = self.sample_document_term_ids(rng, group)
+            terms = [word_for_term_id(int(tid)) for tid in term_ids]
+            collection.add_document(
+                Document(doc_id=f"g{group:02d}d{doc_index:04d}", terms=terms)
+            )
+        return collection
+
+    def generate_all(self) -> List[Collection]:
+        """All groups, largest first (matches :func:`paper_group_sizes`)."""
+        return [self.generate_group(g) for g in range(self.n_groups)]
+
+
+def build_paper_databases(
+    model: Optional[NewsgroupModel] = None,
+) -> Tuple[Collection, Collection, Collection]:
+    """Construct D1, D2 and D3 exactly as the paper does.
+
+    D1 = largest group; D2 = merge of the two largest; D3 = merge of the 26
+    smallest.  Only the 28 groups involved are generated.
+    """
+    model = model or NewsgroupModel()
+    if model.n_groups < 28:
+        raise ValueError("paper databases need at least 28 groups")
+    largest = model.generate_group(0)
+    second = model.generate_group(1)
+    smallest = [
+        model.generate_group(g) for g in range(model.n_groups - 26, model.n_groups)
+    ]
+    d1 = Collection.merged("D1", [largest])
+    d2 = Collection.merged("D2", [largest, second])
+    d3 = Collection.merged("D3", smallest)
+    return d1, d2, d3

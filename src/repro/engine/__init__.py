@@ -1,0 +1,6 @@
+"""Local search engine — the bottom level of the two-level architecture."""
+
+from repro.engine.results import SearchHit
+from repro.engine.search_engine import SearchEngine
+
+__all__ = ["SearchEngine", "SearchHit"]

@@ -1,0 +1,26 @@
+"""Result records returned by search engines and the metasearch broker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["SearchHit"]
+
+
+@dataclass(frozen=True, order=True)
+class SearchHit:
+    """One retrieved document.
+
+    Ordering is by (similarity, doc_id) so sorted sequences of hits are
+    deterministic even under similarity ties.  ``engine`` is filled in by
+    the metasearch broker when results from several engines are merged.
+    """
+
+    similarity: float
+    doc_id: str
+    engine: Optional[str] = None
+
+    def __repr__(self) -> str:
+        origin = f", engine={self.engine!r}" if self.engine else ""
+        return f"SearchHit({self.doc_id!r}, sim={self.similarity:.4f}{origin})"

@@ -1,0 +1,124 @@
+"""A local search engine over one collection.
+
+The engine owns an inverted index and answers threshold and top-k queries
+under the global (Cosine, by default) similarity function.  It is also the
+source of ground truth for the evaluation: ``similarities`` computes the
+exact similarity of every matching document, which is what the paper's
+"true usefulness" columns are derived from.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.corpus.collection import Collection
+from repro.corpus.query import Query
+from repro.engine.results import SearchHit
+from repro.index.inverted import InvertedIndex
+from repro.vsm.weighting import WeightingScheme
+
+__all__ = ["SearchEngine"]
+
+
+class SearchEngine:
+    """Threshold / top-k retrieval over a collection.
+
+    Args:
+        collection: The engine's database.
+        weighting: Document weighting scheme (raw tf by default).
+        normalize: Use Cosine (normalized) similarity; turning this off
+            yields the plain dot product, which some related methods assume.
+        normalizer: Explicit length-normalization strategy (e.g. pivoted
+            normalization); overrides ``normalize`` when given.
+        idf: Optional idf variant for document weights (None, "smooth",
+            "ln") — see :class:`~repro.index.InvertedIndex`.
+    """
+
+    def __init__(
+        self,
+        collection: Collection,
+        weighting: Optional[WeightingScheme] = None,
+        normalize: bool = True,
+        normalizer=None,
+        idf: Optional[str] = None,
+    ):
+        self.collection = collection
+        self.index = InvertedIndex(
+            collection,
+            weighting=weighting,
+            normalize=normalize,
+            normalizer=normalizer,
+            idf=idf,
+        )
+
+    @property
+    def name(self) -> str:
+        """The engine is named after its collection."""
+        return self.collection.name
+
+    @property
+    def n_documents(self) -> int:
+        return len(self.collection)
+
+    # -- similarity computation -------------------------------------------------
+
+    def _query_components(self, query: Query) -> List[Tuple[int, float]]:
+        """Map query terms to (term_id, normalized_weight); out-of-vocabulary
+        terms are dropped from matching but still contribute to the query
+        norm, exactly as the Cosine function dictates."""
+        components = []
+        for term, weight in query.normalized_items():
+            tid = self.collection.vocabulary.id_of(term)
+            if tid is not None:
+                components.append((tid, weight))
+        return components
+
+    def similarities(self, query: Query) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact similarities of all documents matching >= 1 query term.
+
+        Returns ``(doc_indices, sims)`` with ``doc_indices`` ascending.
+        Documents sharing no term with the query have similarity 0 and are
+        omitted.
+        """
+        components = self._query_components(query)
+        if not components:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        accumulator = np.zeros(self.n_documents)
+        touched = np.zeros(self.n_documents, dtype=bool)
+        for tid, weight in components:
+            plist = self.index.postings(tid)
+            accumulator[plist.doc_indices] += weight * plist.weights
+            touched[plist.doc_indices] = True
+        doc_indices = np.nonzero(touched)[0]
+        return doc_indices, accumulator[doc_indices]
+
+    def search(self, query: Query, threshold: float = 0.0) -> List[SearchHit]:
+        """Documents with similarity strictly above ``threshold``, best first."""
+        doc_indices, sims = self.similarities(query)
+        keep = sims > threshold
+        hits = [
+            SearchHit(
+                similarity=float(sim),
+                doc_id=self.collection.doc_id(int(idx)),
+                engine=self.name,
+            )
+            for idx, sim in zip(doc_indices[keep], sims[keep])
+        ]
+        hits.sort(reverse=True)
+        return hits
+
+    def top_k(self, query: Query, k: int) -> List[SearchHit]:
+        """The ``k`` most similar documents (fewer if the query matches fewer)."""
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k!r}")
+        return self.search(query, threshold=0.0)[:k]
+
+    def max_similarity(self, query: Query) -> float:
+        """The engine's max_sim for the query (0 when nothing matches)."""
+        __, sims = self.similarities(query)
+        return float(sims.max()) if sims.size else 0.0
+
+    def __repr__(self) -> str:
+        return f"SearchEngine({self.name!r}, docs={self.n_documents})"

@@ -1,0 +1,45 @@
+"""Evaluation harness reproducing Section 4 of the paper.
+
+:mod:`repro.evaluation.experiment` runs (query, threshold) sweeps comparing
+estimated usefulness against exact usefulness; :mod:`repro.evaluation.metrics`
+defines the paper's three criteria (match/mismatch, d-N, d-S);
+:mod:`repro.evaluation.tables` renders results in the layout of the paper's
+tables; :mod:`repro.evaluation.selection` scores metasearch engine-selection
+quality against the exhaustive oracle.
+"""
+
+from repro.evaluation.experiment import (
+    ExperimentResult,
+    MethodSpec,
+    run_usefulness_experiment,
+)
+from repro.evaluation.metrics import MethodAccumulator, ThresholdMetrics
+from repro.evaluation.report import (
+    markdown_comparison,
+    markdown_error_table,
+    markdown_match_table,
+)
+from repro.evaluation.selection import SelectionQuality, evaluate_selection
+from repro.evaluation.tables import (
+    format_combined_table,
+    format_error_table,
+    format_match_table,
+    format_sizing_table,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "MethodAccumulator",
+    "MethodSpec",
+    "SelectionQuality",
+    "ThresholdMetrics",
+    "evaluate_selection",
+    "format_combined_table",
+    "format_error_table",
+    "format_match_table",
+    "format_sizing_table",
+    "markdown_comparison",
+    "markdown_error_table",
+    "markdown_match_table",
+    "run_usefulness_experiment",
+]

@@ -1,0 +1,106 @@
+"""The paper's evaluation criteria.
+
+For each threshold ``T`` and database ``D`` (Section 4):
+
+* ``U`` — number of queries that identify ``D`` as useful under the *true*
+  NoDoc (at least one document with similarity above ``T``).
+* ``match`` — of those ``U`` queries, how many also identify ``D`` as useful
+  under the *estimated* NoDoc (estimates rounded to integers).
+* ``mismatch`` — queries that identify ``D`` as useful under the estimate
+  but not in reality.
+* ``d-N`` — mean absolute difference between true and estimated NoDoc over
+  the ``U`` truly-useful queries.
+* ``d-S`` — mean absolute difference between true and estimated AvgSim over
+  the same queries.
+
+:class:`MethodAccumulator` ingests per-query (truth, estimate) pairs and
+produces :class:`ThresholdMetrics` rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.types import Usefulness
+
+__all__ = ["ThresholdMetrics", "MethodAccumulator"]
+
+
+@dataclass(frozen=True)
+class ThresholdMetrics:
+    """Aggregated evaluation numbers for one (method, threshold) cell."""
+
+    threshold: float
+    useful_queries: int  # U
+    match: int
+    mismatch: int
+    d_nodoc: float  # d-N
+    d_avgsim: float  # d-S
+
+    def match_mismatch(self) -> str:
+        """The paper's "match/mismatch" cell, e.g. ``'1423/13'``."""
+        return f"{self.match}/{self.mismatch}"
+
+
+class MethodAccumulator:
+    """Streaming accumulator of the five criteria across a query log.
+
+    One accumulator per estimation method; ``add`` is called once per query
+    with the parallel truth/estimate lists over the experiment's thresholds.
+    """
+
+    def __init__(self, thresholds: Sequence[float]):
+        self.thresholds = tuple(thresholds)
+        n = len(self.thresholds)
+        self._useful = np.zeros(n, dtype=np.int64)
+        self._match = np.zeros(n, dtype=np.int64)
+        self._mismatch = np.zeros(n, dtype=np.int64)
+        self._abs_nodoc_err = np.zeros(n)
+        self._abs_avgsim_err = np.zeros(n)
+        self._n_queries = 0
+
+    @property
+    def n_queries(self) -> int:
+        """Number of queries ingested so far."""
+        return self._n_queries
+
+    def add(
+        self, truths: Sequence[Usefulness], estimates: Sequence[Usefulness]
+    ) -> None:
+        """Ingest one query's truth and estimates (parallel to thresholds)."""
+        if len(truths) != len(self.thresholds) or len(estimates) != len(
+            self.thresholds
+        ):
+            raise ValueError("truths/estimates must align with thresholds")
+        self._n_queries += 1
+        for i, (truth, estimate) in enumerate(zip(truths, estimates)):
+            truly_useful = truth.nodoc >= 1.0
+            estimated_useful = estimate.identifies_useful
+            if truly_useful:
+                self._useful[i] += 1
+                if estimated_useful:
+                    self._match[i] += 1
+                self._abs_nodoc_err[i] += abs(truth.nodoc - estimate.nodoc)
+                self._abs_avgsim_err[i] += abs(truth.avgsim - estimate.avgsim)
+            elif estimated_useful:
+                self._mismatch[i] += 1
+
+    def metrics(self) -> List[ThresholdMetrics]:
+        """The finished per-threshold rows."""
+        rows = []
+        for i, threshold in enumerate(self.thresholds):
+            useful = int(self._useful[i])
+            rows.append(
+                ThresholdMetrics(
+                    threshold=threshold,
+                    useful_queries=useful,
+                    match=int(self._match[i]),
+                    mismatch=int(self._mismatch[i]),
+                    d_nodoc=(self._abs_nodoc_err[i] / useful) if useful else 0.0,
+                    d_avgsim=(self._abs_avgsim_err[i] / useful) if useful else 0.0,
+                )
+            )
+        return rows

@@ -1,0 +1,104 @@
+"""Markdown rendering of experiment results.
+
+Turns :class:`~repro.evaluation.experiment.ExperimentResult` objects into
+GitHub-flavoured markdown tables — the format EXPERIMENTS.md and project
+reports are written in — and can diff a result against the paper's
+published rows from :mod:`repro.evaluation.paper_reference`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.evaluation.experiment import ExperimentResult
+from repro.evaluation.paper_reference import PaperRow
+
+__all__ = ["markdown_match_table", "markdown_error_table", "markdown_comparison"]
+
+
+def _md_table(headers: List[str], rows: List[List[str]]) -> str:
+    out = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for __ in headers) + "|",
+    ]
+    for row in rows:
+        out.append("| " + " | ".join(row) + " |")
+    return "\n".join(out)
+
+
+def markdown_match_table(
+    result: ExperimentResult, methods: Optional[Sequence[str]] = None
+) -> str:
+    """Tables 1/3/5 layout as markdown."""
+    methods = list(methods) if methods is not None else list(result.methods)
+    headers = ["T", "U"] + [result.labels[m] for m in methods]
+    rows = []
+    useful = result.useful_counts()
+    for i, threshold in enumerate(result.thresholds):
+        row = [f"{threshold:.1f}", str(useful[i])]
+        row.extend(result.metrics[m][i].match_mismatch() for m in methods)
+        rows.append(row)
+    return _md_table(headers, rows)
+
+
+def markdown_error_table(
+    result: ExperimentResult, methods: Optional[Sequence[str]] = None
+) -> str:
+    """Tables 2/4/6 layout as markdown."""
+    methods = list(methods) if methods is not None else list(result.methods)
+    headers = ["T", "U"]
+    for key in methods:
+        headers.extend([f"{result.labels[key]} d-N", f"{result.labels[key]} d-S"])
+    rows = []
+    useful = result.useful_counts()
+    for i, threshold in enumerate(result.thresholds):
+        row = [f"{threshold:.1f}", str(useful[i])]
+        for key in methods:
+            cell = result.metrics[key][i]
+            row.extend([f"{cell.d_nodoc:.2f}", f"{cell.d_avgsim:.3f}"])
+        rows.append(row)
+    return _md_table(headers, rows)
+
+
+def markdown_comparison(
+    result: ExperimentResult,
+    paper_rows: Sequence[PaperRow],
+    method: str,
+    paper_method: Optional[str] = None,
+) -> str:
+    """Side-by-side markdown of one method vs the paper's published rows.
+
+    Thresholds are matched by value; a reproduction threshold absent from
+    the published table renders with empty paper columns.
+    """
+    paper_method = paper_method or method
+    by_threshold = {row.threshold: row for row in paper_rows}
+    headers = [
+        "T",
+        "ours m/mis", "ours d-N", "ours d-S",
+        "paper m/mis", "paper d-N", "paper d-S",
+    ]
+    rows = []
+    for i, threshold in enumerate(result.thresholds):
+        cell = result.metrics[method][i]
+        row = [
+            f"{threshold:.1f}",
+            cell.match_mismatch(),
+            f"{cell.d_nodoc:.2f}",
+            f"{cell.d_avgsim:.3f}",
+        ]
+        published = by_threshold.get(threshold)
+        if published is not None and paper_method in published.cells:
+            p = published.cells[paper_method]
+            row.extend(
+                [f"{p.match}/{p.mismatch}", f"{p.d_nodoc:.2f}", f"{p.d_avgsim:.3f}"]
+            )
+        elif published is not None and len(published.cells) == 1:
+            p = next(iter(published.cells.values()))
+            row.extend(
+                [f"{p.match}/{p.mismatch}", f"{p.d_nodoc:.2f}", f"{p.d_avgsim:.3f}"]
+            )
+        else:
+            row.extend(["", "", ""])
+        rows.append(row)
+    return _md_table(headers, rows)

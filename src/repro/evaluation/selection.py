@@ -1,0 +1,89 @@
+"""Engine-selection quality against the exhaustive oracle.
+
+Section 3.1 of the paper argues that, with the max-weight subrange, the
+estimator identifies exactly the right engines for single-term queries.
+This module measures that operationally for any broker and query log:
+per-query precision/recall of the selected engine set versus the engines
+that truly hold above-threshold documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.corpus.query import Query
+from repro.metasearch.broker import MetasearchBroker
+
+__all__ = ["SelectionQuality", "evaluate_selection"]
+
+
+@dataclass(frozen=True)
+class SelectionQuality:
+    """Aggregate selection accuracy over a query log.
+
+    Attributes:
+        n_queries: Queries evaluated.
+        exact: Queries where selected set == true set.
+        missed_engines: Total truly-useful engines not selected (recall
+            losses — the harmful direction, per the paper).
+        extra_engines: Total selected engines that were not useful
+            (precision losses — wasted traffic).
+        true_engine_total: Total size of the oracle sets (for rates).
+        selected_engine_total: Total size of the selected sets.
+    """
+
+    n_queries: int
+    exact: int
+    missed_engines: int
+    extra_engines: int
+    true_engine_total: int
+    selected_engine_total: int
+
+    @property
+    def exact_rate(self) -> float:
+        return self.exact / self.n_queries if self.n_queries else 0.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of truly useful engine invocations preserved."""
+        if self.true_engine_total == 0:
+            return 1.0
+        return 1.0 - self.missed_engines / self.true_engine_total
+
+    @property
+    def precision(self) -> float:
+        """Fraction of issued invocations that were actually useful."""
+        if self.selected_engine_total == 0:
+            return 1.0
+        return 1.0 - self.extra_engines / self.selected_engine_total
+
+
+def evaluate_selection(
+    broker: MetasearchBroker,
+    queries: Sequence[Query],
+    threshold: float,
+) -> SelectionQuality:
+    """Score the broker's selection against the oracle for every query."""
+    exact = 0
+    missed = 0
+    extra = 0
+    true_total = 0
+    selected_total = 0
+    for query in queries:
+        selected = set(broker.select(query, threshold))
+        truth = set(broker.true_selection(query, threshold))
+        if selected == truth:
+            exact += 1
+        missed += len(truth - selected)
+        extra += len(selected - truth)
+        true_total += len(truth)
+        selected_total += len(selected)
+    return SelectionQuality(
+        n_queries=len(queries),
+        exact=exact,
+        missed_engines=missed,
+        extra_engines=extra,
+        true_engine_total=true_total,
+        selected_engine_total=selected_total,
+    )

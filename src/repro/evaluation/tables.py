@@ -1,0 +1,115 @@
+"""Rendering experiment results in the layout of the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.evaluation.experiment import ExperimentResult
+from repro.representatives.sizing import CollectionSizing
+
+__all__ = [
+    "format_match_table",
+    "format_error_table",
+    "format_combined_table",
+    "format_sizing_table",
+]
+
+
+def _render_grid(headers: List[str], rows: List[List[str]]) -> str:
+    """Fixed-width plain-text grid with right-aligned cells."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_match_table(
+    result: ExperimentResult, methods: Optional[Sequence[str]] = None
+) -> str:
+    """Tables 1/3/5 layout: T, U, then match/mismatch per method."""
+    methods = list(methods) if methods is not None else list(result.methods)
+    headers = ["T", "U"] + [result.labels[m] for m in methods]
+    rows = []
+    useful = result.useful_counts()
+    for i, threshold in enumerate(result.thresholds):
+        row = [f"{threshold:.1f}", str(useful[i])]
+        for key in methods:
+            row.append(result.metrics[key][i].match_mismatch())
+        rows.append(row)
+    title = f"match/mismatch on {result.database} ({result.n_queries} queries)"
+    return title + "\n" + _render_grid(headers, rows)
+
+
+def format_error_table(
+    result: ExperimentResult, methods: Optional[Sequence[str]] = None
+) -> str:
+    """Tables 2/4/6 layout: T, U, then d-N and d-S per method."""
+    methods = list(methods) if methods is not None else list(result.methods)
+    headers = ["T", "U"]
+    for key in methods:
+        headers.extend([f"{result.labels[key]} d-N", "d-S"])
+    rows = []
+    useful = result.useful_counts()
+    for i, threshold in enumerate(result.thresholds):
+        row = [f"{threshold:.1f}", str(useful[i])]
+        for key in methods:
+            cell = result.metrics[key][i]
+            row.extend([f"{cell.d_nodoc:.2f}", f"{cell.d_avgsim:.3f}"])
+        rows.append(row)
+    title = f"d-N / d-S on {result.database} ({result.n_queries} queries)"
+    return title + "\n" + _render_grid(headers, rows)
+
+
+def format_combined_table(result: ExperimentResult, method: str) -> str:
+    """Tables 7-12 layout: T, m/mis, d-N, d-S for one method."""
+    headers = ["T", "m/mis", "d-N", "d-S"]
+    rows = []
+    for i, threshold in enumerate(result.thresholds):
+        cell = result.metrics[method][i]
+        rows.append(
+            [
+                f"{threshold:.1f}",
+                cell.match_mismatch(),
+                f"{cell.d_nodoc:.2f}",
+                f"{cell.d_avgsim:.3f}",
+            ]
+        )
+    title = (
+        f"{result.labels[method]} on {result.database} "
+        f"({result.n_queries} queries)"
+    )
+    return title + "\n" + _render_grid(headers, rows)
+
+
+def format_sizing_table(rows: Iterable[CollectionSizing]) -> str:
+    """Section 3.2 layout: collection size, #terms, representative size, %."""
+    headers = [
+        "collection",
+        "size(pages)",
+        "#dist. terms",
+        "rep. size",
+        "%",
+        "1-byte size",
+        "1-byte %",
+    ]
+    grid = []
+    for sizing in rows:
+        grid.append(
+            [
+                sizing.name,
+                f"{sizing.collection_pages:.0f}",
+                str(sizing.n_distinct_terms),
+                f"{sizing.representative_pages:.0f}",
+                f"{sizing.percent:.2f}",
+                f"{sizing.quantized_pages:.0f}",
+                f"{sizing.quantized_percent:.2f}",
+            ]
+        )
+    return _render_grid(headers, grid)

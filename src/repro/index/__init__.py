@@ -1,0 +1,6 @@
+"""Inverted index over a collection's (optionally normalized) term weights."""
+
+from repro.index.inverted import InvertedIndex, PostingList
+from repro.index.store import load_index, save_index
+
+__all__ = ["InvertedIndex", "PostingList", "load_index", "save_index"]

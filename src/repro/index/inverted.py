@@ -1,0 +1,190 @@
+"""Inverted index construction.
+
+The index stores, per term id, the posting list of (document index, weight)
+with weights already put through the engine's weighting scheme, optionally
+scaled by inverse document frequency, and divided by the document's
+normalization divisor (Cosine by default).  Everything downstream — exact
+similarity scans, representative building, gGlOSS statistics — reads these
+normalized weights, which is what makes the whole system agree on what a
+"weight" is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.corpus.collection import Collection
+from repro.vsm.normalization import (
+    CosineNormalizer,
+    Normalizer,
+    NullNormalizer,
+)
+from repro.vsm.weighting import RawTfWeighting, WeightingScheme
+
+__all__ = ["PostingList", "InvertedIndex"]
+
+#: Supported inverse-document-frequency variants.  "smooth" is
+#: ln(1 + N/df); "ln" is the textbook ln(N/df) (zero for ubiquitous terms).
+IDF_VARIANTS = (None, "ln", "smooth")
+
+
+@dataclass(frozen=True)
+class PostingList:
+    """Frozen posting list for one term.
+
+    Attributes:
+        doc_indices: Ascending internal document indices containing the term.
+        weights: Parallel (normalized) weights of the term in each document.
+    """
+
+    doc_indices: np.ndarray
+    weights: np.ndarray
+
+    @property
+    def document_frequency(self) -> int:
+        return int(self.doc_indices.size)
+
+    def max_weight(self) -> float:
+        """Largest (normalized) weight of the term in any document."""
+        return float(self.weights.max()) if self.weights.size else 0.0
+
+
+class InvertedIndex:
+    """Index of a collection under a weighting/normalization configuration.
+
+    Args:
+        collection: The documents to index.
+        weighting: Scheme mapping tf to unnormalized weights (raw tf by
+            default, as in the paper's setup).
+        normalize: Back-compat sugar — True selects Cosine normalization,
+            False selects none.  Ignored when ``normalizer`` is given.
+        normalizer: Explicit :class:`~repro.vsm.normalization.Normalizer`
+            (e.g. :class:`~repro.vsm.normalization.PivotedNormalizer`).
+        idf: Optional idf variant applied to document weights before
+            normalization: None (default, the paper's setup), "smooth"
+            (ln(1 + N/df)) or "ln" (ln(N/df)).
+    """
+
+    def __init__(
+        self,
+        collection: Collection,
+        weighting: Optional[WeightingScheme] = None,
+        normalize: bool = True,
+        normalizer: Optional[Normalizer] = None,
+        idf: Optional[str] = None,
+    ):
+        if idf not in IDF_VARIANTS:
+            raise ValueError(f"idf must be one of {IDF_VARIANTS}, got {idf!r}")
+        self.collection = collection
+        self.weighting = weighting or RawTfWeighting()
+        if normalizer is None:
+            normalizer = CosineNormalizer() if normalize else NullNormalizer()
+        self.normalizer = normalizer
+        self.normalize = not isinstance(normalizer, NullNormalizer)
+        self.idf_variant = idf
+
+        n = len(collection)
+        self._idf_factors = self._compute_idf_factors(collection, idf)
+
+        # Pass 1: per-document weighted (idf-scaled) vectors and norms.
+        doc_term_ids: List[np.ndarray] = []
+        doc_weights: List[np.ndarray] = []
+        self._doc_norms = np.zeros(n)
+        for doc_index, tf_vector in collection.iter_tf_vectors():
+            weights = self.weighting.weights(tf_vector.values)
+            if self._idf_factors is not None and tf_vector.nnz:
+                weights = weights * self._idf_factors[tf_vector.indices]
+            doc_term_ids.append(tf_vector.indices)
+            doc_weights.append(weights)
+            self._doc_norms[doc_index] = float(np.sqrt(np.dot(weights, weights)))
+
+        # Pass 2: divide by the normalizer's divisors and build postings.
+        divisors = self.normalizer.divisors(self._doc_norms)
+        per_term_docs: Dict[int, List[int]] = {}
+        per_term_weights: Dict[int, List[float]] = {}
+        for doc_index in range(n):
+            weights = doc_weights[doc_index] / divisors[doc_index]
+            for tid, weight in zip(
+                doc_term_ids[doc_index].tolist(), weights.tolist()
+            ):
+                if weight == 0.0:
+                    continue
+                per_term_docs.setdefault(tid, []).append(doc_index)
+                per_term_weights.setdefault(tid, []).append(weight)
+        self._postings: Dict[int, PostingList] = {
+            tid: PostingList(
+                doc_indices=np.asarray(per_term_docs[tid], dtype=np.int64),
+                weights=np.asarray(per_term_weights[tid], dtype=float),
+            )
+            for tid in per_term_docs
+        }
+
+    @staticmethod
+    def _compute_idf_factors(
+        collection: Collection, idf: Optional[str]
+    ) -> Optional[np.ndarray]:
+        if idf is None:
+            return None
+        n = len(collection)
+        df = np.zeros(len(collection.vocabulary))
+        for __, tf_vector in collection.iter_tf_vectors():
+            df[tf_vector.indices] += 1
+        factors = np.zeros_like(df)
+        seen = df > 0
+        if idf == "ln":
+            factors[seen] = np.log(n / df[seen])
+        else:  # "smooth"
+            factors[seen] = np.log1p(n / df[seen])
+        return factors
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def n_documents(self) -> int:
+        return len(self.collection)
+
+    @property
+    def n_terms(self) -> int:
+        """Number of distinct indexed terms."""
+        return len(self._postings)
+
+    def postings(self, term_id: int) -> PostingList:
+        """Posting list of ``term_id``; empty list for unseen terms."""
+        empty = PostingList(
+            doc_indices=np.empty(0, dtype=np.int64), weights=np.empty(0)
+        )
+        return self._postings.get(term_id, empty)
+
+    def document_frequency(self, term_id: int) -> int:
+        plist = self._postings.get(term_id)
+        return plist.document_frequency if plist is not None else 0
+
+    def document_norm(self, doc_index: int) -> float:
+        """Euclidean norm of the document's unnormalized weight vector
+        (after weighting and idf scaling, before length normalization)."""
+        return float(self._doc_norms[doc_index])
+
+    def idf_factor(self, term_id: int) -> float:
+        """The idf factor applied to ``term_id`` (1.0 when idf is off)."""
+        if self._idf_factors is None:
+            return 1.0
+        if not 0 <= term_id < self._idf_factors.size:
+            return 0.0
+        return float(self._idf_factors[term_id])
+
+    def iter_term_ids(self) -> Iterator[int]:
+        return iter(self._postings)
+
+    def items(self) -> Iterator[Tuple[int, PostingList]]:
+        """Iterate ``(term_id, posting_list)`` pairs."""
+        return iter(self._postings.items())
+
+    def __repr__(self) -> str:
+        return (
+            f"InvertedIndex({self.collection.name!r}, terms={self.n_terms}, "
+            f"docs={self.n_documents}, normalizer={self.normalizer.name}, "
+            f"idf={self.idf_variant})"
+        )

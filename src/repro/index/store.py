@@ -1,0 +1,114 @@
+"""Binary persistence for inverted indexes.
+
+Rebuilding an index from a collection re-tokenizes nothing (collections
+store term ids) but still costs a full pass over every posting; for a
+deployed engine the index itself is the artifact worth saving.  The format
+is a single ``.npz`` (compressed numpy archive) holding the concatenated
+posting arrays with per-term offsets, the document norms, document ids,
+vocabulary, and the weighting/normalization configuration — enough to
+reconstruct an :class:`~repro.index.InvertedIndex` byte-for-byte without
+touching the collection again.
+
+Note the loaded object carries a *skeleton* collection (doc ids and
+vocabulary, no term frequencies): everything the search and representative
+paths need, but ``tf_vector`` contents are not preserved.  Keep the
+JSONL collection (``repro.corpus.io``) if you need to re-index under a
+different configuration.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.corpus.collection import Collection
+from repro.corpus.document import Document
+from repro.index.inverted import InvertedIndex, PostingList
+from repro.vsm.normalization import get_normalizer
+from repro.vsm.weighting import get_weighting
+
+__all__ = ["save_index", "load_index"]
+
+_FORMAT_VERSION = 1
+
+
+def save_index(index: InvertedIndex, path: Union[str, Path]) -> None:
+    """Write ``index`` to a compressed .npz archive."""
+    term_ids = np.array(sorted(index.iter_term_ids()), dtype=np.int64)
+    doc_blocks = []
+    weight_blocks = []
+    offsets = np.zeros(term_ids.size + 1, dtype=np.int64)
+    for i, tid in enumerate(term_ids):
+        plist = index.postings(int(tid))
+        doc_blocks.append(plist.doc_indices)
+        weight_blocks.append(plist.weights)
+        offsets[i + 1] = offsets[i] + plist.document_frequency
+    collection = index.collection
+    np.savez_compressed(
+        Path(path),
+        format_version=np.int64(_FORMAT_VERSION),
+        name=np.array(collection.name),
+        term_ids=term_ids,
+        offsets=offsets,
+        posting_docs=(
+            np.concatenate(doc_blocks) if doc_blocks else np.empty(0, np.int64)
+        ),
+        posting_weights=(
+            np.concatenate(weight_blocks) if weight_blocks else np.empty(0)
+        ),
+        doc_norms=np.array(
+            [index.document_norm(i) for i in range(index.n_documents)]
+        ),
+        doc_ids=np.array(
+            [collection.doc_id(i) for i in range(len(collection))]
+        ),
+        terms=np.array(list(collection.vocabulary)),
+        weighting=np.array(index.weighting.name),
+        normalizer=np.array(index.normalizer.name),
+        idf=np.array(index.idf_variant or ""),
+    )
+
+
+def load_index(path: Union[str, Path]) -> InvertedIndex:
+    """Read an index written by :func:`save_index`.
+
+    The returned index answers postings, norms and representative builds
+    identically to the original; its collection is a skeleton (ids and
+    vocabulary only).
+    """
+    with np.load(Path(path), allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported index format {version!r}")
+        skeleton = Collection(str(data["name"]))
+        for term in data["terms"].tolist():
+            skeleton.vocabulary.add(str(term))
+        for doc_id in data["doc_ids"].tolist():
+            skeleton.add_document(Document(doc_id=str(doc_id), terms=[]))
+
+        index = InvertedIndex.__new__(InvertedIndex)
+        index.collection = skeleton
+        index.weighting = get_weighting(str(data["weighting"]))
+        index.normalizer = get_normalizer(str(data["normalizer"]))
+        from repro.vsm.normalization import NullNormalizer
+
+        index.normalize = not isinstance(index.normalizer, NullNormalizer)
+        idf = str(data["idf"])
+        index.idf_variant = idf or None
+        index._idf_factors = None  # factors are baked into stored weights
+        index._doc_norms = data["doc_norms"]
+
+        term_ids = data["term_ids"]
+        offsets = data["offsets"]
+        posting_docs = data["posting_docs"]
+        posting_weights = data["posting_weights"]
+        index._postings = {}
+        for i, tid in enumerate(term_ids.tolist()):
+            lo, hi = offsets[i], offsets[i + 1]
+            index._postings[int(tid)] = PostingList(
+                doc_indices=posting_docs[lo:hi].copy(),
+                weights=posting_weights[lo:hi].copy(),
+            )
+        return index

@@ -1,0 +1,50 @@
+"""Metasearch engine — the top level of the paper's architecture.
+
+A :class:`MetasearchBroker` keeps one database representative per registered
+local search engine, ranks the engines for each incoming query with a
+usefulness estimator, forwards the query only to the selected engines, and
+merges their results under the global similarity function.
+"""
+
+from repro.metasearch.allocation import (
+    allocate_documents,
+    expected_nodoc_at,
+    threshold_for_k,
+)
+from repro.metasearch.hierarchy import BrokerNode, HierarchySearchReport
+from repro.metasearch.protocol import (
+    EngineServer,
+    RepresentativeSnapshot,
+    SubscribingBroker,
+)
+from repro.metasearch.broker import (
+    EngineRegistration,
+    MetasearchBroker,
+    MetasearchResponse,
+)
+from repro.metasearch.merge import merge_hits
+from repro.metasearch.selection import (
+    EstimatedUsefulness,
+    SelectionPolicy,
+    ThresholdPolicy,
+    TopKPolicy,
+)
+
+__all__ = [
+    "BrokerNode",
+    "EngineRegistration",
+    "EngineServer",
+    "HierarchySearchReport",
+    "RepresentativeSnapshot",
+    "SubscribingBroker",
+    "EstimatedUsefulness",
+    "MetasearchBroker",
+    "MetasearchResponse",
+    "SelectionPolicy",
+    "ThresholdPolicy",
+    "TopKPolicy",
+    "allocate_documents",
+    "expected_nodoc_at",
+    "merge_hits",
+    "threshold_for_k",
+]

@@ -1,0 +1,134 @@
+"""Document-count-driven engine selection and retrieval allocation.
+
+The paper criticizes rank-only selection methods because "a separate method
+has to be used to convert these measures to the number of documents to
+retrieve from each search engine."  The usefulness measure needs no such
+second method: because expansion estimators answer *every* threshold from
+one generating function, we can invert the relationship — given a desired
+total number of documents ``k``, find the similarity threshold at which the
+fleet is expected to hold ``k`` documents, and read each engine's expected
+share straight off its expansion.
+
+:func:`threshold_for_k` performs the inversion (NoDoc estimates are
+monotone non-increasing in the threshold, so bisection applies) and
+:func:`allocate_documents` turns the per-engine expectations into integer
+retrieval quotas via largest-remainder rounding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.base import ExpansionEstimator
+from repro.core.genfunc import GenFunc
+from repro.core.subrange_estimator import SubrangeEstimator
+from repro.corpus.query import Query
+
+__all__ = ["threshold_for_k", "allocate_documents", "expected_nodoc_at"]
+
+
+def _expansions(
+    query: Query,
+    representatives: Dict[str, object],
+    estimator: Optional[ExpansionEstimator],
+) -> Dict[str, Tuple[GenFunc, int]]:
+    estimator = estimator or SubrangeEstimator()
+    out = {}
+    for name, representative in representatives.items():
+        out[name] = (
+            estimator.expand(query, representative),
+            representative.n_documents,
+        )
+    return out
+
+
+def expected_nodoc_at(
+    query: Query,
+    representatives: Dict[str, object],
+    threshold: float,
+    estimator: Optional[ExpansionEstimator] = None,
+) -> Dict[str, float]:
+    """Per-engine expected NoDoc at one threshold."""
+    return {
+        name: expansion.est_nodoc(threshold, n)
+        for name, (expansion, n) in _expansions(
+            query, representatives, estimator
+        ).items()
+    }
+
+
+def threshold_for_k(
+    query: Query,
+    representatives: Dict[str, object],
+    k: int,
+    estimator: Optional[ExpansionEstimator] = None,
+    tolerance: float = 1e-6,
+) -> float:
+    """The similarity threshold at which ~``k`` documents are expected.
+
+    Returns the largest threshold whose total expected NoDoc across the
+    fleet is at least ``k`` (0.0 when even the full range cannot supply
+    ``k``).  Bisection is exact here because every engine's NoDoc estimate
+    is a non-increasing step function of the threshold.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k!r}")
+    expansions = _expansions(query, representatives, estimator)
+
+    def total(threshold: float) -> float:
+        return sum(
+            expansion.est_nodoc(threshold, n)
+            for expansion, n in expansions.values()
+        )
+
+    lo, hi = 0.0, 1.0
+    # Extend the upper bracket if similarities can exceed 1 (e.g. pivoted
+    # normalization or unnormalized weights).
+    while total(hi) >= k and hi < 1e6:
+        lo = hi
+        hi *= 2.0
+    if total(0.0) < k:
+        return 0.0
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if total(mid) >= k:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def allocate_documents(
+    query: Query,
+    representatives: Dict[str, object],
+    k: int,
+    estimator: Optional[ExpansionEstimator] = None,
+) -> Dict[str, int]:
+    """Integer per-engine retrieval quotas summing to ``k``.
+
+    Engines receive quotas proportional to their expected NoDoc at the
+    ``k``-threshold, rounded by largest remainder so the total is exactly
+    ``k`` whenever the fleet is expected to supply it (when it is not, the
+    expectation-weighted allocation of everything available is returned).
+    """
+    threshold = threshold_for_k(query, representatives, k, estimator)
+    expected = expected_nodoc_at(query, representatives, threshold, estimator)
+    total = sum(expected.values())
+    if total <= 0.0:
+        return {name: 0 for name in representatives}
+    scale = min(k / total, 1.0)
+    shares: List[Tuple[str, float]] = [
+        (name, value * scale) for name, value in expected.items()
+    ]
+    quotas = {name: int(share) for name, share in shares}
+    assigned = sum(quotas.values())
+    want = min(k, int(round(total)))
+    remainders = sorted(
+        shares, key=lambda item: (item[1] - int(item[1]), item[0]), reverse=True
+    )
+    for name, __ in remainders:
+        if assigned >= want:
+            break
+        quotas[name] += 1
+        assigned += 1
+    return quotas

@@ -1,0 +1,172 @@
+"""The metasearch broker.
+
+The broker is "just an interface" plus representatives, exactly as the paper
+describes: it holds no document index of its own.  For each query it (1)
+estimates every registered engine's usefulness from its representative,
+(2) applies a selection policy, (3) forwards the query to the selected
+engines only, and (4) merges their results.  A ``search_all`` baseline
+broadcasts to every engine, which is what selection is meant to avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.base import UsefulnessEstimator
+from repro.core.subrange_estimator import SubrangeEstimator
+from repro.corpus.query import Query
+from repro.engine.results import SearchHit
+from repro.engine.search_engine import SearchEngine
+from repro.metasearch.merge import merge_hits
+from repro.metasearch.selection import (
+    EstimatedUsefulness,
+    SelectionPolicy,
+    ThresholdPolicy,
+)
+from repro.representatives.builder import build_representative
+from repro.representatives.representative import DatabaseRepresentative
+
+__all__ = ["EngineRegistration", "MetasearchBroker"]
+
+
+@dataclass
+class EngineRegistration:
+    """An engine known to the broker, with its representative."""
+
+    engine: SearchEngine
+    representative: DatabaseRepresentative
+
+
+@dataclass(frozen=True)
+class MetasearchResponse:
+    """Outcome of one brokered search.
+
+    Attributes:
+        hits: Globally ranked merged hits.
+        invoked: Names of the engines the query was forwarded to.
+        estimates: All per-engine usefulness estimates (invoked or not),
+            most promising first — useful for diagnostics and the paper's
+            evaluation harness.
+    """
+
+    hits: List[SearchHit]
+    invoked: List[str]
+    estimates: List[EstimatedUsefulness]
+
+
+class MetasearchBroker:
+    """Selects and queries local search engines via usefulness estimates.
+
+    Args:
+        estimator: Usefulness estimator applied to each representative; the
+            paper's subrange method by default.
+        policy: Engine selection policy; the paper's threshold criterion
+            (estimated NoDoc >= 1) by default.
+    """
+
+    def __init__(
+        self,
+        estimator: Optional[UsefulnessEstimator] = None,
+        policy: Optional[SelectionPolicy] = None,
+    ):
+        self.estimator = estimator or SubrangeEstimator()
+        self.policy = policy or ThresholdPolicy()
+        self._registry: Dict[str, EngineRegistration] = {}
+
+    # -- registration -------------------------------------------------------------
+
+    def register(
+        self,
+        engine: SearchEngine,
+        representative: Optional[DatabaseRepresentative] = None,
+    ) -> None:
+        """Register a local engine; builds its representative when omitted.
+
+        Engine names must be unique — the name is the routing key.
+        """
+        if engine.name in self._registry:
+            raise ValueError(f"engine {engine.name!r} already registered")
+        if representative is None:
+            representative = build_representative(engine)
+        self._registry[engine.name] = EngineRegistration(
+            engine=engine, representative=representative
+        )
+
+    @property
+    def engine_names(self) -> List[str]:
+        return sorted(self._registry)
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    def representative_of(self, name: str) -> DatabaseRepresentative:
+        return self._registry[name].representative
+
+    # -- estimation and search ---------------------------------------------------------
+
+    def estimate_all(
+        self, query: Query, threshold: float
+    ) -> List[EstimatedUsefulness]:
+        """Usefulness estimate for every registered engine, best first."""
+        estimates = [
+            EstimatedUsefulness(
+                engine=name,
+                usefulness=self.estimator.estimate(
+                    query, registration.representative, threshold
+                ),
+            )
+            for name, registration in self._registry.items()
+        ]
+        estimates.sort(key=lambda e: e.sort_key)
+        return estimates
+
+    def select(self, query: Query, threshold: float) -> List[str]:
+        """Names of the engines the policy picks for this query."""
+        return self.policy.select(self.estimate_all(query, threshold))
+
+    def search(
+        self,
+        query: Query,
+        threshold: float,
+        limit: Optional[int] = None,
+    ) -> MetasearchResponse:
+        """Estimate, select, dispatch, merge."""
+        estimates = self.estimate_all(query, threshold)
+        invoked = self.policy.select(estimates)
+        result_lists = [
+            self._registry[name].engine.search(query, threshold)
+            for name in invoked
+        ]
+        return MetasearchResponse(
+            hits=merge_hits(result_lists, limit=limit),
+            invoked=invoked,
+            estimates=estimates,
+        )
+
+    def search_all(
+        self,
+        query: Query,
+        threshold: float,
+        limit: Optional[int] = None,
+    ) -> MetasearchResponse:
+        """Broadcast baseline: query every engine regardless of estimates."""
+        names = self.engine_names
+        result_lists = [
+            self._registry[name].engine.search(query, threshold) for name in names
+        ]
+        return MetasearchResponse(
+            hits=merge_hits(result_lists, limit=limit),
+            invoked=names,
+            estimates=[],
+        )
+
+    def true_selection(self, query: Query, threshold: float) -> List[str]:
+        """Oracle: engines that *actually* hold a document above threshold
+        (by exhaustive search) — the reference for selection accuracy."""
+        selected = []
+        for name in self.engine_names:
+            engine = self._registry[name].engine
+            if engine.max_similarity(query) > threshold:
+                selected.append(name)
+        return selected

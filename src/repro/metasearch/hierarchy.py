@@ -1,0 +1,166 @@
+"""Hierarchical metasearch — the paper's "more than two levels".
+
+The introduction notes the two-level architecture "can be generalized to
+more than two levels": brokers fronting brokers, with each level holding
+only representatives of the level below.  :class:`BrokerNode` implements
+that recursion:
+
+* a **leaf** node wraps one local :class:`~repro.engine.SearchEngine`;
+* an **inner** node aggregates child nodes, summarizing them with the
+  *exact merge* of their representatives
+  (:func:`~repro.representatives.algebra.merge_representatives`) — valid
+  because a node's subtree is a disjoint union of document sets;
+* selection happens top-down: a query descends only into children whose
+  merged representative estimates at least one above-threshold document, so
+  whole subtrees are pruned with a single estimate.
+
+Because the merged representative is exactly what a flat build over the
+subtree's documents would publish, the single-term guarantee survives every
+level: a single-term query descends to exactly the engines that truly hold
+above-threshold documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.base import UsefulnessEstimator
+from repro.core.subrange_estimator import SubrangeEstimator
+from repro.corpus.query import Query
+from repro.engine.results import SearchHit
+from repro.engine.search_engine import SearchEngine
+from repro.metasearch.merge import merge_hits
+from repro.representatives.algebra import merge_representatives
+from repro.representatives.builder import build_representative
+from repro.representatives.representative import DatabaseRepresentative
+
+__all__ = ["BrokerNode", "HierarchySearchReport"]
+
+
+@dataclass
+class HierarchySearchReport:
+    """Outcome of one hierarchical search.
+
+    Attributes:
+        hits: Globally ranked merged hits.
+        visited_nodes: Names of the nodes whose estimate was computed.
+        invoked_engines: Names of the leaf engines actually searched.
+        pruned_subtrees: Names of subtree roots skipped by estimation.
+    """
+
+    hits: List[SearchHit]
+    visited_nodes: List[str] = field(default_factory=list)
+    invoked_engines: List[str] = field(default_factory=list)
+    pruned_subtrees: List[str] = field(default_factory=list)
+
+
+class BrokerNode:
+    """One node of a metasearch hierarchy.
+
+    Build leaves with :meth:`leaf` and inner nodes with :meth:`inner`; the
+    representative of every node is derived automatically.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        engine: Optional[SearchEngine] = None,
+        children: Optional[Sequence["BrokerNode"]] = None,
+        representative: Optional[DatabaseRepresentative] = None,
+    ):
+        if (engine is None) == (children is None):
+            raise ValueError("a node is either a leaf (engine) or inner (children)")
+        if children is not None and not children:
+            raise ValueError("an inner node needs at least one child")
+        self.name = name
+        self.engine = engine
+        self.children = list(children) if children is not None else []
+        if representative is not None:
+            self.representative = representative
+        elif engine is not None:
+            self.representative = build_representative(engine)
+        else:
+            self.representative = merge_representatives(
+                name, [child.representative for child in self.children]
+            )
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def leaf(cls, engine: SearchEngine) -> "BrokerNode":
+        """A leaf node around one local engine."""
+        return cls(name=engine.name, engine=engine)
+
+    @classmethod
+    def inner(cls, name: str, children: Sequence["BrokerNode"]) -> "BrokerNode":
+        """An inner node aggregating child nodes."""
+        return cls(name=name, children=children)
+
+    # -- structure -----------------------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.engine is not None
+
+    @property
+    def n_documents(self) -> int:
+        """Documents reachable through this node."""
+        return self.representative.n_documents
+
+    def leaves(self) -> List["BrokerNode"]:
+        """All leaf nodes of this subtree, left to right."""
+        if self.is_leaf:
+            return [self]
+        out = []
+        for child in self.children:
+            out.extend(child.leaves())
+        return out
+
+    def depth(self) -> int:
+        """Levels below this node (a leaf has depth 1)."""
+        if self.is_leaf:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    # -- search --------------------------------------------------------------------
+
+    def search(
+        self,
+        query: Query,
+        threshold: float,
+        estimator: Optional[UsefulnessEstimator] = None,
+        limit: Optional[int] = None,
+    ) -> HierarchySearchReport:
+        """Top-down estimate-and-descend search of the subtree."""
+        estimator = estimator or SubrangeEstimator()
+        report = HierarchySearchReport(hits=[])
+        result_lists: List[List[SearchHit]] = []
+        self._descend(query, threshold, estimator, report, result_lists)
+        report.hits = merge_hits(result_lists, limit=limit)
+        return report
+
+    def _descend(self, query, threshold, estimator, report, result_lists) -> None:
+        report.visited_nodes.append(self.name)
+        estimate = estimator.estimate(query, self.representative, threshold)
+        if not estimate.identifies_useful:
+            report.pruned_subtrees.append(self.name)
+            return
+        if self.is_leaf:
+            report.invoked_engines.append(self.name)
+            result_lists.append(self.engine.search(query, threshold))
+            return
+        for child in self.children:
+            child._descend(query, threshold, estimator, report, result_lists)
+
+    def true_engines(self, query: Query, threshold: float) -> List[str]:
+        """Oracle: leaf engines truly holding an above-threshold document."""
+        return [
+            leaf.name
+            for leaf in self.leaves()
+            if leaf.engine.max_similarity(query) > threshold
+        ]
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"inner x{len(self.children)}"
+        return f"BrokerNode({self.name!r}, {kind}, docs={self.n_documents})"

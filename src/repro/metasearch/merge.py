@@ -1,0 +1,39 @@
+"""Merging results from multiple local engines.
+
+Because every engine scores under the same global similarity function
+(Cosine over its own index), merged hits are directly comparable — the
+metasearch engine only needs a deterministic interleave.  Hits keep their
+engine attribution so callers can see where documents came from.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.engine.results import SearchHit
+
+__all__ = ["merge_hits"]
+
+
+def merge_hits(
+    result_lists: Iterable[List[SearchHit]], limit: Optional[int] = None
+) -> List[SearchHit]:
+    """Merge per-engine hit lists into one globally ranked list.
+
+    Args:
+        result_lists: One list of hits per invoked engine.
+        limit: Optional cap on the merged list length.
+
+    Returns:
+        Hits sorted by descending similarity (ties broken by doc id and
+        engine for determinism).
+    """
+    merged: List[SearchHit] = []
+    for hits in result_lists:
+        merged.extend(hits)
+    merged.sort(key=lambda h: (-h.similarity, h.doc_id, h.engine or ""))
+    if limit is not None:
+        if limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit!r}")
+        merged = merged[:limit]
+    return merged

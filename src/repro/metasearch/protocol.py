@@ -1,0 +1,195 @@
+"""Engine/broker exchange protocol with representative staleness.
+
+The paper's architecture assumes the broker's metadata lags the engines:
+"local updates may need to be propagated to the metadata ... the propagation
+can be done infrequently as the metadata are typically statistical in nature
+and can tolerate certain degree of inaccuracy."  This module makes that
+claim measurable:
+
+* :class:`EngineServer` wraps a growing document collection behind the two
+  calls a remote engine would expose — ``snapshot_representative()`` and
+  ``search()`` — and versions its representative by document count.
+* :class:`SubscribingBroker` holds possibly-stale representative snapshots
+  and refreshes them only when an engine has grown by more than a
+  configurable fraction since the last snapshot (the "infrequent
+  propagation" policy).
+* ``staleness()`` reports how out-of-date each snapshot is, and the
+  ``bench_staleness`` benchmark sweeps the refresh policy against selection
+  quality — quantifying exactly how much inaccuracy the statistics
+  tolerate.
+
+The implementation is in-process (the reproduction has no network), but the
+interfaces mirror what a wire protocol would carry: name, version, the
+serialized representative, hit lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.base import UsefulnessEstimator
+from repro.core.subrange_estimator import SubrangeEstimator
+from repro.corpus.collection import Collection
+from repro.corpus.document import Document
+from repro.corpus.query import Query
+from repro.engine.results import SearchHit
+from repro.engine.search_engine import SearchEngine
+from repro.metasearch.merge import merge_hits
+from repro.representatives.builder import build_representative
+from repro.representatives.representative import DatabaseRepresentative
+
+__all__ = ["EngineServer", "RepresentativeSnapshot", "SubscribingBroker"]
+
+
+@dataclass(frozen=True)
+class RepresentativeSnapshot:
+    """A versioned representative as published by an engine."""
+
+    name: str
+    version: int  # the engine's document count at snapshot time
+    representative: DatabaseRepresentative
+
+
+class EngineServer:
+    """A local search engine that grows over time and serves snapshots.
+
+    Documents are appended with :meth:`add_documents`; the engine's index is
+    rebuilt lazily on the next search or snapshot (document addition changes
+    only the new documents' normalized weights, but the index itself is
+    immutable, so a rebuild is the simple correct choice at this scale).
+    """
+
+    def __init__(self, name: str, documents: Optional[List[Document]] = None):
+        self._name = name
+        self._documents: List[Document] = list(documents or [])
+        self._engine: Optional[SearchEngine] = None
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def version(self) -> int:
+        """Current version = number of documents held."""
+        return len(self._documents)
+
+    def add_documents(self, documents: List[Document]) -> None:
+        """Ingest new documents; invalidates the built index."""
+        self._documents.extend(documents)
+        self._engine = None
+
+    def _built(self) -> SearchEngine:
+        if self._engine is None:
+            collection = Collection.from_documents(self._name, self._documents)
+            self._engine = SearchEngine(collection)
+        return self._engine
+
+    def snapshot_representative(self) -> RepresentativeSnapshot:
+        """Publish the current representative (the expensive call a real
+        deployment batches — exactly why brokers tolerate staleness)."""
+        return RepresentativeSnapshot(
+            name=self._name,
+            version=self.version,
+            representative=build_representative(self._built()),
+        )
+
+    def search(self, query: Query, threshold: float) -> List[SearchHit]:
+        """Serve a query against the *current* documents."""
+        return self._built().search(query, threshold)
+
+    def max_similarity(self, query: Query) -> float:
+        return self._built().max_similarity(query)
+
+    def __repr__(self) -> str:
+        return f"EngineServer({self._name!r}, version={self.version})"
+
+
+class SubscribingBroker:
+    """A broker holding possibly-stale representative snapshots.
+
+    Args:
+        estimator: Usefulness estimator over the snapshots.
+        refresh_growth: Refresh an engine's snapshot when its live version
+            exceeds the snapshot version by more than this fraction
+            (0.0 = always refresh; 1.0 = refresh only after doubling).
+    """
+
+    def __init__(
+        self,
+        estimator: Optional[UsefulnessEstimator] = None,
+        refresh_growth: float = 0.1,
+    ):
+        if refresh_growth < 0.0:
+            raise ValueError(f"refresh_growth must be >= 0, got {refresh_growth!r}")
+        self.estimator = estimator or SubrangeEstimator()
+        self.refresh_growth = refresh_growth
+        self._servers: Dict[str, EngineServer] = {}
+        self._snapshots: Dict[str, RepresentativeSnapshot] = {}
+        self.refresh_count = 0
+
+    def register(self, server: EngineServer) -> None:
+        """Subscribe to an engine; takes an initial snapshot."""
+        if server.name in self._servers:
+            raise ValueError(f"engine {server.name!r} already registered")
+        self._servers[server.name] = server
+        self._snapshots[server.name] = server.snapshot_representative()
+        self.refresh_count += 1
+
+    @property
+    def engine_names(self) -> List[str]:
+        return sorted(self._servers)
+
+    def staleness(self) -> Dict[str, float]:
+        """Per engine: fraction of documents the snapshot has not seen."""
+        out = {}
+        for name, server in self._servers.items():
+            live = server.version
+            seen = self._snapshots[name].version
+            out[name] = (live - seen) / live if live else 0.0
+        return out
+
+    def maybe_refresh(self) -> List[str]:
+        """Apply the refresh policy; returns the engines refreshed."""
+        refreshed = []
+        for name, server in self._servers.items():
+            snapshot = self._snapshots[name]
+            if snapshot.version == 0 and server.version > 0:
+                grown = float("inf")
+            elif snapshot.version == 0:
+                grown = 0.0
+            else:
+                grown = (server.version - snapshot.version) / snapshot.version
+            if grown > self.refresh_growth:
+                self._snapshots[name] = server.snapshot_representative()
+                self.refresh_count += 1
+                refreshed.append(name)
+        return refreshed
+
+    def select(self, query: Query, threshold: float) -> List[str]:
+        """Engines whose (possibly stale) snapshot estimates usefulness."""
+        selected = []
+        for name in self.engine_names:
+            representative = self._snapshots[name].representative
+            estimate = self.estimator.estimate(query, representative, threshold)
+            if estimate.identifies_useful:
+                selected.append(name)
+        return selected
+
+    def search(
+        self, query: Query, threshold: float, limit: Optional[int] = None
+    ) -> List[SearchHit]:
+        """Select on snapshots, search live engines, merge."""
+        result_lists = [
+            self._servers[name].search(query, threshold)
+            for name in self.select(query, threshold)
+        ]
+        return merge_hits(result_lists, limit=limit)
+
+    def true_selection(self, query: Query, threshold: float) -> List[str]:
+        """Oracle over the engines' *live* contents."""
+        return [
+            name
+            for name in self.engine_names
+            if self._servers[name].max_similarity(query) > threshold
+        ]

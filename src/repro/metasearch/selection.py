@@ -1,0 +1,83 @@
+"""Engine-selection policies.
+
+Given per-engine usefulness estimates, a policy decides which engines the
+broker should actually invoke.  The paper's notion is threshold-based —
+invoke every engine estimated to hold at least one document above the
+similarity threshold — and :class:`ThresholdPolicy` implements it
+(estimates rounded to integers, as in the evaluation).  :class:`TopKPolicy`
+is the common practical alternative: invoke the ``k`` engines with the
+largest estimated NoDoc.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.types import Usefulness
+
+__all__ = [
+    "EstimatedUsefulness",
+    "SelectionPolicy",
+    "ThresholdPolicy",
+    "TopKPolicy",
+]
+
+
+@dataclass(frozen=True)
+class EstimatedUsefulness:
+    """A usefulness estimate attributed to a named engine."""
+
+    engine: str
+    usefulness: Usefulness
+
+    @property
+    def sort_key(self):
+        """Engines compare by (NoDoc, AvgSim) descending, name ascending for
+        deterministic ties."""
+        return (-self.usefulness.nodoc, -self.usefulness.avgsim, self.engine)
+
+
+class SelectionPolicy(ABC):
+    """Chooses which engines to invoke from ranked usefulness estimates."""
+
+    @abstractmethod
+    def select(self, estimates: List[EstimatedUsefulness]) -> List[str]:
+        """Names of the engines to invoke, most promising first."""
+
+
+class ThresholdPolicy(SelectionPolicy):
+    """Invoke every engine whose rounded estimated NoDoc is >= ``min_nodoc``.
+
+    ``min_nodoc=1`` is the paper's usefulness criterion.
+    """
+
+    def __init__(self, min_nodoc: int = 1):
+        if min_nodoc < 1:
+            raise ValueError(f"min_nodoc must be >= 1, got {min_nodoc!r}")
+        self.min_nodoc = min_nodoc
+
+    def select(self, estimates: List[EstimatedUsefulness]) -> List[str]:
+        chosen = [
+            e
+            for e in estimates
+            if e.usefulness.nodoc_rounded >= self.min_nodoc
+        ]
+        chosen.sort(key=lambda e: e.sort_key)
+        return [e.engine for e in chosen]
+
+
+class TopKPolicy(SelectionPolicy):
+    """Invoke the ``k`` engines with the largest estimated NoDoc (non-zero)."""
+
+    def __init__(self, k: int):
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k!r}")
+        self.k = k
+
+    def select(self, estimates: List[EstimatedUsefulness]) -> List[str]:
+        ranked = sorted(estimates, key=lambda e: e.sort_key)
+        return [
+            e.engine for e in ranked[: self.k] if e.usefulness.nodoc > 0.0
+        ]

@@ -1,0 +1,51 @@
+"""Database representatives: the compact per-term statistics a metasearch
+engine keeps about each local search engine.
+
+The paper's full representative stores a quadruplet per distinct term —
+``(p, w, sigma, mw)``: occurrence probability, mean and standard deviation of
+the term's normalized weights over the documents containing it, and the
+maximum normalized weight.  Builders derive these from an engine's inverted
+index; :mod:`repro.representatives.quantized` applies the one-byte
+approximation of Section 3.2; :mod:`repro.representatives.sizing` reproduces
+the scalability accounting.
+"""
+
+from repro.representatives.algebra import merge_representatives
+from repro.representatives.builder import build_representative
+from repro.representatives.empirical import (
+    EmpiricalRepresentative,
+    EmpiricalTermStats,
+    build_empirical_representative,
+)
+from repro.representatives.incremental import (
+    RepresentativeAccumulator,
+    TermAccumulator,
+)
+from repro.representatives.quantized import quantize_representative
+from repro.representatives.representative import DatabaseRepresentative
+from repro.representatives.sizing import (
+    PAPER_COLLECTION_STATS,
+    CollectionSizing,
+    representative_size_bytes,
+    sizing_for_collection,
+)
+from repro.representatives.subrange import SubrangeScheme
+from repro.representatives.term_stats import TermStats
+
+__all__ = [
+    "CollectionSizing",
+    "DatabaseRepresentative",
+    "EmpiricalRepresentative",
+    "EmpiricalTermStats",
+    "PAPER_COLLECTION_STATS",
+    "RepresentativeAccumulator",
+    "SubrangeScheme",
+    "TermAccumulator",
+    "TermStats",
+    "build_empirical_representative",
+    "build_representative",
+    "merge_representatives",
+    "quantize_representative",
+    "representative_size_bytes",
+    "sizing_for_collection",
+]

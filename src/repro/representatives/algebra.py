@@ -1,0 +1,102 @@
+"""Exact algebra over finished representatives.
+
+A metasearch broker often holds only the *published* representatives of its
+engines, not their indexes.  Because the quadruplet ``(p, w, sigma, mw)``
+over a database of known size ``n`` is equivalent to the sufficient
+statistics ``(df, sum, sum of squares, max)``, representatives of disjoint
+databases can be merged *exactly* without touching a document — the
+operation behind the paper's D2/D3 construction, and the enabler of the
+"more than two levels" generalization its introduction mentions
+(:mod:`repro.metasearch.hierarchy`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.representatives.representative import DatabaseRepresentative
+from repro.representatives.term_stats import TermStats
+
+__all__ = ["merge_representatives"]
+
+
+def _merge_two_stats(
+    a: TermStats, n_a: int, b: TermStats, n_b: int
+) -> TermStats:
+    df_a = a.probability * n_a
+    df_b = b.probability * n_b
+    df = df_a + df_b
+    if df <= 0.0:
+        return TermStats(probability=0.0, mean=0.0, std=0.0, max_weight=0.0)
+    mean = (a.mean * df_a + b.mean * df_b) / df
+    # Recover each side's second moment from (mean, std), combine, re-center.
+    second = (
+        (a.std * a.std + a.mean * a.mean) * df_a
+        + (b.std * b.std + b.mean * b.mean) * df_b
+    ) / df
+    variance = max(second - mean * mean, 0.0)
+    if a.max_weight is None or b.max_weight is None:
+        max_weight = None
+    else:
+        max_weight = max(a.max_weight, b.max_weight)
+    return TermStats(
+        probability=df / (n_a + n_b),
+        mean=mean,
+        std=math.sqrt(variance),
+        max_weight=max_weight,
+    )
+
+
+def merge_representatives(
+    name: str, representatives: Iterable[DatabaseRepresentative]
+) -> DatabaseRepresentative:
+    """Exact representative of the disjoint union of several databases.
+
+    Every statistic of the result equals what a batch build over the merged
+    collection would produce (up to floating-point noise), provided the
+    source databases share no documents.  Term sets are unioned; a term
+    missing from one side simply contributes ``df = 0`` there.
+
+    Args:
+        name: Name for the merged representative.
+        representatives: The per-database representatives to combine.
+    """
+    parts = list(representatives)
+    merged_n = sum(part.n_documents for part in parts)
+    merged_stats = {}
+    for part in parts:
+        for term, stats in part.items():
+            current = merged_stats.get(term)
+            if current is None:
+                # Seed with this part's stats re-based onto the documents
+                # seen so far (df unchanged, probability re-derived later).
+                merged_stats[term] = (stats, part.n_documents)
+            else:
+                existing, n_existing = current
+                combined = _merge_two_stats(
+                    existing, n_existing, stats, part.n_documents
+                )
+                # Track how many documents the combined stats cover so the
+                # next merge re-derives df correctly.
+                merged_stats[term] = (
+                    TermStats(
+                        probability=combined.probability,
+                        mean=combined.mean,
+                        std=combined.std,
+                        max_weight=combined.max_weight,
+                    ),
+                    n_existing + part.n_documents,
+                )
+    final = {}
+    for term, (stats, n_covered) in merged_stats.items():
+        df = stats.probability * n_covered
+        final[term] = TermStats(
+            probability=df / merged_n if merged_n else 0.0,
+            mean=stats.mean,
+            std=stats.std,
+            max_weight=stats.max_weight,
+        )
+    return DatabaseRepresentative(
+        name=name, n_documents=merged_n, term_stats=final
+    )

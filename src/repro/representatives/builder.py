@@ -1,0 +1,52 @@
+"""Building representatives from a local engine's index.
+
+The statistics are computed over the *normalized* document weights — with
+the Cosine similarity in effect, the contribution of term ``t`` to
+``sim(q, d)`` is the query weight times ``d``'s normalized weight for ``t``,
+so that is the distribution the estimators must summarize (the paper's
+"maximum normalized weight" makes this explicit).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.engine.search_engine import SearchEngine
+from repro.index.inverted import InvertedIndex
+from repro.representatives.representative import DatabaseRepresentative
+from repro.representatives.term_stats import TermStats
+
+__all__ = ["build_representative"]
+
+
+def build_representative(
+    source: Union[SearchEngine, InvertedIndex],
+    include_max_weight: bool = True,
+) -> DatabaseRepresentative:
+    """Summarize an engine (or raw index) into a database representative.
+
+    Args:
+        source: The engine/index to summarize; its weighting and
+            normalization settings determine the weight space.
+        include_max_weight: Store the quadruplet (Tables 1-9) when True, the
+            triplet (Tables 10-12) when False.
+
+    Returns:
+        A :class:`DatabaseRepresentative` keyed by term string.
+    """
+    index = source.index if isinstance(source, SearchEngine) else source
+    n = index.n_documents
+    vocabulary = index.collection.vocabulary
+    term_stats = {}
+    for term_id, plist in index.items():
+        weights = plist.weights
+        stats = TermStats(
+            probability=plist.document_frequency / n if n else 0.0,
+            mean=float(weights.mean()),
+            std=float(weights.std(ddof=0)),
+            max_weight=float(weights.max()) if include_max_weight else None,
+        )
+        term_stats[vocabulary.term_of(term_id)] = stats
+    return DatabaseRepresentative(
+        name=index.collection.name, n_documents=n, term_stats=term_stats
+    )

@@ -1,0 +1,204 @@
+"""Incremental and mergeable representative maintenance.
+
+The paper's architecture notes that local updates "may need to be propagated
+to the metadata that represent the contents of local databases" and that
+this propagation can be infrequent and approximate.  This module makes it
+*exact and cheap*: every statistic of the quadruplet representative —
+probability, mean, standard deviation, maximum — is derivable from four
+per-term sufficient statistics
+
+```
+(df, sum of weights, sum of squared weights, max weight)
+```
+
+which support O(1) per-posting document addition and O(terms) merging.
+Merging also gives representative-level composition: the representative of
+``D2 = G0 union G1`` is the merge of the groups' accumulators, no rebuild
+needed — the operation behind the paper's D2/D3 construction.
+
+Normalization note: a document's normalized weights depend only on that
+document, so adding a document never changes other documents' statistics —
+which is what makes exact incrementality possible under Cosine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Union
+
+from repro.engine.search_engine import SearchEngine
+from repro.index.inverted import InvertedIndex
+from repro.representatives.representative import DatabaseRepresentative
+from repro.representatives.term_stats import TermStats
+
+__all__ = ["TermAccumulator", "RepresentativeAccumulator"]
+
+
+class TermAccumulator:
+    """Sufficient statistics of one term's (normalized) weights.
+
+    Internally uses Welford's streaming mean/M2 recurrence with Chan's
+    parallel merge formula, so the variance is numerically stable no matter
+    how many near-identical weights are folded in; the classic ``sum`` /
+    ``sum of squares`` views remain available as derived properties.
+    """
+
+    __slots__ = ("df", "mean", "m2", "max_weight")
+
+    def __init__(self, df=0, mean=0.0, m2=0.0, max_weight=0.0):
+        self.df = df
+        self.mean = mean
+        self.m2 = m2
+        self.max_weight = max_weight
+
+    @property
+    def weight_sum(self) -> float:
+        """Sum of observed weights (derived view)."""
+        return self.mean * self.df
+
+    @property
+    def weight_sumsq(self) -> float:
+        """Sum of squared observed weights (derived view)."""
+        return self.m2 + self.df * self.mean * self.mean
+
+    def add(self, weight: float) -> None:
+        """Fold in one more document carrying this term."""
+        if weight < 0.0:
+            raise ValueError(f"weight must be >= 0, got {weight!r}")
+        self.df += 1
+        delta = weight - self.mean
+        self.mean += delta / self.df
+        self.m2 += delta * (weight - self.mean)
+        if weight > self.max_weight:
+            self.max_weight = weight
+
+    def merge(self, other: "TermAccumulator") -> None:
+        """Fold in another accumulator (disjoint document sets assumed)."""
+        if other.df == 0:
+            return
+        if self.df == 0:
+            self.df = other.df
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.max_weight = other.max_weight
+            return
+        total = self.df + other.df
+        delta = other.mean - self.mean
+        self.m2 += other.m2 + delta * delta * self.df * other.df / total
+        self.mean += delta * other.df / total
+        self.df = total
+        if other.max_weight > self.max_weight:
+            self.max_weight = other.max_weight
+
+    def to_stats(self, n_documents: int, include_max: bool = True) -> TermStats:
+        """Materialize the paper's quadruplet for a database of size ``n``."""
+        if self.df <= 0:
+            raise ValueError("cannot materialize stats for an unseen term")
+        variance = max(self.m2 / self.df, 0.0)
+        return TermStats(
+            probability=self.df / n_documents if n_documents else 0.0,
+            mean=self.mean,
+            std=math.sqrt(variance),
+            max_weight=self.max_weight if include_max else None,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TermAccumulator(df={self.df}, mean={self.mean:.4f}, "
+            f"max={self.max_weight:.4f})"
+        )
+
+
+class RepresentativeAccumulator:
+    """Builds and maintains a representative one document at a time.
+
+    Typical engine-side use::
+
+        acc = RepresentativeAccumulator("my-engine")
+        for doc_weights in stream_of_documents:   # {term: normalized weight}
+            acc.add_document(doc_weights)
+        acc.to_representative().save("my-engine.rep.json")
+
+    Broker-side composition::
+
+        combined = RepresentativeAccumulator.merged("D2", [acc_g0, acc_g1])
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.n_documents = 0
+        self._terms: Dict[str, TermAccumulator] = {}
+
+    def add_document(self, weights: Dict[str, float]) -> None:
+        """Fold one document's ``{term: normalized weight}`` mapping in.
+
+        Zero weights are ignored — a zero-weight term is indistinguishable
+        from an absent one in every statistic the representative stores.
+        """
+        self.n_documents += 1
+        for term, weight in weights.items():
+            if weight == 0.0:
+                continue
+            accumulator = self._terms.get(term)
+            if accumulator is None:
+                accumulator = self._terms[term] = TermAccumulator()
+            accumulator.add(weight)
+
+    def merge(self, other: "RepresentativeAccumulator") -> None:
+        """Fold in another accumulator over a disjoint document set."""
+        self.n_documents += other.n_documents
+        for term, theirs in other._terms.items():
+            mine = self._terms.get(term)
+            if mine is None:
+                mine = self._terms[term] = TermAccumulator()
+            mine.merge(theirs)
+
+    @classmethod
+    def merged(
+        cls, name: str, parts: Iterable["RepresentativeAccumulator"]
+    ) -> "RepresentativeAccumulator":
+        """A fresh accumulator equal to the union of ``parts``."""
+        out = cls(name)
+        for part in parts:
+            out.merge(part)
+        return out
+
+    @classmethod
+    def from_index(
+        cls, source: Union[SearchEngine, InvertedIndex], name: str = None
+    ) -> "RepresentativeAccumulator":
+        """Seed an accumulator from an existing engine/index."""
+        index = source.index if isinstance(source, SearchEngine) else source
+        out = cls(name or index.collection.name)
+        out.n_documents = index.n_documents
+        vocabulary = index.collection.vocabulary
+        for term_id, plist in index.items():
+            accumulator = TermAccumulator()
+            for weight in plist.weights.tolist():
+                accumulator.add(weight)
+            # df was already counted by the per-weight adds.
+            out._terms[vocabulary.term_of(term_id)] = accumulator
+        return out
+
+    @property
+    def n_terms(self) -> int:
+        return len(self._terms)
+
+    def to_representative(
+        self, include_max: bool = True
+    ) -> DatabaseRepresentative:
+        """Materialize the current state as a representative."""
+        return DatabaseRepresentative(
+            name=self.name,
+            n_documents=self.n_documents,
+            term_stats={
+                term: accumulator.to_stats(self.n_documents, include_max)
+                for term, accumulator in self._terms.items()
+            },
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RepresentativeAccumulator({self.name!r}, "
+            f"docs={self.n_documents}, terms={self.n_terms})"
+        )

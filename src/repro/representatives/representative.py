@@ -1,0 +1,127 @@
+"""The database representative object.
+
+A :class:`DatabaseRepresentative` is the only thing a metasearch engine
+knows about a local search engine: the document count and one
+:class:`~repro.representatives.term_stats.TermStats` per distinct term,
+keyed by term *string* (term ids are private to each engine).  It supports
+JSON persistence so representatives can be exported by engine operators and
+imported by brokers, as the architecture in the paper's introduction
+envisions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.representatives.term_stats import TermStats
+
+__all__ = ["DatabaseRepresentative"]
+
+
+class DatabaseRepresentative:
+    """Per-term statistics plus the database size.
+
+    Args:
+        name: Name of the search engine / database this summarizes.
+        n_documents: Number of documents in the database (``n``).
+        term_stats: Mapping term -> :class:`TermStats`.
+    """
+
+    def __init__(self, name: str, n_documents: int, term_stats: Dict[str, TermStats]):
+        if n_documents < 0:
+            raise ValueError(f"n_documents must be >= 0, got {n_documents!r}")
+        self.name = name
+        self.n_documents = n_documents
+        self._term_stats = dict(term_stats)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def get(self, term: str) -> Optional[TermStats]:
+        """Stats for ``term``, or None when the database never saw it."""
+        return self._term_stats.get(term)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._term_stats
+
+    def __len__(self) -> int:
+        return len(self._term_stats)
+
+    @property
+    def n_terms(self) -> int:
+        """Number of distinct terms the representative covers."""
+        return len(self._term_stats)
+
+    def items(self) -> Iterator[Tuple[str, TermStats]]:
+        return iter(self._term_stats.items())
+
+    @property
+    def has_max_weights(self) -> bool:
+        """True when every term carries a stored maximum normalized weight
+        (the quadruplet representation of Tables 1-9)."""
+        return all(s.max_weight is not None for s in self._term_stats.values())
+
+    def document_frequency(self, term: str) -> float:
+        """``p * n`` — the expected document frequency of ``term``."""
+        stats = self._term_stats.get(term)
+        return stats.probability * self.n_documents if stats else 0.0
+
+    # -- derived views -----------------------------------------------------------
+
+    def as_triplets(self) -> "DatabaseRepresentative":
+        """The triplet representative of Tables 10-12: ``mw`` withheld."""
+        return DatabaseRepresentative(
+            name=self.name,
+            n_documents=self.n_documents,
+            term_stats={t: s.without_max_weight() for t, s in self._term_stats.items()},
+        )
+
+    # -- persistence ---------------------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        return {
+            "kind": "representative",
+            "name": self.name,
+            "n_documents": self.n_documents,
+            "terms": {
+                term: [s.probability, s.mean, s.std, s.max_weight]
+                for term, s in self._term_stats.items()
+            },
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "DatabaseRepresentative":
+        if payload.get("kind") != "representative":
+            raise ValueError("payload is not a representative")
+        stats = {
+            term: TermStats(
+                probability=values[0],
+                mean=values[1],
+                std=values[2],
+                max_weight=values[3],
+            )
+            for term, values in payload["terms"].items()
+        }
+        return cls(
+            name=payload["name"],
+            n_documents=payload["n_documents"],
+            term_stats=stats,
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the representative as JSON."""
+        Path(path).write_text(json.dumps(self.to_json_dict()), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "DatabaseRepresentative":
+        """Read a representative written by :meth:`save`."""
+        return cls.from_json_dict(
+            json.loads(Path(path).read_text(encoding="utf-8"))
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DatabaseRepresentative({self.name!r}, docs={self.n_documents}, "
+            f"terms={self.n_terms}, max_weights={self.has_max_weights})"
+        )

@@ -1,0 +1,61 @@
+"""Descriptive statistics for term-weight populations.
+
+The database representative of the paper stores, per term, the *population*
+mean and standard deviation of the term's weights over the documents that
+contain the term.  These helpers operate on plain sequences or numpy arrays
+and are the single source of truth for how those statistics are computed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["population_std", "mean_and_std", "percentile_sorted"]
+
+
+def population_std(values: Sequence[float]) -> float:
+    """Population standard deviation (``ddof=0``) of ``values``.
+
+    The paper treats the weights of a term in the documents containing it as
+    the full population, not a sample, so the divisor is ``k`` rather than
+    ``k - 1``.  A single observation therefore has zero deviation.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("population_std of an empty sequence is undefined")
+    return float(arr.std(ddof=0))
+
+
+def mean_and_std(values: Sequence[float]) -> Tuple[float, float]:
+    """Population mean and standard deviation in one pass."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("mean_and_std of an empty sequence is undefined")
+    return float(arr.mean()), float(arr.std(ddof=0))
+
+
+def percentile_sorted(sorted_values: Sequence[float], percentile: float) -> float:
+    """Value at ``percentile`` (0-100, measured from the bottom) of an
+    ascending-sorted sequence, with linear interpolation.
+
+    Used by exact (non-normal-approximated) subrange schemes and by tests
+    that compare the normal approximation against the empirical weight
+    distribution.
+    """
+    if not 0.0 <= percentile <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {percentile!r}")
+    arr = np.asarray(sorted_values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("percentile of an empty sequence is undefined")
+    if arr.size == 1:
+        return float(arr[0])
+    rank = percentile / 100.0 * (arr.size - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(arr[lo])
+    frac = rank - lo
+    return float(arr[lo] * (1.0 - frac) + arr[hi] * frac)

@@ -1,0 +1,21 @@
+"""Text processing pipeline: tokenization, stop words, stemming.
+
+The paper's preprocessing is classic late-90s vector-space IR: lowercase,
+strip punctuation, drop "non-content words such as 'the', 'of', etc.", and
+(conventionally for the SMART-era systems it builds on) stem.  The pipeline
+here is a small composable object so corpora, queries and engines all share
+one configuration.
+"""
+
+from repro.text.pipeline import TextPipeline
+from repro.text.porter import PorterStemmer
+from repro.text.stopwords import DEFAULT_STOPWORDS, is_stopword
+from repro.text.tokenizer import tokenize
+
+__all__ = [
+    "DEFAULT_STOPWORDS",
+    "PorterStemmer",
+    "TextPipeline",
+    "is_stopword",
+    "tokenize",
+]

@@ -1,0 +1,76 @@
+"""Composable text-processing pipeline.
+
+A :class:`TextPipeline` turns raw text into the final list of index terms by
+tokenizing, dropping non-content words, and optionally stemming.  Documents,
+queries, corpus builders and search engines all accept a pipeline instance so
+the whole system is guaranteed to agree on what a "term" is — a mismatch
+there is the classic source of silent zero-similarity bugs in IR stacks.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional
+
+from repro.text.porter import PorterStemmer
+from repro.text.stopwords import DEFAULT_STOPWORDS
+from repro.text.tokenizer import tokenize
+
+__all__ = ["TextPipeline"]
+
+
+class TextPipeline:
+    """Tokenize, stop, and stem text into index terms.
+
+    Args:
+        stopwords: Set of non-content words to remove; pass an empty set to
+            disable stopping.  Defaults to :data:`DEFAULT_STOPWORDS`.
+        stem: Whether to apply the Porter stemmer (default True).
+        min_length: Tokens shorter than this survive only if stemming/
+            stopping left them alone; single characters are rarely content
+            terms, so the default is 2.
+    """
+
+    def __init__(
+        self,
+        stopwords: Optional[FrozenSet[str]] = None,
+        stem: bool = True,
+        min_length: int = 2,
+    ):
+        self._stopwords = DEFAULT_STOPWORDS if stopwords is None else frozenset(stopwords)
+        self._stemmer = PorterStemmer() if stem else None
+        self._min_length = min_length
+
+    @property
+    def stems(self) -> bool:
+        """Whether this pipeline applies stemming."""
+        return self._stemmer is not None
+
+    def terms(self, text: str) -> List[str]:
+        """Full pipeline: raw text to the list of index terms (with repeats).
+
+        Repeats are preserved because term frequency is the raw signal the
+        weighting schemes in :mod:`repro.vsm` consume.
+        """
+        out = []
+        for token in tokenize(text):
+            if token in self._stopwords or len(token) < self._min_length:
+                continue
+            if self._stemmer is not None:
+                token = self._stemmer.stem(token)
+                if len(token) < self._min_length:
+                    continue
+            out.append(token)
+        return out
+
+    def terms_joined(self, texts: Iterable[str]) -> List[str]:
+        """Apply :meth:`terms` to several fields and concatenate the output."""
+        out: List[str] = []
+        for text in texts:
+            out.extend(self.terms(text))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"TextPipeline(stem={self.stems}, "
+            f"stopwords={len(self._stopwords)}, min_length={self._min_length})"
+        )

@@ -1,0 +1,232 @@
+"""Porter stemming algorithm (Porter, 1980), implemented from scratch.
+
+Conflating morphological variants ("connection", "connected", "connecting"
+-> "connect") is the standard term-normalization step of the SMART-family
+vector-space systems the paper's evaluation environment descends from.  The
+implementation follows the original paper's five steps; the test suite pins
+the published sample vocabulary behaviour for a few dozen words.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PorterStemmer"]
+
+_VOWELS = frozenset("aeiou")
+
+
+class PorterStemmer:
+    """Stateless Porter stemmer; ``stem`` may be called concurrently."""
+
+    def stem(self, word: str) -> str:
+        """Return the Porter stem of a lowercase ``word``.
+
+        Words of length <= 2 are returned unchanged, per the original
+        algorithm's convention.  Non-alphabetic characters are left alone —
+        callers are expected to tokenize first.
+        """
+        if len(word) <= 2:
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+    # -- measure and shape predicates ------------------------------------
+
+    @staticmethod
+    def _is_consonant(word: str, i: int) -> bool:
+        ch = word[i]
+        if ch in _VOWELS:
+            return False
+        if ch == "y":
+            return i == 0 or not PorterStemmer._is_consonant(word, i - 1)
+        return True
+
+    @classmethod
+    def _measure(cls, stem: str) -> int:
+        """The Porter measure m: number of VC (vowel-consonant) sequences."""
+        m = 0
+        prev_vowel = False
+        for i in range(len(stem)):
+            vowel = not cls._is_consonant(stem, i)
+            if prev_vowel and not vowel:
+                m += 1
+            prev_vowel = vowel
+        return m
+
+    @classmethod
+    def _contains_vowel(cls, stem: str) -> bool:
+        return any(not cls._is_consonant(stem, i) for i in range(len(stem)))
+
+    @classmethod
+    def _ends_double_consonant(cls, word: str) -> bool:
+        return (
+            len(word) >= 2
+            and word[-1] == word[-2]
+            and cls._is_consonant(word, len(word) - 1)
+        )
+
+    @classmethod
+    def _ends_cvc(cls, word: str) -> bool:
+        """True for a consonant-vowel-consonant ending where the final
+        consonant is not w, x or y (the *o* condition of the paper)."""
+        if len(word) < 3:
+            return False
+        return (
+            cls._is_consonant(word, len(word) - 3)
+            and not cls._is_consonant(word, len(word) - 2)
+            and cls._is_consonant(word, len(word) - 1)
+            and word[-1] not in "wxy"
+        )
+
+    # -- rule application helpers ----------------------------------------
+
+    @classmethod
+    def _replace_if_m(cls, word: str, suffix: str, repl: str, min_m: int):
+        """Replace ``suffix`` by ``repl`` when the remaining stem has
+        measure > ``min_m``; returns (new_word, rule_fired)."""
+        if not word.endswith(suffix):
+            return word, False
+        stem = word[: len(word) - len(suffix)]
+        if cls._measure(stem) > min_m:
+            return stem + repl, True
+        return word, True  # suffix matched; rule consumed even if no change
+
+    # -- the five steps ----------------------------------------------------
+
+    @staticmethod
+    def _step1a(word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    @classmethod
+    def _step1b(cls, word: str) -> str:
+        if word.endswith("eed"):
+            stem = word[:-3]
+            if cls._measure(stem) > 0:
+                return word[:-1]
+            return word
+        fired = False
+        if word.endswith("ed"):
+            stem = word[:-2]
+            if cls._contains_vowel(stem):
+                word = stem
+                fired = True
+        elif word.endswith("ing"):
+            stem = word[:-3]
+            if cls._contains_vowel(stem):
+                word = stem
+                fired = True
+        if fired:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if cls._ends_double_consonant(word) and word[-1] not in "lsz":
+                return word[:-1]
+            if cls._measure(word) == 1 and cls._ends_cvc(word):
+                return word + "e"
+        return word
+
+    @classmethod
+    def _step1c(cls, word: str) -> str:
+        if word.endswith("y") and cls._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_RULES = (
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    )
+
+    @classmethod
+    def _step2(cls, word: str) -> str:
+        for suffix, repl in cls._STEP2_RULES:
+            if word.endswith(suffix):
+                word, __ = cls._replace_if_m(word, suffix, repl, 0)
+                return word
+        return word
+
+    _STEP3_RULES = (
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    )
+
+    @classmethod
+    def _step3(cls, word: str) -> str:
+        for suffix, repl in cls._STEP3_RULES:
+            if word.endswith(suffix):
+                word, __ = cls._replace_if_m(word, suffix, repl, 0)
+                return word
+        return word
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    )
+
+    @classmethod
+    def _step4(cls, word: str) -> str:
+        if word.endswith("ion") and len(word) > 3 and word[-4] in "st":
+            stem = word[:-3]
+            if cls._measure(stem) > 1:
+                return stem
+            return word
+        for suffix in cls._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: len(word) - len(suffix)]
+                if cls._measure(stem) > 1:
+                    return stem
+                return word
+        return word
+
+    @classmethod
+    def _step5a(cls, word: str) -> str:
+        if word.endswith("e"):
+            stem = word[:-1]
+            m = cls._measure(stem)
+            if m > 1 or (m == 1 and not cls._ends_cvc(stem)):
+                return stem
+        return word
+
+    @classmethod
+    def _step5b(cls, word: str) -> str:
+        if (
+            word.endswith("ll")
+            and cls._measure(word) > 1
+        ):
+            return word[:-1]
+        return word

@@ -1,0 +1,32 @@
+"""Tokenization of raw text into lowercase word tokens.
+
+A token is a maximal run of ASCII letters or digits that starts with a
+letter; embedded apostrophes are allowed so contractions survive as single
+tokens ("don't" -> "don't").  Purely numeric runs are discarded — they carry
+no topical content in the newsgroup corpora the paper evaluates on and would
+otherwise dominate the tail of the vocabulary.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+__all__ = ["tokenize"]
+
+_TOKEN_RE = re.compile(r"[a-z][a-z0-9']*")
+_APOSTROPHE_TRIM = re.compile(r"^'+|'+$")
+
+
+def tokenize(text: str) -> List[str]:
+    """Split ``text`` into lowercase tokens.
+
+    >>> tokenize("The QUICK brown-fox, don't panic! v2")
+    ['the', 'quick', 'brown', 'fox', "don't", 'panic', 'v2']
+    """
+    tokens = []
+    for match in _TOKEN_RE.finditer(text.lower()):
+        token = _APOSTROPHE_TRIM.sub("", match.group())
+        if token:
+            tokens.append(token)
+    return tokens

@@ -1,0 +1,45 @@
+"""Vector-space model substrate: vocabularies, sparse vectors, weighting.
+
+The paper's global similarity function is the Cosine function over term
+vectors (Section 1); this subpackage provides the vocabulary that maps term
+strings to dense integer ids, sparse term vectors with dot/cosine products,
+and the tf-based weighting schemes used to turn raw term frequencies into
+document/query weights.
+"""
+
+from repro.vsm.normalization import (
+    CosineNormalizer,
+    Normalizer,
+    NullNormalizer,
+    PivotedNormalizer,
+    get_normalizer,
+)
+from repro.vsm.similarity import cosine_similarity, dot_similarity
+from repro.vsm.vector import SparseVector
+from repro.vsm.vocabulary import Vocabulary
+from repro.vsm.weighting import (
+    AugmentedTfWeighting,
+    BinaryWeighting,
+    LogTfWeighting,
+    RawTfWeighting,
+    WeightingScheme,
+    get_weighting,
+)
+
+__all__ = [
+    "AugmentedTfWeighting",
+    "BinaryWeighting",
+    "CosineNormalizer",
+    "LogTfWeighting",
+    "Normalizer",
+    "NullNormalizer",
+    "PivotedNormalizer",
+    "get_normalizer",
+    "RawTfWeighting",
+    "SparseVector",
+    "Vocabulary",
+    "WeightingScheme",
+    "cosine_similarity",
+    "dot_similarity",
+    "get_weighting",
+]

@@ -1,0 +1,26 @@
+"""Similarity functions between sparse term vectors.
+
+The paper's global similarity function is the Cosine function (dot product of
+the two vectors divided by the product of their norms), which keeps every
+similarity in [0, 1] for non-negative weights — the reason no threshold above
+1 is ever needed in the evaluation (Section 4).
+"""
+
+from __future__ import annotations
+
+from repro.vsm.vector import SparseVector
+
+__all__ = ["dot_similarity", "cosine_similarity"]
+
+
+def dot_similarity(query: SparseVector, document: SparseVector) -> float:
+    """Plain inner product of the two weight vectors."""
+    return query.dot(document)
+
+
+def cosine_similarity(query: SparseVector, document: SparseVector) -> float:
+    """Cosine of the angle between the vectors; 0 when either is empty."""
+    denom = query.norm() * document.norm()
+    if denom == 0.0:
+        return 0.0
+    return query.dot(document) / denom

@@ -1,0 +1,131 @@
+"""Sparse term vectors.
+
+A :class:`SparseVector` is an immutable pair of parallel numpy arrays —
+ascending term ids and their weights — which is the representation both the
+inverted index and the exact-similarity code paths operate on.  Only
+non-negative weights arise in this system (tf-derived), but the vector type
+itself does not enforce that; the weighting schemes do.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Tuple
+
+import numpy as np
+
+__all__ = ["SparseVector"]
+
+
+class SparseVector:
+    """Immutable sparse vector over integer term ids.
+
+    Args:
+        indices: 1-D integer array of term ids, strictly ascending.
+        values: 1-D float array of the same length.
+        checked: Internal flag; pass False only from constructors that
+            already guarantee the invariants.
+    """
+
+    __slots__ = ("indices", "values")
+
+    def __init__(self, indices, values, checked: bool = True):
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=float)
+        if checked:
+            if indices.ndim != 1 or values.ndim != 1:
+                raise ValueError("indices and values must be 1-D")
+            if indices.shape != values.shape:
+                raise ValueError(
+                    f"length mismatch: {indices.shape} vs {values.shape}"
+                )
+            if indices.size > 1 and not np.all(np.diff(indices) > 0):
+                order = np.argsort(indices, kind="stable")
+                indices = indices[order]
+                values = values[order]
+                if np.any(np.diff(indices) == 0):
+                    raise ValueError("duplicate term ids in sparse vector")
+        self.indices = indices
+        self.values = values
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_mapping(cls, weights: Mapping[int, float]) -> "SparseVector":
+        """Build from a ``{term_id: weight}`` mapping, dropping zeros."""
+        items = sorted((i, v) for i, v in weights.items() if v != 0.0)
+        if not items:
+            return cls.empty()
+        idx, val = zip(*items)
+        return cls(np.array(idx, dtype=np.int64), np.array(val), checked=False)
+
+    @classmethod
+    def from_counts(cls, term_ids: Iterable[int]) -> "SparseVector":
+        """Build a raw term-frequency vector from a token-id stream."""
+        counts: Dict[int, float] = {}
+        for tid in term_ids:
+            counts[tid] = counts.get(tid, 0.0) + 1.0
+        return cls.from_mapping(counts)
+
+    @classmethod
+    def empty(cls) -> "SparseVector":
+        return cls(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=float), checked=False
+        )
+
+    # -- algebra -------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-zero components."""
+        return int(self.indices.size)
+
+    def norm(self) -> float:
+        """Euclidean norm, the denominator of the Cosine function."""
+        return float(math.sqrt(float(np.dot(self.values, self.values))))
+
+    def dot(self, other: "SparseVector") -> float:
+        """Dot product with another sparse vector (sorted-merge in numpy)."""
+        if self.nnz == 0 or other.nnz == 0:
+            return 0.0
+        # Locate shared indices via searchsorted on the smaller vector.
+        a, b = (self, other) if self.nnz <= other.nnz else (other, self)
+        pos = np.searchsorted(b.indices, a.indices)
+        pos_clipped = np.minimum(pos, b.indices.size - 1)
+        hits = b.indices[pos_clipped] == a.indices
+        if not np.any(hits):
+            return 0.0
+        return float(np.dot(a.values[hits], b.values[pos_clipped[hits]]))
+
+    def scaled(self, factor: float) -> "SparseVector":
+        """A copy with every weight multiplied by ``factor``."""
+        return SparseVector(self.indices, self.values * factor, checked=False)
+
+    def normalized(self) -> "SparseVector":
+        """Unit-norm copy; the zero vector normalizes to itself."""
+        n = self.norm()
+        if n == 0.0:
+            return self
+        return self.scaled(1.0 / n)
+
+    def to_mapping(self) -> Dict[int, float]:
+        """Materialize as a ``{term_id: weight}`` dict."""
+        return {int(i): float(v) for i, v in zip(self.indices, self.values)}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseVector):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.values, other.values)
+        )
+
+    def __hash__(self):  # pragma: no cover - explicit unhashability
+        raise TypeError("SparseVector is not hashable")
+
+    def items(self) -> Iterable[Tuple[int, float]]:
+        """Iterate ``(term_id, weight)`` pairs in ascending id order."""
+        return zip(self.indices.tolist(), self.values.tolist())
+
+    def __repr__(self) -> str:
+        return f"SparseVector(nnz={self.nnz})"

@@ -1,0 +1,53 @@
+"""Bidirectional term <-> integer-id mapping.
+
+Each collection owns its own :class:`Vocabulary` — just as each local search
+engine in the paper's architecture owns its own index — so term ids are only
+meaningful within one collection.  Cross-engine components (representatives,
+the metasearch broker) always speak in term *strings*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """Append-only mapping of term strings to dense ids ``0..len-1``."""
+
+    def __init__(self, terms: Optional[Iterable[str]] = None):
+        self._term_to_id: Dict[str, int] = {}
+        self._id_to_term: List[str] = []
+        if terms is not None:
+            for term in terms:
+                self.add(term)
+
+    def add(self, term: str) -> int:
+        """Return the id of ``term``, assigning a fresh one if unseen."""
+        term_id = self._term_to_id.get(term)
+        if term_id is None:
+            term_id = len(self._id_to_term)
+            self._term_to_id[term] = term_id
+            self._id_to_term.append(term)
+        return term_id
+
+    def id_of(self, term: str) -> Optional[int]:
+        """The id of ``term``, or None if the term is out of vocabulary."""
+        return self._term_to_id.get(term)
+
+    def term_of(self, term_id: int) -> str:
+        """The term string for ``term_id``; raises IndexError if unknown."""
+        return self._id_to_term[term_id]
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._term_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_term)
+
+    def __repr__(self) -> str:
+        return f"Vocabulary({len(self)} terms)"

@@ -1,0 +1,107 @@
+"""Term-weighting schemes: raw term frequency and friends.
+
+The paper transforms documents and queries "into a vector of terms with
+weights [17]" (Salton & McGill) and normalizes with the Cosine function.  The
+classic weight before normalization is the raw term frequency; log and
+augmented variants are provided for ablations, since the estimators only see
+the resulting weight statistics and are agnostic to the scheme.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "WeightingScheme",
+    "RawTfWeighting",
+    "LogTfWeighting",
+    "AugmentedTfWeighting",
+    "BinaryWeighting",
+    "get_weighting",
+]
+
+
+class WeightingScheme(ABC):
+    """Maps raw term-frequency counts to unnormalized term weights."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def weights(self, tf: np.ndarray) -> np.ndarray:
+        """Vector of weights for a vector of per-term frequencies ``tf``.
+
+        ``tf`` entries are positive counts; implementations must be
+        element-wise and monotone non-decreasing in ``tf``.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class RawTfWeighting(WeightingScheme):
+    """Weight = term frequency; the default scheme of the reproduction."""
+
+    name = "tf"
+
+    def weights(self, tf: np.ndarray) -> np.ndarray:
+        return np.asarray(tf, dtype=float)
+
+
+class LogTfWeighting(WeightingScheme):
+    """Weight = 1 + ln(tf); dampens bursty terms (SMART 'l')."""
+
+    name = "logtf"
+
+    def weights(self, tf: np.ndarray) -> np.ndarray:
+        tf = np.asarray(tf, dtype=float)
+        out = np.zeros_like(tf)
+        positive = tf > 0
+        out[positive] = 1.0 + np.log(tf[positive])
+        return out
+
+
+class AugmentedTfWeighting(WeightingScheme):
+    """Weight = 0.5 + 0.5 * tf / max(tf) (SMART 'a')."""
+
+    name = "augtf"
+
+    def weights(self, tf: np.ndarray) -> np.ndarray:
+        tf = np.asarray(tf, dtype=float)
+        if tf.size == 0:
+            return tf
+        peak = tf.max()
+        if peak <= 0.0:
+            return np.zeros_like(tf)
+        out = np.where(tf > 0, 0.5 + 0.5 * tf / peak, 0.0)
+        return out
+
+
+class BinaryWeighting(WeightingScheme):
+    """Weight = 1 if the term occurs; the binary case of Yu et al. [18]."""
+
+    name = "binary"
+
+    def weights(self, tf: np.ndarray) -> np.ndarray:
+        return (np.asarray(tf, dtype=float) > 0).astype(float)
+
+
+_SCHEMES = {
+    scheme.name: scheme
+    for scheme in (
+        RawTfWeighting(),
+        LogTfWeighting(),
+        AugmentedTfWeighting(),
+        BinaryWeighting(),
+    )
+}
+
+
+def get_weighting(name: str) -> WeightingScheme:
+    """Look up a weighting scheme by its short name ('tf', 'logtf', ...)."""
+    try:
+        return _SCHEMES[name]
+    except KeyError:
+        known = ", ".join(sorted(_SCHEMES))
+        raise ValueError(f"unknown weighting scheme {name!r}; known: {known}")

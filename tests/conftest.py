@@ -1,0 +1,109 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (synthetic corpora, engines, representatives) are
+session-scoped; tests must treat them as immutable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Collection, Query
+from repro.corpus.synth import NewsgroupModel, QueryLogModel
+from repro.engine import SearchEngine
+from repro.representatives import DatabaseRepresentative, TermStats, build_representative
+
+# -- the paper's worked example (Examples 3.1 / 3.2) ---------------------------
+
+#: Document vectors of Example 3.1 (components on the three query terms).
+EXAMPLE31_DOCS = [(3, 0, 0), (1, 1, 0), (0, 0, 2), (2, 0, 2), (0, 0, 0)]
+
+
+@pytest.fixture(scope="session")
+def example31_representative() -> DatabaseRepresentative:
+    """The representative of the paper's Example 3.1 database: five
+    documents, (p1,w1)=(0.6,2), (p2,w2)=(0.2,1), (p3,w3)=(0.4,2)."""
+    return DatabaseRepresentative(
+        "example31",
+        n_documents=5,
+        term_stats={
+            "t1": TermStats(probability=0.6, mean=2.0, std=0.0, max_weight=3.0),
+            "t2": TermStats(probability=0.2, mean=1.0, std=0.0, max_weight=1.0),
+            "t3": TermStats(probability=0.4, mean=2.0, std=0.0, max_weight=2.0),
+        },
+    )
+
+
+@pytest.fixture(scope="session")
+def example31_query() -> Query:
+    """q = (1, 1, 1) over the three terms, unnormalized as in the example."""
+    return Query(terms=("t1", "t2", "t3"), weights=(1.0, 1.0, 1.0))
+
+
+# -- tiny hand-made text corpus ---------------------------------------------------
+
+TINY_TEXTS = [
+    ("a1", "apple banana apple cherry"),
+    ("a2", "banana cherry cherry"),
+    ("a3", "apple apple apple"),
+    ("a4", "durian elderberry fig"),
+    ("a5", "fig grape banana"),
+]
+
+
+@pytest.fixture(scope="session")
+def tiny_collection() -> Collection:
+    """Five short fruit documents, stemming disabled for predictability."""
+    from repro.text import TextPipeline
+
+    return Collection.from_texts(
+        "tiny", TINY_TEXTS, pipeline=TextPipeline(stem=False)
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_engine(tiny_collection) -> SearchEngine:
+    return SearchEngine(tiny_collection)
+
+
+@pytest.fixture(scope="session")
+def tiny_representative(tiny_engine) -> DatabaseRepresentative:
+    return build_representative(tiny_engine)
+
+
+# -- small synthetic corpus -------------------------------------------------------
+
+SMALL_GROUP_SIZES = [60, 50, 40, 30, 25, 20, 15, 12, 10, 8]
+
+
+@pytest.fixture(scope="session")
+def small_model() -> NewsgroupModel:
+    """A scaled-down newsgroup model: 10 groups, small vocabulary."""
+    return NewsgroupModel(
+        vocab_size=4000,
+        topic_size=120,
+        topic_band=(50, 1500),
+        mean_length=80,
+        seed=12345,
+        group_sizes=SMALL_GROUP_SIZES,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_group0(small_model) -> Collection:
+    return small_model.generate_group(0)
+
+
+@pytest.fixture(scope="session")
+def small_engine(small_group0) -> SearchEngine:
+    return SearchEngine(small_group0)
+
+
+@pytest.fixture(scope="session")
+def small_representative(small_engine) -> DatabaseRepresentative:
+    return build_representative(small_engine)
+
+
+@pytest.fixture(scope="session")
+def small_queries(small_model):
+    return QueryLogModel(small_model, seed=99).generate(150)

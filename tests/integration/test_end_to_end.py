@@ -1,0 +1,138 @@
+"""End-to-end integration: raw text -> engines -> representatives ->
+estimates -> metasearch -> persistence round trips."""
+
+import pytest
+
+from repro import (
+    Collection,
+    MetasearchBroker,
+    Query,
+    SearchEngine,
+    SubrangeEstimator,
+    build_representative,
+    true_usefulness,
+)
+from repro.corpus import load_collection, save_collection
+from repro.corpus.synth import NewsgroupModel, QueryLogModel
+from repro.evaluation import MethodSpec, run_usefulness_experiment
+from repro.representatives import DatabaseRepresentative
+
+TEXTS_A = [
+    ("a1", "Planets orbit the sun; moons orbit planets."),
+    ("a2", "The telescope resolves distant orbiting bodies."),
+    ("a3", "Orbital mechanics governs every satellite launch."),
+]
+TEXTS_B = [
+    ("b1", "Fresh basil and tomato make a simple sauce."),
+    ("b2", "The sauce simmers while the pasta boils."),
+]
+
+
+class TestTextToEstimation:
+    def test_full_stack_agreement(self):
+        engine_a = SearchEngine(Collection.from_texts("astro", TEXTS_A))
+        engine_b = SearchEngine(Collection.from_texts("cook", TEXTS_B))
+        rep_a = build_representative(engine_a)
+        rep_b = build_representative(engine_b)
+        query = Query.from_text("orbit of planets")
+        estimator = SubrangeEstimator()
+        est_a = estimator.estimate(query, rep_a, 0.2)
+        est_b = estimator.estimate(query, rep_b, 0.2)
+        assert est_a.nodoc > est_b.nodoc
+        assert true_usefulness(engine_a, query, 0.2).nodoc >= 1
+        assert true_usefulness(engine_b, query, 0.2).nodoc == 0
+
+    def test_stemming_connects_variants(self):
+        # "orbiting"/"orbital"/"orbit" conflate through the pipeline, so a
+        # query using one form finds documents using another.
+        engine = SearchEngine(Collection.from_texts("astro", TEXTS_A))
+        hits = engine.search(Query.from_text("orbiting"), threshold=0.0)
+        assert len(hits) == 3
+
+
+class TestPersistenceRoundTrips:
+    def test_collection_then_representative(self, tmp_path):
+        model = NewsgroupModel(
+            vocab_size=1500, topic_size=50, topic_band=(20, 800),
+            mean_length=50, seed=3, group_sizes=[15],
+        )
+        original = model.generate_group(0)
+        path = tmp_path / "db.jsonl.gz"
+        save_collection(original, path)
+        loaded = load_collection(path)
+
+        rep_original = build_representative(SearchEngine(original))
+        rep_loaded = build_representative(SearchEngine(loaded))
+        assert rep_loaded.n_terms == rep_original.n_terms
+        for term, stats in rep_original.items():
+            other = rep_loaded.get(term)
+            assert other.probability == pytest.approx(stats.probability)
+            assert other.mean == pytest.approx(stats.mean)
+            assert other.std == pytest.approx(stats.std)
+            assert other.max_weight == pytest.approx(stats.max_weight)
+
+    def test_representative_file_round_trip_preserves_estimates(
+        self, tmp_path, small_engine, small_representative, small_queries
+    ):
+        path = tmp_path / "rep.json"
+        small_representative.save(path)
+        loaded = DatabaseRepresentative.load(path)
+        estimator = SubrangeEstimator()
+        for query in small_queries[:10]:
+            a = estimator.estimate(query, small_representative, 0.2)
+            b = estimator.estimate(query, loaded, 0.2)
+            assert a.nodoc == pytest.approx(b.nodoc)
+            assert a.avgsim == pytest.approx(b.avgsim)
+
+
+class TestMetasearchEndToEnd:
+    def test_routing_recovers_relevant_documents(self, small_model):
+        broker = MetasearchBroker()
+        for group in range(4):
+            broker.register(SearchEngine(small_model.generate_group(group)))
+        queries = QueryLogModel(small_model, seed=5).generate(40)
+        productive = 0
+        preserved = 0
+        for query in queries:
+            response = broker.search(query, threshold=0.3)
+            broadcast = broker.search_all(query, threshold=0.3)
+            if not broadcast.hits:
+                continue
+            productive += 1
+            if response.hits and response.hits[0].similarity == pytest.approx(
+                broadcast.hits[0].similarity
+            ):
+                preserved += 1
+            if query.is_single_term:
+                # The single-term guarantee makes preservation exact.
+                assert response.hits, query
+        # Selection is estimation-based, so multi-term queries may rarely
+        # miss; overall the top document must survive routing almost always.
+        assert productive > 10
+        assert preserved >= 0.8 * productive
+
+    def test_merged_ordering_is_global(self, small_model):
+        broker = MetasearchBroker()
+        for group in range(3):
+            broker.register(SearchEngine(small_model.generate_group(group)))
+        query = QueryLogModel(small_model, seed=6).generate(1)[0]
+        hits = broker.search_all(query, threshold=0.0).hits
+        sims = [h.similarity for h in hits]
+        assert sims == sorted(sims, reverse=True)
+
+
+class TestExperimentOnMergedDatabases:
+    def test_merged_database_experiment_runs(self, small_model, small_queries):
+        merged = Collection.merged(
+            "merged", [small_model.generate_group(g) for g in (3, 4, 5)]
+        )
+        engine = SearchEngine(merged)
+        rep = build_representative(engine)
+        result = run_usefulness_experiment(
+            engine,
+            small_queries[:50],
+            [MethodSpec("subrange", SubrangeEstimator(), rep)],
+            thresholds=(0.2, 0.4),
+        )
+        assert result.n_documents == len(merged)
+        assert len(result.metrics["subrange"]) == 2

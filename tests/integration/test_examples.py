@@ -1,0 +1,73 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the public face of the library — a broken example is a broken
+deliverable, so each one is executed in-process (fast paths only; the
+table-reproduction example runs with a reduced query count).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name), *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "space-news" in out
+        assert "estimated NoDoc" in out
+
+    def test_representative_sizing(self, capsys):
+        run_example("representative_sizing.py")
+        out = capsys.readouterr().out
+        assert "WSJ" in out
+        assert "mean abs error" in out
+
+    @pytest.mark.slow
+    def test_reproduce_tables_reduced(self, capsys):
+        run_example("reproduce_tables.py", argv=["120"])
+        out = capsys.readouterr().out
+        assert "Tables 1-2 analogue" in out
+        assert "Table 7 analogue" in out
+        assert "Table 10 analogue" in out
+
+    @pytest.mark.slow
+    def test_metasearch_selection(self, capsys):
+        run_example("metasearch_selection.py")
+        out = capsys.readouterr().out
+        assert "selection quality" in out
+        assert "recall of useful engines" in out
+
+    @pytest.mark.slow
+    def test_fleet_operations(self, capsys):
+        run_example("fleet_operations.py")
+        out = capsys.readouterr().out
+        assert "streaming maintenance" in out
+        assert "quota" in out
+
+    @pytest.mark.slow
+    def test_corpus_statistics(self, capsys):
+        run_example("corpus_statistics.py")
+        out = capsys.readouterr().out
+        assert "Zipf exponent" in out
+        assert "uniform-random contrast corpus" in out
+
+    @pytest.mark.slow
+    def test_hierarchical_metasearch(self, capsys):
+        run_example("hierarchical_metasearch.py")
+        out = capsys.readouterr().out
+        assert "node estimates" in out
+        assert "pruned" in out

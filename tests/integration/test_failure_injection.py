@@ -1,0 +1,142 @@
+"""Failure injection: corrupted inputs and degenerate statistics.
+
+A representative travels between processes as JSON and is consumed long
+after the engine built it; the estimators must reject corrupt data loudly
+and handle legal-but-degenerate statistics gracefully.
+"""
+
+import json
+
+import pytest
+
+from repro.core import (
+    BasicEstimator,
+    GlossHighCorrelationEstimator,
+    PreviousMethodEstimator,
+    SubrangeEstimator,
+)
+from repro.corpus import Query
+from repro.representatives import DatabaseRepresentative, TermStats
+
+ALL = [
+    BasicEstimator(),
+    SubrangeEstimator(),
+    PreviousMethodEstimator(),
+    GlossHighCorrelationEstimator(),
+]
+
+
+class TestCorruptRepresentativeFiles:
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "rep.json"
+        path.write_text("this is not json {")
+        with pytest.raises(json.JSONDecodeError):
+            DatabaseRepresentative.load(path)
+
+    def test_wrong_kind(self, tmp_path):
+        path = tmp_path / "rep.json"
+        path.write_text(json.dumps({"kind": "collection"}))
+        with pytest.raises(ValueError, match="not a representative"):
+            DatabaseRepresentative.load(path)
+
+    def test_out_of_range_probability(self, tmp_path):
+        payload = {
+            "kind": "representative",
+            "name": "x",
+            "n_documents": 10,
+            "terms": {"t": [1.5, 0.2, 0.1, 0.4]},  # p > 1
+        }
+        path = tmp_path / "rep.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="probability"):
+            DatabaseRepresentative.load(path)
+
+    def test_negative_std(self, tmp_path):
+        payload = {
+            "kind": "representative",
+            "name": "x",
+            "n_documents": 10,
+            "terms": {"t": [0.5, 0.2, -0.1, 0.4]},
+        }
+        path = tmp_path / "rep.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="std"):
+            DatabaseRepresentative.load(path)
+
+    def test_missing_fields(self, tmp_path):
+        payload = {
+            "kind": "representative",
+            "name": "x",
+            "n_documents": 10,
+            "terms": {"t": [0.5]},
+        }
+        path = tmp_path / "rep.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises((IndexError, TypeError)):
+            DatabaseRepresentative.load(path)
+
+
+class TestDegenerateStatistics:
+    def test_term_in_every_document(self):
+        rep = DatabaseRepresentative(
+            "db", 10, {"ubiquitous": TermStats(1.0, 0.3, 0.0, 0.3)}
+        )
+        query = Query.from_terms(["ubiquitous"])
+        for estimator in ALL:
+            estimate = estimator.estimate(query, rep, 0.2)
+            assert estimate.nodoc == pytest.approx(10.0), estimator
+
+    def test_zero_weight_term(self):
+        rep = DatabaseRepresentative(
+            "db", 10, {"ghost": TermStats(0.4, 0.0, 0.0, 0.0)}
+        )
+        query = Query.from_terms(["ghost"])
+        for estimator in ALL:
+            estimate = estimator.estimate(query, rep, 0.1)
+            assert estimate.nodoc == 0.0, estimator
+
+    def test_single_document_database(self):
+        rep = DatabaseRepresentative(
+            "db", 1, {"only": TermStats(1.0, 0.8, 0.0, 0.8)}
+        )
+        query = Query.from_terms(["only"])
+        estimate = SubrangeEstimator().estimate(query, rep, 0.5)
+        assert estimate.nodoc == pytest.approx(1.0)
+        assert estimate.avgsim == pytest.approx(0.8)
+
+    def test_empty_database(self):
+        rep = DatabaseRepresentative("db", 0, {})
+        query = Query.from_terms(["anything"])
+        for estimator in ALL:
+            estimate = estimator.estimate(query, rep, 0.1)
+            assert estimate.nodoc == 0.0, estimator
+
+    def test_huge_database_stays_finite(self):
+        rep = DatabaseRepresentative(
+            "db", 10**9, {"t": TermStats(0.5, 0.3, 0.1, 0.9)}
+        )
+        query = Query.from_terms(["t"])
+        for estimator in ALL:
+            estimate = estimator.estimate(query, rep, 0.2)
+            assert estimate.nodoc <= 10**9, estimator
+            assert estimate.avgsim <= 1.0 + 1e-9, estimator
+
+    def test_extreme_std(self):
+        # A wild std must not produce negative weights or NaN.
+        rep = DatabaseRepresentative(
+            "db", 100, {"t": TermStats(0.5, 0.1, 50.0, 0.9)}
+        )
+        query = Query.from_terms(["t"])
+        estimate = SubrangeEstimator().estimate(query, rep, 0.2)
+        assert estimate.nodoc >= 0.0
+        assert estimate.avgsim >= 0.0
+
+    def test_pathological_text_inputs(self):
+        from repro.text import TextPipeline
+
+        pipeline = TextPipeline()
+        assert pipeline.terms("\x00\x01\x02") == []
+        long_token = "a" * 10000
+        out = pipeline.terms(long_token)
+        assert len(out) <= 1  # one (stemmed) token, no blowup
+        assert pipeline.terms("🚀🚀🚀") == []

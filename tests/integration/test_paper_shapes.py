@@ -1,0 +1,117 @@
+"""Integration tests asserting the paper's qualitative findings.
+
+These encode the *shape* claims of Section 4 — which method wins, and by
+what kind of margin — on the small synthetic corpus, so a regression in any
+estimator that flips the paper's conclusions fails loudly.
+"""
+
+import pytest
+
+from repro.core import (
+    BasicEstimator,
+    GlossHighCorrelationEstimator,
+    PreviousMethodEstimator,
+    SubrangeEstimator,
+)
+from repro.evaluation import MethodSpec, run_usefulness_experiment
+from repro.representatives import quantize_representative
+
+
+@pytest.fixture(scope="module")
+def result(small_engine, small_representative, small_queries):
+    methods = [
+        MethodSpec("gloss-hc", GlossHighCorrelationEstimator(), small_representative),
+        MethodSpec("prev", PreviousMethodEstimator(), small_representative),
+        MethodSpec("subrange", SubrangeEstimator(), small_representative),
+        MethodSpec("basic", BasicEstimator(), small_representative),
+        MethodSpec(
+            "subrange-1byte",
+            SubrangeEstimator(),
+            quantize_representative(small_representative),
+        ),
+        MethodSpec(
+            "subrange-triplet",
+            SubrangeEstimator(use_stored_max=False),
+            small_representative.as_triplets(),
+        ),
+    ]
+    return run_usefulness_experiment(
+        small_engine, small_queries, methods, thresholds=(0.1, 0.2, 0.3)
+    )
+
+
+def totals(result, key, field):
+    return sum(getattr(row, field) for row in result.metrics[key])
+
+
+class TestMethodOrdering:
+    def test_subrange_matches_most(self, result):
+        assert totals(result, "subrange", "match") > totals(result, "prev", "match")
+        assert totals(result, "prev", "match") > totals(result, "gloss-hc", "match")
+
+    def test_subrange_matches_nearly_all_useful(self, result):
+        matched = totals(result, "subrange", "match")
+        useful = sum(result.useful_counts())
+        assert matched >= 0.85 * useful
+
+    def test_subrange_smaller_dn_than_gloss(self, result):
+        assert totals(result, "subrange", "d_nodoc") < totals(
+            result, "gloss-hc", "d_nodoc"
+        )
+
+    def test_subrange_smaller_ds_than_others(self, result):
+        for other in ("gloss-hc", "prev"):
+            assert totals(result, "subrange", "d_avgsim") < totals(
+                result, other, "d_avgsim"
+            )
+
+    def test_subrange_beats_plain_basic(self, result):
+        assert totals(result, "subrange", "match") >= totals(
+            result, "basic", "match"
+        )
+
+    def test_mismatch_stays_moderate(self, result):
+        # Subrange mismatches must stay a small fraction of matches, as in
+        # every paper table.
+        assert totals(result, "subrange", "mismatch") <= 0.25 * totals(
+            result, "subrange", "match"
+        )
+
+
+class TestQuantizationRobustness:
+    """Tables 7-9: one-byte coding changes essentially nothing."""
+
+    def test_match_nearly_identical(self, result):
+        exact = totals(result, "subrange", "match")
+        approx = totals(result, "subrange-1byte", "match")
+        assert abs(exact - approx) <= max(3, 0.02 * exact)
+
+    def test_dn_nearly_identical(self, result):
+        exact = totals(result, "subrange", "d_nodoc")
+        approx = totals(result, "subrange-1byte", "d_nodoc")
+        assert approx == pytest.approx(exact, rel=0.15, abs=0.5)
+
+
+class TestMaxWeightValue:
+    """Tables 10-12: dropping the stored max weight hurts.
+
+    In the paper the damage shows up as lost matches (their max weights far
+    exceed the normal approximation); on a near-normal synthetic weight
+    distribution the same estimation error surfaces as spurious matches and
+    larger AvgSim error instead — degraded accuracy either way.
+    """
+
+    def test_triplet_mismatches_much_more(self, result):
+        quad = totals(result, "subrange", "mismatch")
+        trip = totals(result, "subrange-triplet", "mismatch")
+        assert trip >= 2 * max(quad, 1)
+
+    def test_triplet_larger_avgsim_error(self, result):
+        assert totals(result, "subrange-triplet", "d_avgsim") > totals(
+            result, "subrange", "d_avgsim"
+        )
+
+    def test_triplet_still_beats_gloss(self, result):
+        assert totals(result, "subrange-triplet", "match") > totals(
+            result, "gloss-hc", "match"
+        )

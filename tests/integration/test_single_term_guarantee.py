@@ -1,0 +1,145 @@
+"""Integration tests for the paper's single-term-query guarantee.
+
+Section 3.1: when the highest subrange contains only the maximum normalized
+weight (probability 1/n), the subrange method identifies exactly the
+databases that truly contain a document above the threshold, for every
+single-term query and every threshold that separates the databases' maximum
+weights.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SubrangeEstimator
+from repro.corpus import Query
+from repro.corpus.synth import word_for_term_id
+from repro.engine import SearchEngine
+from repro.metasearch import MetasearchBroker
+from repro.representatives import build_representative
+
+
+@pytest.fixture(scope="module")
+def fleet(small_model):
+    engines = [SearchEngine(small_model.generate_group(g)) for g in range(6)]
+    reps = {e.name: build_representative(e) for e in engines}
+    return engines, reps
+
+
+def single_term_queries(engines, limit=40):
+    """Terms that occur in at least two engines, as single-term queries."""
+    counts = {}
+    for engine in engines:
+        for term in engine.collection.vocabulary:
+            counts[term] = counts.get(term, 0) + 1
+    shared = sorted(t for t, c in counts.items() if c >= 2)
+    rng = np.random.default_rng(0)
+    rng.shuffle(shared)
+    return [Query.from_terms([t]) for t in shared[:limit]]
+
+
+class TestGuarantee:
+    def test_selection_matches_oracle_between_max_weights(self, fleet):
+        """For thresholds strictly between consecutive per-engine maximum
+        normalized weights, estimated selection == true selection."""
+        engines, reps = fleet
+        estimator = SubrangeEstimator()
+        checked = 0
+        for query in single_term_queries(engines):
+            term = query.terms[0]
+            max_weights = sorted(
+                {
+                    reps[e.name].get(term).max_weight
+                    for e in engines
+                    if reps[e.name].get(term) is not None
+                },
+                reverse=True,
+            )
+            if len(max_weights) < 2:
+                continue
+            # Midpoints between consecutive distinct maxima.
+            for hi, lo in zip(max_weights, max_weights[1:]):
+                threshold = (hi + lo) / 2
+                selected = {
+                    e.name
+                    for e in engines
+                    if estimator.estimate(
+                        query, reps[e.name], threshold
+                    ).identifies_useful
+                }
+                truth = {
+                    e.name
+                    for e in engines
+                    if e.max_similarity(query) > threshold
+                }
+                assert selected == truth, (term, threshold)
+                checked += 1
+        assert checked > 20  # the test actually exercised the property
+
+    def test_estimated_max_sim_equals_true_max_sim(self, fleet):
+        """For single-term queries the top expansion exponent is exactly the
+        engine's true maximum similarity."""
+        engines, reps = fleet
+        estimator = SubrangeEstimator()
+        for query in single_term_queries(engines, limit=15):
+            for engine in engines:
+                stats = reps[engine.name].get(query.terms[0])
+                if stats is None:
+                    continue
+                expansion = estimator.expand(query, reps[engine.name])
+                assert expansion.max_exponent() == pytest.approx(
+                    engine.max_similarity(query), abs=1e-6
+                )
+
+    def test_broker_level_guarantee(self, fleet):
+        """Same property via the metasearch broker's public API."""
+        engines, reps = fleet
+        broker = MetasearchBroker(estimator=SubrangeEstimator())
+        for engine in engines:
+            broker.register(engine, representative=reps[engine.name])
+        exercised = 0
+        for query in single_term_queries(engines, limit=10):
+            term = query.terms[0]
+            maxima = sorted(
+                (
+                    reps[e.name].get(term).max_weight
+                    for e in engines
+                    if reps[e.name].get(term) is not None
+                ),
+                reverse=True,
+            )
+            if len(maxima) < 2 or maxima[0] - maxima[1] < 1e-9:
+                continue
+            threshold = (maxima[0] + maxima[1]) / 2
+            assert set(broker.select(query, threshold)) == set(
+                broker.true_selection(query, threshold)
+            )
+            exercised += 1
+        assert exercised > 0
+
+    def test_guarantee_fails_without_stored_max(self, fleet):
+        """Sanity: the triplet mode does NOT enjoy the guarantee — this is
+        the entire point of Tables 10-12.  We only require that it errs at
+        least once on the same threshold family."""
+        engines, reps = fleet
+        estimator = SubrangeEstimator(use_stored_max=False)
+        disagreements = 0
+        for query in single_term_queries(engines):
+            term = query.terms[0]
+            maxima = sorted(
+                (
+                    reps[e.name].get(term).max_weight
+                    for e in engines
+                    if reps[e.name].get(term) is not None
+                ),
+                reverse=True,
+            )
+            if len(maxima) < 2:
+                continue
+            threshold = (maxima[0] + maxima[1]) / 2
+            for engine in engines:
+                rep = reps[engine.name].as_triplets()
+                estimate = estimator.estimate(query, rep, threshold)
+                truly = engine.max_similarity(query) > threshold
+                if estimate.identifies_useful != truly:
+                    disagreements += 1
+        assert disagreements > 0

@@ -1,0 +1,115 @@
+"""Property-based tests for representative merging algebra."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.representatives import (
+    DatabaseRepresentative,
+    TermStats,
+    merge_representatives,
+)
+
+TERMS = ("t0", "t1", "t2")
+
+
+@st.composite
+def representatives(draw):
+    n = draw(st.integers(min_value=1, max_value=100))
+    stats = {}
+    for term in TERMS:
+        if draw(st.booleans()):
+            # probability quantized to df/n so merging stays exact.
+            df = draw(st.integers(min_value=1, max_value=n))
+            mean = draw(st.floats(min_value=0.01, max_value=1.0))
+            stats[term] = TermStats(
+                probability=df / n,
+                mean=mean,
+                std=draw(st.floats(min_value=0.0, max_value=0.4)),
+                max_weight=mean + draw(st.floats(min_value=0.0, max_value=0.5)),
+            )
+    return DatabaseRepresentative(
+        f"r{draw(st.integers(0, 1000))}", n_documents=n, term_stats=stats
+    )
+
+
+def _stats_close(a, b, tol=1e-9):
+    return (
+        math.isclose(a.probability, b.probability, rel_tol=1e-9, abs_tol=tol)
+        and math.isclose(a.mean, b.mean, rel_tol=1e-7, abs_tol=tol)
+        and math.isclose(a.std, b.std, rel_tol=1e-6, abs_tol=1e-7)
+        and (
+            (a.max_weight is None and b.max_weight is None)
+            or math.isclose(a.max_weight, b.max_weight, rel_tol=1e-9, abs_tol=tol)
+        )
+    )
+
+
+class TestMergeAlgebra:
+    @given(representatives(), representatives(), representatives())
+    @settings(max_examples=120, deadline=None)
+    def test_associative(self, a, b, c):
+        left = merge_representatives("m", [merge_representatives("ab", [a, b]), c])
+        right = merge_representatives("m", [a, merge_representatives("bc", [b, c])])
+        flat = merge_representatives("m", [a, b, c])
+        assert left.n_documents == right.n_documents == flat.n_documents
+        for term, stats in flat.items():
+            assert _stats_close(left.get(term), stats)
+            assert _stats_close(right.get(term), stats)
+
+    @given(representatives(), representatives())
+    @settings(max_examples=120, deadline=None)
+    def test_commutative(self, a, b):
+        ab = merge_representatives("m", [a, b])
+        ba = merge_representatives("m", [b, a])
+        assert ab.n_documents == ba.n_documents
+        for term, stats in ab.items():
+            assert _stats_close(ba.get(term), stats)
+
+    @given(representatives())
+    @settings(max_examples=100, deadline=None)
+    def test_merge_with_empty_database_rescales_probability_only(self, a):
+        empty = DatabaseRepresentative("empty", 50, {})
+        merged = merge_representatives("m", [a, empty])
+        assert merged.n_documents == a.n_documents + 50
+        for term, stats in a.items():
+            other = merged.get(term)
+            expected_p = stats.probability * a.n_documents / merged.n_documents
+            assert math.isclose(other.probability, expected_p, rel_tol=1e-9)
+            assert math.isclose(other.mean, stats.mean, rel_tol=1e-9)
+            assert math.isclose(other.std, stats.std, rel_tol=1e-7, abs_tol=1e-9)
+
+    @given(representatives(), representatives())
+    @settings(max_examples=120, deadline=None)
+    def test_df_conserved(self, a, b):
+        merged = merge_representatives("m", [a, b])
+        for term in TERMS:
+            expected = a.document_frequency(term) + b.document_frequency(term)
+            assert math.isclose(
+                merged.document_frequency(term), expected,
+                rel_tol=1e-9, abs_tol=1e-9,
+            )
+
+    @given(representatives(), representatives())
+    @settings(max_examples=120, deadline=None)
+    def test_max_weight_is_max(self, a, b):
+        merged = merge_representatives("m", [a, b])
+        for term in TERMS:
+            sa, sb = a.get(term), b.get(term)
+            sm = merged.get(term)
+            if sa is None and sb is None:
+                assert sm is None
+            elif sa is not None and sb is not None:
+                assert sm.max_weight == max(sa.max_weight, sb.max_weight)
+
+    @given(representatives(), representatives())
+    @settings(max_examples=100, deadline=None)
+    def test_mean_between_part_means(self, a, b):
+        merged = merge_representatives("m", [a, b])
+        for term in TERMS:
+            sa, sb = a.get(term), b.get(term)
+            if sa is not None and sb is not None:
+                lo = min(sa.mean, sb.mean) - 1e-9
+                hi = max(sa.mean, sb.mean) + 1e-9
+                assert lo <= merged.get(term).mean <= hi

@@ -1,0 +1,86 @@
+"""Property-based tests for document-count-driven allocation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import Query
+from repro.metasearch import allocate_documents, threshold_for_k
+from repro.representatives import DatabaseRepresentative, TermStats
+
+
+@st.composite
+def fleets(draw):
+    """A few representatives sharing a small vocabulary."""
+    terms = [f"t{i}" for i in range(draw(st.integers(1, 4)))]
+    fleet = {}
+    for e in range(draw(st.integers(1, 4))):
+        n = draw(st.integers(1, 300))
+        stats = {}
+        for term in terms:
+            if draw(st.booleans()):
+                mean = draw(st.floats(min_value=0.05, max_value=0.8))
+                stats[term] = TermStats(
+                    probability=draw(st.floats(min_value=0.01, max_value=1.0)),
+                    mean=mean,
+                    std=draw(st.floats(min_value=0.0, max_value=0.2)),
+                    max_weight=min(
+                        mean + draw(st.floats(min_value=0.0, max_value=0.3)),
+                        1.0,
+                    ),
+                )
+        fleet[f"engine{e}"] = DatabaseRepresentative(
+            f"engine{e}", n_documents=n, term_stats=stats
+        )
+    query_terms = draw(
+        st.lists(st.sampled_from(terms), min_size=1, max_size=len(terms),
+                 unique=True)
+    )
+    return fleet, Query.from_terms(query_terms)
+
+
+class TestAllocationProperties:
+    @given(fleets(), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=120, deadline=None)
+    def test_quotas_nonnegative_and_bounded(self, case, k):
+        fleet, query = case
+        quotas = allocate_documents(query, fleet, k)
+        assert set(quotas) == set(fleet)
+        assert all(v >= 0 for v in quotas.values())
+        assert sum(quotas.values()) <= k
+
+    @given(fleets(), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=120, deadline=None)
+    def test_threshold_bounded_by_max_expansion_exponent(self, case, k):
+        # The estimator assumes term independence, so its exponents can
+        # exceed any single document's true cosine similarity — the bound
+        # is sum(u_i * mw_i), not 1.
+        fleet, query = case
+        u = query.normalized_weights()
+        bound = 0.0
+        for rep in fleet.values():
+            total = sum(
+                weight * (rep.get(term).max_weight if rep.get(term) else 0.0)
+                for term, weight in zip(query.terms, u)
+            )
+            bound = max(bound, total)
+        threshold = threshold_for_k(query, fleet, k)
+        assert 0.0 <= threshold <= bound + 1e-6
+
+    @given(fleets())
+    @settings(max_examples=80, deadline=None)
+    def test_threshold_antitone_in_k(self, case):
+        fleet, query = case
+        previous = float("inf")
+        for k in (1, 5, 20):
+            threshold = threshold_for_k(query, fleet, k)
+            assert threshold <= previous + 1e-12
+            previous = threshold
+
+    @given(fleets(), st.integers(min_value=1, max_value=30))
+    @settings(max_examples=80, deadline=None)
+    def test_quota_zero_for_engines_without_terms(self, case, k):
+        fleet, query = case
+        quotas = allocate_documents(query, fleet, k)
+        for name, rep in fleet.items():
+            if not any(rep.get(t) for t in query.terms):
+                assert quotas[name] == 0

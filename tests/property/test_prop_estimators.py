@@ -1,0 +1,151 @@
+"""Property-based tests for the usefulness estimators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BasicEstimator,
+    GlossDisjointEstimator,
+    GlossHighCorrelationEstimator,
+    PreviousMethodEstimator,
+    SubrangeEstimator,
+)
+from repro.corpus import Query
+from repro.representatives import DatabaseRepresentative, TermStats
+
+ALL_ESTIMATORS = [
+    BasicEstimator(),
+    SubrangeEstimator(),
+    SubrangeEstimator(use_stored_max=False),
+    PreviousMethodEstimator(),
+    GlossHighCorrelationEstimator(),
+    GlossDisjointEstimator(),
+]
+
+
+@st.composite
+def representatives(draw):
+    n = draw(st.integers(min_value=1, max_value=500))
+    n_terms = draw(st.integers(min_value=1, max_value=5))
+    stats = {}
+    for i in range(n_terms):
+        mean = draw(st.floats(min_value=0.01, max_value=0.9))
+        std = draw(st.floats(min_value=0.0, max_value=0.3))
+        mw = draw(st.floats(min_value=0.0, max_value=0.5))
+        stats[f"t{i}"] = TermStats(
+            probability=draw(st.floats(min_value=1e-4, max_value=1.0)),
+            mean=mean,
+            std=std,
+            max_weight=min(mean + mw, 1.0),
+        )
+    return DatabaseRepresentative("hyp", n_documents=n, term_stats=stats)
+
+
+@st.composite
+def queries_for(draw, representative):
+    terms = [t for t, __ in representative.items()]
+    k = draw(st.integers(min_value=1, max_value=len(terms)))
+    chosen = terms[:k]
+    weights = [
+        draw(st.floats(min_value=0.5, max_value=3.0)) for __ in chosen
+    ]
+    return Query(terms=tuple(chosen), weights=tuple(weights))
+
+
+@st.composite
+def estimation_cases(draw):
+    rep = draw(representatives())
+    query = draw(queries_for(rep))
+    threshold = draw(st.floats(min_value=0.0, max_value=1.0))
+    return rep, query, threshold
+
+
+class TestUniversalInvariants:
+    @given(estimation_cases())
+    @settings(max_examples=120, deadline=None)
+    def test_nodoc_bounded(self, case):
+        rep, query, threshold = case
+        # The disjoint assumption double-counts co-occurring documents, so
+        # its bound is the sum of the dfs, not n — inherent to the (wrong)
+        # assumption, faithfully reproduced.
+        df_sum = sum(rep.document_frequency(t) for t in query.terms)
+        for estimator in ALL_ESTIMATORS:
+            estimate = estimator.estimate(query, rep, threshold)
+            bound = (
+                df_sum
+                if isinstance(estimator, GlossDisjointEstimator)
+                else rep.n_documents
+            )
+            assert -1e-9 <= estimate.nodoc <= bound + 1e-6, estimator
+
+    @given(estimation_cases())
+    @settings(max_examples=120, deadline=None)
+    def test_avgsim_nonnegative(self, case):
+        rep, query, threshold = case
+        for estimator in ALL_ESTIMATORS:
+            estimate = estimator.estimate(query, rep, threshold)
+            assert estimate.avgsim >= 0.0, estimator
+
+    @given(estimation_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_nodoc_monotone_in_threshold(self, case):
+        rep, query, __ = case
+        for estimator in ALL_ESTIMATORS:
+            values = [
+                estimator.estimate(query, rep, t).nodoc
+                for t in np.linspace(0.0, 1.0, 6)
+            ]
+            for a, b in zip(values, values[1:]):
+                assert a >= b - 1e-9, estimator
+
+    @given(estimation_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_zero_above_everything(self, case):
+        # No document similarity can exceed sum(u_i * mw_i) <= sum(u_i); at
+        # a threshold far above that, estimators with *bounded* weight
+        # models must report zero.  The previous method and the triplet
+        # subrange mode extrapolate an unbounded normal, so they may leak
+        # (vanishing) mass above any threshold — excluded by design.
+        rep, query, __ = case
+        impossible = float(np.sum(query.normalized_weights())) + 0.5
+        bounded = [
+            BasicEstimator(),
+            SubrangeEstimator(),
+            GlossHighCorrelationEstimator(),
+            GlossDisjointEstimator(),
+        ]
+        for estimator in bounded:
+            estimate = estimator.estimate(query, rep, impossible)
+            assert estimate.nodoc == 0.0, estimator
+
+    @given(estimation_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_estimate_many_matches_estimate(self, case):
+        rep, query, __ = case
+        thresholds = (0.1, 0.4, 0.7)
+        for estimator in ALL_ESTIMATORS:
+            many = estimator.estimate_many(query, rep, thresholds)
+            for t, estimate in zip(thresholds, many):
+                single = estimator.estimate(query, rep, t)
+                assert abs(estimate.nodoc - single.nodoc) < 1e-9, estimator
+                assert abs(estimate.avgsim - single.avgsim) < 1e-9, estimator
+
+
+class TestSubrangeSpecific:
+    @given(estimation_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_expansion_mass_is_one(self, case):
+        rep, query, __ = case
+        expansion = SubrangeEstimator().expand(query, rep)
+        assert abs(expansion.total_mass() - 1.0) < 1e-9
+
+    @given(estimation_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_single_term_never_exceeds_stored_max(self, case):
+        rep, query, __ = case
+        single = Query.from_terms([query.terms[0]])
+        stats = rep.get(single.terms[0])
+        expansion = SubrangeEstimator().expand(single, rep)
+        # Tolerance covers the 8-decimal exponent rounding in expansion.
+        assert expansion.max_exponent() <= stats.max_weight + 1e-7

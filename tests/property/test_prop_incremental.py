@@ -1,0 +1,130 @@
+"""Property-based tests for incremental representative maintenance."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.representatives import RepresentativeAccumulator, TermAccumulator
+
+weights_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=50
+)
+
+
+class TestTermAccumulatorProperties:
+    @given(weights_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_numpy_moments(self, weights):
+        acc = TermAccumulator()
+        for weight in weights:
+            acc.add(weight)
+        arr = np.asarray(weights)
+        stats = acc.to_stats(len(weights))
+        assert math.isclose(stats.mean, arr.mean(), rel_tol=1e-9, abs_tol=1e-12)
+        assert math.isclose(stats.std, arr.std(), rel_tol=1e-7, abs_tol=1e-9)
+        assert stats.max_weight == arr.max()
+
+    @given(weights_lists, weights_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_merge_equals_concatenation(self, left, right):
+        a = TermAccumulator()
+        for weight in left:
+            a.add(weight)
+        b = TermAccumulator()
+        for weight in right:
+            b.add(weight)
+        a.merge(b)
+
+        c = TermAccumulator()
+        for weight in left + right:
+            c.add(weight)
+
+        assert a.df == c.df
+        assert math.isclose(a.mean, c.mean, rel_tol=1e-9, abs_tol=1e-12)
+        assert math.isclose(a.m2, c.m2, rel_tol=1e-6, abs_tol=1e-9)
+        assert a.max_weight == c.max_weight
+
+    @given(weights_lists, weights_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_commutative(self, left, right):
+        def build(ws):
+            acc = TermAccumulator()
+            for w in ws:
+                acc.add(w)
+            return acc
+
+        ab = build(left)
+        ab.merge(build(right))
+        ba = build(right)
+        ba.merge(build(left))
+        assert ab.df == ba.df
+        assert math.isclose(ab.mean, ba.mean, rel_tol=1e-9, abs_tol=1e-12)
+        assert math.isclose(ab.m2, ba.m2, rel_tol=1e-6, abs_tol=1e-9)
+
+    @given(weights_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_with_empty_is_identity(self, weights):
+        acc = TermAccumulator()
+        for weight in weights:
+            acc.add(weight)
+        before = (acc.df, acc.mean, acc.m2, acc.max_weight)
+        acc.merge(TermAccumulator())
+        assert (acc.df, acc.mean, acc.m2, acc.max_weight) == before
+
+    @given(weights_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_variance_nonnegative(self, weights):
+        acc = TermAccumulator()
+        for weight in weights:
+            acc.add(weight)
+        assert acc.to_stats(len(weights)).std >= 0.0
+
+
+@st.composite
+def document_streams(draw):
+    n_terms = draw(st.integers(min_value=1, max_value=6))
+    terms = [f"t{i}" for i in range(n_terms)]
+    n_docs = draw(st.integers(min_value=1, max_value=15))
+    docs = []
+    for __ in range(n_docs):
+        doc = {}
+        for term in terms:
+            if draw(st.booleans()):
+                doc[term] = draw(st.floats(min_value=0.01, max_value=1.0))
+        docs.append(doc)
+    return docs
+
+
+class TestRepresentativeAccumulatorProperties:
+    @given(document_streams(), st.integers(min_value=0, max_value=14))
+    @settings(max_examples=100, deadline=None)
+    def test_split_merge_equals_whole(self, docs, split_raw):
+        split = min(split_raw, len(docs))
+        whole = RepresentativeAccumulator("whole")
+        for doc in docs:
+            whole.add_document(doc)
+
+        left = RepresentativeAccumulator("left")
+        for doc in docs[:split]:
+            left.add_document(doc)
+        right = RepresentativeAccumulator("right")
+        for doc in docs[split:]:
+            right.add_document(doc)
+        merged = RepresentativeAccumulator.merged("merged", [left, right])
+
+        assert merged.n_documents == whole.n_documents
+        assert merged.n_terms == whole.n_terms
+        rep_whole = whole.to_representative()
+        rep_merged = merged.to_representative()
+        for term, stats in rep_whole.items():
+            other = rep_merged.get(term)
+            assert math.isclose(
+                other.probability, stats.probability, rel_tol=1e-12
+            )
+            assert math.isclose(other.mean, stats.mean, rel_tol=1e-9)
+            assert math.isclose(
+                other.std, stats.std, rel_tol=1e-6, abs_tol=1e-9
+            )
+            assert other.max_weight == stats.max_weight

@@ -1,0 +1,97 @@
+"""Unit tests for exact representative merging."""
+
+import pytest
+
+from repro.corpus import Collection
+from repro.engine import SearchEngine
+from repro.representatives import (
+    DatabaseRepresentative,
+    TermStats,
+    build_representative,
+    merge_representatives,
+)
+
+
+class TestMergeTwoSmall:
+    def test_disjoint_terms_union(self):
+        a = DatabaseRepresentative(
+            "a", 10, {"x": TermStats(0.5, 0.3, 0.1, 0.6)}
+        )
+        b = DatabaseRepresentative(
+            "b", 30, {"y": TermStats(0.2, 0.4, 0.0, 0.4)}
+        )
+        merged = merge_representatives("ab", [a, b])
+        assert merged.n_documents == 40
+        assert merged.n_terms == 2
+        # x: df 5 of 40; y: df 6 of 40.
+        assert merged.get("x").probability == pytest.approx(5 / 40)
+        assert merged.get("y").probability == pytest.approx(6 / 40)
+
+    def test_shared_term_statistics(self):
+        # x in a: df 4, all weights 0.2; in b: df 4, all weights 0.6.
+        a = DatabaseRepresentative(
+            "a", 8, {"x": TermStats(0.5, 0.2, 0.0, 0.2)}
+        )
+        b = DatabaseRepresentative(
+            "b", 8, {"x": TermStats(0.5, 0.6, 0.0, 0.6)}
+        )
+        merged = merge_representatives("ab", [a, b])
+        stats = merged.get("x")
+        assert stats.probability == pytest.approx(0.5)
+        assert stats.mean == pytest.approx(0.4)
+        assert stats.std == pytest.approx(0.2)  # two point masses at +-0.2
+        assert stats.max_weight == pytest.approx(0.6)
+
+    def test_missing_max_weight_propagates(self):
+        a = DatabaseRepresentative("a", 4, {"x": TermStats(0.5, 0.2, 0.0)})
+        b = DatabaseRepresentative(
+            "b", 4, {"x": TermStats(0.5, 0.6, 0.0, 0.6)}
+        )
+        merged = merge_representatives("ab", [a, b])
+        assert merged.get("x").max_weight is None
+
+    def test_single_part_identity(self):
+        a = DatabaseRepresentative(
+            "a", 10, {"x": TermStats(0.3, 0.25, 0.05, 0.5)}
+        )
+        merged = merge_representatives("copy", [a])
+        stats = merged.get("x")
+        assert stats.probability == pytest.approx(0.3)
+        assert stats.mean == pytest.approx(0.25)
+        assert stats.std == pytest.approx(0.05)
+
+    def test_empty_input(self):
+        merged = merge_representatives("none", [])
+        assert merged.n_documents == 0
+        assert merged.n_terms == 0
+
+
+class TestMergeMatchesBatchBuild:
+    def test_three_way_merge_equals_collection_merge(self, small_model):
+        groups = [small_model.generate_group(g) for g in (5, 6, 7)]
+        part_reps = [
+            build_representative(SearchEngine(group)) for group in groups
+        ]
+        merged = merge_representatives("merged", part_reps)
+        batch = build_representative(
+            SearchEngine(Collection.merged("merged", groups))
+        )
+        assert merged.n_documents == batch.n_documents
+        assert merged.n_terms == batch.n_terms
+        for term, stats in batch.items():
+            other = merged.get(term)
+            assert other.probability == pytest.approx(stats.probability)
+            assert other.mean == pytest.approx(stats.mean)
+            assert other.std == pytest.approx(stats.std, abs=1e-9)
+            assert other.max_weight == pytest.approx(stats.max_weight)
+
+    def test_merge_order_invariant(self, small_model):
+        groups = [small_model.generate_group(g) for g in (5, 6, 7)]
+        reps = [build_representative(SearchEngine(g)) for g in groups]
+        forward = merge_representatives("m", reps)
+        backward = merge_representatives("m", list(reversed(reps)))
+        for term, stats in forward.items():
+            other = backward.get(term)
+            assert other.mean == pytest.approx(stats.mean)
+            assert other.std == pytest.approx(stats.std, abs=1e-9)
+            assert other.probability == pytest.approx(stats.probability)

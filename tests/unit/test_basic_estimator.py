@@ -1,0 +1,93 @@
+"""Unit tests for the basic (Proposition 1) estimator."""
+
+import pytest
+
+from repro.core import BasicEstimator, Usefulness
+from repro.corpus import Query
+from repro.representatives import DatabaseRepresentative, TermStats
+
+
+class TestAgainstPaperExample:
+    """Examples 3.1/3.2 use unnormalized query weights (1, 1, 1); with a
+    representative scaled so that normalized weights reproduce the same
+    exponent structure, the numbers carry over exactly when we scale the
+    threshold accordingly."""
+
+    def test_example_with_normalized_query(self, example31_representative):
+        # Query (1,1,1) normalizes to u = 1/sqrt(3) per term.  Exponents are
+        # scaled by 1/sqrt(3); a threshold of 3.5 * scale sits strictly
+        # between the example's similarity levels 3 and 4 (the example's
+        # threshold 3 is itself a similarity level, where strict-inequality
+        # semantics would be at the mercy of floating-point rounding).
+        query = Query(terms=("t1", "t2", "t3"), weights=(1.0, 1.0, 1.0))
+        scale = 1.0 / query.norm()
+        estimate = BasicEstimator().estimate(
+            query, example31_representative, threshold=3.5 * scale
+        )
+        assert estimate.nodoc == pytest.approx(1.2)
+        assert estimate.avgsim == pytest.approx(4.2 * scale)
+
+
+class TestBehaviour:
+    @pytest.fixture
+    def rep(self):
+        return DatabaseRepresentative(
+            "db",
+            n_documents=10,
+            term_stats={
+                "x": TermStats(0.5, 0.4, 0.1, 0.6),
+                "y": TermStats(0.2, 0.3, 0.0, 0.3),
+            },
+        )
+
+    def test_single_term_estimate(self, rep):
+        query = Query.from_terms(["x"])
+        estimate = BasicEstimator().estimate(query, rep, threshold=0.3)
+        # All mass sits at u*w = 0.4 > 0.3: NoDoc = p*n = 5, AvgSim = 0.4.
+        assert estimate.nodoc == pytest.approx(5.0)
+        assert estimate.avgsim == pytest.approx(0.4)
+
+    def test_single_term_above_weight_is_zero(self, rep):
+        query = Query.from_terms(["x"])
+        estimate = BasicEstimator().estimate(query, rep, threshold=0.4)
+        assert estimate.nodoc == 0.0
+
+    def test_unknown_terms_ignored(self, rep):
+        query = Query.from_terms(["zzz"])
+        estimate = BasicEstimator().estimate(query, rep, threshold=0.1)
+        assert estimate == Usefulness.zero()
+
+    def test_unknown_term_dilutes_via_query_norm(self, rep):
+        alone = BasicEstimator().estimate(Query.from_terms(["x"]), rep, 0.35)
+        diluted = BasicEstimator().estimate(
+            Query.from_terms(["x", "zzz"]), rep, 0.35
+        )
+        # u drops from 1 to 1/sqrt(2): the weight point falls below 0.35.
+        assert alone.nodoc > 0.0
+        assert diluted.nodoc == 0.0
+
+    def test_nodoc_bounded_by_n(self, rep):
+        query = Query.from_terms(["x", "y"])
+        estimate = BasicEstimator().estimate(query, rep, threshold=-0.01)
+        assert estimate.nodoc <= rep.n_documents + 1e-9
+
+    def test_estimate_many_consistent_with_estimate(self, rep):
+        query = Query.from_terms(["x", "y"])
+        thresholds = (0.1, 0.2, 0.3)
+        many = BasicEstimator().estimate_many(query, rep, thresholds)
+        singles = [
+            BasicEstimator().estimate(query, rep, t) for t in thresholds
+        ]
+        for a, b in zip(many, singles):
+            assert a.nodoc == pytest.approx(b.nodoc)
+            assert a.avgsim == pytest.approx(b.avgsim)
+
+    def test_expand_returns_probability_distribution(self, rep):
+        query = Query.from_terms(["x", "y"])
+        expansion = BasicEstimator().expand(query, rep)
+        assert expansion.total_mass() == pytest.approx(1.0)
+
+    def test_registry_name(self):
+        from repro.core import get_estimator
+
+        assert isinstance(get_estimator("basic"), BasicEstimator)

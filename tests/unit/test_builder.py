@@ -1,0 +1,81 @@
+"""Unit tests for building representatives from engines."""
+
+import math
+
+import pytest
+
+from repro.corpus import Collection, Document
+from repro.engine import SearchEngine
+from repro.index import InvertedIndex
+from repro.representatives import build_representative
+
+
+@pytest.fixture
+def engine():
+    return SearchEngine(
+        Collection.from_documents(
+            "db",
+            [
+                Document("d1", terms=["a", "a", "a", "b"]),  # norm sqrt(10)
+                Document("d2", terms=["a"]),                 # norm 1
+                Document("d3", terms=["b", "b"]),            # norm 2
+            ],
+        )
+    )
+
+
+class TestBuildRepresentative:
+    def test_probability_is_df_over_n(self, engine):
+        rep = build_representative(engine)
+        assert rep.get("a").probability == pytest.approx(2 / 3)
+        assert rep.get("b").probability == pytest.approx(2 / 3)
+
+    def test_mean_of_normalized_weights(self, engine):
+        rep = build_representative(engine)
+        # a: weights 3/sqrt(10) and 1.0.
+        expected = (3 / math.sqrt(10) + 1.0) / 2
+        assert rep.get("a").mean == pytest.approx(expected)
+
+    def test_std_population(self, engine):
+        rep = build_representative(engine)
+        w1, w2 = 3 / math.sqrt(10), 1.0
+        mean = (w1 + w2) / 2
+        expected = math.sqrt(((w1 - mean) ** 2 + (w2 - mean) ** 2) / 2)
+        assert rep.get("a").std == pytest.approx(expected)
+
+    def test_max_weight_stored(self, engine):
+        rep = build_representative(engine)
+        assert rep.get("a").max_weight == pytest.approx(1.0)
+        assert rep.get("b").max_weight == pytest.approx(1.0)  # d3: 2/2
+
+    def test_max_weight_omittable(self, engine):
+        rep = build_representative(engine, include_max_weight=False)
+        assert not rep.has_max_weights
+
+    def test_n_documents(self, engine):
+        assert build_representative(engine).n_documents == 3
+
+    def test_covers_all_terms(self, engine):
+        rep = build_representative(engine)
+        assert rep.n_terms == 2
+
+    def test_accepts_raw_index(self, engine):
+        rep = build_representative(InvertedIndex(engine.collection))
+        assert rep.get("a") == build_representative(engine).get("a")
+
+    def test_single_occurrence_term_zero_std(self):
+        engine = SearchEngine(
+            Collection.from_documents("db", [Document("d1", terms=["solo"])])
+        )
+        stats = build_representative(engine).get("solo")
+        assert stats.std == 0.0
+        assert stats.mean == pytest.approx(1.0)
+        assert stats.max_weight == pytest.approx(1.0)
+
+    def test_name_copied_from_collection(self, engine):
+        assert build_representative(engine).name == "db"
+
+    def test_max_weight_at_least_mean(self, engine):
+        rep = build_representative(engine)
+        for __, stats in rep.items():
+            assert stats.max_weight >= stats.mean - 1e-12

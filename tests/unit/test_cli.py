@@ -1,0 +1,98 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.corpus import Collection, Document, save_collection
+
+
+@pytest.fixture
+def collection_file(tmp_path):
+    collection = Collection.from_documents(
+        "cli-db",
+        [
+            Document("d1", terms=["rocket", "orbit", "rocket"]),
+            Document("d2", terms=["sauce"]),
+        ],
+    )
+    path = tmp_path / "db.jsonl"
+    save_collection(collection, path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_synth_defaults(self):
+        args = build_parser().parse_args(["synth"])
+        assert args.n_queries == 6234
+        assert args.seed == 1999
+
+    def test_evaluate_database_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--database", "D9"])
+
+
+class TestRepresent:
+    def test_creates_representative(self, collection_file, tmp_path, capsys):
+        out = tmp_path / "rep.json"
+        code = main(
+            ["represent", "--collection", str(collection_file), "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "2 docs" in capsys.readouterr().out
+
+
+class TestEstimate:
+    def test_prints_estimate_and_truth(self, collection_file, capsys):
+        code = main(
+            [
+                "estimate",
+                "--collection", str(collection_file),
+                "--query", "rocket",
+                "--threshold", "0.3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimated" in out
+        assert "true" in out
+        assert "cli-db" in out
+
+    def test_with_saved_representative(self, collection_file, tmp_path, capsys):
+        rep_path = tmp_path / "rep.json"
+        main(["represent", "--collection", str(collection_file),
+              "--out", str(rep_path)])
+        code = main(
+            [
+                "estimate",
+                "--collection", str(collection_file),
+                "--representative", str(rep_path),
+                "--query", "sauce",
+                "--method", "basic",
+            ]
+        )
+        assert code == 0
+        assert "basic" in capsys.readouterr().out
+
+    def test_unknown_method_raises(self, collection_file):
+        with pytest.raises(ValueError, match="unknown estimator"):
+            main(
+                [
+                    "estimate",
+                    "--collection", str(collection_file),
+                    "--query", "rocket",
+                    "--method", "bogus",
+                ]
+            )
+
+
+class TestScalability:
+    def test_prints_paper_rows(self, capsys):
+        assert main(["scalability"]) == 0
+        out = capsys.readouterr().out
+        assert "WSJ" in out
+        assert "3.85" in out

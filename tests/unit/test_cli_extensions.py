@@ -1,0 +1,86 @@
+"""Unit tests for the analyze / allocate / import-trec CLI commands."""
+
+import pytest
+
+from repro.cli import main
+from repro.corpus import Collection, Document, save_collection
+from repro.engine import SearchEngine
+from repro.representatives import build_representative
+
+
+@pytest.fixture
+def collection_file(tmp_path):
+    collection = Collection.from_documents(
+        "db",
+        [
+            Document("d1", terms=["rocket", "orbit", "rocket", "engine"]),
+            Document("d2", terms=["sauce", "basil", "engine"]),
+            Document("d3", terms=["rocket"]),
+        ],
+    )
+    path = tmp_path / "db.jsonl"
+    save_collection(collection, path)
+    return path
+
+
+class TestAnalyze:
+    def test_prints_statistics(self, collection_file, capsys):
+        assert main(["analyze", "--collection", str(collection_file)]) == 0
+        out = capsys.readouterr().out
+        assert "documents            : 3" in out
+        assert "Zipf exponent" in out
+        assert "representative" in out
+
+
+class TestAllocate:
+    def test_prints_quotas(self, tmp_path, capsys):
+        rep_paths = []
+        for name, docs in (
+            ("rich", [["x", "y"], ["x"], ["x", "z"]]),
+            ("poor", [["x", "a", "b", "c", "d"]]),
+        ):
+            engine = SearchEngine(
+                Collection.from_documents(
+                    name,
+                    [Document(f"{name}-{i}", terms=t) for i, t in enumerate(docs)],
+                )
+            )
+            path = tmp_path / f"{name}.rep.json"
+            build_representative(engine).save(path)
+            rep_paths.append(str(path))
+        assert main(
+            ["allocate", "--representatives", *rep_paths, "--query", "x",
+             "-k", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "desired  : 3 documents" in out
+        assert "rich:" in out
+        assert "poor:" in out
+
+
+class TestImportTrec:
+    def test_converts_and_saves(self, tmp_path, capsys):
+        sgml = tmp_path / "wsj.sgml"
+        sgml.write_text(
+            "<DOC>\n<DOCNO>W-1</DOCNO>\n<TEXT>rocket engines roar</TEXT>\n</DOC>\n"
+            "<DOC>\n<DOCNO>W-2</DOCNO>\n<TEXT>basil sauce simmers</TEXT>\n</DOC>\n"
+        )
+        out_path = tmp_path / "wsj.jsonl.gz"
+        assert main(
+            ["import-trec", str(sgml), "--name", "wsj", "--out", str(out_path)]
+        ) == 0
+        assert out_path.exists()
+        assert "2 docs" in capsys.readouterr().out
+
+    def test_limit_flag(self, tmp_path, capsys):
+        sgml = tmp_path / "wsj.sgml"
+        sgml.write_text(
+            "<DOC>\n<DOCNO>W-1</DOCNO>\n<TEXT>one</TEXT>\n</DOC>\n"
+            "<DOC>\n<DOCNO>W-2</DOCNO>\n<TEXT>two</TEXT>\n</DOC>\n"
+        )
+        out_path = tmp_path / "wsj.jsonl"
+        assert main(
+            ["import-trec", str(sgml), "--name", "wsj",
+             "--out", str(out_path), "--limit", "1"]
+        ) == 0
+        assert "1 docs" in capsys.readouterr().out

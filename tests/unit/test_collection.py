@@ -1,0 +1,129 @@
+"""Unit tests for repro.corpus.Collection."""
+
+import pytest
+
+from repro.corpus import Collection, Document
+from repro.text import TextPipeline
+
+
+def make_collection():
+    return Collection.from_documents(
+        "c",
+        [
+            Document("d1", terms=["apple", "banana", "apple"]),
+            Document("d2", terms=["banana"]),
+            Document("d3", terms=["cherry", "apple"]),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_counts(self):
+        collection = make_collection()
+        assert collection.n_documents == 3
+        assert collection.n_terms == 3
+
+    def test_duplicate_doc_id_rejected(self):
+        collection = Collection("c")
+        collection.add_document(Document("d1", terms=["a"]))
+        with pytest.raises(ValueError, match="duplicate"):
+            collection.add_document(Document("d1", terms=["b"]))
+
+    def test_tf_vector_counts_repeats(self):
+        collection = make_collection()
+        vec = collection.tf_vector(0)
+        apple_id = collection.vocabulary.id_of("apple")
+        assert vec.to_mapping()[apple_id] == 2.0
+
+    def test_from_texts_runs_pipeline(self):
+        collection = Collection.from_texts(
+            "t", [("d1", "The apples!")], pipeline=TextPipeline(stem=False)
+        )
+        assert "apples" in collection.vocabulary
+        assert "the" not in collection.vocabulary
+
+    def test_empty_document_allowed(self):
+        collection = Collection("c")
+        collection.add_document(Document("d1", terms=[]))
+        assert collection.tf_vector(0).nnz == 0
+
+    def test_len(self):
+        assert len(make_collection()) == 3
+
+
+class TestAccessors:
+    def test_doc_id_roundtrip(self):
+        collection = make_collection()
+        assert collection.doc_id(1) == "d2"
+        assert collection.index_of("d2") == 1
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_collection().index_of("nope")
+
+    def test_doc_length(self):
+        assert make_collection().doc_length(0) == 3
+
+    def test_terms_of_reconstructs_multiset(self):
+        collection = make_collection()
+        assert sorted(collection.terms_of(0)) == ["apple", "apple", "banana"]
+
+    def test_iter_tf_vectors(self):
+        pairs = list(make_collection().iter_tf_vectors())
+        assert [i for i, __ in pairs] == [0, 1, 2]
+
+    def test_document_frequency(self):
+        collection = make_collection()
+        assert collection.document_frequency("apple") == 2
+        assert collection.document_frequency("banana") == 2
+        assert collection.document_frequency("cherry") == 1
+        assert collection.document_frequency("missing") == 0
+
+
+class TestMerge:
+    def test_merged_unions_documents(self):
+        a = Collection.from_documents("a", [Document("x1", terms=["p", "q"])])
+        b = Collection.from_documents("b", [Document("y1", terms=["q", "r"])])
+        merged = Collection.merged("ab", [a, b])
+        assert merged.n_documents == 2
+        assert merged.n_terms == 3
+
+    def test_merged_rebuilds_vocabulary(self):
+        # Term ids differ between sources; merge must re-key by string.
+        a = Collection.from_documents("a", [Document("x1", terms=["zz", "aa"])])
+        b = Collection.from_documents("b", [Document("y1", terms=["aa"])])
+        merged = Collection.merged("ab", [a, b])
+        assert merged.document_frequency("aa") == 2
+
+    def test_merged_preserves_tf(self):
+        a = Collection.from_documents("a", [Document("x1", terms=["p", "p", "q"])])
+        merged = Collection.merged("m", [a])
+        pid = merged.vocabulary.id_of("p")
+        assert merged.tf_vector(0).to_mapping()[pid] == 2.0
+
+    def test_merged_doc_id_collision_raises(self):
+        a = Collection.from_documents("a", [Document("same", terms=["p"])])
+        b = Collection.from_documents("b", [Document("same", terms=["q"])])
+        with pytest.raises(ValueError, match="duplicate"):
+            Collection.merged("m", [a, b])
+
+    def test_merge_of_empty_list(self):
+        assert Collection.merged("m", []).n_documents == 0
+
+
+class TestSizing:
+    def test_size_uses_text_when_available(self):
+        collection = Collection("c")
+        collection.add_document(Document("d1", terms=["ab"], text="x" * 100))
+        assert collection.size_in_bytes() == 100
+
+    def test_size_estimates_from_terms_otherwise(self):
+        collection = Collection("c")
+        collection.add_document(Document("d1", terms=["abc", "de"]))
+        # len + 1 per term occurrence: 4 + 3.
+        assert collection.size_in_bytes() == 7
+
+    def test_size_in_pages(self):
+        collection = Collection("c")
+        collection.add_document(Document("d1", terms=[], text="x" * 4096))
+        assert collection.size_in_pages(2048) == pytest.approx(2.0)

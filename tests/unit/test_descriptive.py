@@ -1,0 +1,70 @@
+"""Unit tests for repro.stats.descriptive."""
+
+import numpy as np
+import pytest
+
+from repro.stats import mean_and_std, percentile_sorted, population_std
+
+
+class TestPopulationStd:
+    def test_population_divisor(self):
+        # Population std of [1, 3] is 1.0 (not the sample value sqrt(2)).
+        assert population_std([1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_value_is_zero(self):
+        assert population_std([4.2]) == 0.0
+
+    def test_constant_sequence(self):
+        assert population_std([2.0] * 10) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            population_std([])
+
+    def test_matches_numpy(self):
+        values = [0.2, 1.7, 3.3, 0.9, 2.2]
+        assert population_std(values) == pytest.approx(np.std(values))
+
+
+class TestMeanAndStd:
+    def test_pair(self):
+        mean, std = mean_and_std([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(np.std([1.0, 2.0, 3.0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_and_std([])
+
+
+class TestPercentileSorted:
+    def test_endpoints(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile_sorted(values, 0) == 1.0
+        assert percentile_sorted(values, 100) == 4.0
+
+    def test_median_interpolation(self):
+        assert percentile_sorted([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_exact_rank(self):
+        assert percentile_sorted([10.0, 20.0, 30.0], 50) == 20.0
+
+    def test_single_value(self):
+        assert percentile_sorted([7.0], 37.5) == 7.0
+
+    def test_matches_numpy_linear(self):
+        values = sorted([0.3, 1.1, 2.9, 5.5, 9.0, 9.1])
+        for pct in (12.5, 37.5, 70.0, 93.1, 98.0):
+            assert percentile_sorted(values, pct) == pytest.approx(
+                np.percentile(values, pct)
+            )
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile_sorted([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile_sorted([1.0], -1)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile_sorted([], 50)

@@ -1,0 +1,22 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.corpus.synth.wordgen
+import repro.text.tokenizer
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        repro.text.tokenizer,
+        repro.corpus.synth.wordgen,
+    ],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module)
+    assert result.attempted > 0, f"{module.__name__} has no doctests"
+    assert result.failed == 0

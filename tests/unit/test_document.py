@@ -1,0 +1,28 @@
+"""Unit tests for repro.corpus.Document."""
+
+from repro.corpus import Document
+
+
+class TestDocument:
+    def test_length_counts_occurrences(self):
+        doc = Document("d1", terms=["a", "b", "a"])
+        assert doc.length == 3
+
+    def test_empty_document(self):
+        assert Document("d1").length == 0
+
+    def test_text_optional(self):
+        assert Document("d1", terms=["a"]).text is None
+        assert Document("d1", terms=["a"], text="A!").text == "A!"
+
+    def test_frozen(self):
+        import pytest
+
+        doc = Document("d1")
+        with pytest.raises(AttributeError):
+            doc.doc_id = "other"
+
+    def test_repr_contains_id_and_length(self):
+        text = repr(Document("doc-7", terms=["x", "y"]))
+        assert "doc-7" in text
+        assert "2 terms" in text

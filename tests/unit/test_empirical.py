@@ -1,0 +1,113 @@
+"""Unit tests for empirical-percentile subrange representatives/estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core import EmpiricalSubrangeEstimator, SubrangeEstimator, true_usefulness
+from repro.corpus import Collection, Document, Query
+from repro.engine import SearchEngine
+from repro.representatives import (
+    SubrangeScheme,
+    build_empirical_representative,
+    build_representative,
+)
+
+
+@pytest.fixture(scope="module")
+def engine(small_group0):
+    return SearchEngine(small_group0)
+
+
+@pytest.fixture(scope="module")
+def empirical_rep(engine):
+    return build_empirical_representative(engine)
+
+
+class TestBuildEmpiricalRepresentative:
+    def test_covers_all_terms(self, engine, empirical_rep):
+        assert empirical_rep.n_terms == engine.index.n_terms
+
+    def test_max_weight_exact(self, engine, empirical_rep):
+        vocabulary = engine.collection.vocabulary
+        for term_id, plist in list(engine.index.items())[:50]:
+            stats = empirical_rep.get(vocabulary.term_of(term_id))
+            assert stats.max_weight == pytest.approx(plist.max_weight())
+
+    def test_medians_descending(self, empirical_rep, engine):
+        vocabulary = engine.collection.vocabulary
+        for term_id, __ in list(engine.index.items())[:50]:
+            stats = empirical_rep.get(vocabulary.term_of(term_id))
+            medians = list(stats.medians)
+            assert medians == sorted(medians, reverse=True)
+
+    def test_medians_within_weight_range(self, empirical_rep, engine):
+        vocabulary = engine.collection.vocabulary
+        for term_id, plist in list(engine.index.items())[:50]:
+            stats = empirical_rep.get(vocabulary.term_of(term_id))
+            lo, hi = plist.weights.min(), plist.weights.max()
+            for median in stats.medians:
+                assert lo - 1e-12 <= median <= hi + 1e-12
+
+    def test_custom_scheme(self, engine):
+        scheme = SubrangeScheme.equal(2, include_max=True)
+        rep = build_empirical_representative(engine, scheme)
+        stats = next(iter(rep._term_stats.values()))
+        assert len(stats.medians) == 2
+
+    def test_unknown_term(self, empirical_rep):
+        assert empirical_rep.get("nonexistent") is None
+
+
+class TestEmpiricalSubrangeEstimator:
+    def test_mass_conserved(self, empirical_rep, small_queries):
+        estimator = EmpiricalSubrangeEstimator()
+        for query in small_queries[:20]:
+            expansion = estimator.expand(query, empirical_rep)
+            assert expansion.total_mass() == pytest.approx(1.0)
+
+    def test_single_term_guarantee_holds(self, engine, empirical_rep):
+        estimator = EmpiricalSubrangeEstimator()
+        vocabulary = engine.collection.vocabulary
+        for term_id, plist in list(engine.index.items())[:30]:
+            query = Query.from_terms([vocabulary.term_of(term_id)])
+            expansion = estimator.expand(query, empirical_rep)
+            assert expansion.max_exponent() == pytest.approx(
+                engine.max_similarity(query), abs=1e-7
+            )
+
+    def test_no_worse_than_normal_approx_on_average(
+        self, engine, empirical_rep, small_queries
+    ):
+        """Exact percentiles should estimate NoDoc at least as well as the
+        normal approximation, aggregated over a query sample."""
+        normal_rep = build_representative(engine)
+        normal = SubrangeEstimator()
+        empirical = EmpiricalSubrangeEstimator()
+        err_normal = 0.0
+        err_empirical = 0.0
+        for query in small_queries[:80]:
+            truth = true_usefulness(engine, query, 0.2)
+            err_normal += abs(
+                normal.estimate(query, normal_rep, 0.2).nodoc - truth.nodoc
+            )
+            err_empirical += abs(
+                empirical.estimate(query, empirical_rep, 0.2).nodoc - truth.nodoc
+            )
+        assert err_empirical <= err_normal * 1.1
+
+    def test_registry(self):
+        from repro.core import get_estimator
+
+        assert isinstance(
+            get_estimator("subrange-empirical"), EmpiricalSubrangeEstimator
+        )
+
+    def test_validation(self):
+        from repro.representatives.empirical import EmpiricalTermStats
+
+        with pytest.raises(ValueError):
+            EmpiricalTermStats(probability=1.5, medians=(0.1,), max_weight=0.2)
+        with pytest.raises(ValueError):
+            EmpiricalTermStats(probability=0.5, medians=(-0.1,), max_weight=0.2)
+        with pytest.raises(ValueError):
+            EmpiricalTermStats(probability=0.5, medians=(0.1,), max_weight=-0.2)

@@ -1,0 +1,101 @@
+"""Unit tests for the experiment runner."""
+
+import pytest
+
+from repro.core import BasicEstimator, SubrangeEstimator, true_usefulness
+from repro.corpus import Query
+from repro.evaluation import MethodSpec, run_usefulness_experiment
+from repro.evaluation.experiment import PAPER_THRESHOLDS
+
+
+class TestRunUsefulnessExperiment:
+    def test_result_structure(self, small_engine, small_representative,
+                              small_queries):
+        result = run_usefulness_experiment(
+            small_engine,
+            small_queries[:30],
+            [MethodSpec("subrange", SubrangeEstimator(), small_representative)],
+        )
+        assert result.database == small_engine.name
+        assert result.n_queries == 30
+        assert result.thresholds == PAPER_THRESHOLDS
+        assert result.methods == ["subrange"]
+        assert len(result.metrics["subrange"]) == len(PAPER_THRESHOLDS)
+
+    def test_u_column_shared_across_methods(self, small_engine,
+                                            small_representative,
+                                            small_queries):
+        result = run_usefulness_experiment(
+            small_engine,
+            small_queries[:40],
+            [
+                MethodSpec("a", SubrangeEstimator(), small_representative),
+                MethodSpec("b", BasicEstimator(), small_representative),
+            ],
+        )
+        a = [m.useful_queries for m in result.metrics["a"]]
+        b = [m.useful_queries for m in result.metrics["b"]]
+        assert a == b == result.useful_counts()
+
+    def test_u_matches_direct_truth(self, small_engine, small_representative,
+                                    small_queries):
+        queries = small_queries[:40]
+        result = run_usefulness_experiment(
+            small_engine,
+            queries,
+            [MethodSpec("m", SubrangeEstimator(), small_representative)],
+            thresholds=(0.2,),
+        )
+        expected = sum(
+            true_usefulness(small_engine, q, 0.2).nodoc >= 1 for q in queries
+        )
+        assert result.useful_counts() == [expected]
+
+    def test_match_bounded_by_u(self, small_engine, small_representative,
+                                small_queries):
+        result = run_usefulness_experiment(
+            small_engine,
+            small_queries[:50],
+            [MethodSpec("m", SubrangeEstimator(), small_representative)],
+        )
+        for row in result.metrics["m"]:
+            assert 0 <= row.match <= row.useful_queries
+
+    def test_duplicate_method_keys_rejected(self, small_engine,
+                                            small_representative):
+        with pytest.raises(ValueError, match="unique"):
+            run_usefulness_experiment(
+                small_engine,
+                [],
+                [
+                    MethodSpec("m", SubrangeEstimator(), small_representative),
+                    MethodSpec("m", BasicEstimator(), small_representative),
+                ],
+            )
+
+    def test_no_methods_rejected(self, small_engine):
+        with pytest.raises(ValueError, match="at least one"):
+            run_usefulness_experiment(small_engine, [], [])
+
+    def test_default_label_from_estimator(self, small_representative):
+        spec = MethodSpec("m", SubrangeEstimator(), small_representative)
+        assert spec.label == "subrange method"
+
+    def test_explicit_label_kept(self, small_representative):
+        spec = MethodSpec(
+            "m", SubrangeEstimator(), small_representative, label="custom"
+        )
+        assert spec.label == "custom"
+
+    def test_progress_callback_invoked(self, small_engine,
+                                       small_representative):
+        calls = []
+        queries = [Query.from_terms([f"q{i}"]) for i in range(1000)]
+        run_usefulness_experiment(
+            small_engine,
+            queries,
+            [MethodSpec("m", SubrangeEstimator(), small_representative)],
+            thresholds=(0.2,),
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls == [(500, 1000), (1000, 1000)]

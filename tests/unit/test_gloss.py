@@ -1,0 +1,139 @@
+"""Unit tests for the gGlOSS baselines."""
+
+import pytest
+
+from repro.core import GlossDisjointEstimator, GlossHighCorrelationEstimator
+from repro.corpus import Query
+from repro.representatives import DatabaseRepresentative, TermStats
+
+
+@pytest.fixture
+def rep():
+    # df: a=10, b=40 over n=100.
+    return DatabaseRepresentative(
+        "db",
+        n_documents=100,
+        term_stats={
+            "a": TermStats(0.10, 0.50, 0.1, 0.8),
+            "b": TermStats(0.40, 0.20, 0.1, 0.5),
+        },
+    )
+
+
+class TestHighCorrelationBands:
+    def test_band_structure(self, rep):
+        query = Query.from_terms(["a", "b"])
+        bands = GlossHighCorrelationEstimator().bands(query, rep)
+        u = query.normalized_weights()[0]  # 1/sqrt(2) each
+        # Band 1: the 10 docs with both terms, sim = u*(0.5 + 0.2).
+        # Band 2: the next 30 docs with only "b", sim = u*0.2.
+        assert len(bands) == 2
+        assert bands[0][0] == pytest.approx(10)
+        assert bands[0][1] == pytest.approx(u * 0.7)
+        assert bands[1][0] == pytest.approx(30)
+        assert bands[1][1] == pytest.approx(u * 0.2)
+
+    def test_equal_df_collapses_band(self):
+        rep = DatabaseRepresentative(
+            "db",
+            n_documents=10,
+            term_stats={
+                "x": TermStats(0.3, 0.4, 0.0, 0.4),
+                "y": TermStats(0.3, 0.2, 0.0, 0.2),
+            },
+        )
+        bands = GlossHighCorrelationEstimator().bands(
+            Query.from_terms(["x", "y"]), rep
+        )
+        # Same df: both terms co-occur in all 3 docs; one band.
+        assert len(bands) == 1
+        assert bands[0][0] == pytest.approx(3)
+
+    def test_single_term_band(self, rep):
+        bands = GlossHighCorrelationEstimator().bands(
+            Query.from_terms(["a"]), rep
+        )
+        assert len(bands) == 1
+        assert bands[0] == (pytest.approx(10), pytest.approx(0.5))
+
+
+class TestHighCorrelationEstimates:
+    def test_nodoc_counts_qualifying_bands(self, rep):
+        query = Query.from_terms(["a", "b"])
+        u = query.normalized_weights()[0]
+        estimator = GlossHighCorrelationEstimator()
+        # Threshold between the two band similarities: only band 1 counts.
+        threshold = (u * 0.2 + u * 0.7) / 2
+        estimate = estimator.estimate(query, rep, threshold)
+        assert estimate.nodoc == pytest.approx(10)
+        assert estimate.avgsim == pytest.approx(u * 0.7)
+
+    def test_low_threshold_counts_everything(self, rep):
+        query = Query.from_terms(["a", "b"])
+        estimate = GlossHighCorrelationEstimator().estimate(query, rep, 0.0)
+        assert estimate.nodoc == pytest.approx(40)
+
+    def test_high_threshold_zero(self, rep):
+        estimate = GlossHighCorrelationEstimator().estimate(
+            Query.from_terms(["a", "b"]), rep, 0.9
+        )
+        assert estimate.nodoc == 0.0
+        assert estimate.avgsim == 0.0
+
+    def test_unknown_terms(self, rep):
+        estimate = GlossHighCorrelationEstimator().estimate(
+            Query.from_terms(["zzz"]), rep, 0.1
+        )
+        assert estimate.nodoc == 0.0
+
+
+class TestDisjoint:
+    def test_each_term_is_own_group(self, rep):
+        query = Query.from_terms(["a", "b"])
+        groups = GlossDisjointEstimator().groups(query, rep)
+        assert len(groups) == 2
+        populations = sorted(g[0] for g in groups)
+        assert populations == [pytest.approx(10), pytest.approx(40)]
+
+    def test_disjoint_similarity_is_single_term_contribution(self, rep):
+        query = Query.from_terms(["a", "b"])
+        u = query.normalized_weights()[0]
+        groups = dict(
+            (round(g[0]), g[1]) for g in GlossDisjointEstimator().groups(query, rep)
+        )
+        assert groups[10] == pytest.approx(u * 0.5)
+        assert groups[40] == pytest.approx(u * 0.2)
+
+    def test_disjoint_nodoc(self, rep):
+        query = Query.from_terms(["a", "b"])
+        u = query.normalized_weights()[0]
+        estimate = GlossDisjointEstimator().estimate(query, rep, u * 0.3)
+        assert estimate.nodoc == pytest.approx(10)
+
+    def test_disjoint_underestimates_high_band(self, rep):
+        # Under disjointness no document can reach the combined similarity,
+        # so at thresholds only reachable by co-occurrence it predicts zero
+        # while high-correlation predicts the full top band.
+        query = Query.from_terms(["a", "b"])
+        u = query.normalized_weights()[0]
+        threshold = u * 0.6
+        disjoint = GlossDisjointEstimator().estimate(query, rep, threshold)
+        hc = GlossHighCorrelationEstimator().estimate(query, rep, threshold)
+        assert disjoint.nodoc == 0.0
+        assert hc.nodoc > 0.0
+
+    def test_registry_names(self):
+        from repro.core import get_estimator
+
+        assert isinstance(
+            get_estimator("gloss-hc"), GlossHighCorrelationEstimator
+        )
+        assert isinstance(
+            get_estimator("gloss-disjoint"), GlossDisjointEstimator
+        )
+
+    def test_unknown_estimator_name(self):
+        from repro.core import get_estimator
+
+        with pytest.raises(ValueError, match="unknown estimator"):
+            get_estimator("nope")

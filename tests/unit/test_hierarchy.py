@@ -1,0 +1,133 @@
+"""Unit tests for hierarchical metasearch."""
+
+import pytest
+
+from repro.corpus import Collection, Document, Query
+from repro.engine import SearchEngine
+from repro.metasearch import BrokerNode
+
+
+def make_engine(name, docs):
+    return SearchEngine(
+        Collection.from_documents(
+            name, [Document(f"{name}-{i}", terms=t) for i, t in enumerate(docs)]
+        )
+    )
+
+
+@pytest.fixture
+def tree():
+    """Two inner nodes over four leaves:
+
+    root
+      news:  space(rocket docs), politics(election docs)
+      life:  food(sauce docs),  sports(match docs)
+    """
+    space = BrokerNode.leaf(make_engine("space", [["rocket", "orbit"], ["rocket"]]))
+    politics = BrokerNode.leaf(make_engine("politics", [["election", "vote"]]))
+    food = BrokerNode.leaf(make_engine("food", [["sauce", "basil"]]))
+    sports = BrokerNode.leaf(make_engine("sports", [["match", "goal"], ["goal"]]))
+    news = BrokerNode.inner("news", [space, politics])
+    life = BrokerNode.inner("life", [food, sports])
+    return BrokerNode.inner("root", [news, life])
+
+
+class TestStructure:
+    def test_depth(self, tree):
+        assert tree.depth() == 3
+
+    def test_leaves_in_order(self, tree):
+        assert [leaf.name for leaf in tree.leaves()] == [
+            "space", "politics", "food", "sports",
+        ]
+
+    def test_document_counts_aggregate(self, tree):
+        assert tree.n_documents == 6
+
+    def test_inner_representative_covers_all_terms(self, tree):
+        for term in ("rocket", "election", "sauce", "goal"):
+            assert term in tree.representative
+
+    def test_leaf_vs_inner_validation(self, tree):
+        with pytest.raises(ValueError, match="leaf"):
+            BrokerNode("bad")
+        with pytest.raises(ValueError, match="at least one child"):
+            BrokerNode.inner("empty", [])
+
+    def test_repr(self, tree):
+        assert "inner" in repr(tree)
+        assert "leaf" in repr(tree.leaves()[0])
+
+
+class TestSearch:
+    def test_descends_only_into_relevant_subtree(self, tree):
+        report = tree.search(Query.from_terms(["rocket"]), threshold=0.3)
+        assert report.invoked_engines == ["space"]
+        assert "life" in report.pruned_subtrees
+        # The life subtree's leaves were never visited.
+        assert "food" not in report.visited_nodes
+        assert "sports" not in report.visited_nodes
+
+    def test_returns_correct_hits(self, tree):
+        report = tree.search(Query.from_terms(["goal"]), threshold=0.3)
+        assert {h.engine for h in report.hits} == {"sports"}
+        assert len(report.hits) == 2
+
+    def test_no_match_prunes_everything(self, tree):
+        report = tree.search(Query.from_terms(["zzz"]), threshold=0.1)
+        assert report.hits == []
+        assert report.invoked_engines == []
+        assert report.visited_nodes == ["root"]
+
+    def test_limit(self, tree):
+        report = tree.search(Query.from_terms(["goal"]), threshold=0.0, limit=1)
+        assert len(report.hits) == 1
+
+    def test_single_term_guarantee_through_hierarchy(self, tree):
+        """Single-term queries reach exactly the truly useful engines at
+        any threshold — the guarantee composes across levels because inner
+        representatives are exact merges."""
+        for term in ("rocket", "election", "sauce", "goal", "orbit"):
+            query = Query.from_terms([term])
+            for threshold in (0.1, 0.3, 0.5, 0.7, 0.9):
+                report = tree.search(query, threshold)
+                assert sorted(report.invoked_engines) == sorted(
+                    tree.true_engines(query, threshold)
+                ), (term, threshold)
+
+    def test_flat_equivalence(self, tree):
+        """The hierarchy returns the same hit set as searching every leaf
+        directly (selection only prunes engines that contribute nothing)."""
+        query = Query.from_terms(["rocket", "goal"])
+        threshold = 0.2
+        report = tree.search(query, threshold)
+        flat_hits = []
+        for leaf in tree.leaves():
+            flat_hits.extend(leaf.engine.search(query, threshold))
+        assert {h.doc_id for h in report.hits} == {h.doc_id for h in flat_hits}
+
+
+class TestLargerHierarchy:
+    def test_three_level_synthetic(self, small_model):
+        leaves = [
+            BrokerNode.leaf(SearchEngine(small_model.generate_group(g)))
+            for g in range(6)
+        ]
+        left = BrokerNode.inner("left", leaves[:3])
+        right = BrokerNode.inner("right", leaves[3:])
+        root = BrokerNode.inner("root", [left, right])
+        assert root.n_documents == sum(leaf.n_documents for leaf in leaves)
+        # Merged representative equals a flat merge over all leaves.
+        from repro.representatives import merge_representatives
+
+        flat = merge_representatives(
+            "flat", [leaf.representative for leaf in leaves]
+        )
+        assert root.representative.n_terms == flat.n_terms
+        sample_terms = [t for t, __ in list(flat.items())[:20]]
+        for term in sample_terms:
+            a = root.representative.get(term)
+            b = flat.get(term)
+            assert a.probability == pytest.approx(b.probability)
+            assert a.mean == pytest.approx(b.mean)
+            assert a.std == pytest.approx(b.std, abs=1e-9)

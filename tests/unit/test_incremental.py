@@ -1,0 +1,160 @@
+"""Unit tests for incremental/mergeable representative maintenance."""
+
+import math
+
+import pytest
+
+from repro.corpus import Collection, Document
+from repro.engine import SearchEngine
+from repro.representatives import (
+    RepresentativeAccumulator,
+    TermAccumulator,
+    build_representative,
+)
+
+
+class TestTermAccumulator:
+    def test_single_weight(self):
+        acc = TermAccumulator()
+        acc.add(0.5)
+        stats = acc.to_stats(10)
+        assert stats.probability == pytest.approx(0.1)
+        assert stats.mean == pytest.approx(0.5)
+        assert stats.std == 0.0
+        assert stats.max_weight == pytest.approx(0.5)
+
+    def test_mean_std_max(self):
+        acc = TermAccumulator()
+        for weight in (0.2, 0.4, 0.6):
+            acc.add(weight)
+        stats = acc.to_stats(3)
+        assert stats.mean == pytest.approx(0.4)
+        assert stats.std == pytest.approx(math.sqrt(2 / 3) * 0.2)
+        assert stats.max_weight == pytest.approx(0.6)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            TermAccumulator().add(-0.1)
+
+    def test_unseen_term_cannot_materialize(self):
+        with pytest.raises(ValueError):
+            TermAccumulator().to_stats(10)
+
+    def test_merge_equals_sequential(self):
+        a, b, c = TermAccumulator(), TermAccumulator(), TermAccumulator()
+        for weight in (0.1, 0.5):
+            a.add(weight)
+        for weight in (0.3, 0.9):
+            b.add(weight)
+        for weight in (0.1, 0.5, 0.3, 0.9):
+            c.add(weight)
+        a.merge(b)
+        assert a.df == c.df
+        assert a.weight_sum == pytest.approx(c.weight_sum)
+        assert a.weight_sumsq == pytest.approx(c.weight_sumsq)
+        assert a.max_weight == pytest.approx(c.max_weight)
+
+    def test_include_max_flag(self):
+        acc = TermAccumulator()
+        acc.add(0.7)
+        assert acc.to_stats(5, include_max=False).max_weight is None
+
+    def test_variance_never_negative(self):
+        # Catastrophic cancellation guard: many identical weights.
+        acc = TermAccumulator()
+        for __ in range(1000):
+            acc.add(0.3333333333333333)
+        assert acc.to_stats(1000).std == 0.0
+
+
+class TestRepresentativeAccumulator:
+    @pytest.fixture
+    def engine(self):
+        return SearchEngine(
+            Collection.from_documents(
+                "db",
+                [
+                    Document("d1", terms=["a", "a", "b"]),
+                    Document("d2", terms=["b", "c"]),
+                    Document("d3", terms=["a"]),
+                ],
+            )
+        )
+
+    def _doc_weight_stream(self, engine):
+        """Per-document {term: normalized weight} mappings from the index."""
+        vocabulary = engine.collection.vocabulary
+        docs = [dict() for __ in range(engine.n_documents)]
+        for term_id, plist in engine.index.items():
+            term = vocabulary.term_of(term_id)
+            for doc_index, weight in zip(
+                plist.doc_indices.tolist(), plist.weights.tolist()
+            ):
+                docs[doc_index][term] = weight
+        return docs
+
+    def test_streaming_equals_batch(self, engine):
+        acc = RepresentativeAccumulator("db")
+        for weights in self._doc_weight_stream(engine):
+            acc.add_document(weights)
+        incremental = acc.to_representative()
+        batch = build_representative(engine)
+        assert incremental.n_documents == batch.n_documents
+        assert incremental.n_terms == batch.n_terms
+        for term, stats in batch.items():
+            other = incremental.get(term)
+            assert other.probability == pytest.approx(stats.probability)
+            assert other.mean == pytest.approx(stats.mean)
+            assert other.std == pytest.approx(stats.std)
+            assert other.max_weight == pytest.approx(stats.max_weight)
+
+    def test_from_index_equals_batch(self, engine):
+        acc = RepresentativeAccumulator.from_index(engine)
+        incremental = acc.to_representative()
+        batch = build_representative(engine)
+        for term, stats in batch.items():
+            other = incremental.get(term)
+            assert other.probability == pytest.approx(stats.probability)
+            assert other.mean == pytest.approx(stats.mean)
+            assert other.std == pytest.approx(stats.std, abs=1e-12)
+            assert other.max_weight == pytest.approx(stats.max_weight)
+
+    def test_zero_weights_ignored(self):
+        acc = RepresentativeAccumulator("db")
+        acc.add_document({"a": 0.5, "b": 0.0})
+        rep = acc.to_representative()
+        assert "b" not in rep
+        assert rep.get("a").probability == 1.0
+
+    def test_merge_matches_merged_collection(self, small_model):
+        g3 = small_model.generate_group(3)
+        g4 = small_model.generate_group(4)
+        acc3 = RepresentativeAccumulator.from_index(SearchEngine(g3))
+        acc4 = RepresentativeAccumulator.from_index(SearchEngine(g4))
+        merged_acc = RepresentativeAccumulator.merged("merged", [acc3, acc4])
+
+        merged_collection = Collection.merged("merged", [g3, g4])
+        batch = build_representative(SearchEngine(merged_collection))
+
+        incremental = merged_acc.to_representative()
+        assert incremental.n_documents == batch.n_documents
+        assert incremental.n_terms == batch.n_terms
+        for term, stats in batch.items():
+            other = incremental.get(term)
+            assert other.probability == pytest.approx(stats.probability)
+            assert other.mean == pytest.approx(stats.mean)
+            assert other.std == pytest.approx(stats.std, abs=1e-9)
+            assert other.max_weight == pytest.approx(stats.max_weight)
+
+    def test_merge_into_existing(self, engine):
+        acc = RepresentativeAccumulator.from_index(engine)
+        extra = RepresentativeAccumulator("extra")
+        extra.add_document({"zz": 0.9})
+        acc.merge(extra)
+        rep = acc.to_representative()
+        assert rep.n_documents == 4
+        assert rep.get("zz").max_weight == pytest.approx(0.9)
+
+    def test_repr(self, engine):
+        acc = RepresentativeAccumulator.from_index(engine)
+        assert "docs=3" in repr(acc)

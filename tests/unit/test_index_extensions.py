@@ -1,0 +1,126 @@
+"""Unit tests for the index's pivoted-normalization and idf extensions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.corpus import Collection, Document, Query
+from repro.engine import SearchEngine
+from repro.index import InvertedIndex
+from repro.vsm import PivotedNormalizer
+
+
+@pytest.fixture
+def collection():
+    return Collection.from_documents(
+        "c",
+        [
+            Document("short", terms=["a"]),
+            Document("long", terms=["a", "b", "b", "c", "c", "c"]),
+            Document("mid", terms=["b", "c"]),
+        ],
+    )
+
+
+class TestPivotedIndex:
+    def test_pivoted_weights_differ_from_cosine(self, collection):
+        cosine = InvertedIndex(collection)
+        pivoted = InvertedIndex(
+            collection, normalizer=PivotedNormalizer(slope=0.25)
+        )
+        a = collection.vocabulary.id_of("a")
+        assert not np.allclose(
+            cosine.postings(a).weights, pivoted.postings(a).weights
+        )
+
+    def test_pivoted_deflates_short_documents(self, collection):
+        cosine = InvertedIndex(collection)
+        pivoted = InvertedIndex(
+            collection, normalizer=PivotedNormalizer(slope=0.25)
+        )
+        a = collection.vocabulary.id_of("a")
+        # "short" is doc 0 with norm 1 (below the pivot): its weight drops.
+        cosine_w = dict(zip(cosine.postings(a).doc_indices.tolist(),
+                            cosine.postings(a).weights.tolist()))
+        pivot_w = dict(zip(pivoted.postings(a).doc_indices.tolist(),
+                           pivoted.postings(a).weights.tolist()))
+        assert pivot_w[0] < cosine_w[0]
+
+    def test_engine_accepts_normalizer(self, collection):
+        engine = SearchEngine(
+            collection, normalizer=PivotedNormalizer(slope=0.25)
+        )
+        hits = engine.search(Query.from_terms(["a"]), threshold=0.0)
+        assert hits  # retrieval works end to end
+
+    def test_explicit_normalizer_overrides_flag(self, collection):
+        index = InvertedIndex(
+            collection, normalize=False, normalizer=PivotedNormalizer()
+        )
+        assert index.normalizer.name == "pivoted"
+        assert index.normalize  # pivoted is a real normalization
+
+
+class TestIdfIndex:
+    def test_smooth_idf_scales_weights(self, collection):
+        plain = InvertedIndex(collection, normalize=False)
+        idf = InvertedIndex(collection, normalize=False, idf="smooth")
+        a = collection.vocabulary.id_of("a")  # df 2 of 3
+        factor = math.log1p(3 / 2)
+        assert idf.postings(a).weights[0] == pytest.approx(
+            plain.postings(a).weights[0] * factor
+        )
+
+    def test_ln_idf_zeroes_ubiquitous_terms(self):
+        collection = Collection.from_documents(
+            "c",
+            [Document("d1", terms=["x", "y"]), Document("d2", terms=["x"])],
+        )
+        index = InvertedIndex(collection, normalize=False, idf="ln")
+        x = collection.vocabulary.id_of("x")
+        # df = n -> ln(1) = 0 -> weight 0 -> dropped from postings.
+        assert index.postings(x).document_frequency == 0
+
+    def test_rare_terms_upweighted_relative_to_common(self, collection):
+        index = InvertedIndex(collection, idf="smooth")
+        a = collection.vocabulary.id_of("a")  # df 2
+        b = collection.vocabulary.id_of("b")  # df 2
+        assert index.idf_factor(a) == pytest.approx(index.idf_factor(b))
+
+    def test_idf_factor_accessor(self, collection):
+        index = InvertedIndex(collection, idf="smooth")
+        assert index.idf_factor(collection.vocabulary.id_of("a")) > 0
+        assert index.idf_factor(99999) == 0.0
+        plain = InvertedIndex(collection)
+        assert plain.idf_factor(0) == 1.0
+
+    def test_invalid_idf_rejected(self, collection):
+        with pytest.raises(ValueError, match="idf"):
+            InvertedIndex(collection, idf="bm25")
+
+    def test_norms_include_idf(self, collection):
+        plain = InvertedIndex(collection, normalize=False)
+        idf = InvertedIndex(collection, normalize=False, idf="smooth")
+        assert idf.document_norm(1) != pytest.approx(plain.document_norm(1))
+
+
+class TestEstimationUnderAlternativeWeighting:
+    def test_representative_consistent_with_truth_under_pivoted(self, collection):
+        """The estimator stack must stay truth-consistent when the engine
+        uses pivoted normalization: single-term max exponent == true max
+        similarity (the guarantee argument 'applies to other similarity
+        functions such as [16]')."""
+        from repro.core import SubrangeEstimator
+        from repro.representatives import build_representative
+
+        engine = SearchEngine(
+            collection, normalizer=PivotedNormalizer(slope=0.25)
+        )
+        rep = build_representative(engine)
+        query = Query.from_terms(["a"])
+        expansion = SubrangeEstimator().expand(query, rep)
+        # Tolerance covers the 8-decimal exponent rounding in expansion.
+        assert expansion.max_exponent() == pytest.approx(
+            engine.max_similarity(query), abs=1e-7
+        )

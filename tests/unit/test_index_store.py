@@ -1,0 +1,111 @@
+"""Unit tests for index persistence."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import Collection, Document, Query
+from repro.engine import SearchEngine
+from repro.index import InvertedIndex, load_index, save_index
+from repro.representatives import build_representative
+from repro.vsm import PivotedNormalizer
+
+
+@pytest.fixture
+def index():
+    collection = Collection.from_documents(
+        "db",
+        [
+            Document("d1", terms=["a", "a", "b"]),
+            Document("d2", terms=["b", "c"]),
+            Document("d3", terms=["c", "c", "c"]),
+        ],
+    )
+    return InvertedIndex(collection)
+
+
+class TestRoundtrip:
+    def test_postings_identical(self, index, tmp_path):
+        path = tmp_path / "idx.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.n_documents == index.n_documents
+        assert loaded.n_terms == index.n_terms
+        for tid in index.iter_term_ids():
+            original = index.postings(tid)
+            restored = loaded.postings(tid)
+            assert np.array_equal(original.doc_indices, restored.doc_indices)
+            assert np.array_equal(original.weights, restored.weights)
+
+    def test_norms_and_ids_preserved(self, index, tmp_path):
+        path = tmp_path / "idx.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        for i in range(index.n_documents):
+            assert loaded.document_norm(i) == index.document_norm(i)
+            assert loaded.collection.doc_id(i) == index.collection.doc_id(i)
+
+    def test_vocabulary_preserved(self, index, tmp_path):
+        path = tmp_path / "idx.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        for term in ("a", "b", "c"):
+            assert loaded.collection.vocabulary.id_of(
+                term
+            ) == index.collection.vocabulary.id_of(term)
+
+    def test_configuration_preserved(self, tmp_path):
+        collection = Collection.from_documents(
+            "db", [Document("d1", terms=["x", "y"])]
+        )
+        index = InvertedIndex(
+            collection, normalizer=PivotedNormalizer(), idf="smooth"
+        )
+        path = tmp_path / "idx.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.normalizer.name == "pivoted"
+        assert loaded.idf_variant == "smooth"
+        assert loaded.weighting.name == "tf"
+
+    def test_representative_from_loaded_index(self, index, tmp_path):
+        path = tmp_path / "idx.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        original_rep = build_representative(index)
+        restored_rep = build_representative(loaded)
+        for term, stats in original_rep.items():
+            assert restored_rep.get(term) == stats
+
+    def test_search_from_loaded_index(self, index, tmp_path):
+        # A SearchEngine can be reconstituted around a loaded index.
+        path = tmp_path / "idx.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        engine = SearchEngine.__new__(SearchEngine)
+        engine.collection = loaded.collection
+        engine.index = loaded
+        query = Query.from_terms(["c"])
+        # d3 is pure "c" (normalized weight 1.0); d2's is 1/sqrt(2).
+        hits = engine.search(query, threshold=0.8)
+        assert [h.doc_id for h in hits] == ["d3"]
+        hits = engine.search(query, threshold=0.5)
+        assert [h.doc_id for h in hits] == ["d3", "d2"]
+
+    def test_empty_index(self, tmp_path):
+        index = InvertedIndex(Collection("empty"))
+        path = tmp_path / "idx.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.n_terms == 0
+        assert loaded.n_documents == 0
+
+    def test_version_check(self, index, tmp_path):
+        path = tmp_path / "idx.npz"
+        save_index(index, path)
+        # Corrupt the version field.
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["format_version"] = np.int64(99)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="format"):
+            load_index(path)

@@ -1,0 +1,97 @@
+"""Unit tests for repro.index.InvertedIndex."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.corpus import Collection, Document
+from repro.index import InvertedIndex
+from repro.vsm import BinaryWeighting
+
+
+@pytest.fixture
+def collection():
+    return Collection.from_documents(
+        "c",
+        [
+            Document("d1", terms=["a", "a", "a", "b"]),   # tf a=3, b=1
+            Document("d2", terms=["b", "c"]),             # tf b=1, c=1
+            Document("d3", terms=["c", "c"]),             # tf c=2
+        ],
+    )
+
+
+class TestNormalizedIndex:
+    def test_document_frequency(self, collection):
+        index = InvertedIndex(collection)
+        a = collection.vocabulary.id_of("a")
+        b = collection.vocabulary.id_of("b")
+        assert index.document_frequency(a) == 1
+        assert index.document_frequency(b) == 2
+
+    def test_weights_are_normalized(self, collection):
+        index = InvertedIndex(collection)
+        a = collection.vocabulary.id_of("a")
+        plist = index.postings(a)
+        # d1 norm = sqrt(9 + 1) = sqrt(10); a's normalized weight 3/sqrt(10).
+        assert plist.weights[0] == pytest.approx(3 / math.sqrt(10))
+
+    def test_document_norm(self, collection):
+        index = InvertedIndex(collection)
+        assert index.document_norm(0) == pytest.approx(math.sqrt(10))
+        assert index.document_norm(2) == pytest.approx(2.0)
+
+    def test_normalized_doc_weight_vector_has_unit_norm(self, collection):
+        index = InvertedIndex(collection)
+        acc = np.zeros(3)
+        for __, plist in index.items():
+            acc[plist.doc_indices] += plist.weights**2
+        assert acc == pytest.approx(np.ones(3))
+
+    def test_unknown_term_empty_postings(self, collection):
+        index = InvertedIndex(collection)
+        plist = index.postings(9999)
+        assert plist.document_frequency == 0
+        assert plist.max_weight() == 0.0
+
+    def test_max_weight(self, collection):
+        index = InvertedIndex(collection)
+        c = collection.vocabulary.id_of("c")
+        # c appears in d2 (1/sqrt(2)) and d3 (2/2 = 1.0).
+        assert index.postings(c).max_weight() == pytest.approx(1.0)
+
+    def test_doc_indices_ascending(self, collection):
+        index = InvertedIndex(collection)
+        for __, plist in index.items():
+            assert np.all(np.diff(plist.doc_indices) > 0)
+
+    def test_n_terms(self, collection):
+        assert InvertedIndex(collection).n_terms == 3
+
+
+class TestUnnormalizedIndex:
+    def test_raw_tf_weights(self, collection):
+        index = InvertedIndex(collection, normalize=False)
+        a = collection.vocabulary.id_of("a")
+        assert index.postings(a).weights[0] == 3.0
+
+    def test_norms_still_recorded(self, collection):
+        index = InvertedIndex(collection, normalize=False)
+        assert index.document_norm(0) == pytest.approx(math.sqrt(10))
+
+
+class TestAlternativeWeighting:
+    def test_binary_weighting_normalized(self, collection):
+        index = InvertedIndex(collection, weighting=BinaryWeighting())
+        a = collection.vocabulary.id_of("a")
+        # d1 has two distinct terms -> norm sqrt(2); weight 1/sqrt(2).
+        assert index.postings(a).weights[0] == pytest.approx(1 / math.sqrt(2))
+
+    def test_empty_collection(self):
+        index = InvertedIndex(Collection("empty"))
+        assert index.n_documents == 0
+        assert index.n_terms == 0
+
+    def test_repr(self, collection):
+        assert "terms=3" in repr(InvertedIndex(collection))

@@ -1,0 +1,106 @@
+"""Unit tests for corpus persistence (repro.corpus.io)."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.corpus import (
+    Collection,
+    Document,
+    Query,
+    load_collection,
+    load_queries,
+    save_collection,
+    save_queries,
+)
+
+
+@pytest.fixture
+def sample_collection():
+    return Collection.from_documents(
+        "sample",
+        [
+            Document("d1", terms=["apple", "apple", "banana"]),
+            Document("d2", terms=["cherry"]),
+            Document("d3", terms=[]),
+        ],
+    )
+
+
+class TestCollectionRoundtrip:
+    def test_plain_roundtrip(self, sample_collection, tmp_path):
+        path = tmp_path / "c.jsonl"
+        save_collection(sample_collection, path)
+        loaded = load_collection(path)
+        assert loaded.name == "sample"
+        assert loaded.n_documents == 3
+        assert loaded.document_frequency("apple") == 1
+        assert sorted(loaded.terms_of(0)) == ["apple", "apple", "banana"]
+
+    def test_gzip_roundtrip(self, sample_collection, tmp_path):
+        path = tmp_path / "c.jsonl.gz"
+        save_collection(sample_collection, path)
+        assert load_collection(path).n_documents == 3
+        # File really is gzip.
+        with gzip.open(path, "rt") as fh:
+            header = json.loads(fh.readline())
+        assert header["kind"] == "collection"
+
+    def test_doc_ids_preserved(self, sample_collection, tmp_path):
+        path = tmp_path / "c.jsonl"
+        save_collection(sample_collection, path)
+        loaded = load_collection(path)
+        assert [loaded.doc_id(i) for i in range(3)] == ["d1", "d2", "d3"]
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"kind": "other"}) + "\n")
+        with pytest.raises(ValueError, match="not a collection"):
+            load_collection(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"kind": "collection", "format": 99, "name": "x",
+                        "n_documents": 0}) + "\n"
+        )
+        with pytest.raises(ValueError, match="format"):
+            load_collection(path)
+
+    def test_truncated_file_detected(self, sample_collection, tmp_path):
+        path = tmp_path / "c.jsonl"
+        save_collection(sample_collection, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop last document
+        with pytest.raises(ValueError, match="promises"):
+            load_collection(path)
+
+
+class TestQueryRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        queries = [
+            Query.from_terms(["a", "b", "a"]),
+            Query.from_terms(["solo"]),
+        ]
+        path = tmp_path / "q.jsonl"
+        save_queries(queries, path)
+        loaded = load_queries(path)
+        assert loaded == queries
+
+    def test_gzip_roundtrip(self, tmp_path):
+        queries = [Query.from_terms(["x"])]
+        path = tmp_path / "q.jsonl.gz"
+        save_queries(queries, path)
+        assert load_queries(path) == queries
+
+    def test_empty_log(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        save_queries([], path)
+        assert load_queries(path) == []
+
+    def test_weights_preserved(self, tmp_path):
+        queries = [Query(terms=("a", "b"), weights=(2.5, 1.0))]
+        path = tmp_path / "q.jsonl"
+        save_queries(queries, path)
+        assert load_queries(path)[0].weights == (2.5, 1.0)

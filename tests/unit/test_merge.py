@@ -1,0 +1,47 @@
+"""Unit tests for result merging."""
+
+import pytest
+
+from repro.engine import SearchHit
+from repro.metasearch import merge_hits
+
+
+def hit(sim, doc, engine="e"):
+    return SearchHit(similarity=sim, doc_id=doc, engine=engine)
+
+
+class TestMergeHits:
+    def test_global_descending_order(self):
+        merged = merge_hits(
+            [
+                [hit(0.9, "a1"), hit(0.2, "a2")],
+                [hit(0.5, "b1"), hit(0.4, "b2")],
+            ]
+        )
+        assert [h.doc_id for h in merged] == ["a1", "b1", "b2", "a2"]
+
+    def test_limit(self):
+        merged = merge_hits([[hit(0.9, "a"), hit(0.8, "b"), hit(0.7, "c")]], limit=2)
+        assert len(merged) == 2
+
+    def test_limit_zero(self):
+        assert merge_hits([[hit(0.9, "a")]], limit=0) == []
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            merge_hits([[hit(0.9, "a")]], limit=-1)
+
+    def test_deterministic_tie_break(self):
+        merged = merge_hits(
+            [[hit(0.5, "z", "e2")], [hit(0.5, "a", "e1")]]
+        )
+        assert [h.doc_id for h in merged] == ["a", "z"]
+
+    def test_empty_inputs(self):
+        assert merge_hits([]) == []
+        assert merge_hits([[], []]) == []
+
+    def test_engine_attribution_preserved(self):
+        merged = merge_hits([[hit(0.5, "a", "news")], [hit(0.4, "b", "web")]])
+        assert merged[0].engine == "news"
+        assert merged[1].engine == "web"

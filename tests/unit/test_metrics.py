@@ -1,0 +1,87 @@
+"""Unit tests for the paper's evaluation criteria."""
+
+import pytest
+
+from repro.core import Usefulness
+from repro.evaluation import MethodAccumulator
+
+
+def u(nodoc, avgsim=0.0):
+    return Usefulness(nodoc=nodoc, avgsim=avgsim)
+
+
+class TestMethodAccumulator:
+    def test_match_counted(self):
+        acc = MethodAccumulator([0.1])
+        acc.add([u(3, 0.5)], [u(2, 0.4)])
+        (row,) = acc.metrics()
+        assert row.useful_queries == 1
+        assert row.match == 1
+        assert row.mismatch == 0
+
+    def test_miss_not_matched(self):
+        acc = MethodAccumulator([0.1])
+        acc.add([u(3, 0.5)], [u(0.4, 0.0)])  # estimate rounds to 0
+        (row,) = acc.metrics()
+        assert row.match == 0
+        assert row.mismatch == 0
+
+    def test_mismatch_counted(self):
+        acc = MethodAccumulator([0.1])
+        acc.add([u(0, 0.0)], [u(1.0, 0.2)])
+        (row,) = acc.metrics()
+        assert row.useful_queries == 0
+        assert row.mismatch == 1
+
+    def test_not_useful_not_estimated_ignored(self):
+        acc = MethodAccumulator([0.1])
+        acc.add([u(0, 0.0)], [u(0.0, 0.0)])
+        (row,) = acc.metrics()
+        assert (row.match, row.mismatch, row.useful_queries) == (0, 0, 0)
+
+    def test_d_nodoc_average_over_useful_queries_only(self):
+        acc = MethodAccumulator([0.1])
+        acc.add([u(10, 0.5)], [u(7, 0.5)])    # error 3
+        acc.add([u(4, 0.5)], [u(5, 0.5)])     # error 1
+        acc.add([u(0, 0.0)], [u(2, 0.5)])     # not useful: excluded from d-N
+        (row,) = acc.metrics()
+        assert row.d_nodoc == pytest.approx(2.0)
+
+    def test_d_avgsim(self):
+        acc = MethodAccumulator([0.1])
+        acc.add([u(2, 0.8)], [u(2, 0.6)])
+        acc.add([u(1, 0.4)], [u(1, 0.4)])
+        (row,) = acc.metrics()
+        assert row.d_avgsim == pytest.approx(0.1)
+
+    def test_zero_useful_yields_zero_errors(self):
+        acc = MethodAccumulator([0.1])
+        acc.add([u(0, 0.0)], [u(0, 0.0)])
+        (row,) = acc.metrics()
+        assert row.d_nodoc == 0.0
+        assert row.d_avgsim == 0.0
+
+    def test_multiple_thresholds_independent(self):
+        acc = MethodAccumulator([0.1, 0.5])
+        acc.add([u(5, 0.5), u(0, 0.0)], [u(5, 0.5), u(1, 0.6)])
+        rows = acc.metrics()
+        assert rows[0].match == 1
+        assert rows[1].mismatch == 1
+
+    def test_alignment_enforced(self):
+        acc = MethodAccumulator([0.1, 0.2])
+        with pytest.raises(ValueError, match="align"):
+            acc.add([u(1, 0.1)], [u(1, 0.1)])
+
+    def test_n_queries_tracked(self):
+        acc = MethodAccumulator([0.1])
+        for __ in range(5):
+            acc.add([u(1, 0.1)], [u(1, 0.1)])
+        assert acc.n_queries == 5
+
+    def test_match_mismatch_cell_format(self):
+        acc = MethodAccumulator([0.1])
+        acc.add([u(2, 0.1)], [u(2, 0.1)])
+        acc.add([u(0, 0.0)], [u(3, 0.1)])
+        (row,) = acc.metrics()
+        assert row.match_mismatch() == "1/1"

@@ -1,0 +1,141 @@
+"""Unit tests for the synthetic newsgroup corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.synth import NewsgroupModel, build_paper_databases, paper_group_sizes
+from repro.corpus.synth.newsgroups import _arithmetic_sizes
+
+
+class TestPaperGroupSizes:
+    def test_53_groups(self):
+        assert len(paper_group_sizes()) == 53
+
+    def test_d1_size(self):
+        assert paper_group_sizes()[0] == 761
+
+    def test_d2_size(self):
+        sizes = paper_group_sizes()
+        assert sizes[0] + sizes[1] == 1466
+
+    def test_d3_size(self):
+        assert sum(paper_group_sizes()[-26:]) == 1014
+
+    def test_descending(self):
+        sizes = paper_group_sizes()
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_all_positive(self):
+        assert min(paper_group_sizes()) >= 1
+
+
+class TestArithmeticSizes:
+    def test_exact_total(self):
+        sizes = _arithmetic_sizes(70, 10, 26, total=1014)
+        assert sum(sizes) == 1014
+        assert len(sizes) == 26
+
+    def test_descending_and_positive(self):
+        sizes = _arithmetic_sizes(100, 5, 10, total=500)
+        assert sizes == sorted(sizes, reverse=True)
+        assert min(sizes) >= 1
+
+    def test_total_larger_than_profile(self):
+        sizes = _arithmetic_sizes(10, 5, 4, total=100)
+        assert sum(sizes) == 100
+
+
+class TestNewsgroupModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return NewsgroupModel(
+            vocab_size=2000,
+            topic_size=80,
+            topic_band=(30, 900),
+            mean_length=60,
+            seed=5,
+            group_sizes=[12, 10, 8],
+        )
+
+    def test_generate_group_size(self, model):
+        assert len(model.generate_group(0)) == 12
+
+    def test_group_out_of_range(self, model):
+        with pytest.raises(ValueError):
+            model.generate_group(3)
+
+    def test_deterministic_per_seed(self, model):
+        a = model.generate_group(1)
+        b = model.generate_group(1)
+        assert [a.doc_id(i) for i in range(len(a))] == [
+            b.doc_id(i) for i in range(len(b))
+        ]
+        assert a.tf_vector(0) == b.tf_vector(0)
+
+    def test_groups_have_distinct_topics(self, model):
+        t0 = set(model.topic_terms(0).tolist())
+        t1 = set(model.topic_terms(1).tolist())
+        # Random 80-of-870 subsets overlap very little.
+        assert len(t0 & t1) < 40
+
+    def test_topic_terms_within_band(self, model):
+        terms = model.topic_terms(0)
+        assert terms.min() >= 30
+        assert terms.max() < 900
+
+    def test_doc_ids_unique_across_groups(self, model):
+        ids = []
+        for g in range(3):
+            collection = model.generate_group(g)
+            ids.extend(collection.doc_id(i) for i in range(len(collection)))
+        assert len(ids) == len(set(ids))
+
+    def test_document_lengths_clipped(self, model):
+        rng = np.random.default_rng(0)
+        for __ in range(50):
+            ids = model.sample_document_term_ids(rng, 0)
+            assert 20 <= ids.size <= 8 * model.mean_length
+
+    def test_invalid_topic_weight(self):
+        with pytest.raises(ValueError):
+            NewsgroupModel(topic_weight=1.5)
+
+    def test_invalid_topic_band(self):
+        with pytest.raises(ValueError):
+            NewsgroupModel(vocab_size=100, topic_band=(50, 200))
+
+    def test_generate_all(self):
+        model = NewsgroupModel(
+            vocab_size=500, topic_size=30, topic_band=(10, 400),
+            mean_length=40, group_sizes=[3, 2],
+        )
+        groups = model.generate_all()
+        assert [len(g) for g in groups] == [3, 2]
+
+
+class TestBuildPaperDatabases:
+    def test_sizes_match_paper(self):
+        model = NewsgroupModel(
+            vocab_size=3000, topic_size=60, topic_band=(30, 1500),
+            mean_length=40, seed=9,
+        )
+        d1, d2, d3 = build_paper_databases(model)
+        assert (len(d1), len(d2), len(d3)) == (761, 1466, 1014)
+        assert (d1.name, d2.name, d3.name) == ("D1", "D2", "D3")
+
+    def test_d2_contains_d1_documents(self):
+        model = NewsgroupModel(
+            vocab_size=3000, topic_size=60, topic_band=(30, 1500),
+            mean_length=40, seed=9,
+        )
+        d1, d2, __ = build_paper_databases(model)
+        d2_ids = {d2.doc_id(i) for i in range(len(d2))}
+        assert all(d1.doc_id(i) in d2_ids for i in range(0, len(d1), 50))
+
+    def test_requires_28_groups(self):
+        model = NewsgroupModel(
+            vocab_size=500, topic_size=20, topic_band=(10, 400),
+            group_sizes=[5, 4, 3],
+        )
+        with pytest.raises(ValueError, match="28 groups"):
+            build_paper_databases(model)

@@ -1,0 +1,97 @@
+"""Unit tests for repro.stats.normal, cross-checked against scipy."""
+
+import math
+
+import pytest
+
+from repro.stats import (
+    normal_cdf,
+    normal_pdf,
+    normal_quantile,
+    truncated_normal_mean_above,
+    truncated_normal_tail_mass,
+)
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestPdfCdf:
+    def test_pdf_at_zero(self):
+        assert normal_pdf(0.0) == pytest.approx(1.0 / math.sqrt(2 * math.pi))
+
+    def test_pdf_symmetry(self):
+        assert normal_pdf(1.7) == pytest.approx(normal_pdf(-1.7))
+
+    def test_cdf_at_zero(self):
+        assert normal_cdf(0.0) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("x", [-3.0, -1.0, -0.1, 0.0, 0.5, 1.96, 4.0])
+    def test_cdf_matches_scipy(self, x):
+        assert normal_cdf(x) == pytest.approx(scipy_stats.norm.cdf(x), abs=1e-12)
+
+    def test_cdf_monotone(self):
+        xs = [-2, -1, 0, 1, 2]
+        values = [normal_cdf(x) for x in xs]
+        assert values == sorted(values)
+
+
+class TestQuantile:
+    @pytest.mark.parametrize("p", [0.001, 0.02425, 0.125, 0.375, 0.5, 0.625,
+                                   0.875, 0.931, 0.98, 0.999, 0.9999])
+    def test_matches_scipy(self, p):
+        assert normal_quantile(p) == pytest.approx(
+            scipy_stats.norm.ppf(p), abs=1e-9
+        )
+
+    def test_paper_example_constants(self):
+        # Example 3.3: c1 = 1.15 and c2 = 0.318 for the 4-subrange medians.
+        assert normal_quantile(0.875) == pytest.approx(1.15, abs=5e-3)
+        assert normal_quantile(0.625) == pytest.approx(0.318, abs=5e-3)
+
+    def test_symmetry(self):
+        assert normal_quantile(0.3) == pytest.approx(-normal_quantile(0.7))
+
+    def test_median(self):
+        assert normal_quantile(0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_inverse_of_cdf(self):
+        for p in (0.01, 0.2, 0.5, 0.77, 0.999):
+            assert normal_cdf(normal_quantile(p)) == pytest.approx(p, abs=1e-12)
+
+    @pytest.mark.parametrize("p", [0.0, 1.0, -0.5, 2.0])
+    def test_out_of_domain_raises(self, p):
+        with pytest.raises(ValueError):
+            normal_quantile(p)
+
+
+class TestTruncated:
+    def test_tail_mass_at_mean_is_half(self):
+        assert truncated_normal_tail_mass(5.0, 5.0, 2.0) == pytest.approx(0.5)
+
+    def test_tail_mass_degenerate(self):
+        assert truncated_normal_tail_mass(1.0, 2.0, 0.0) == 1.0
+        assert truncated_normal_tail_mass(3.0, 2.0, 0.0) == 0.0
+
+    def test_tail_mass_decreasing_in_cutoff(self):
+        masses = [truncated_normal_tail_mass(c, 0.0, 1.0) for c in (-1, 0, 1, 2)]
+        assert masses == sorted(masses, reverse=True)
+
+    def test_mean_above_exceeds_cutoff_and_mean(self):
+        m = truncated_normal_mean_above(1.0, 0.0, 1.0)
+        assert m > 1.0
+        assert m > 0.0
+
+    def test_mean_above_low_cutoff_close_to_mean(self):
+        assert truncated_normal_mean_above(-50.0, 3.0, 1.0) == pytest.approx(3.0)
+
+    def test_mean_above_matches_mills_ratio(self):
+        # E[X | X > a] for standard normal = phi(a) / (1 - Phi(a)).
+        a = 0.7
+        expected = scipy_stats.norm.pdf(a) / scipy_stats.norm.sf(a)
+        assert truncated_normal_mean_above(a, 0.0, 1.0) == pytest.approx(expected)
+
+    def test_mean_above_degenerate(self):
+        assert truncated_normal_mean_above(0.0, 2.0, 0.0) == 2.0
+
+    def test_mean_above_far_tail_returns_cutoff(self):
+        assert truncated_normal_mean_above(60.0, 0.0, 1.0) >= 60.0

@@ -1,0 +1,77 @@
+"""Unit tests for document-length normalization strategies."""
+
+import numpy as np
+import pytest
+
+from repro.vsm import (
+    CosineNormalizer,
+    NullNormalizer,
+    PivotedNormalizer,
+    get_normalizer,
+)
+
+
+class TestCosineNormalizer:
+    def test_divisor_is_norm(self):
+        out = CosineNormalizer().divisors(np.array([2.0, 5.0]))
+        assert out.tolist() == [2.0, 5.0]
+
+    def test_zero_norm_safe(self):
+        out = CosineNormalizer().divisors(np.array([0.0, 3.0]))
+        assert out[0] == 1.0
+
+
+class TestNullNormalizer:
+    def test_all_ones(self):
+        out = NullNormalizer().divisors(np.array([0.0, 2.0, 9.0]))
+        assert out.tolist() == [1.0, 1.0, 1.0]
+
+
+class TestPivotedNormalizer:
+    def test_average_norm_unchanged(self):
+        # At the pivot (the mean norm) the divisor equals the norm itself.
+        norms = np.array([2.0, 4.0, 6.0])
+        out = PivotedNormalizer(slope=0.3).divisors(norms)
+        assert out[1] == pytest.approx(4.0)
+
+    def test_short_docs_divided_more_than_cosine(self):
+        # Below the pivot the pivoted divisor exceeds the norm, deflating
+        # the short-document advantage Cosine gives.
+        norms = np.array([2.0, 4.0, 6.0])
+        out = PivotedNormalizer(slope=0.3).divisors(norms)
+        assert out[0] > norms[0]
+        assert out[2] < norms[2]
+
+    def test_slope_one_is_cosine(self):
+        norms = np.array([2.0, 4.0, 6.0])
+        out = PivotedNormalizer(slope=1.0).divisors(norms)
+        assert out.tolist() == pytest.approx(norms.tolist())
+
+    def test_slope_zero_is_constant(self):
+        norms = np.array([2.0, 4.0, 6.0])
+        out = PivotedNormalizer(slope=0.0).divisors(norms)
+        assert out.tolist() == pytest.approx([4.0, 4.0, 4.0])
+
+    def test_slope_validated(self):
+        with pytest.raises(ValueError):
+            PivotedNormalizer(slope=1.5)
+
+    def test_all_zero_norms_safe(self):
+        out = PivotedNormalizer().divisors(np.array([0.0, 0.0]))
+        assert np.all(out > 0)
+
+    def test_divisors_positive(self):
+        rng = np.random.default_rng(0)
+        norms = rng.random(100) * 10
+        out = PivotedNormalizer(slope=0.25).divisors(norms)
+        assert np.all(out > 0)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["cosine", "none", "pivoted"])
+    def test_lookup(self, name):
+        assert get_normalizer(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="cosine"):
+            get_normalizer("bm25")

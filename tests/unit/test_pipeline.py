@@ -1,0 +1,63 @@
+"""Unit tests for repro.text.pipeline.TextPipeline."""
+
+from repro.text import TextPipeline
+
+
+class TestTextPipeline:
+    def test_default_removes_stopwords(self):
+        terms = TextPipeline().terms("the search of engines")
+        assert "the" not in terms
+        assert "of" not in terms
+
+    def test_default_stems(self):
+        assert TextPipeline().terms("searching engines") == ["search", "engin"]
+
+    def test_stemming_can_be_disabled(self):
+        assert TextPipeline(stem=False).terms("searching engines") == [
+            "searching",
+            "engines",
+        ]
+
+    def test_custom_stopword_set(self):
+        pipeline = TextPipeline(stopwords=frozenset({"apple"}), stem=False)
+        assert pipeline.terms("apple banana the") == ["banana", "the"]
+
+    def test_empty_stopword_set_keeps_everything(self):
+        pipeline = TextPipeline(stopwords=frozenset(), stem=False)
+        assert pipeline.terms("the of and") == ["the", "of", "and"]
+
+    def test_min_length_filters_single_chars(self):
+        # Default pipeline: "x" survives tokenization but not min_length.
+        assert TextPipeline(stem=False).terms("x marks spot") == ["marks", "spot"]
+
+    def test_repeats_preserved_for_tf(self):
+        terms = TextPipeline(stem=False).terms("apple apple banana apple")
+        assert terms.count("apple") == 3
+
+    def test_terms_joined_concatenates_fields(self):
+        pipeline = TextPipeline(stem=False)
+        assert pipeline.terms_joined(["apple pie", "banana split"]) == [
+            "apple",
+            "pie",
+            "banana",
+            "split",
+        ]
+
+    def test_stems_property(self):
+        assert TextPipeline().stems
+        assert not TextPipeline(stem=False).stems
+
+    def test_empty_text(self):
+        assert TextPipeline().terms("") == []
+
+    def test_all_stopword_text(self):
+        assert TextPipeline().terms("the of and is") == []
+
+    def test_stem_shrinking_below_min_length_dropped(self):
+        # A pipeline demanding long terms drops post-stem shorties.
+        pipeline = TextPipeline(stem=True, min_length=6)
+        assert pipeline.terms("connection dogs") == ["connect"]
+
+    def test_repr_mentions_config(self):
+        text = repr(TextPipeline(stem=False))
+        assert "stem=False" in text

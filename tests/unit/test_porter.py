@@ -1,0 +1,124 @@
+"""Unit tests for the from-scratch Porter stemmer.
+
+Expected stems are taken from Porter's 1980 paper (including its two
+worked examples, GENERALIZATIONS -> GENER and OSCILLATORS -> OSCIL) and the
+published sample vocabulary behaviour.
+"""
+
+import pytest
+
+from repro.text.porter import PorterStemmer
+
+stemmer = PorterStemmer()
+
+
+class TestStep1:
+    @pytest.mark.parametrize(
+        "word,stem",
+        [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("cats", "cat"),
+            ("caress", "caress"),
+        ],
+    )
+    def test_plural_removal(self, word, stem):
+        assert stemmer.stem(word) == stem
+
+    @pytest.mark.parametrize(
+        "word,stem",
+        [
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+        ],
+    )
+    def test_ed_ing_removal(self, word, stem):
+        assert stemmer.stem(word) == stem
+
+    @pytest.mark.parametrize(
+        "word,stem",
+        [
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("failing", "fail"),
+            ("filing", "file"),
+        ],
+    )
+    def test_ed_ing_cleanup_rules(self, word, stem):
+        assert stemmer.stem(word) == stem
+
+    def test_y_to_i(self):
+        assert stemmer.stem("happy") == "happi"
+
+    def test_y_kept_without_vowel(self):
+        assert stemmer.stem("sky") == "sky"
+
+
+class TestLaterSteps:
+    @pytest.mark.parametrize(
+        "word,stem",
+        [
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("hopefulness", "hope"),
+            ("goodness", "good"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("adjustable", "adjust"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("effective", "effect"),
+        ],
+    )
+    def test_suffix_chains(self, word, stem):
+        assert stemmer.stem(word) == stem
+
+    def test_porter_paper_example_generalizations(self):
+        assert stemmer.stem("generalizations") == "gener"
+
+    def test_porter_paper_example_oscillators(self):
+        assert stemmer.stem("oscillators") == "oscil"
+
+    def test_final_e_removal(self):
+        assert stemmer.stem("probate") == "probat"
+        assert stemmer.stem("rate") == "rate"
+        assert stemmer.stem("cease") == "ceas"
+
+    def test_double_l_removal(self):
+        assert stemmer.stem("controll") == "control"
+        assert stemmer.stem("roll") == "roll"
+
+
+class TestConventions:
+    def test_short_words_unchanged(self):
+        for word in ("a", "is", "be", "we"):
+            assert stemmer.stem(word) == word
+
+    def test_conflates_morphological_family(self):
+        family = ("connect", "connected", "connecting", "connection", "connections")
+        stems = {stemmer.stem(w) for w in family}
+        assert stems == {"connect"}
+
+    def test_retrieval_family(self):
+        assert stemmer.stem("retrieval") == stemmer.stem("retrieve") == "retriev"
+
+    def test_output_nonempty(self):
+        # Stems never vanish entirely.
+        for word in ("the", "ees", "sses", "ing", "ed"):
+            assert stemmer.stem(word)
+
+    def test_stateless_repeatable(self):
+        assert stemmer.stem("databases") == stemmer.stem("databases") == "databas"

@@ -1,0 +1,114 @@
+"""Unit tests for the engine/broker protocol and staleness handling."""
+
+import pytest
+
+from repro.corpus import Document, Query
+from repro.metasearch import EngineServer, SubscribingBroker
+
+
+def docs(prefix, term_lists):
+    return [
+        Document(f"{prefix}-{i}", terms=t) for i, t in enumerate(term_lists)
+    ]
+
+
+@pytest.fixture
+def server():
+    return EngineServer("alpha", docs("a", [["rocket", "orbit"], ["rocket"]]))
+
+
+class TestEngineServer:
+    def test_version_tracks_documents(self, server):
+        assert server.version == 2
+        server.add_documents(docs("b", [["new"]]))
+        assert server.version == 3
+
+    def test_snapshot_carries_version(self, server):
+        snapshot = server.snapshot_representative()
+        assert snapshot.version == 2
+        assert snapshot.name == "alpha"
+        assert "rocket" in snapshot.representative
+
+    def test_search_sees_new_documents(self, server):
+        query = Query.from_terms(["fresh"])
+        assert server.search(query, 0.1) == []
+        server.add_documents(docs("b", [["fresh"]]))
+        assert len(server.search(query, 0.1)) == 1
+
+    def test_snapshot_is_point_in_time(self, server):
+        snapshot = server.snapshot_representative()
+        server.add_documents(docs("b", [["fresh"]]))
+        assert "fresh" not in snapshot.representative
+        assert "fresh" in server.snapshot_representative().representative
+
+    def test_empty_server(self):
+        server = EngineServer("empty")
+        assert server.version == 0
+        assert server.search(Query.from_terms(["x"]), 0.1) == []
+
+
+class TestSubscribingBroker:
+    def test_register_takes_snapshot(self, server):
+        broker = SubscribingBroker()
+        broker.register(server)
+        assert broker.refresh_count == 1
+        assert broker.staleness()["alpha"] == 0.0
+
+    def test_duplicate_registration_rejected(self, server):
+        broker = SubscribingBroker()
+        broker.register(server)
+        with pytest.raises(ValueError):
+            broker.register(server)
+
+    def test_staleness_grows_with_updates(self, server):
+        broker = SubscribingBroker(refresh_growth=10.0)  # never refresh
+        broker.register(server)
+        server.add_documents(docs("b", [["new"], ["new"]]))
+        assert broker.staleness()["alpha"] == pytest.approx(0.5)
+
+    def test_refresh_policy_triggers_on_growth(self, server):
+        broker = SubscribingBroker(refresh_growth=0.4)
+        broker.register(server)
+        server.add_documents(docs("b", [["new"]]))  # +50% > 40%
+        refreshed = broker.maybe_refresh()
+        assert refreshed == ["alpha"]
+        assert broker.staleness()["alpha"] == 0.0
+
+    def test_refresh_policy_holds_below_threshold(self, server):
+        broker = SubscribingBroker(refresh_growth=0.6)
+        broker.register(server)
+        server.add_documents(docs("b", [["new"]]))  # +50% < 60%
+        assert broker.maybe_refresh() == []
+        assert broker.staleness()["alpha"] > 0.0
+
+    def test_negative_refresh_growth_rejected(self):
+        with pytest.raises(ValueError):
+            SubscribingBroker(refresh_growth=-0.1)
+
+    def test_stale_selection_misses_new_content(self, server):
+        broker = SubscribingBroker(refresh_growth=10.0)
+        broker.register(server)
+        server.add_documents(docs("b", [["fresh"]]))
+        query = Query.from_terms(["fresh"])
+        # The stale snapshot knows nothing about "fresh" ...
+        assert broker.select(query, 0.1) == []
+        assert broker.true_selection(query, 0.1) == ["alpha"]
+        # ... until a refresh.
+        broker.refresh_growth = 0.0
+        broker.maybe_refresh()
+        assert broker.select(query, 0.1) == ["alpha"]
+
+    def test_search_uses_live_engines(self, server):
+        # Selection is snapshot-based, but invoked engines answer live:
+        # a selected engine returns documents the snapshot never saw.
+        broker = SubscribingBroker(refresh_growth=10.0)
+        broker.register(server)
+        server.add_documents(docs("b", [["rocket", "rocket", "rocket"]]))
+        hits = broker.search(Query.from_terms(["rocket"]), 0.1)
+        assert any(h.doc_id == "b-0" for h in hits)
+
+    def test_engine_names(self, server):
+        broker = SubscribingBroker()
+        broker.register(server)
+        broker.register(EngineServer("beta", docs("b", [["sauce"]])))
+        assert broker.engine_names == ["alpha", "beta"]

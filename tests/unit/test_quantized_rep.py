@@ -1,0 +1,79 @@
+"""Unit tests for one-byte quantized representatives (Tables 7-9 input)."""
+
+import numpy as np
+import pytest
+
+from repro.representatives import (
+    DatabaseRepresentative,
+    TermStats,
+    build_representative,
+    quantize_representative,
+)
+
+
+class TestQuantizeRepresentative:
+    def test_preserves_structure(self, small_representative):
+        quantized = quantize_representative(small_representative)
+        assert quantized.n_terms == small_representative.n_terms
+        assert quantized.n_documents == small_representative.n_documents
+        assert quantized.name == small_representative.name
+
+    def test_small_value_perturbation(self, small_representative):
+        quantized = quantize_representative(small_representative)
+        max_probability = max(
+            s.probability for __, s in small_representative.items()
+        )
+        for term, stats in small_representative.items():
+            q = quantized.get(term)
+            # Error bounded by one quantization interval of the field range.
+            assert abs(q.probability - stats.probability) <= 1.0 / 256
+            assert abs(q.mean - stats.mean) <= 1.0  # range bound, loose
+        assert max_probability <= 1.0
+
+    def test_mean_field_error_bounded_by_range(self, small_representative):
+        means = np.array([s.mean for __, s in small_representative.items()])
+        spread = means.max() - means.min()
+        quantized = quantize_representative(small_representative)
+        for term, stats in small_representative.items():
+            assert abs(quantized.get(term).mean - stats.mean) <= spread / 256 + 1e-12
+
+    def test_probabilities_stay_in_unit_interval(self, small_representative):
+        quantized = quantize_representative(small_representative)
+        for __, stats in quantized.items():
+            assert 0.0 <= stats.probability <= 1.0
+
+    def test_keeps_max_weight_presence(self, small_representative):
+        assert quantize_representative(small_representative).has_max_weights
+
+    def test_triplet_input_stays_triplet(self, small_representative):
+        quantized = quantize_representative(small_representative.as_triplets())
+        assert not quantized.has_max_weights
+
+    def test_fewer_levels_coarser(self, small_representative):
+        q256 = quantize_representative(small_representative, levels=256)
+        q4 = quantize_representative(small_representative, levels=4)
+        err256 = sum(
+            abs(q256.get(t).mean - s.mean)
+            for t, s in small_representative.items()
+        )
+        err4 = sum(
+            abs(q4.get(t).mean - s.mean)
+            for t, s in small_representative.items()
+        )
+        assert err4 >= err256
+
+    def test_empty_representative(self):
+        empty = DatabaseRepresentative("empty", 0, {})
+        assert quantize_representative(empty).n_terms == 0
+
+    def test_single_term(self):
+        rep = DatabaseRepresentative(
+            "one", 10, {"t": TermStats(0.1, 0.5, 0.2, 0.9)}
+        )
+        quantized = quantize_representative(rep)
+        stats = quantized.get("t")
+        # Single value per field: interval average recovers it exactly.
+        assert stats.mean == pytest.approx(0.5)
+        assert stats.std == pytest.approx(0.2)
+        assert stats.max_weight == pytest.approx(0.9)
+        assert stats.probability == pytest.approx(0.1, abs=1.0 / 256)

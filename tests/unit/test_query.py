@@ -1,0 +1,90 @@
+"""Unit tests for repro.corpus.Query."""
+
+import math
+
+import pytest
+
+from repro.corpus import Query
+from repro.text import TextPipeline
+
+
+class TestConstruction:
+    def test_from_terms_accumulates_tf(self):
+        query = Query.from_terms(["a", "b", "a"])
+        assert query.terms == ("a", "b")
+        assert query.weights == (2.0, 1.0)
+
+    def test_from_terms_preserves_first_occurrence_order(self):
+        query = Query.from_terms(["z", "a", "z", "m"])
+        assert query.terms == ("z", "a", "m")
+
+    def test_from_text_uses_pipeline(self):
+        query = Query.from_text("the searching engines", TextPipeline())
+        assert query.terms == ("search", "engin")
+
+    def test_from_text_default_pipeline(self):
+        assert Query.from_text("apple").terms == ("appl",)
+
+    def test_empty_query(self):
+        query = Query.from_terms([])
+        assert query.n_terms == 0
+        assert query.norm() == 0.0
+
+    def test_duplicate_terms_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            Query(terms=("a", "a"), weights=(1.0, 1.0))
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Query(terms=("a",), weights=(0.0,))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            Query(terms=("a", "b"), weights=(1.0,))
+
+
+class TestWeights:
+    def test_norm(self):
+        query = Query(terms=("a", "b"), weights=(3.0, 4.0))
+        assert query.norm() == pytest.approx(5.0)
+
+    def test_normalized_weights_unit_norm(self):
+        query = Query(terms=("a", "b", "c"), weights=(1.0, 2.0, 2.0))
+        normalized = query.normalized_weights()
+        assert math.sqrt(sum(w * w for w in normalized)) == pytest.approx(1.0)
+
+    def test_single_term_normalized_weight_is_one(self):
+        # The Section 3.1 argument: a single-term query has weight 1.
+        query = Query(terms=("only",), weights=(5.0,))
+        assert query.normalized_weights().tolist() == [1.0]
+
+    def test_equal_weights_give_inverse_sqrt_r(self):
+        query = Query.from_terms(["a", "b", "c", "d"])
+        assert query.normalized_weights().tolist() == pytest.approx([0.5] * 4)
+
+    def test_items(self):
+        query = Query(terms=("a", "b"), weights=(2.0, 1.0))
+        assert list(query.items()) == [("a", 2.0), ("b", 1.0)]
+
+    def test_normalized_items_align(self):
+        query = Query(terms=("a", "b"), weights=(3.0, 4.0))
+        pairs = dict(query.normalized_items())
+        assert pairs["a"] == pytest.approx(0.6)
+        assert pairs["b"] == pytest.approx(0.8)
+
+
+class TestPredicates:
+    def test_is_single_term(self):
+        assert Query.from_terms(["x"]).is_single_term
+        assert not Query.from_terms(["x", "y"]).is_single_term
+
+    def test_n_terms(self):
+        assert Query.from_terms(["x", "y", "x"]).n_terms == 2
+
+    def test_frozen(self):
+        query = Query.from_terms(["x"])
+        with pytest.raises(AttributeError):
+            query.terms = ("y",)
+
+    def test_repr_shows_terms(self):
+        assert "alpha" in repr(Query.from_terms(["alpha"]))

@@ -1,0 +1,79 @@
+"""Unit tests for the SIFT-style query-log generator."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.synth import NewsgroupModel, QueryLogModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return NewsgroupModel(
+        vocab_size=2000, topic_size=80, topic_band=(30, 900),
+        mean_length=50, seed=17, group_sizes=[10, 8, 6],
+    )
+
+
+class TestQueryLogModel:
+    def test_default_size_matches_paper(self, model):
+        queries = QueryLogModel(model, seed=1).generate()
+        assert len(queries) == 6234
+
+    def test_lengths_at_most_six(self, model):
+        queries = QueryLogModel(model, seed=1).generate(500)
+        assert max(q.n_terms for q in queries) <= 6
+        assert min(q.n_terms for q in queries) >= 1
+
+    def test_single_term_share_near_paper(self, model):
+        queries = QueryLogModel(model, seed=2).generate(4000)
+        share = sum(q.is_single_term for q in queries) / len(queries)
+        # Paper: 1,941 / 6,234 = 31.1%.
+        assert 0.27 <= share <= 0.36
+
+    def test_terms_resolve_in_corpus_vocabulary(self, model):
+        collection = model.generate_group(0)
+        # Query terms are drawn from the same id space the corpus uses, so a
+        # healthy fraction must literally occur in a generated group.
+        queries = QueryLogModel(model, seed=3).generate(200)
+        resolved = sum(
+            any(t in collection.vocabulary for t in q.terms) for q in queries
+        )
+        assert resolved > 50
+
+    def test_deterministic_per_seed(self, model):
+        a = QueryLogModel(model, seed=4).generate(50)
+        b = QueryLogModel(model, seed=4).generate(50)
+        assert a == b
+
+    def test_different_seeds_differ(self, model):
+        a = QueryLogModel(model, seed=4).generate(50)
+        b = QueryLogModel(model, seed=5).generate(50)
+        assert a != b
+
+    def test_terms_distinct_within_query(self, model):
+        for query in QueryLogModel(model, seed=6).generate(300):
+            assert len(set(query.terms)) == query.n_terms
+
+    def test_custom_length_distribution(self, model):
+        log = QueryLogModel(model, length_probs=(1.0,), seed=7)
+        queries = log.generate(40)
+        assert all(q.is_single_term for q in queries)
+
+    def test_length_probs_must_sum_to_one(self, model):
+        with pytest.raises(ValueError, match="sum to 1"):
+            QueryLogModel(model, length_probs=(0.5, 0.1))
+
+    def test_negative_length_prob_rejected(self, model):
+        with pytest.raises(ValueError):
+            QueryLogModel(model, length_probs=(1.5, -0.5))
+
+    def test_topical_fraction_validated(self, model):
+        with pytest.raises(ValueError):
+            QueryLogModel(model, topical_fraction=2.0)
+
+    def test_length_histogram_roughly_matches(self, model):
+        queries = QueryLogModel(model, seed=8).generate(6000)
+        lengths = np.bincount([q.n_terms for q in queries], minlength=7)[1:]
+        observed = lengths / lengths.sum()
+        expected = np.array([0.311, 0.295, 0.190, 0.107, 0.058, 0.039])
+        assert np.max(np.abs(observed - expected)) < 0.03

@@ -1,0 +1,79 @@
+"""Unit tests for markdown report rendering."""
+
+import pytest
+
+from repro.core import SubrangeEstimator
+from repro.evaluation import (
+    MethodSpec,
+    markdown_comparison,
+    markdown_error_table,
+    markdown_match_table,
+    run_usefulness_experiment,
+)
+from repro.evaluation.paper_reference import PAPER_TABLES_1_TO_6
+
+
+@pytest.fixture(scope="module")
+def result(small_engine, small_representative, small_queries):
+    return run_usefulness_experiment(
+        small_engine,
+        small_queries[:30],
+        [MethodSpec("subrange", SubrangeEstimator(), small_representative)],
+    )
+
+
+def assert_valid_markdown_table(text):
+    lines = text.splitlines()
+    assert len(lines) >= 3
+    columns = lines[0].count("|")
+    for line in lines:
+        assert line.startswith("|") and line.endswith("|")
+        assert line.count("|") == columns
+    assert set(lines[1].replace("|", "").replace("-", "").strip()) == set()
+
+
+class TestMarkdownTables:
+    def test_match_table_structure(self, result):
+        text = markdown_match_table(result)
+        assert_valid_markdown_table(text)
+        assert "subrange method" in text
+        # One data row per threshold.
+        assert len(text.splitlines()) == 2 + len(result.thresholds)
+
+    def test_error_table_structure(self, result):
+        text = markdown_error_table(result)
+        assert_valid_markdown_table(text)
+        assert "d-N" in text
+        assert "d-S" in text
+
+    def test_method_subset(self, result):
+        text = markdown_match_table(result, methods=["subrange"])
+        assert "subrange method" in text
+
+
+class TestMarkdownComparison:
+    def test_pairs_with_published_rows(self, result):
+        text = markdown_comparison(
+            result, PAPER_TABLES_1_TO_6["D1"], method="subrange"
+        )
+        assert_valid_markdown_table(text)
+        assert "ours m/mis" in text
+        assert "paper m/mis" in text
+        # Paper's D1 subrange numbers appear verbatim.
+        assert "1423/13" in text
+
+    def test_missing_paper_rows_render_empty(self, result):
+        text = markdown_comparison(result, (), method="subrange")
+        assert_valid_markdown_table(text)
+        # Paper columns exist but are empty.
+        first_row = text.splitlines()[2]
+        assert first_row.rstrip().endswith("|  |  |  |".replace(" ", " ")) or \
+            first_row.count("|") == 8
+
+    def test_single_method_paper_rows(self, result):
+        from repro.evaluation.paper_reference import PAPER_TABLES_7_TO_9
+
+        text = markdown_comparison(
+            result, PAPER_TABLES_7_TO_9["D1"], method="subrange"
+        )
+        assert "6.79" in text  # published table 7 d-N at T=0.1

@@ -1,0 +1,84 @@
+"""Unit tests for repro.representatives.DatabaseRepresentative."""
+
+import pytest
+
+from repro.representatives import DatabaseRepresentative, TermStats
+
+
+@pytest.fixture
+def representative():
+    return DatabaseRepresentative(
+        "db",
+        n_documents=100,
+        term_stats={
+            "alpha": TermStats(0.3, 0.2, 0.05, 0.5),
+            "beta": TermStats(0.01, 0.6, 0.0, 0.6),
+        },
+    )
+
+
+class TestLookups:
+    def test_get_known(self, representative):
+        assert representative.get("alpha").probability == 0.3
+
+    def test_get_unknown_is_none(self, representative):
+        assert representative.get("gamma") is None
+
+    def test_contains(self, representative):
+        assert "alpha" in representative
+        assert "gamma" not in representative
+
+    def test_len_and_n_terms(self, representative):
+        assert len(representative) == 2
+        assert representative.n_terms == 2
+
+    def test_document_frequency(self, representative):
+        assert representative.document_frequency("alpha") == pytest.approx(30.0)
+        assert representative.document_frequency("gamma") == 0.0
+
+    def test_has_max_weights(self, representative):
+        assert representative.has_max_weights
+        assert not representative.as_triplets().has_max_weights
+
+    def test_negative_n_documents_rejected(self):
+        with pytest.raises(ValueError):
+            DatabaseRepresentative("x", -1, {})
+
+
+class TestTripletView:
+    def test_as_triplets_preserves_other_fields(self, representative):
+        triplets = representative.as_triplets()
+        stats = triplets.get("alpha")
+        assert stats.max_weight is None
+        assert stats.mean == 0.2
+        assert triplets.n_documents == 100
+
+    def test_original_unchanged(self, representative):
+        representative.as_triplets()
+        assert representative.get("alpha").max_weight == 0.5
+
+
+class TestPersistence:
+    def test_json_roundtrip(self, representative, tmp_path):
+        path = tmp_path / "rep.json"
+        representative.save(path)
+        loaded = DatabaseRepresentative.load(path)
+        assert loaded.name == "db"
+        assert loaded.n_documents == 100
+        assert loaded.get("alpha") == representative.get("alpha")
+        assert loaded.get("beta") == representative.get("beta")
+
+    def test_triplet_roundtrip(self, representative, tmp_path):
+        path = tmp_path / "rep.json"
+        representative.as_triplets().save(path)
+        loaded = DatabaseRepresentative.load(path)
+        assert loaded.get("alpha").max_weight is None
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(ValueError, match="not a representative"):
+            DatabaseRepresentative.from_json_dict({"kind": "something"})
+
+    def test_repr(self, representative):
+        text = repr(representative)
+        assert "db" in text
+        assert "docs=100" in text

@@ -1,0 +1,103 @@
+"""Unit tests for the local search engine."""
+
+import math
+
+import pytest
+
+from repro.corpus import Collection, Document, Query
+from repro.engine import SearchEngine
+from repro.vsm import SparseVector, cosine_similarity
+
+
+@pytest.fixture
+def engine():
+    return SearchEngine(
+        Collection.from_documents(
+            "news",
+            [
+                Document("d1", terms=["rocket", "rocket", "launch"]),
+                Document("d2", terms=["rocket", "kitchen"]),
+                Document("d3", terms=["kitchen", "recipe", "recipe"]),
+                Document("d4", terms=["orbit"]),
+            ],
+        )
+    )
+
+
+class TestSimilarities:
+    def test_matches_brute_force_cosine(self, engine):
+        query = Query.from_terms(["rocket", "recipe"])
+        doc_indices, sims = engine.similarities(query)
+        collection = engine.collection
+        qvec = SparseVector.from_mapping(
+            {
+                collection.vocabulary.id_of("rocket"): 1.0,
+                collection.vocabulary.id_of("recipe"): 1.0,
+            }
+        )
+        for idx, sim in zip(doc_indices, sims):
+            expected = cosine_similarity(qvec, collection.tf_vector(int(idx)))
+            assert sim == pytest.approx(expected)
+
+    def test_non_matching_docs_omitted(self, engine):
+        query = Query.from_terms(["orbit"])
+        doc_indices, sims = engine.similarities(query)
+        assert doc_indices.tolist() == [3]
+        assert sims[0] == pytest.approx(1.0)
+
+    def test_oov_term_contributes_to_norm_only(self, engine):
+        # "rocket zzz": the unknown term halves the effective query weight.
+        with_oov = engine.similarities(Query.from_terms(["rocket", "zzzz"]))
+        without = engine.similarities(Query.from_terms(["rocket"]))
+        assert with_oov[1][0] == pytest.approx(without[1][0] / math.sqrt(2))
+
+    def test_empty_query(self, engine):
+        doc_indices, sims = engine.similarities(Query.from_terms([]))
+        assert doc_indices.size == 0
+        assert sims.size == 0
+
+    def test_all_oov_query(self, engine):
+        doc_indices, __ = engine.similarities(Query.from_terms(["zz", "yy"]))
+        assert doc_indices.size == 0
+
+
+class TestSearch:
+    def test_threshold_strictly_greater(self, engine):
+        query = Query.from_terms(["orbit"])
+        assert engine.search(query, threshold=1.0) == []
+        assert len(engine.search(query, threshold=0.99)) == 1
+
+    def test_hits_sorted_descending(self, engine):
+        hits = engine.search(Query.from_terms(["rocket"]), threshold=0.0)
+        sims = [h.similarity for h in hits]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_hits_carry_engine_name(self, engine):
+        hits = engine.search(Query.from_terms(["rocket"]), threshold=0.0)
+        assert all(h.engine == "news" for h in hits)
+
+    def test_top_k(self, engine):
+        hits = engine.top_k(Query.from_terms(["rocket", "kitchen"]), k=2)
+        assert len(hits) == 2
+
+    def test_top_k_fewer_matches(self, engine):
+        assert len(engine.top_k(Query.from_terms(["orbit"]), k=10)) == 1
+
+    def test_top_k_negative_raises(self, engine):
+        with pytest.raises(ValueError):
+            engine.top_k(Query.from_terms(["rocket"]), k=-1)
+
+    def test_max_similarity(self, engine):
+        assert engine.max_similarity(Query.from_terms(["orbit"])) == pytest.approx(1.0)
+        assert engine.max_similarity(Query.from_terms(["zzzz"])) == 0.0
+
+    def test_name_and_len(self, engine):
+        assert engine.name == "news"
+        assert engine.n_documents == 4
+
+    def test_single_term_similarity_is_normalized_weight(self, engine):
+        # Section 3.1: single-term query similarity = normalized doc weight.
+        query = Query.from_terms(["rocket"])
+        __, sims = engine.similarities(query)
+        # d1: tf rocket=2, launch=1 -> norm sqrt(5) -> 2/sqrt(5).
+        assert max(sims) == pytest.approx(2 / math.sqrt(5))

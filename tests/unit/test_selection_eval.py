@@ -1,0 +1,75 @@
+"""Unit tests for selection-quality evaluation."""
+
+import pytest
+
+from repro.corpus import Collection, Document, Query
+from repro.engine import SearchEngine
+from repro.evaluation import SelectionQuality, evaluate_selection
+from repro.metasearch import MetasearchBroker
+
+
+@pytest.fixture
+def broker():
+    broker = MetasearchBroker()
+    broker.register(
+        SearchEngine(
+            Collection.from_documents(
+                "space", [Document("s1", terms=["rocket", "orbit"])]
+            )
+        )
+    )
+    broker.register(
+        SearchEngine(
+            Collection.from_documents(
+                "food", [Document("f1", terms=["sauce", "recipe"])]
+            )
+        )
+    )
+    return broker
+
+
+class TestEvaluateSelection:
+    def test_perfect_selection(self, broker):
+        queries = [Query.from_terms(["rocket"]), Query.from_terms(["sauce"])]
+        quality = evaluate_selection(broker, queries, threshold=0.3)
+        assert quality.exact == 2
+        assert quality.exact_rate == 1.0
+        assert quality.recall == 1.0
+        assert quality.precision == 1.0
+
+    def test_counts_totals(self, broker):
+        queries = [Query.from_terms(["rocket"])]
+        quality = evaluate_selection(broker, queries, threshold=0.3)
+        assert quality.true_engine_total == 1
+        assert quality.selected_engine_total == 1
+
+    def test_empty_query_log(self, broker):
+        quality = evaluate_selection(broker, [], threshold=0.3)
+        assert quality.n_queries == 0
+        assert quality.exact_rate == 0.0
+        assert quality.recall == 1.0
+        assert quality.precision == 1.0
+
+
+class TestSelectionQualityProperties:
+    def test_recall_with_misses(self):
+        quality = SelectionQuality(
+            n_queries=10, exact=5, missed_engines=2, extra_engines=0,
+            true_engine_total=10, selected_engine_total=8,
+        )
+        assert quality.recall == pytest.approx(0.8)
+
+    def test_precision_with_extras(self):
+        quality = SelectionQuality(
+            n_queries=10, exact=5, missed_engines=0, extra_engines=2,
+            true_engine_total=8, selected_engine_total=10,
+        )
+        assert quality.precision == pytest.approx(0.8)
+
+    def test_zero_denominators(self):
+        quality = SelectionQuality(
+            n_queries=0, exact=0, missed_engines=0, extra_engines=0,
+            true_engine_total=0, selected_engine_total=0,
+        )
+        assert quality.recall == 1.0
+        assert quality.precision == 1.0

@@ -1,0 +1,73 @@
+"""Unit tests for engine-selection policies."""
+
+import pytest
+
+from repro.core import Usefulness
+from repro.metasearch import EstimatedUsefulness, ThresholdPolicy, TopKPolicy
+
+
+def estimates(*pairs):
+    return [
+        EstimatedUsefulness(engine=name, usefulness=Usefulness(nodoc, avgsim))
+        for name, nodoc, avgsim in pairs
+    ]
+
+
+class TestThresholdPolicy:
+    def test_selects_rounded_nodoc_at_least_one(self):
+        policy = ThresholdPolicy()
+        chosen = policy.select(
+            estimates(("a", 2.0, 0.5), ("b", 0.4, 0.9), ("c", 0.6, 0.1))
+        )
+        assert set(chosen) == {"a", "c"}
+
+    def test_best_first_ordering(self):
+        policy = ThresholdPolicy()
+        chosen = policy.select(
+            estimates(("low", 1.0, 0.2), ("high", 9.0, 0.4))
+        )
+        assert chosen == ["high", "low"]
+
+    def test_ties_broken_by_avgsim_then_name(self):
+        policy = ThresholdPolicy()
+        chosen = policy.select(
+            estimates(("b", 2.0, 0.3), ("a", 2.0, 0.3), ("c", 2.0, 0.9))
+        )
+        assert chosen == ["c", "a", "b"]
+
+    def test_min_nodoc_raises_bar(self):
+        policy = ThresholdPolicy(min_nodoc=3)
+        chosen = policy.select(estimates(("a", 2.0, 0.5), ("b", 3.2, 0.5)))
+        assert chosen == ["b"]
+
+    def test_empty_estimates(self):
+        assert ThresholdPolicy().select([]) == []
+
+    def test_invalid_min_nodoc(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicy(min_nodoc=0)
+
+
+class TestTopKPolicy:
+    def test_takes_k_best(self):
+        policy = TopKPolicy(2)
+        chosen = policy.select(
+            estimates(("a", 1.0, 0.1), ("b", 5.0, 0.1), ("c", 3.0, 0.1))
+        )
+        assert chosen == ["b", "c"]
+
+    def test_skips_zero_estimates(self):
+        policy = TopKPolicy(3)
+        chosen = policy.select(estimates(("a", 1.0, 0.1), ("b", 0.0, 0.0)))
+        assert chosen == ["a"]
+
+    def test_k_zero(self):
+        assert TopKPolicy(0).select(estimates(("a", 1.0, 0.1))) == []
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            TopKPolicy(-1)
+
+    def test_fewer_than_k_available(self):
+        chosen = TopKPolicy(5).select(estimates(("a", 1.0, 0.1)))
+        assert chosen == ["a"]

@@ -1,0 +1,47 @@
+"""Unit tests for repro.vsm.similarity."""
+
+import pytest
+
+from repro.vsm import SparseVector, cosine_similarity, dot_similarity
+
+
+class TestDotSimilarity:
+    def test_matches_vector_dot(self):
+        q = SparseVector([0, 1], [1.0, 2.0])
+        d = SparseVector([1, 2], [3.0, 4.0])
+        assert dot_similarity(q, d) == pytest.approx(6.0)
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors_give_one(self):
+        v = SparseVector([0, 3], [1.0, 2.0])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors_give_zero(self):
+        a = SparseVector([0], [1.0])
+        b = SparseVector([1], [1.0])
+        assert cosine_similarity(a, b) == 0.0
+
+    def test_scale_invariance(self):
+        q = SparseVector([0, 1], [1.0, 1.0])
+        d = SparseVector([0, 1], [2.0, 3.0])
+        assert cosine_similarity(q, d) == pytest.approx(
+            cosine_similarity(q.scaled(7.0), d.scaled(0.5))
+        )
+
+    def test_bounded_by_one_for_nonnegative(self):
+        q = SparseVector([0, 1, 2], [1.0, 2.0, 0.5])
+        d = SparseVector([1, 2, 3], [4.0, 0.1, 9.0])
+        assert 0.0 <= cosine_similarity(q, d) <= 1.0
+
+    def test_empty_vector_gives_zero(self):
+        v = SparseVector([0], [1.0])
+        assert cosine_similarity(v, SparseVector.empty()) == 0.0
+        assert cosine_similarity(SparseVector.empty(), v) == 0.0
+
+    def test_paper_single_term_case(self):
+        # For a single-term query, cosine similarity equals the document's
+        # normalized weight of that term (Section 3.1 discussion).
+        q = SparseVector([5], [3.0])  # any positive weight; normalizes to 1
+        d = SparseVector([5, 6], [3.0, 4.0])  # |d| = 5, normalized w' = 0.6
+        assert cosine_similarity(q, d) == pytest.approx(0.6)

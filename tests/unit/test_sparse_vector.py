@@ -1,0 +1,111 @@
+"""Unit tests for repro.vsm.SparseVector."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.vsm import SparseVector
+
+
+class TestConstruction:
+    def test_from_mapping_sorts_and_drops_zeros(self):
+        vec = SparseVector.from_mapping({5: 1.0, 2: 3.0, 7: 0.0})
+        assert vec.indices.tolist() == [2, 5]
+        assert vec.values.tolist() == [3.0, 1.0]
+
+    def test_from_counts(self):
+        vec = SparseVector.from_counts([3, 1, 3, 3, 1])
+        assert vec.to_mapping() == {1: 2.0, 3: 3.0}
+
+    def test_empty(self):
+        vec = SparseVector.empty()
+        assert vec.nnz == 0
+        assert vec.norm() == 0.0
+
+    def test_unsorted_input_gets_sorted(self):
+        vec = SparseVector([3, 1], [1.0, 2.0])
+        assert vec.indices.tolist() == [1, 3]
+        assert vec.values.tolist() == [2.0, 1.0]
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SparseVector([1, 1], [1.0, 2.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            SparseVector([1, 2], [1.0])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            SparseVector(np.zeros((2, 2), dtype=int), np.zeros((2, 2)))
+
+
+class TestAlgebra:
+    def test_norm(self):
+        vec = SparseVector([0, 1], [3.0, 4.0])
+        assert vec.norm() == pytest.approx(5.0)
+
+    def test_dot_with_overlap(self):
+        a = SparseVector([0, 2, 5], [1.0, 2.0, 3.0])
+        b = SparseVector([2, 5, 9], [4.0, 5.0, 6.0])
+        assert a.dot(b) == pytest.approx(2 * 4 + 3 * 5)
+
+    def test_dot_symmetry(self):
+        a = SparseVector([0, 2], [1.5, 2.5])
+        b = SparseVector([2, 3], [4.0, 5.0])
+        assert a.dot(b) == pytest.approx(b.dot(a))
+
+    def test_dot_disjoint_is_zero(self):
+        a = SparseVector([0, 1], [1.0, 1.0])
+        b = SparseVector([2, 3], [1.0, 1.0])
+        assert a.dot(b) == 0.0
+
+    def test_dot_with_empty(self):
+        a = SparseVector([0], [1.0])
+        assert a.dot(SparseVector.empty()) == 0.0
+        assert SparseVector.empty().dot(a) == 0.0
+
+    def test_dot_last_index_edge(self):
+        # Regression guard for the searchsorted clipping at the array end.
+        a = SparseVector([9], [2.0])
+        b = SparseVector([0, 9], [1.0, 3.0])
+        assert a.dot(b) == pytest.approx(6.0)
+
+    def test_scaled(self):
+        vec = SparseVector([1], [2.0]).scaled(2.5)
+        assert vec.values.tolist() == [5.0]
+
+    def test_normalized_unit_norm(self):
+        vec = SparseVector([0, 1], [3.0, 4.0]).normalized()
+        assert vec.norm() == pytest.approx(1.0)
+        assert vec.values.tolist() == pytest.approx([0.6, 0.8])
+
+    def test_normalized_zero_vector(self):
+        vec = SparseVector.empty().normalized()
+        assert vec.nnz == 0
+
+    def test_cauchy_schwarz(self):
+        a = SparseVector([0, 1, 4], [1.0, 2.0, 3.0])
+        b = SparseVector([1, 4, 6], [0.5, 0.25, 9.0])
+        assert abs(a.dot(b)) <= a.norm() * b.norm() + 1e-12
+
+
+class TestProtocol:
+    def test_equality(self):
+        a = SparseVector([0, 1], [1.0, 2.0])
+        b = SparseVector([0, 1], [1.0, 2.0])
+        c = SparseVector([0, 1], [1.0, 3.0])
+        assert a == b
+        assert a != c
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(SparseVector.empty())
+
+    def test_items_order(self):
+        vec = SparseVector.from_mapping({4: 1.0, 2: 2.0})
+        assert list(vec.items()) == [(2, 2.0), (4, 1.0)]
+
+    def test_repr(self):
+        assert "nnz=2" in repr(SparseVector([0, 1], [1.0, 1.0]))

@@ -1,0 +1,39 @@
+"""Unit tests for repro.text.stopwords."""
+
+from repro.text.stopwords import DEFAULT_STOPWORDS, is_stopword
+
+
+class TestStopwords:
+    def test_paper_examples_are_stopwords(self):
+        # The paper names "the" and "of" as non-content words.
+        assert is_stopword("the")
+        assert is_stopword("of")
+
+    def test_common_function_words(self):
+        for word in ("a", "an", "and", "is", "was", "with", "which"):
+            assert is_stopword(word), word
+
+    def test_content_words_are_not_stopwords(self):
+        for word in ("database", "search", "engine", "usefulness", "query"):
+            assert not is_stopword(word), word
+
+    def test_case_sensitive_lowercase_only(self):
+        # The pipeline lowercases before stopping; the list is lowercase.
+        assert not is_stopword("The")
+
+    def test_contractions_present(self):
+        assert is_stopword("don't")
+        assert is_stopword("isn't")
+
+    def test_is_frozenset(self):
+        assert isinstance(DEFAULT_STOPWORDS, frozenset)
+
+    def test_no_empty_entries(self):
+        assert "" not in DEFAULT_STOPWORDS
+
+    def test_reasonable_size(self):
+        # A classic English function-word list has a few hundred entries.
+        assert 200 <= len(DEFAULT_STOPWORDS) <= 500
+
+    def test_all_lowercase(self):
+        assert all(w == w.lower() for w in DEFAULT_STOPWORDS)

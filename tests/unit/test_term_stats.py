@@ -1,0 +1,48 @@
+"""Unit tests for repro.representatives.TermStats."""
+
+import pytest
+
+from repro.representatives import TermStats
+
+
+class TestValidation:
+    def test_valid_quadruplet(self):
+        stats = TermStats(probability=0.5, mean=0.2, std=0.1, max_weight=0.8)
+        assert stats.max_weight == 0.8
+
+    def test_triplet_allows_missing_max(self):
+        assert TermStats(0.5, 0.2, 0.1).max_weight is None
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1])
+    def test_probability_range(self, p):
+        with pytest.raises(ValueError, match="probability"):
+            TermStats(probability=p, mean=0.1, std=0.0)
+
+    def test_negative_mean(self):
+        with pytest.raises(ValueError, match="mean"):
+            TermStats(0.5, -0.1, 0.0)
+
+    def test_negative_std(self):
+        with pytest.raises(ValueError, match="std"):
+            TermStats(0.5, 0.1, -0.1)
+
+    def test_negative_max(self):
+        with pytest.raises(ValueError, match="max_weight"):
+            TermStats(0.5, 0.1, 0.0, -0.5)
+
+    def test_frozen(self):
+        stats = TermStats(0.5, 0.1, 0.0)
+        with pytest.raises(AttributeError):
+            stats.mean = 0.9
+
+
+class TestViews:
+    def test_without_max_weight(self):
+        quad = TermStats(0.5, 0.2, 0.1, 0.8)
+        triple = quad.without_max_weight()
+        assert triple.max_weight is None
+        assert (triple.probability, triple.mean, triple.std) == (0.5, 0.2, 0.1)
+
+    def test_without_max_weight_idempotent(self):
+        triple = TermStats(0.5, 0.2, 0.1).without_max_weight()
+        assert triple.max_weight is None

@@ -1,0 +1,56 @@
+"""Unit tests for repro.text.tokenizer."""
+
+import pytest
+
+from repro.text.tokenizer import tokenize
+
+
+class TestTokenize:
+    def test_simple_sentence(self):
+        assert tokenize("the quick brown fox") == ["the", "quick", "brown", "fox"]
+
+    def test_lowercases(self):
+        assert tokenize("The QUICK Brown") == ["the", "quick", "brown"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("hello, world! (really)") == ["hello", "world", "really"]
+
+    def test_hyphen_splits(self):
+        assert tokenize("brown-fox") == ["brown", "fox"]
+
+    def test_keeps_internal_apostrophe(self):
+        assert tokenize("don't stop") == ["don't", "stop"]
+
+    def test_trims_trailing_apostrophe(self):
+        assert tokenize("dogs' bones") == ["dogs", "bones"]
+
+    def test_discards_pure_numbers(self):
+        assert tokenize("42 7.5 2023") == []
+
+    def test_keeps_alphanumeric_starting_with_letter(self):
+        assert tokenize("v2 b52 bomber") == ["v2", "b52", "bomber"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("   \t\n  ") == []
+
+    def test_unicode_ignored(self):
+        # Non-ASCII letters are not matched; the late-90s corpora are ASCII.
+        assert tokenize("café") == ["caf"]
+
+    def test_preserves_order_and_repeats(self):
+        assert tokenize("a b a b a") == ["a", "b", "a", "b", "a"]
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("e-mail", ["e", "mail"]),
+            ("under_score", ["under", "score"]),
+            ("semi;colon", ["semi", "colon"]),
+            ("tab\tsep", ["tab", "sep"]),
+        ],
+    )
+    def test_separator_variants(self, text, expected):
+        assert tokenize(text) == expected

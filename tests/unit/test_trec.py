@@ -1,0 +1,117 @@
+"""Unit tests for the TREC SGML loader."""
+
+import gzip
+
+import pytest
+
+from repro.corpus import iter_trec_documents, load_trec_collection
+from repro.text import TextPipeline
+
+SAMPLE = """
+<DOC>
+<DOCNO> WSJ870324-0001 </DOCNO>
+<HL> Rocket Launch Succeeds </HL>
+<TEXT>
+The rocket engine ignited on schedule and the
+spacecraft reached orbit.
+</TEXT>
+</DOC>
+<DOC>
+<DOCNO>FR880101-0002</DOCNO>
+<TEXT>
+Federal regulations concerning kitchen appliances.
+</TEXT>
+</DOC>
+"""
+
+
+@pytest.fixture
+def trec_file(tmp_path):
+    path = tmp_path / "sample.sgml"
+    path.write_text(SAMPLE)
+    return path
+
+
+class TestIterTrecDocuments:
+    def test_yields_all_documents(self, trec_file):
+        docs = list(iter_trec_documents(trec_file))
+        assert len(docs) == 2
+
+    def test_docnos_extracted_and_stripped(self, trec_file):
+        docnos = [d[0] for d in iter_trec_documents(trec_file)]
+        assert docnos == ["WSJ870324-0001", "FR880101-0002"]
+
+    def test_tags_removed_from_text(self, trec_file):
+        __, text = next(iter_trec_documents(trec_file))
+        assert "<TEXT>" not in text
+        assert "rocket engine" in text
+        assert "Rocket Launch Succeeds" in text  # headline kept as content
+
+    def test_docno_not_in_text(self, trec_file):
+        __, text = next(iter_trec_documents(trec_file))
+        assert "WSJ870324-0001" not in text
+
+    def test_missing_docno_synthesized(self, tmp_path):
+        path = tmp_path / "anon.sgml"
+        path.write_text("<DOC>\n<TEXT>orphan body</TEXT>\n</DOC>\n")
+        ((docno, text),) = iter_trec_documents(path)
+        assert docno == "anon-1"
+        assert "orphan" in text
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.sgml"
+        path.write_text("<DOC>\n<TEXT>never closed\n")
+        with pytest.raises(ValueError, match="unterminated"):
+            list(iter_trec_documents(path))
+
+    def test_gzip_supported(self, tmp_path):
+        path = tmp_path / "sample.sgml.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write(SAMPLE)
+        assert len(list(iter_trec_documents(path))) == 2
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.sgml"
+        path.write_text("")
+        assert list(iter_trec_documents(path)) == []
+
+
+class TestLoadTrecCollection:
+    def test_builds_collection(self, trec_file):
+        collection = load_trec_collection(trec_file, name="wsj")
+        assert collection.name == "wsj"
+        assert collection.n_documents == 2
+        assert collection.index_of("WSJ870324-0001") == 0
+
+    def test_pipeline_applied(self, trec_file):
+        collection = load_trec_collection(
+            trec_file, name="wsj", pipeline=TextPipeline(stem=False)
+        )
+        assert "rocket" in collection.vocabulary
+        assert "the" not in collection.vocabulary
+
+    def test_limit(self, trec_file):
+        collection = load_trec_collection(trec_file, name="wsj", limit=1)
+        assert collection.n_documents == 1
+
+    def test_multiple_files(self, trec_file, tmp_path):
+        other = tmp_path / "more.sgml"
+        other.write_text(
+            "<DOC>\n<DOCNO>X-1</DOCNO>\n<TEXT>extra content here</TEXT>\n</DOC>\n"
+        )
+        collection = load_trec_collection([trec_file, other], name="all")
+        assert collection.n_documents == 3
+
+    def test_end_to_end_estimation(self, trec_file):
+        from repro.core import SubrangeEstimator, true_usefulness
+        from repro.corpus import Query
+        from repro.engine import SearchEngine
+        from repro.representatives import build_representative
+
+        engine = SearchEngine(load_trec_collection(trec_file, name="wsj"))
+        rep = build_representative(engine)
+        query = Query.from_text("rocket orbit")
+        estimate = SubrangeEstimator().estimate(query, rep, 0.2)
+        truth = true_usefulness(engine, query, 0.2)
+        assert estimate.nodoc >= 1
+        assert truth.nodoc == 1

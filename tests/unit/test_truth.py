@@ -1,0 +1,65 @@
+"""Unit tests for exact usefulness computation."""
+
+import math
+
+import pytest
+
+from repro.core import true_usefulness, true_usefulness_many
+from repro.corpus import Collection, Document, Query
+from repro.engine import SearchEngine
+
+
+@pytest.fixture
+def engine():
+    return SearchEngine(
+        Collection.from_documents(
+            "db",
+            [
+                Document("d1", terms=["x"]),            # sim(x) = 1.0
+                Document("d2", terms=["x", "y"]),       # sim(x) = 1/sqrt(2)
+                Document("d3", terms=["y"]),            # sim(x) = 0
+            ],
+        )
+    )
+
+
+class TestTrueUsefulness:
+    def test_nodoc_counts_strictly_above(self, engine):
+        query = Query.from_terms(["x"])
+        result = true_usefulness(engine, query, threshold=0.5)
+        assert result.nodoc == 2
+
+    def test_boundary_is_strict(self, engine):
+        query = Query.from_terms(["x"])
+        sim2 = 1 / math.sqrt(2)
+        assert true_usefulness(engine, query, sim2).nodoc == 1
+        assert true_usefulness(engine, query, sim2 - 1e-9).nodoc == 2
+
+    def test_avgsim(self, engine):
+        query = Query.from_terms(["x"])
+        result = true_usefulness(engine, query, threshold=0.5)
+        assert result.avgsim == pytest.approx((1.0 + 1 / math.sqrt(2)) / 2)
+
+    def test_zero_when_no_docs(self, engine):
+        result = true_usefulness(engine, Query.from_terms(["zz"]), 0.1)
+        assert result.nodoc == 0
+        assert result.avgsim == 0.0
+
+    def test_many_matches_singles(self, engine):
+        query = Query.from_terms(["x", "y"])
+        thresholds = (0.1, 0.5, 0.9)
+        many = true_usefulness_many(engine, query, thresholds)
+        for threshold, result in zip(thresholds, many):
+            single = true_usefulness(engine, query, threshold)
+            assert result == single
+
+    def test_paper_definition_consistency(self, engine):
+        """NoDoc(T) equals |search(T)| for every threshold."""
+        query = Query.from_terms(["x", "y"])
+        for threshold in (0.0, 0.3, 0.6, 0.9):
+            hits = engine.search(query, threshold)
+            result = true_usefulness(engine, query, threshold)
+            assert result.nodoc == len(hits)
+            if hits:
+                expected = sum(h.similarity for h in hits) / len(hits)
+                assert result.avgsim == pytest.approx(expected)

@@ -1,0 +1,37 @@
+"""Unit tests for repro.core.types.Usefulness."""
+
+import pytest
+
+from repro.core import Usefulness
+
+
+class TestUsefulness:
+    def test_zero(self):
+        z = Usefulness.zero()
+        assert z.nodoc == 0.0
+        assert z.avgsim == 0.0
+        assert not z.identifies_useful
+
+    def test_rounding_half_up(self):
+        assert Usefulness(1.2, 0.5).nodoc_rounded == 1
+        assert Usefulness(1.7, 0.5).nodoc_rounded == 2
+
+    def test_identifies_useful_boundary(self):
+        assert Usefulness(0.5, 0.1).identifies_useful      # rounds to 1
+        assert not Usefulness(0.4, 0.1).identifies_useful  # rounds to 0
+
+    def test_negative_nodoc_rejected(self):
+        with pytest.raises(ValueError):
+            Usefulness(-0.1, 0.0)
+
+    def test_negative_avgsim_rejected(self):
+        with pytest.raises(ValueError):
+            Usefulness(0.0, -0.1)
+
+    def test_frozen(self):
+        u = Usefulness(1.0, 0.5)
+        with pytest.raises(AttributeError):
+            u.nodoc = 2.0
+
+    def test_equality(self):
+        assert Usefulness(1.0, 0.5) == Usefulness(1.0, 0.5)

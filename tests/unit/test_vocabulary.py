@@ -1,0 +1,54 @@
+"""Unit tests for repro.vsm.Vocabulary."""
+
+import pytest
+
+from repro.vsm import Vocabulary
+
+
+class TestVocabulary:
+    def test_add_assigns_dense_ids(self):
+        vocab = Vocabulary()
+        assert vocab.add("apple") == 0
+        assert vocab.add("banana") == 1
+        assert vocab.add("cherry") == 2
+
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("apple")
+        assert vocab.add("apple") == first
+        assert len(vocab) == 1
+
+    def test_id_of_known_term(self):
+        vocab = Vocabulary(["apple", "banana"])
+        assert vocab.id_of("banana") == 1
+
+    def test_id_of_unknown_term_is_none(self):
+        assert Vocabulary().id_of("missing") is None
+
+    def test_term_of_roundtrip(self):
+        vocab = Vocabulary(["apple", "banana"])
+        for term in ("apple", "banana"):
+            assert vocab.term_of(vocab.id_of(term)) == term
+
+    def test_term_of_unknown_raises(self):
+        with pytest.raises(IndexError):
+            Vocabulary().term_of(0)
+
+    def test_contains(self):
+        vocab = Vocabulary(["apple"])
+        assert "apple" in vocab
+        assert "banana" not in vocab
+
+    def test_iteration_in_id_order(self):
+        vocab = Vocabulary(["c", "a", "b"])
+        assert list(vocab) == ["c", "a", "b"]
+
+    def test_constructor_dedupes(self):
+        vocab = Vocabulary(["a", "b", "a"])
+        assert len(vocab) == 2
+
+    def test_len_empty(self):
+        assert len(Vocabulary()) == 0
+
+    def test_repr(self):
+        assert "2 terms" in repr(Vocabulary(["a", "b"]))

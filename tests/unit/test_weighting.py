@@ -1,0 +1,77 @@
+"""Unit tests for repro.vsm.weighting."""
+
+import numpy as np
+import pytest
+
+from repro.vsm import (
+    AugmentedTfWeighting,
+    BinaryWeighting,
+    LogTfWeighting,
+    RawTfWeighting,
+    get_weighting,
+)
+
+
+class TestRawTf:
+    def test_identity(self):
+        out = RawTfWeighting().weights(np.array([1.0, 5.0, 2.0]))
+        assert out.tolist() == [1.0, 5.0, 2.0]
+
+    def test_empty(self):
+        assert RawTfWeighting().weights(np.array([])).size == 0
+
+
+class TestLogTf:
+    def test_tf_one_maps_to_one(self):
+        assert LogTfWeighting().weights(np.array([1.0]))[0] == pytest.approx(1.0)
+
+    def test_dampens_large_tf(self):
+        out = LogTfWeighting().weights(np.array([100.0]))
+        assert out[0] == pytest.approx(1.0 + np.log(100.0))
+
+    def test_zero_stays_zero(self):
+        assert LogTfWeighting().weights(np.array([0.0]))[0] == 0.0
+
+
+class TestAugmentedTf:
+    def test_max_tf_maps_to_one(self):
+        out = AugmentedTfWeighting().weights(np.array([2.0, 4.0]))
+        assert out[1] == pytest.approx(1.0)
+
+    def test_range_is_half_to_one(self):
+        out = AugmentedTfWeighting().weights(np.array([1.0, 10.0]))
+        assert 0.5 <= out[0] <= 1.0
+
+    def test_zero_stays_zero(self):
+        out = AugmentedTfWeighting().weights(np.array([0.0, 2.0]))
+        assert out[0] == 0.0
+
+    def test_all_zero(self):
+        out = AugmentedTfWeighting().weights(np.array([0.0, 0.0]))
+        assert out.tolist() == [0.0, 0.0]
+
+    def test_empty(self):
+        assert AugmentedTfWeighting().weights(np.array([])).size == 0
+
+
+class TestBinary:
+    def test_presence_indicator(self):
+        out = BinaryWeighting().weights(np.array([0.0, 3.0, 1.0]))
+        assert out.tolist() == [0.0, 1.0, 1.0]
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["tf", "logtf", "augtf", "binary"])
+    def test_lookup(self, name):
+        assert get_weighting(name).name == name
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(ValueError, match="tf"):
+            get_weighting("bm25")
+
+    @pytest.mark.parametrize("name", ["tf", "logtf", "binary"])
+    def test_monotone_in_tf(self, name):
+        scheme = get_weighting(name)
+        tf = np.array([1.0, 2.0, 3.0, 10.0])
+        out = scheme.weights(tf)
+        assert np.all(np.diff(out) >= 0)

@@ -1,0 +1,58 @@
+"""Unit tests for the Zipf-Mandelbrot sampler."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.synth import ZipfDistribution
+
+
+class TestConstruction:
+    def test_probabilities_sum_to_one(self):
+        dist = ZipfDistribution(1000)
+        assert dist.probabilities.sum() == pytest.approx(1.0)
+
+    def test_probabilities_decreasing(self):
+        probs = ZipfDistribution(100).probabilities
+        assert np.all(np.diff(probs) < 0)
+
+    def test_zipf_ratio(self):
+        # With shift 0 and exponent 1, rank 0 is twice as likely as rank 1.
+        dist = ZipfDistribution(10, exponent=1.0, shift=0.0)
+        assert dist.probability(0) / dist.probability(1) == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("size,exponent,shift", [(0, 1.0, 0.0), (10, 0.0, 0.0), (10, 1.0, -1.0)])
+    def test_invalid_params(self, size, exponent, shift):
+        with pytest.raises(ValueError):
+            ZipfDistribution(size, exponent=exponent, shift=shift)
+
+    def test_size_one(self):
+        dist = ZipfDistribution(1)
+        assert dist.probability(0) == pytest.approx(1.0)
+
+
+class TestSampling:
+    def test_sample_range(self):
+        dist = ZipfDistribution(50)
+        samples = dist.sample(np.random.default_rng(0), 10000)
+        assert samples.min() >= 0
+        assert samples.max() < 50
+
+    def test_sample_matches_distribution(self):
+        dist = ZipfDistribution(20, exponent=1.0, shift=0.0)
+        samples = dist.sample(np.random.default_rng(1), 200000)
+        counts = np.bincount(samples, minlength=20) / samples.size
+        # Head ranks should match their true probability within MC noise.
+        for rank in range(5):
+            assert counts[rank] == pytest.approx(dist.probability(rank), rel=0.05)
+
+    def test_sample_deterministic_per_seed(self):
+        dist = ZipfDistribution(100)
+        a = dist.sample(np.random.default_rng(7), 50)
+        b = dist.sample(np.random.default_rng(7), 50)
+        assert np.array_equal(a, b)
+
+    def test_sample_zero(self):
+        assert ZipfDistribution(10).sample(np.random.default_rng(0), 0).size == 0
+
+    def test_repr(self):
+        assert "size=10" in repr(ZipfDistribution(10))
