@@ -8,14 +8,46 @@ the exhaustive oracle, and the fraction of engine invocations (and thereby
 network/processing cost) the usefulness estimates save versus broadcasting.
 """
 
+import time
+
 from repro.engine import SearchEngine
 from repro.evaluation import evaluate_selection
 from repro.metasearch import MetasearchBroker
+from repro.representatives import build_representative
 
 from _bench_utils import emit
 
 SAMPLE = 400
 GRID = (0.2, 0.3, 0.4)
+
+#: Engines and simulated per-call network latency for the dispatch benches.
+DISPATCH_FLEET = 16
+DISPATCH_DELAY = 0.02
+
+
+class _LatencyEngine:
+    """Wrapper simulating network round-trip time on ``search`` — the cost
+    profile the concurrent dispatcher exists to hide."""
+
+    def __init__(self, inner, delay):
+        self.inner = inner
+        self.delay = delay
+
+    def __getattr__(self, attr):
+        return getattr(self.inner, attr)
+
+    def search(self, query, threshold=0.0):
+        time.sleep(self.delay)
+        return self.inner.search(query, threshold)
+
+
+def _latency_broker(engines, representatives, delay, **kwargs):
+    broker = MetasearchBroker(cache_size=0, **kwargs)
+    for engine, representative in zip(engines, representatives):
+        broker.register(
+            _LatencyEngine(engine, delay), representative=representative
+        )
+    return broker
 
 
 def test_full_fleet_selection(benchmark, corpus_model, query_log):
@@ -56,3 +88,87 @@ def test_full_fleet_selection(benchmark, corpus_model, query_log):
     assert min(recalls) >= 0.85
     final_share = invoked / (len(broker) * len(queries))
     assert final_share <= 0.5
+
+
+def test_full_fleet_concurrent_speedup(benchmark, corpus_model, query_log):
+    """workers=8 over 16 latency-bound engines beats the serial path."""
+    engines = [
+        SearchEngine(corpus_model.generate_group(g)) for g in range(DISPATCH_FLEET)
+    ]
+    representatives = [build_representative(e) for e in engines]
+    serial = _latency_broker(engines, representatives, DISPATCH_DELAY, workers=1)
+    concurrent = _latency_broker(engines, representatives, DISPATCH_DELAY, workers=8)
+    queries = query_log[:5]
+
+    def broadcast(broker):
+        for query in queries:
+            broker.search_all(query, 0.3)
+
+    start = time.perf_counter()
+    broadcast(serial)
+    t_serial = time.perf_counter() - start
+    start = time.perf_counter()
+    broadcast(concurrent)
+    t_concurrent = time.perf_counter() - start
+    benchmark.pedantic(broadcast, args=(concurrent,), rounds=2, iterations=1)
+
+    emit(
+        "fleet_dispatch",
+        "\n".join(
+            [
+                "",
+                f"=== concurrent dispatch: {DISPATCH_FLEET} engines, "
+                f"{DISPATCH_DELAY * 1000:.0f}ms simulated RTT, "
+                f"{len(queries)} broadcast queries ===",
+                f"serial (workers=1) : {t_serial:.2f}s",
+                f"workers=8          : {t_concurrent:.2f}s",
+                f"speedup            : {t_serial / t_concurrent:.1f}x",
+            ]
+        ),
+    )
+    # 8 workers over 16 latency-bound engines must at least halve wall clock.
+    assert t_concurrent < t_serial / 2.0
+
+
+def test_full_fleet_survives_hung_engine(benchmark, corpus_model, query_log):
+    """One hung engine: merged results still arrive within the deadline."""
+    timeout = 0.5
+    engines = [
+        SearchEngine(corpus_model.generate_group(g)) for g in range(DISPATCH_FLEET)
+    ]
+    representatives = [build_representative(e) for e in engines]
+    broker = MetasearchBroker(workers=8, timeout=timeout, cache_size=0)
+    hung = _LatencyEngine(engines[0], delay=4.0)  # far past the deadline
+    broker.register(hung, representative=representatives[0])
+    for engine, representative in zip(engines[1:], representatives[1:]):
+        broker.register(engine, representative=representative)
+    query = query_log[0]
+
+    start = time.perf_counter()
+    response = broker.search_all(query, 0.05)
+    elapsed = time.perf_counter() - start
+    benchmark.pedantic(
+        broker.search_all, args=(query, 0.05), rounds=2, iterations=1
+    )
+
+    healthy = {h.engine for h in response.hits}
+    emit(
+        "fleet_degradation",
+        "\n".join(
+            [
+                "",
+                f"=== hung-engine degradation: 1/{DISPATCH_FLEET} engines hung, "
+                f"timeout {timeout}s ===",
+                f"response time      : {elapsed:.2f}s",
+                f"merged hits        : {len(response.hits)} "
+                f"from {len(healthy)} engines",
+                f"failures           : "
+                + "; ".join(str(f) for f in response.failures),
+            ]
+        ),
+    )
+    assert elapsed < timeout + 0.4  # deadline held despite the hang
+    assert [f.engine for f in response.failures] == [engines[0].name]
+    assert response.failures[0].kind == "timeout"
+    assert response.hits  # healthy engines still answered
+    assert engines[0].name not in healthy

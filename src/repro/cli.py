@@ -6,6 +6,7 @@ Subcommands::
     repro-usefulness represent --collection data/D1.jsonl.gz --out D1.rep.json
     repro-usefulness estimate --collection ... --query "terms ..." --threshold 0.2
     repro-usefulness evaluate --database D1 --queries 2000
+    repro-usefulness fleet --groups 16 --workers 8 --timeout 2.0
     repro-usefulness scalability
 
 Every command prints plain text to stdout; all randomness is seeded.
@@ -36,7 +37,7 @@ from repro.evaluation import (
     format_sizing_table,
     run_usefulness_experiment,
 )
-from repro.metasearch import allocate_documents, threshold_for_k
+from repro.metasearch import MetasearchBroker, allocate_documents, threshold_for_k
 from repro.representatives import (
     DatabaseRepresentative,
     PAPER_COLLECTION_STATS,
@@ -161,6 +162,98 @@ def _cmd_import_trec(args: argparse.Namespace) -> int:
     return 0
 
 
+class _InjectedFault:
+    """Demo-only engine wrapper adding latency (or a hang) to ``search``;
+    everything else delegates, so registration and the oracle still work."""
+
+    def __init__(self, inner: SearchEngine, delay: float):
+        self.inner = inner
+        self.delay = delay
+
+    def __getattr__(self, attr):
+        return getattr(self.inner, attr)
+
+    def search(self, query, threshold=0.0):
+        import time
+
+        time.sleep(self.delay)
+        return self.inner.search(query, threshold)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Run a query log through a full broker fleet with the concurrency,
+    timeout, retry, and caching knobs — the production dispatch demo."""
+    import time
+
+    if args.groups < 1:
+        print(f"error: --groups must be >= 1, got {args.groups}", file=sys.stderr)
+        return 2
+    if args.queries < 1:
+        print(f"error: --queries must be >= 1, got {args.queries}", file=sys.stderr)
+        return 2
+    if args.scale == "small":
+        model = NewsgroupModel(
+            vocab_size=4000,
+            topic_size=120,
+            topic_band=(50, 1500),
+            mean_length=80,
+            seed=args.seed,
+            group_sizes=[60, 50, 40, 30, 25, 20, 15, 12, 10, 8] * 6,
+        )
+    else:
+        model = NewsgroupModel(seed=args.seed)
+    n_groups = min(args.groups, model.n_groups)
+    try:
+        broker = MetasearchBroker(
+            workers=args.workers,
+            timeout=args.timeout,
+            retries=args.retries,
+            cache_size=args.cache_size,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for group in range(n_groups):
+        engine = SearchEngine(model.generate_group(group))
+        if group < args.hang_engines:
+            slow = _InjectedFault(engine, delay=args.hang_seconds)
+            broker.register(slow, representative=build_representative(engine))
+        else:
+            broker.register(engine)
+    queries = QueryLogModel(model, seed=args.query_seed).generate(args.queries)
+
+    invoked = hits = 0
+    failures: dict = {}
+    start = time.perf_counter()
+    for query in queries:
+        response = broker.search(query, args.threshold)
+        invoked += len(response.invoked)
+        hits += len(response.hits)
+        for failure in response.failures:
+            failures[failure.kind] = failures.get(failure.kind, 0) + 1
+    elapsed = time.perf_counter() - start
+
+    broadcast = len(broker) * len(queries)
+    print(f"fleet    : {len(broker)} engines, {len(queries)} queries, "
+          f"threshold {args.threshold:.2f}")
+    print(f"dispatch : workers={args.workers} timeout={args.timeout} "
+          f"retries={args.retries} cache_size={args.cache_size}")
+    print(f"elapsed  : {elapsed:.2f}s total, "
+          f"{1000.0 * elapsed / max(1, len(queries)):.1f}ms/query")
+    print(f"invoked  : {invoked} engine calls "
+          f"({invoked / broadcast:.1%} of broadcast)")
+    print(f"hits     : {hits} merged hits")
+    failure_text = ", ".join(
+        f"{count} {kind}" for kind, count in sorted(failures.items())
+    )
+    print(f"failures : {failure_text or 'none'}")
+    if broker.cache is not None:
+        print(f"cache    : {broker.cache.hits + broker.cache.misses} lookups, "
+              f"{broker.cache.hit_rate:.1%} hit rate, "
+              f"{len(broker.cache)} resident")
+    return 0
+
+
 def _cmd_scalability(args: argparse.Namespace) -> int:
     rows = list(PAPER_COLLECTION_STATS)
     if args.synthetic:
@@ -233,6 +326,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True)
     p.add_argument("--limit", type=int, default=None)
     p.set_defaults(func=_cmd_import_trec)
+
+    p = sub.add_parser(
+        "fleet",
+        help="query a synthetic engine fleet through the concurrent broker",
+    )
+    p.add_argument("--groups", type=int, default=16, help="engines to register")
+    p.add_argument("--queries", type=int, default=100)
+    p.add_argument("--threshold", type=float, default=0.3)
+    p.add_argument("--workers", type=int, default=8,
+                   help="concurrent engine calls (1 = serial path)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="fan-out deadline in seconds (default: none)")
+    p.add_argument("--retries", type=int, default=0,
+                   help="extra attempts after an engine error")
+    p.add_argument("--cache-size", type=int, default=1024,
+                   help="estimate cache capacity (0 disables)")
+    p.add_argument("--scale", choices=("small", "paper"), default="small",
+                   help="corpus scale: quick demo or the paper's full size")
+    p.add_argument("--hang-engines", type=int, default=0,
+                   help="fault injection: make the first N engines hang")
+    p.add_argument("--hang-seconds", type=float, default=5.0,
+                   help="how long an injected hang sleeps")
+    p.add_argument("--seed", type=int, default=1999)
+    p.add_argument("--query-seed", type=int, default=42)
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser("scalability", help="print the Section 3.2 sizing table")
     p.add_argument("--synthetic", action="store_true",

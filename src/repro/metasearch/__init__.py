@@ -22,6 +22,12 @@ from repro.metasearch.broker import (
     MetasearchBroker,
     MetasearchResponse,
 )
+from repro.metasearch.cache import EstimateCache
+from repro.metasearch.dispatch import (
+    ConcurrentDispatcher,
+    DispatchReport,
+    EngineFailure,
+)
 from repro.metasearch.merge import merge_hits
 from repro.metasearch.selection import (
     EstimatedUsefulness,
@@ -32,8 +38,12 @@ from repro.metasearch.selection import (
 
 __all__ = [
     "BrokerNode",
+    "ConcurrentDispatcher",
+    "DispatchReport",
+    "EngineFailure",
     "EngineRegistration",
     "EngineServer",
+    "EstimateCache",
     "HierarchySearchReport",
     "RepresentativeSnapshot",
     "SubscribingBroker",

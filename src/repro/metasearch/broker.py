@@ -6,11 +6,22 @@ estimates every registered engine's usefulness from its representative,
 (2) applies a selection policy, (3) forwards the query to the selected
 engines only, and (4) merges their results.  A ``search_all`` baseline
 broadcasts to every engine, which is what selection is meant to avoid.
+
+Two production concerns live behind the same interface:
+
+* Dispatch runs through a :class:`~repro.metasearch.dispatch.ConcurrentDispatcher`
+  — parallel fan-out with per-dispatch timeout, bounded retry, and graceful
+  degradation.  ``workers=1`` (the default) preserves the historical serial
+  semantics exactly.
+* Estimates are memoized in an :class:`~repro.metasearch.cache.EstimateCache`
+  keyed on (engine, query, threshold); re-registering an engine invalidates
+  its entries, so a rebuilt representative is never shadowed by stale
+  estimates.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.base import UsefulnessEstimator
@@ -18,6 +29,8 @@ from repro.core.subrange_estimator import SubrangeEstimator
 from repro.corpus.query import Query
 from repro.engine.results import SearchHit
 from repro.engine.search_engine import SearchEngine
+from repro.metasearch.cache import EstimateCache
+from repro.metasearch.dispatch import ConcurrentDispatcher, EngineFailure
 from repro.metasearch.merge import merge_hits
 from repro.metasearch.selection import (
     EstimatedUsefulness,
@@ -27,7 +40,7 @@ from repro.metasearch.selection import (
 from repro.representatives.builder import build_representative
 from repro.representatives.representative import DatabaseRepresentative
 
-__all__ = ["EngineRegistration", "MetasearchBroker"]
+__all__ = ["EngineRegistration", "MetasearchBroker", "MetasearchResponse"]
 
 
 @dataclass
@@ -43,16 +56,34 @@ class MetasearchResponse:
     """Outcome of one brokered search.
 
     Attributes:
-        hits: Globally ranked merged hits.
+        hits: Globally ranked merged hits from the engines that answered.
         invoked: Names of the engines the query was forwarded to.
         estimates: All per-engine usefulness estimates (invoked or not),
             most promising first — useful for diagnostics and the paper's
             evaluation harness.
+        failures: One :class:`~repro.metasearch.dispatch.EngineFailure`
+            per invoked engine that timed out or errored; such an engine
+            contributes no hits but does not sink the query.
+        latencies: Wall-clock seconds per invoked engine (time until
+            abandonment for a failed one).
     """
 
     hits: List[SearchHit]
     invoked: List[str]
     estimates: List[EstimatedUsefulness]
+    failures: List[EngineFailure] = field(default_factory=list)
+    latencies: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one invoked engine failed to answer."""
+        return bool(self.failures)
+
+    @property
+    def answered(self) -> List[str]:
+        """Invoked engines that actually contributed results."""
+        failed = {f.engine for f in self.failures}
+        return [name for name in self.invoked if name not in failed]
 
 
 class MetasearchBroker:
@@ -63,15 +94,37 @@ class MetasearchBroker:
             paper's subrange method by default.
         policy: Engine selection policy; the paper's threshold criterion
             (estimated NoDoc >= 1) by default.
+        workers: Concurrent engine calls per search; ``1`` keeps the
+            serial dispatch path.
+        timeout: Fan-out deadline in seconds (enforced when
+            ``workers > 1``); ``None`` waits indefinitely.
+        retries: Extra attempts after an engine call raises.
+        backoff: Base backoff in seconds between retry attempts.
+        cache_size: Capacity of the estimate cache; ``0`` disables
+            caching entirely.
     """
 
     def __init__(
         self,
         estimator: Optional[UsefulnessEstimator] = None,
         policy: Optional[SelectionPolicy] = None,
+        *,
+        workers: int = 1,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+        cache_size: int = 1024,
     ):
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size!r}")
         self.estimator = estimator or SubrangeEstimator()
         self.policy = policy or ThresholdPolicy()
+        self.dispatcher = ConcurrentDispatcher(
+            workers=workers, timeout=timeout, retries=retries, backoff=backoff
+        )
+        self.cache: Optional[EstimateCache] = (
+            EstimateCache(cache_size) if cache_size else None
+        )
         self._registry: Dict[str, EngineRegistration] = {}
 
     # -- registration -------------------------------------------------------------
@@ -84,14 +137,22 @@ class MetasearchBroker:
         """Register a local engine; builds its representative when omitted.
 
         Engine names must be unique — the name is the routing key.
+        Re-registering the *same engine object* is a refresh: its
+        representative is rebuilt (or replaced by the one given) and any
+        cached estimates for it are invalidated, so a corpus change
+        becomes visible to selection immediately.  Registering a
+        *different* engine under an existing name stays an error.
         """
-        if engine.name in self._registry:
+        existing = self._registry.get(engine.name)
+        if existing is not None and existing.engine is not engine:
             raise ValueError(f"engine {engine.name!r} already registered")
         if representative is None:
             representative = build_representative(engine)
         self._registry[engine.name] = EngineRegistration(
             engine=engine, representative=representative
         )
+        if self.cache is not None:
+            self.cache.invalidate_engine(engine.name)
 
     @property
     def engine_names(self) -> List[str]:
@@ -105,6 +166,23 @@ class MetasearchBroker:
 
     # -- estimation and search ---------------------------------------------------------
 
+    def _estimate_one(
+        self, name: str, registration: EngineRegistration, query: Query, threshold: float
+    ):
+        if self.cache is None:
+            return self.estimator.estimate(
+                query, registration.representative, threshold
+            )
+        key = EstimateCache.key_for(name, query, threshold)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        usefulness = self.estimator.estimate(
+            query, registration.representative, threshold
+        )
+        self.cache.put(key, usefulness)
+        return usefulness
+
     def estimate_all(
         self, query: Query, threshold: float
     ) -> List[EstimatedUsefulness]:
@@ -112,9 +190,7 @@ class MetasearchBroker:
         estimates = [
             EstimatedUsefulness(
                 engine=name,
-                usefulness=self.estimator.estimate(
-                    query, registration.representative, threshold
-                ),
+                usefulness=self._estimate_one(name, registration, query, threshold),
             )
             for name, registration in self._registry.items()
         ]
@@ -125,6 +201,32 @@ class MetasearchBroker:
         """Names of the engines the policy picks for this query."""
         return self.policy.select(self.estimate_all(query, threshold))
 
+    def _dispatch(
+        self,
+        names: List[str],
+        query: Query,
+        threshold: float,
+        limit: Optional[int],
+        estimates: List[EstimatedUsefulness],
+    ) -> MetasearchResponse:
+        report = self.dispatcher.dispatch(
+            {
+                name: (
+                    lambda engine=self._registry[name].engine: engine.search(
+                        query, threshold
+                    )
+                )
+                for name in names
+            }
+        )
+        return MetasearchResponse(
+            hits=merge_hits(report.result_lists(), limit=limit),
+            invoked=names,
+            estimates=estimates,
+            failures=report.failures,
+            latencies=report.latencies,
+        )
+
     def search(
         self,
         query: Query,
@@ -134,15 +236,7 @@ class MetasearchBroker:
         """Estimate, select, dispatch, merge."""
         estimates = self.estimate_all(query, threshold)
         invoked = self.policy.select(estimates)
-        result_lists = [
-            self._registry[name].engine.search(query, threshold)
-            for name in invoked
-        ]
-        return MetasearchResponse(
-            hits=merge_hits(result_lists, limit=limit),
-            invoked=invoked,
-            estimates=estimates,
-        )
+        return self._dispatch(invoked, query, threshold, limit, estimates)
 
     def search_all(
         self,
@@ -151,15 +245,7 @@ class MetasearchBroker:
         limit: Optional[int] = None,
     ) -> MetasearchResponse:
         """Broadcast baseline: query every engine regardless of estimates."""
-        names = self.engine_names
-        result_lists = [
-            self._registry[name].engine.search(query, threshold) for name in names
-        ]
-        return MetasearchResponse(
-            hits=merge_hits(result_lists, limit=limit),
-            invoked=names,
-            estimates=[],
-        )
+        return self._dispatch(self.engine_names, query, threshold, limit, [])
 
     def true_selection(self, query: Query, threshold: float) -> List[str]:
         """Oracle: engines that *actually* hold a document above threshold

@@ -1,0 +1,106 @@
+"""LRU cache for per-engine usefulness estimates.
+
+Usefulness estimation is a pure function of (representative, query,
+threshold), and real query logs are heavily repetitive — so the broker
+caches estimates keyed on ``(engine, query terms+weights, threshold)``
+and invalidates an engine's entries whenever its representative is
+rebuilt or replaced.  The cache is thread-safe: estimate lookups may
+happen concurrently with a registration refresh on another thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+from repro.core.types import Usefulness
+from repro.corpus.query import Query
+
+__all__ = ["EstimateCache"]
+
+#: Cache key: (engine name, query terms, query weights, threshold).
+CacheKey = Tuple[str, Tuple[str, ...], Tuple[float, ...], float]
+
+
+class EstimateCache:
+    """Bounded LRU mapping (engine, query, threshold) -> Usefulness.
+
+    Args:
+        maxsize: Maximum resident entries; the least recently used entry
+            is evicted when full.  Must be positive — construct no cache
+            at all to disable caching.
+    """
+
+    def __init__(self, maxsize: int = 1024):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize!r}")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[CacheKey, Usefulness]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key_for(engine: str, query: Query, threshold: float) -> CacheKey:
+        """The cache key for one estimate; weights are part of the key
+        because estimators see normalized weights, not just terms."""
+        return (engine, query.terms, query.weights, float(threshold))
+
+    def get(self, key: CacheKey) -> Optional[Usefulness]:
+        """The cached estimate, refreshed as most recently used; None on miss."""
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: CacheKey, value: Usefulness) -> None:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate_engine(self, engine: str) -> int:
+        """Drop every entry for ``engine`` (its representative changed).
+
+        Returns:
+            Number of entries removed.
+        """
+        with self._lock:
+            stale = [key for key in self._data if key[0] == engine]
+            for key in stale:
+                del self._data[key]
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop all entries; the hit/miss/eviction counters survive."""
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"EstimateCache(size={len(self)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,273 @@
+"""Concurrent fan-out to local search engines.
+
+The broker in the paper is a thin routing layer over many autonomous
+engines; in a real deployment those engines answer over a network and can
+be slow, flaky, or down entirely.  This module gives the broker a
+production dispatch path:
+
+* **Fan-out** — selected engines are queried in parallel on a
+  :class:`~concurrent.futures.ThreadPoolExecutor` (``workers`` threads).
+  Engine calls are dominated by I/O wait in a networked deployment (and
+  by NumPy kernels, which release the GIL, in-process), so threads give
+  real overlap.
+* **Timeout** — each dispatch has a deadline of ``timeout`` seconds
+  measured from fan-out start; an engine that has not answered by then is
+  abandoned and reported as a :class:`EngineFailure` of kind
+  ``"timeout"``.  The overall dispatch therefore returns within roughly
+  ``timeout`` seconds no matter how many engines hang.
+* **Retry** — an engine call that *raises* is retried up to ``retries``
+  extra times with exponential backoff (``backoff * 2**attempt`` seconds
+  between attempts).  Retries count against the same deadline.  A timed
+  out call is *not* retried: the request is still in flight, and issuing
+  another would double the load on an already-struggling backend.
+* **Graceful degradation** — a failed engine contributes an empty result
+  list plus a structured failure record; healthy engines' results are
+  unaffected.  The query never sinks with one bad backend.
+
+``workers=1`` keeps the historical serial path: calls run in the caller's
+thread, in selection order, with no executor and no timeout enforcement
+(a deadline cannot preempt an in-thread call).  Retry and failure capture
+still apply, so the serial and concurrent paths return identical results
+for healthy engines — which is what the property suite asserts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.engine.results import SearchHit
+
+__all__ = ["ConcurrentDispatcher", "DispatchReport", "EngineFailure"]
+
+#: A zero-argument callable performing one engine search.
+EngineCall = Callable[[], List[SearchHit]]
+
+
+@dataclass(frozen=True)
+class EngineFailure:
+    """One engine's failure to answer a dispatched query.
+
+    Attributes:
+        engine: Name of the failing engine.
+        kind: ``"timeout"`` (deadline passed, call abandoned) or
+            ``"error"`` (every attempt raised).
+        attempts: Number of attempts made (0 for a timeout that was
+            abandoned before its outcome was observed).
+        elapsed: Seconds spent on this engine before giving up.
+        message: The final exception rendered as ``ExcType: text``, or a
+            timeout description.
+    """
+
+    engine: str
+    kind: str
+    attempts: int
+    elapsed: float
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.engine}: {self.kind} after {self.attempts} attempt(s) "
+            f"in {self.elapsed:.3f}s ({self.message})"
+        )
+
+
+@dataclass
+class DispatchReport:
+    """Outcome of one fan-out.
+
+    Attributes:
+        results: Hits per engine that answered, keyed by engine name.
+            Failed engines are absent (their result list is empty by the
+            degradation contract).
+        failures: One record per engine that timed out or errored.
+        latencies: Wall-clock seconds per engine, successes and failures
+            alike (for a timeout, the time until abandonment).
+    """
+
+    results: Dict[str, List[SearchHit]] = field(default_factory=dict)
+    failures: List[EngineFailure] = field(default_factory=list)
+    latencies: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every dispatched engine answered."""
+        return not self.failures
+
+    def result_lists(self) -> List[List[SearchHit]]:
+        """Per-engine hit lists in dispatch order, ready for merging."""
+        return list(self.results.values())
+
+
+class ConcurrentDispatcher:
+    """Queries engines in parallel with timeout, retry, and degradation.
+
+    Args:
+        workers: Maximum concurrent engine calls; ``1`` selects the
+            serial in-thread path (no executor, timeout not enforced).
+        timeout: Deadline in seconds for the whole fan-out, measured from
+            dispatch start; ``None`` disables it.  Only enforceable when
+            ``workers > 1``.
+        retries: Extra attempts after a raised engine call (a timed out
+            call is never retried).
+        backoff: Base sleep before retry ``i`` (``backoff * 2**(i-1)``
+            seconds); set 0 for immediate retries in tests.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout!r}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries!r}")
+        if backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {backoff!r}")
+        self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+
+    # -- single-engine attempt loop ------------------------------------------------
+
+    def _call_with_retry(self, name: str, call: EngineCall):
+        """Run one engine call with bounded retry; returns
+        ``(hits, attempts, elapsed)`` or raises the final exception with
+        ``.attempts`` / ``.elapsed`` bookkeeping attached."""
+        start = time.perf_counter()
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                hits = call()
+                return hits, attempts, time.perf_counter() - start
+            except Exception as exc:
+                if attempts > self.retries:
+                    exc._dispatch_attempts = attempts
+                    exc._dispatch_elapsed = time.perf_counter() - start
+                    raise
+                if self.backoff:
+                    time.sleep(self.backoff * (2 ** (attempts - 1)))
+
+    @staticmethod
+    def _error_failure(name: str, exc: Exception) -> EngineFailure:
+        return EngineFailure(
+            engine=name,
+            kind="error",
+            attempts=getattr(exc, "_dispatch_attempts", 1),
+            elapsed=getattr(exc, "_dispatch_elapsed", 0.0),
+            message=f"{type(exc).__name__}: {exc}",
+        )
+
+    # -- fan-out --------------------------------------------------------------------
+
+    def dispatch(self, calls: Mapping[str, EngineCall]) -> DispatchReport:
+        """Run every engine call; never raises for an engine failure.
+
+        Args:
+            calls: Ordered mapping engine name -> zero-argument search
+                call.  Result/latency dicts preserve this order for the
+                engines that answered.
+        """
+        if self.workers == 1 or not calls:
+            return self._dispatch_serial(calls)
+        return self._dispatch_concurrent(calls)
+
+    def _dispatch_serial(self, calls: Mapping[str, EngineCall]) -> DispatchReport:
+        report = DispatchReport()
+        for name, call in calls.items():
+            try:
+                hits, attempts, elapsed = self._call_with_retry(name, call)
+            except Exception as exc:  # degraded, never fatal
+                report.failures.append(self._error_failure(name, exc))
+                report.latencies[name] = getattr(exc, "_dispatch_elapsed", 0.0)
+            else:
+                report.results[name] = hits
+                report.latencies[name] = elapsed
+        return report
+
+    def _dispatch_concurrent(self, calls: Mapping[str, EngineCall]) -> DispatchReport:
+        report = DispatchReport()
+        start = time.perf_counter()
+        outcomes: Dict[str, tuple] = {}
+        lock = threading.Lock()
+
+        def run(name: str, call: EngineCall) -> None:
+            # Outcomes are recorded inside the worker so a late-finishing
+            # engine that already missed the deadline cannot race the
+            # report assembly below.
+            try:
+                hits, attempts, elapsed = self._call_with_retry(name, call)
+                with lock:
+                    outcomes[name] = ("ok", hits, attempts, elapsed)
+            except Exception as exc:
+                with lock:
+                    outcomes[name] = ("error", exc)
+
+        executor = ThreadPoolExecutor(
+            max_workers=min(self.workers, len(calls)),
+            thread_name_prefix="repro-dispatch",
+        )
+        try:
+            futures = {
+                name: executor.submit(run, name, call)
+                for name, call in calls.items()
+            }
+            for name, future in futures.items():
+                remaining: Optional[float] = None
+                if self.timeout is not None:
+                    remaining = max(0.0, self.timeout - (time.perf_counter() - start))
+                try:
+                    future.result(timeout=remaining)
+                except FutureTimeout:
+                    future.cancel()
+                report.latencies[name] = time.perf_counter() - start
+            with lock:
+                done = dict(outcomes)
+            for name in calls:
+                outcome = done.get(name)
+                if outcome is None:
+                    report.failures.append(
+                        EngineFailure(
+                            engine=name,
+                            kind="timeout",
+                            attempts=0,
+                            elapsed=report.latencies[name],
+                            message=f"no answer within {self.timeout}s deadline",
+                        )
+                    )
+                elif outcome[0] == "ok":
+                    _, hits, attempts, elapsed = outcome
+                    report.results[name] = hits
+                    report.latencies[name] = elapsed
+                else:
+                    exc = outcome[1]
+                    report.failures.append(self._error_failure(name, exc))
+                    report.latencies[name] = getattr(exc, "_dispatch_elapsed", 0.0)
+        finally:
+            # Abandon hung workers instead of joining them; their threads
+            # finish (or leak until process exit) without blocking us.
+            executor.shutdown(wait=False)
+        # Keep result/latency order aligned with the dispatch order.
+        report.results = {
+            name: report.results[name] for name in calls if name in report.results
+        }
+        report.latencies = {
+            name: report.latencies[name] for name in calls if name in report.latencies
+        }
+        return report
+
+    def __repr__(self) -> str:
+        return (
+            f"ConcurrentDispatcher(workers={self.workers}, "
+            f"timeout={self.timeout}, retries={self.retries})"
+        )

@@ -6,12 +6,100 @@ session-scoped; tests must treat them as immutable.
 
 from __future__ import annotations
 
+import os
+import time
+import types
+
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.corpus import Collection, Query
 from repro.corpus.synth import NewsgroupModel, QueryLogModel
 from repro.engine import SearchEngine
 from repro.representatives import DatabaseRepresentative, TermStats, build_representative
+
+# -- Hypothesis profiles -------------------------------------------------------
+#
+# "ci" is fully deterministic (derandomized, fixed example budget) so the
+# GitHub Actions matrix cannot flake; select it with HYPOTHESIS_PROFILE=ci.
+
+hypothesis_settings.register_profile(
+    "ci", derandomize=True, max_examples=50, deadline=None
+)
+hypothesis_settings.register_profile("dev", deadline=None)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+# -- fault-injection engine doubles -------------------------------------------
+#
+# Wrappers around a real SearchEngine that misbehave only in ``search``;
+# everything else (name, index, collection, max_similarity, ...) delegates,
+# so representatives build normally and the oracle still works.
+
+
+class EngineDouble:
+    """Delegating wrapper base; subclasses override ``search``."""
+
+    def __init__(self, inner: SearchEngine):
+        self.inner = inner
+
+    def __getattr__(self, attr):
+        return getattr(self.inner, attr)
+
+
+class SlowEngine(EngineDouble):
+    """Answers correctly after ``delay`` seconds — a slow/hung backend."""
+
+    def __init__(self, inner: SearchEngine, delay: float):
+        super().__init__(inner)
+        self.delay = delay
+        self.calls = 0
+
+    def search(self, query, threshold=0.0):
+        self.calls += 1
+        time.sleep(self.delay)
+        return self.inner.search(query, threshold)
+
+
+class FlakyEngine(EngineDouble):
+    """Raises on the first ``failures`` calls, then answers correctly."""
+
+    def __init__(self, inner: SearchEngine, failures: int, exc=RuntimeError):
+        super().__init__(inner)
+        self.remaining_failures = failures
+        self.exc = exc
+        self.calls = 0
+
+    def search(self, query, threshold=0.0):
+        self.calls += 1
+        if self.remaining_failures > 0:
+            self.remaining_failures -= 1
+            raise self.exc(f"injected failure from {self.inner.name}")
+        return self.inner.search(query, threshold)
+
+
+class BrokenEngine(EngineDouble):
+    """Raises on every call — a backend that is simply down."""
+
+    def __init__(self, inner: SearchEngine, exc=ConnectionError):
+        super().__init__(inner)
+        self.exc = exc
+        self.calls = 0
+
+    def search(self, query, threshold=0.0):
+        self.calls += 1
+        raise self.exc(f"{self.inner.name} is down")
+
+
+@pytest.fixture(scope="session")
+def engine_doubles():
+    """The fault-injection wrappers, importable from any test directory."""
+    return types.SimpleNamespace(
+        EngineDouble=EngineDouble,
+        SlowEngine=SlowEngine,
+        FlakyEngine=FlakyEngine,
+        BrokenEngine=BrokenEngine,
+    )
 
 # -- the paper's worked example (Examples 3.1 / 3.2) ---------------------------
 

@@ -1,0 +1,127 @@
+"""Golden regression tests for the paper-table outputs.
+
+The benchmark suite regenerates Tables 1-12 at full scale
+(``benchmarks/results/*.txt``); that is far too slow for tier-1.  These
+tests run the identical experiment pipeline — same estimators, same
+renderers — on the small session-scoped corpus and compare the rendered
+tables character-for-character against checked-in golden files.  Any
+estimator change that silently shifts the paper-table numbers fails here
+first.
+
+To regenerate after an *intentional* estimator change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/integration/test_golden_tables.py
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import SubrangeEstimator, get_estimator
+from repro.engine import SearchEngine
+from repro.evaluation import (
+    MethodSpec,
+    evaluate_selection,
+    format_combined_table,
+    format_error_table,
+    format_match_table,
+    run_usefulness_experiment,
+)
+from repro.metasearch import MetasearchBroker
+from repro.representatives import quantize_representative
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+THRESHOLDS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+
+
+def check_golden(name: str, rendered: str) -> None:
+    path = GOLDEN_DIR / f"{name}.txt"
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered + "\n", encoding="utf-8")
+    assert path.exists(), (
+        f"golden file {path} missing; run with REPRO_REGEN_GOLDEN=1 to create it"
+    )
+    assert rendered + "\n" == path.read_text(encoding="utf-8"), (
+        f"{name} drifted from its golden snapshot; if the change is "
+        f"intentional, regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+
+
+@pytest.fixture(scope="module")
+def experiment(small_engine, small_representative, small_queries):
+    """One sweep mirroring the conditions of Tables 1-12 at small scale."""
+    methods = [
+        MethodSpec("gloss-hc", get_estimator("gloss-hc"), small_representative),
+        MethodSpec("prev", get_estimator("prev"), small_representative),
+        MethodSpec("subrange", get_estimator("subrange"), small_representative),
+        MethodSpec(
+            "subrange-1byte",
+            get_estimator("subrange"),
+            quantize_representative(small_representative),
+            label="Sub 1-byte",
+        ),
+        MethodSpec(
+            "subrange-triplet",
+            SubrangeEstimator(use_stored_max=False),
+            small_representative,
+            label="Sub triplet",
+        ),
+    ]
+    return run_usefulness_experiment(
+        small_engine, small_queries, methods, thresholds=THRESHOLDS
+    )
+
+
+class TestEstimatorTables:
+    def test_match_table(self, experiment):
+        """Counterpart of Tables 1/3/5: match/mismatch per method."""
+        rendered = format_match_table(
+            experiment, methods=["gloss-hc", "prev", "subrange"]
+        )
+        check_golden("match_table", rendered)
+
+    def test_error_table(self, experiment):
+        """Counterpart of Tables 2/4/6: d-N / d-S per method."""
+        rendered = format_error_table(
+            experiment, methods=["gloss-hc", "prev", "subrange"]
+        )
+        check_golden("error_table", rendered)
+
+    def test_quantized_table(self, experiment):
+        """Counterpart of Tables 7-9: subrange on the 1-byte representative."""
+        check_golden(
+            "quantized_table", format_combined_table(experiment, "subrange-1byte")
+        )
+
+    def test_triplet_table(self, experiment):
+        """Counterpart of Tables 10-12: subrange without stored max weight."""
+        check_golden(
+            "triplet_table", format_combined_table(experiment, "subrange-triplet")
+        )
+
+
+class TestFleetSelectionTable:
+    """Counterpart of the full-fleet bench table at tier-1 scale."""
+
+    @pytest.fixture(scope="class")
+    def fleet_broker(self, small_model):
+        broker = MetasearchBroker()
+        for group in range(6):
+            broker.register(SearchEngine(small_model.generate_group(group)))
+        return broker
+
+    def test_selection_quality_table(self, fleet_broker, small_queries):
+        queries = small_queries[:60]
+        lines = [
+            f"fleet selection: {len(fleet_broker)} engines, {len(queries)} queries",
+            f"{'T':>4} {'exact':>7} {'recall':>8} {'precision':>10}",
+        ]
+        for threshold in (0.2, 0.3, 0.4):
+            quality = evaluate_selection(fleet_broker, queries, threshold)
+            lines.append(
+                f"{threshold:>4.1f} {quality.exact_rate:>7.1%} "
+                f"{quality.recall:>8.1%} {quality.precision:>10.1%}"
+            )
+        check_golden("fleet_selection", "\n".join(lines))

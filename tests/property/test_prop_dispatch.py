@@ -1,0 +1,93 @@
+"""Property tests: the concurrent dispatch path and the estimate cache are
+semantically invisible.
+
+For random fleets and queries, ``search(workers=N)`` must return exactly
+the hits, invoked set, and estimates of the serial path, and a cached
+``estimate_all`` must equal an uncached one — concurrency and caching are
+performance features, never semantic ones.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import Collection, Document, Query
+from repro.engine import SearchEngine
+from repro.metasearch import MetasearchBroker
+
+TERMS = [f"t{i}" for i in range(8)]
+THRESHOLDS = (0.0, 0.1, 0.3, 0.5)
+
+
+@st.composite
+def fleets(draw):
+    """2-4 engines, each with 1-5 short documents over a tiny vocabulary."""
+    n_engines = draw(st.integers(min_value=2, max_value=4))
+    fleet = []
+    for i in range(n_engines):
+        n_docs = draw(st.integers(min_value=1, max_value=5))
+        docs = [
+            draw(st.lists(st.sampled_from(TERMS), min_size=1, max_size=4))
+            for _ in range(n_docs)
+        ]
+        fleet.append((f"e{i}", docs))
+    return fleet
+
+
+@st.composite
+def queries(draw):
+    terms = draw(
+        st.lists(st.sampled_from(TERMS), min_size=1, max_size=3, unique=True)
+    )
+    weights = tuple(
+        float(draw(st.integers(min_value=1, max_value=3))) for _ in terms
+    )
+    return Query(terms=tuple(terms), weights=weights)
+
+
+def build_broker(fleet, **kwargs):
+    broker = MetasearchBroker(**kwargs)
+    for name, docs in fleet:
+        broker.register(
+            SearchEngine(
+                Collection.from_documents(
+                    name,
+                    [Document(f"{name}-{i}", terms=t) for i, t in enumerate(docs)],
+                )
+            )
+        )
+    return broker
+
+
+@given(fleet=fleets(), query=queries(), threshold=st.sampled_from(THRESHOLDS))
+@settings(max_examples=25, deadline=None)
+def test_concurrent_search_equals_serial(fleet, query, threshold):
+    serial = build_broker(fleet, workers=1, cache_size=0)
+    concurrent = build_broker(fleet, workers=4, cache_size=32)
+    expected = serial.search(query, threshold)
+    for _ in range(2):  # second pass exercises the warmed cache
+        got = concurrent.search(query, threshold)
+        assert got.hits == expected.hits
+        assert got.invoked == expected.invoked
+        assert got.estimates == expected.estimates
+        assert not got.failures
+
+
+@given(fleet=fleets(), query=queries(), threshold=st.sampled_from(THRESHOLDS))
+@settings(max_examples=25, deadline=None)
+def test_concurrent_broadcast_equals_serial(fleet, query, threshold):
+    serial = build_broker(fleet, workers=1, cache_size=0)
+    concurrent = build_broker(fleet, workers=8, cache_size=0)
+    assert (
+        concurrent.search_all(query, threshold).hits
+        == serial.search_all(query, threshold).hits
+    )
+
+
+@given(fleet=fleets(), query=queries(), threshold=st.sampled_from(THRESHOLDS))
+@settings(max_examples=25, deadline=None)
+def test_cached_estimates_equal_uncached(fleet, query, threshold):
+    uncached = build_broker(fleet, cache_size=0)
+    cached = build_broker(fleet, cache_size=4)  # tiny, to force evictions
+    expected = uncached.estimate_all(query, threshold)
+    assert cached.estimate_all(query, threshold) == expected
+    assert cached.estimate_all(query, threshold) == expected

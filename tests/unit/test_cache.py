@@ -1,0 +1,154 @@
+"""Unit tests for the estimate cache and its broker wiring."""
+
+import pytest
+
+from repro.core.types import Usefulness
+from repro.corpus import Collection, Document, Query
+from repro.engine import SearchEngine
+from repro.metasearch import EstimateCache, MetasearchBroker
+from repro.representatives import build_representative
+
+
+def make_engine(name, docs):
+    return SearchEngine(
+        Collection.from_documents(
+            name, [Document(f"{name}-{i}", terms=t) for i, t in enumerate(docs)]
+        )
+    )
+
+
+U1 = Usefulness(nodoc=1.0, avgsim=0.5)
+U2 = Usefulness(nodoc=2.0, avgsim=0.25)
+
+
+class TestEstimateCache:
+    def test_get_put_roundtrip(self):
+        cache = EstimateCache(maxsize=4)
+        key = ("e", ("a",), (1.0,), 0.2)
+        assert cache.get(key) is None
+        cache.put(key, U1)
+        assert cache.get(key) == U1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = EstimateCache(maxsize=2)
+        k1, k2, k3 = [("e", (t,), (1.0,), 0.2) for t in "abc"]
+        cache.put(k1, U1)
+        cache.put(k2, U1)
+        cache.get(k1)  # refresh k1 -> k2 becomes least recently used
+        cache.put(k3, U2)
+        assert k1 in cache and k3 in cache
+        assert k2 not in cache
+        assert cache.evictions == 1
+
+    def test_invalidate_engine_only_touches_that_engine(self):
+        cache = EstimateCache(maxsize=8)
+        cache.put(("a", ("t",), (1.0,), 0.2), U1)
+        cache.put(("a", ("u",), (1.0,), 0.3), U1)
+        cache.put(("b", ("t",), (1.0,), 0.2), U2)
+        assert cache.invalidate_engine("a") == 2
+        assert len(cache) == 1
+        assert ("b", ("t",), (1.0,), 0.2) in cache
+
+    def test_clear_keeps_counters(self):
+        cache = EstimateCache(maxsize=4)
+        key = ("e", ("a",), (1.0,), 0.2)
+        cache.put(key, U1)
+        cache.get(key)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_key_includes_weights_and_threshold(self):
+        q1 = Query(terms=("a",), weights=(1.0,))
+        q2 = Query(terms=("a",), weights=(2.0,))
+        assert EstimateCache.key_for("e", q1, 0.2) != EstimateCache.key_for("e", q2, 0.2)
+        assert EstimateCache.key_for("e", q1, 0.2) != EstimateCache.key_for("e", q1, 0.3)
+
+    def test_maxsize_validation(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            EstimateCache(maxsize=0)
+
+    def test_hit_rate(self):
+        cache = EstimateCache(maxsize=4)
+        assert cache.hit_rate == 0.0
+        key = ("e", ("a",), (1.0,), 0.2)
+        cache.get(key)
+        cache.put(key, U1)
+        cache.get(key)
+        assert cache.hit_rate == 0.5
+
+
+class TestBrokerCaching:
+    @pytest.fixture
+    def broker(self):
+        broker = MetasearchBroker(cache_size=64)
+        broker.register(make_engine("space", [["rocket", "orbit"], ["rocket"]]))
+        broker.register(make_engine("food", [["recipe", "sauce"], ["sauce"]]))
+        return broker
+
+    def test_repeated_estimates_hit_cache_and_agree(self, broker):
+        query = Query.from_terms(["rocket"])
+        first = broker.estimate_all(query, 0.2)
+        assert broker.cache.hits == 0
+        second = broker.estimate_all(query, 0.2)
+        assert broker.cache.hits == 2  # both engines served from cache
+        assert first == second
+
+    def test_cache_disabled_with_zero_size(self):
+        broker = MetasearchBroker(cache_size=0)
+        assert broker.cache is None
+        broker.register(make_engine("space", [["rocket"]]))
+        estimates = broker.estimate_all(Query.from_terms(["rocket"]), 0.2)
+        assert estimates[0].engine == "space"
+
+    def test_negative_cache_size_rejected(self):
+        with pytest.raises(ValueError, match="cache_size"):
+            MetasearchBroker(cache_size=-1)
+
+    def test_cached_equals_uncached(self, broker):
+        uncached = MetasearchBroker(cache_size=0)
+        uncached.register(make_engine("space", [["rocket", "orbit"], ["rocket"]]))
+        uncached.register(make_engine("food", [["recipe", "sauce"], ["sauce"]]))
+        for terms in (["rocket"], ["sauce"], ["rocket", "sauce"]):
+            query = Query.from_terms(terms)
+            for threshold in (0.1, 0.3):
+                broker.estimate_all(query, threshold)  # warm
+                assert broker.estimate_all(query, threshold) == uncached.estimate_all(
+                    query, threshold
+                )
+
+
+class TestRegisterRefresh:
+    def test_reregister_same_engine_rebuilds_representative(self):
+        engine = make_engine("space", [["rocket"]])
+        broker = MetasearchBroker()
+        broker.register(engine)
+        assert "orbit" not in broker.representative_of("space")
+        # Simulate a corpus change by handing the refresh an updated
+        # representative (real engines rebuild their index out of band).
+        grown = build_representative(make_engine("space", [["rocket", "orbit"]]))
+        broker.register(engine, representative=grown)
+        assert "orbit" in broker.representative_of("space")
+        assert len(broker) == 1
+
+    def test_reregister_invalidates_cached_estimates(self):
+        engine = make_engine("space", [["rocket"]])
+        broker = MetasearchBroker(cache_size=64)
+        broker.register(engine)
+        query = Query.from_terms(["orbit"])
+        before = broker.estimate_all(query, 0.1)
+        assert before[0].usefulness.nodoc == 0.0  # "orbit" unknown
+        assert broker.estimate_all(query, 0.1) == before  # cached
+        grown = build_representative(
+            make_engine("space", [["orbit", "orbit", "orbit"]])
+        )
+        broker.register(engine, representative=grown)
+        after = broker.estimate_all(query, 0.1)
+        assert after[0].usefulness.nodoc > 0.0  # stale estimate not served
+
+    def test_different_engine_same_name_still_rejected(self):
+        broker = MetasearchBroker()
+        broker.register(make_engine("space", [["rocket"]]))
+        with pytest.raises(ValueError, match="already registered"):
+            broker.register(make_engine("space", [["other"]]))

@@ -84,3 +84,36 @@ class TestImportTrec:
              "--out", str(out_path), "--limit", "1"]
         ) == 0
         assert "1 docs" in capsys.readouterr().out
+
+
+class TestFleet:
+    def test_runs_concurrent_fleet(self, capsys):
+        assert main(
+            ["fleet", "--groups", "4", "--queries", "6", "--workers", "4",
+             "--cache-size", "64", "--scale", "small"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fleet    : 4 engines, 6 queries" in out
+        assert "workers=4" in out
+        assert "failures : none" in out
+        assert "cache    :" in out
+
+    def test_serial_path_and_disabled_cache(self, capsys):
+        assert main(
+            ["fleet", "--groups", "3", "--queries", "4", "--workers", "1",
+             "--cache-size", "0", "--scale", "small"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "workers=1" in out
+        assert "cache    :" not in out
+
+    def test_hung_engine_degrades_gracefully(self, capsys):
+        assert main(
+            ["fleet", "--groups", "4", "--queries", "4", "--workers", "4",
+             "--timeout", "0.3", "--hang-engines", "1",
+             "--hang-seconds", "0.8", "--threshold", "0.1",
+             "--scale", "small"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "failures : 1 timeout" in out
+        assert "hits" in out

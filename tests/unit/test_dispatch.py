@@ -1,0 +1,235 @@
+"""Unit tests for the concurrent dispatch layer (fault injection)."""
+
+import time
+
+import pytest
+
+from repro.corpus import Collection, Document, Query
+from repro.engine import SearchEngine
+from repro.metasearch import ConcurrentDispatcher, MetasearchBroker
+from repro.representatives import build_representative
+
+
+def make_engine(name, docs):
+    return SearchEngine(
+        Collection.from_documents(
+            name, [Document(f"{name}-{i}", terms=t) for i, t in enumerate(docs)]
+        )
+    )
+
+
+def register_double(broker, double):
+    """Register a fault-injection wrapper with its inner engine's
+    representative (the wrapper has no index of its own)."""
+    broker.register(double, representative=build_representative(double.inner))
+
+
+class TestDispatcherValidation:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            ConcurrentDispatcher(workers=0)
+
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(ValueError, match="timeout"):
+            ConcurrentDispatcher(timeout=0.0)
+
+    def test_retries_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="retries"):
+            ConcurrentDispatcher(retries=-1)
+
+    def test_backoff_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="backoff"):
+            ConcurrentDispatcher(backoff=-0.1)
+
+
+class TestSerialDispatch:
+    def test_results_preserve_order_and_content(self):
+        dispatcher = ConcurrentDispatcher(workers=1)
+        report = dispatcher.dispatch({"a": lambda: [1], "b": lambda: [2, 3]})
+        assert list(report.results) == ["a", "b"]
+        assert report.results == {"a": [1], "b": [2, 3]}
+        assert report.ok
+        assert set(report.latencies) == {"a", "b"}
+
+    def test_error_is_degraded_not_fatal(self):
+        def boom():
+            raise RuntimeError("down")
+
+        dispatcher = ConcurrentDispatcher(workers=1)
+        report = dispatcher.dispatch({"bad": boom, "good": lambda: [7]})
+        assert report.results == {"good": [7]}
+        [failure] = report.failures
+        assert failure.engine == "bad"
+        assert failure.kind == "error"
+        assert "RuntimeError: down" in failure.message
+
+    def test_empty_dispatch(self):
+        report = ConcurrentDispatcher(workers=4).dispatch({})
+        assert report.ok and report.results == {}
+
+
+class TestConcurrentDispatch:
+    def test_matches_serial_results(self):
+        calls = {name: (lambda n=name: [n, n]) for name in "abcdef"}
+        serial = ConcurrentDispatcher(workers=1).dispatch(calls)
+        concurrent = ConcurrentDispatcher(workers=4).dispatch(calls)
+        assert concurrent.results == serial.results
+        assert list(concurrent.results) == list(serial.results)
+
+    def test_timeout_abandons_slow_engine(self):
+        def slow():
+            time.sleep(1.0)
+            return ["late"]
+
+        dispatcher = ConcurrentDispatcher(workers=2, timeout=0.15)
+        start = time.perf_counter()
+        report = dispatcher.dispatch({"slow": slow, "fast": lambda: ["hit"]})
+        elapsed = time.perf_counter() - start
+        assert elapsed < 0.8  # did not wait out the 1s sleep
+        assert report.results == {"fast": ["hit"]}
+        [failure] = report.failures
+        assert failure.engine == "slow"
+        assert failure.kind == "timeout"
+
+    def test_retry_then_succeed(self):
+        state = {"calls": 0}
+
+        def flaky():
+            state["calls"] += 1
+            if state["calls"] == 1:
+                raise ConnectionError("transient")
+            return ["ok"]
+
+        dispatcher = ConcurrentDispatcher(workers=2, retries=1, backoff=0.0)
+        report = dispatcher.dispatch({"flaky": flaky})
+        assert report.ok
+        assert report.results == {"flaky": ["ok"]}
+        assert state["calls"] == 2
+
+    def test_retry_exhausted(self):
+        state = {"calls": 0}
+
+        def broken():
+            state["calls"] += 1
+            raise ConnectionError("still down")
+
+        dispatcher = ConcurrentDispatcher(workers=2, retries=2, backoff=0.0)
+        report = dispatcher.dispatch({"broken": broken, "good": lambda: [1]})
+        assert report.results == {"good": [1]}
+        [failure] = report.failures
+        assert failure.kind == "error"
+        assert failure.attempts == 3  # initial call + 2 retries
+        assert state["calls"] == 3
+
+    def test_timeout_is_not_retried(self):
+        state = {"calls": 0}
+
+        def hang():
+            state["calls"] += 1
+            time.sleep(0.6)
+            return []
+
+        dispatcher = ConcurrentDispatcher(workers=2, timeout=0.1, retries=3)
+        report = dispatcher.dispatch({"hang": hang})
+        [failure] = report.failures
+        assert failure.kind == "timeout"
+        assert state["calls"] == 1
+
+    def test_all_engines_down(self):
+        def boom():
+            raise OSError("no route")
+
+        report = ConcurrentDispatcher(workers=4).dispatch(
+            {name: boom for name in "abc"}
+        )
+        assert report.results == {}
+        assert {f.engine for f in report.failures} == {"a", "b", "c"}
+        assert not report.ok
+
+
+class TestBrokerFaultInjection:
+    """End-to-end: broker search survives slow/flaky/dead engines."""
+
+    @pytest.fixture
+    def fleet_docs(self):
+        return {
+            "space": [["rocket", "orbit"], ["rocket"]],
+            "food": [["rocket", "sauce"], ["sauce"]],
+        }
+
+    def test_slow_engine_times_out_healthy_results_survive(
+        self, engine_doubles, fleet_docs
+    ):
+        broker = MetasearchBroker(workers=4, timeout=0.15)
+        slow = engine_doubles.SlowEngine(
+            make_engine("space", fleet_docs["space"]), delay=1.0
+        )
+        register_double(broker, slow)
+        broker.register(make_engine("food", fleet_docs["food"]))
+        start = time.perf_counter()
+        response = broker.search(Query.from_terms(["rocket"]), 0.1)
+        assert time.perf_counter() - start < 0.8
+        assert set(response.invoked) == {"space", "food"}
+        assert response.degraded
+        assert [f.engine for f in response.failures] == ["space"]
+        assert response.failures[0].kind == "timeout"
+        assert response.answered == ["food"]
+        assert response.hits and all(h.engine == "food" for h in response.hits)
+
+    def test_flaky_engine_retries_then_succeeds(self, engine_doubles, fleet_docs):
+        broker = MetasearchBroker(workers=2, retries=2, backoff=0.0)
+        flaky = engine_doubles.FlakyEngine(
+            make_engine("space", fleet_docs["space"]), failures=2
+        )
+        register_double(broker, flaky)
+        response = broker.search(Query.from_terms(["rocket"]), 0.1)
+        assert not response.degraded
+        assert flaky.calls == 3
+        assert {h.engine for h in response.hits} == {"space"}
+
+    def test_flaky_engine_retry_exhausted(self, engine_doubles, fleet_docs):
+        broker = MetasearchBroker(workers=2, retries=1, backoff=0.0)
+        flaky = engine_doubles.FlakyEngine(
+            make_engine("space", fleet_docs["space"]), failures=5
+        )
+        register_double(broker, flaky)
+        broker.register(make_engine("food", fleet_docs["food"]))
+        response = broker.search(Query.from_terms(["rocket"]), 0.1)
+        [failure] = response.failures
+        assert failure.engine == "space"
+        assert failure.kind == "error"
+        assert failure.attempts == 2
+        assert response.answered == ["food"]
+
+    def test_all_engines_down_yields_empty_degraded_response(
+        self, engine_doubles, fleet_docs
+    ):
+        broker = MetasearchBroker(workers=2)
+        for name, docs in fleet_docs.items():
+            register_double(
+                broker, engine_doubles.BrokenEngine(make_engine(name, docs))
+            )
+        response = broker.search(Query.from_terms(["rocket"]), 0.1)
+        assert response.hits == []
+        assert len(response.failures) == 2
+        assert response.answered == []
+        assert len(response.estimates) == 2  # estimation still worked
+
+    def test_serial_broker_also_degrades(self, engine_doubles, fleet_docs):
+        broker = MetasearchBroker(workers=1)
+        register_double(
+            broker,
+            engine_doubles.BrokenEngine(make_engine("space", fleet_docs["space"])),
+        )
+        broker.register(make_engine("food", fleet_docs["food"]))
+        response = broker.search(Query.from_terms(["rocket"]), 0.1)
+        assert [f.engine for f in response.failures] == ["space"]
+        assert response.answered == ["food"]
+
+    def test_latencies_cover_invoked_engines(self, fleet_docs):
+        broker = MetasearchBroker(workers=4)
+        for name, docs in fleet_docs.items():
+            broker.register(make_engine(name, docs))
+        response = broker.search(Query.from_terms(["rocket"]), 0.1)
+        assert set(response.latencies) == set(response.invoked)
+        assert all(lat >= 0.0 for lat in response.latencies.values())
