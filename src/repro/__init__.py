@@ -41,6 +41,7 @@ from repro.core import (
 from repro.corpus import Collection, Document, Query
 from repro.engine import SearchEngine, SearchHit
 from repro.metasearch import MetasearchBroker, ThresholdPolicy, TopKPolicy
+from repro.obs import MetricsRegistry, NullRegistry, QueryTrace
 from repro.representatives import (
     DatabaseRepresentative,
     SubrangeScheme,
@@ -61,8 +62,11 @@ __all__ = [
     "GlossDisjointEstimator",
     "GlossHighCorrelationEstimator",
     "MetasearchBroker",
+    "MetricsRegistry",
+    "NullRegistry",
     "PreviousMethodEstimator",
     "Query",
+    "QueryTrace",
     "SearchEngine",
     "SearchHit",
     "SubrangeEstimator",

@@ -7,6 +7,7 @@ Subcommands::
     repro-usefulness estimate --collection ... --query "terms ..." --threshold 0.2
     repro-usefulness evaluate --database D1 --queries 2000
     repro-usefulness fleet --groups 16 --workers 8 --timeout 2.0
+    repro-usefulness stats --format prometheus
     repro-usefulness scalability
 
 Every command prints plain text to stdout; all randomness is seeded.
@@ -180,6 +181,21 @@ class _InjectedFault:
         return self.inner.search(query, threshold)
 
 
+def _synth_model(scale: str, seed: int) -> NewsgroupModel:
+    """The synthetic corpus behind the fleet/stats demos: a quick small
+    variant or the paper's full newsgroup sizing."""
+    if scale == "small":
+        return NewsgroupModel(
+            vocab_size=4000,
+            topic_size=120,
+            topic_band=(50, 1500),
+            mean_length=80,
+            seed=seed,
+            group_sizes=[60, 50, 40, 30, 25, 20, 15, 12, 10, 8] * 6,
+        )
+    return NewsgroupModel(seed=seed)
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     """Run a query log through a full broker fleet with the concurrency,
     timeout, retry, and caching knobs — the production dispatch demo."""
@@ -191,17 +207,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.queries < 1:
         print(f"error: --queries must be >= 1, got {args.queries}", file=sys.stderr)
         return 2
-    if args.scale == "small":
-        model = NewsgroupModel(
-            vocab_size=4000,
-            topic_size=120,
-            topic_band=(50, 1500),
-            mean_length=80,
-            seed=args.seed,
-            group_sizes=[60, 50, 40, 30, 25, 20, 15, 12, 10, 8] * 6,
-        )
-    else:
-        model = NewsgroupModel(seed=args.seed)
+    model = _synth_model(args.scale, args.seed)
     n_groups = min(args.groups, model.n_groups)
     try:
         broker = MetasearchBroker(
@@ -251,6 +257,51 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         print(f"cache    : {broker.cache.hits + broker.cache.misses} lookups, "
               f"{broker.cache.hit_rate:.1%} hit rate, "
               f"{len(broker.cache)} resident")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run a seeded workload through a fully instrumented broker and export
+    the collected metrics as JSON or Prometheus text format."""
+    from repro.obs import MetricsRegistry, registry_to_json, registry_to_prometheus
+
+    if args.groups < 1:
+        print(f"error: --groups must be >= 1, got {args.groups}", file=sys.stderr)
+        return 2
+    if args.queries < 1:
+        print(f"error: --queries must be >= 1, got {args.queries}", file=sys.stderr)
+        return 2
+    model = _synth_model("small", args.seed)
+    registry = MetricsRegistry()
+    try:
+        broker = MetasearchBroker(
+            workers=args.workers,
+            timeout=args.timeout,
+            retries=args.retries,
+            cache_size=args.cache_size,
+            registry=registry,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for group in range(min(args.groups, model.n_groups)):
+        broker.register(SearchEngine(model.generate_group(group)))
+    queries = QueryLogModel(model, seed=args.query_seed).generate(args.queries)
+    response = None
+    for query in queries:
+        response = broker.search(query, args.threshold)
+    if args.show_trace and response is not None:
+        # The last query's per-stage trace; stderr keeps stdout parseable.
+        print(response.trace.format(), file=sys.stderr)
+    if args.format == "json":
+        text = registry_to_json(registry)
+    else:
+        text = registry_to_prometheus(registry)
+    if args.out:
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {args.out} ({len(registry)} series)")
+    else:
+        print(text)
     return 0
 
 
@@ -351,6 +402,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1999)
     p.add_argument("--query-seed", type=int, default=42)
     p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser(
+        "stats",
+        help="run an instrumented workload and export query-path metrics",
+    )
+    p.add_argument("--groups", type=int, default=6, help="engines to register")
+    p.add_argument("--queries", type=int, default=25)
+    p.add_argument("--threshold", type=float, default=0.3)
+    p.add_argument("--workers", type=int, default=4,
+                   help="concurrent engine calls (1 = serial path)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="fan-out deadline in seconds (requires workers > 1)")
+    p.add_argument("--retries", type=int, default=0)
+    p.add_argument("--cache-size", type=int, default=1024)
+    p.add_argument("--format", choices=("json", "prometheus"), default="json",
+                   help="export format for the metrics snapshot")
+    p.add_argument("--out", default=None,
+                   help="write the export to a file instead of stdout")
+    p.add_argument("--show-trace", action="store_true",
+                   help="print the last query's per-stage trace to stderr")
+    p.add_argument("--seed", type=int, default=1999)
+    p.add_argument("--query-seed", type=int, default=42)
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("scalability", help="print the Section 3.2 sizing table")
     p.add_argument("--synthetic", action="store_true",

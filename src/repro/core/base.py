@@ -13,6 +13,7 @@ Two families of estimators exist in the paper:
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple
@@ -22,6 +23,7 @@ import numpy as np
 from repro.core.genfunc import GenFunc
 from repro.core.types import Usefulness
 from repro.corpus.query import Query
+from repro.obs.registry import LATENCY_BUCKETS, MASS_BUCKETS, NULL_REGISTRY, SIZE_BUCKETS
 from repro.representatives.representative import DatabaseRepresentative
 
 __all__ = [
@@ -84,6 +86,18 @@ class UsefulnessEstimator(ABC):
     name: str = "abstract"
     #: Human-readable label used in rendered tables.
     label: str = "abstract"
+    #: Metrics sink; the shared no-op registry until :meth:`instrument`.
+    registry = NULL_REGISTRY
+
+    def instrument(self, registry) -> "UsefulnessEstimator":
+        """Route this estimator's metrics to ``registry``; returns self.
+
+        The base estimators record nothing; :class:`ExpansionEstimator`
+        reports expansion time, generating-function term counts, and
+        pruned probability mass.
+        """
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        return self
 
     @abstractmethod
     def estimate(
@@ -137,12 +151,30 @@ class ExpansionEstimator(UsefulnessEstimator):
     def expand(
         self, query: Query, representative: DatabaseRepresentative
     ) -> GenFunc:
-        """Expand the full generating function for (query, database)."""
-        return GenFunc.product(
+        """Expand the full generating function for (query, database).
+
+        Each expansion reports its duration, final term count, and pruned
+        probability mass to the estimator's metrics registry (no-op unless
+        :meth:`~UsefulnessEstimator.instrument`-ed).
+        """
+        start = time.perf_counter()
+        expansion = GenFunc.product(
             self.polynomials(query, representative),
             decimals=self.decimals,
             prune_floor=self.prune_floor,
         )
+        registry = self.registry
+        registry.counter("estimator.expansions").inc()
+        registry.histogram(
+            "estimator.expansion.seconds", buckets=LATENCY_BUCKETS
+        ).observe(time.perf_counter() - start)
+        registry.histogram(
+            "estimator.genfunc.terms", buckets=SIZE_BUCKETS
+        ).observe(expansion.n_terms)
+        registry.histogram(
+            "estimator.pruned.mass", buckets=MASS_BUCKETS
+        ).observe(expansion.pruned_mass)
+        return expansion
 
     def estimate(
         self,

@@ -100,7 +100,7 @@ class GenFunc:
 
         Args:
             factor_exponents: Exponents of the factor polynomial (need not be
-                sorted or distinct).
+                sorted or distinct, but must be non-empty).
             factor_coeffs: Coefficients, parallel to ``factor_exponents``.
             decimals: Exponents of the product are rounded to this many
                 decimals before merging.
@@ -115,7 +115,15 @@ class GenFunc:
         if fexp.shape != fcoef.shape or fexp.ndim != 1:
             raise ValueError("factor arrays must be parallel 1-D arrays")
         if fexp.size == 0:
-            return GenFunc(np.empty(0), np.empty(0), self.pruned_mass)
+            # The zero polynomial would annihilate the product while the
+            # carried-forward pruned_mass kept claiming probability — the
+            # ``mass + pruned_mass ~= 1`` invariant would silently break.
+            # A per-term probability polynomial is never empty: it always
+            # carries at least the (0, 1-p) miss term.
+            raise ValueError(
+                "factor polynomial must be non-empty (a per-term polynomial "
+                "always carries its (0, 1-p) term)"
+            )
         product_exp = np.round(
             (self.exponents[:, None] + fexp[None, :]).ravel(), decimals
         )

@@ -73,12 +73,23 @@ class SubrangeEstimator(ExpansionEstimator):
     # -- per-term polynomial ------------------------------------------------------
 
     def _effective_max(self, stats: TermStats) -> float:
-        """The max weight used for clamping and for the singleton subrange."""
+        """The max weight used for clamping and for the singleton subrange.
+
+        The triplet-mode estimate ``w + z * sigma`` is clamped to ``[0, 1]``:
+        a normalized document weight can never exceed 1, and an unclamped
+        high-sigma term would place probability mass at impossible
+        similarities (> 1), inflating est_NoDoc above the threshold range a
+        real document can reach.
+        """
         if self.use_stored_max and stats.max_weight is not None:
             return stats.max_weight
-        return max(
-            stats.mean + normal_quantile(self.max_percentile / 100.0) * stats.std,
-            0.0,
+        return min(
+            1.0,
+            max(
+                stats.mean
+                + normal_quantile(self.max_percentile / 100.0) * stats.std,
+                0.0,
+            ),
         )
 
     def term_polynomial(

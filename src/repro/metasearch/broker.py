@@ -17,10 +17,19 @@ Two production concerns live behind the same interface:
   keyed on (engine, query, threshold); re-registering an engine invalidates
   its entries, so a rebuilt representative is never shadowed by stale
   estimates.
+
+The whole pipeline is observable: every search builds a
+:class:`~repro.obs.QueryTrace` with one span per stage (``estimate``,
+``select``, ``dispatch`` plus a ``dispatch:<engine>`` child per invoked
+engine, ``merge``), and a :class:`~repro.obs.MetricsRegistry` passed at
+construction collects search totals, per-stage latency histograms, and the
+dispatcher/cache/estimator series.  The default
+:class:`~repro.obs.NullRegistry` keeps all metric hooks free.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -37,6 +46,8 @@ from repro.metasearch.selection import (
     SelectionPolicy,
     ThresholdPolicy,
 )
+from repro.obs.registry import LATENCY_BUCKETS, NULL_REGISTRY
+from repro.obs.trace import QueryTrace
 from repro.representatives.builder import build_representative
 from repro.representatives.representative import DatabaseRepresentative
 
@@ -66,6 +77,10 @@ class MetasearchResponse:
             contributes no hits but does not sink the query.
         latencies: Wall-clock seconds per invoked engine (time until
             abandonment for a failed one).
+        trace: The per-stage :class:`~repro.obs.QueryTrace` recorded while
+            answering (estimate/select/dispatch/merge spans plus one
+            ``dispatch:<engine>`` span per invoked engine).  Excluded from
+            equality: two identical answers differ only in timing.
     """
 
     hits: List[SearchHit]
@@ -73,6 +88,7 @@ class MetasearchResponse:
     estimates: List[EstimatedUsefulness]
     failures: List[EngineFailure] = field(default_factory=list)
     latencies: Dict[str, float] = field(default_factory=dict)
+    trace: Optional[QueryTrace] = field(default=None, compare=False, repr=False)
 
     @property
     def degraded(self) -> bool:
@@ -96,12 +112,18 @@ class MetasearchBroker:
             (estimated NoDoc >= 1) by default.
         workers: Concurrent engine calls per search; ``1`` keeps the
             serial dispatch path.
-        timeout: Fan-out deadline in seconds (enforced when
-            ``workers > 1``); ``None`` waits indefinitely.
+        timeout: Fan-out deadline in seconds; ``None`` waits indefinitely.
+            Requires ``workers > 1`` (the serial path cannot preempt an
+            in-thread call, so the combination raises :class:`ValueError`
+            instead of silently never enforcing the deadline).
         retries: Extra attempts after an engine call raises.
         backoff: Base backoff in seconds between retry attempts.
         cache_size: Capacity of the estimate cache; ``0`` disables
             caching entirely.
+        registry: A :class:`~repro.obs.MetricsRegistry` receiving search
+            totals, per-stage latency histograms, and the dispatcher /
+            cache / estimator series; the shared no-op registry by default,
+            which keeps every hook free.
     """
 
     def __init__(
@@ -114,18 +136,35 @@ class MetasearchBroker:
         retries: int = 0,
         backoff: float = 0.05,
         cache_size: int = 1024,
+        registry=None,
     ):
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size!r}")
-        self.estimator = estimator or SubrangeEstimator()
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.estimator = (estimator or SubrangeEstimator()).instrument(self.registry)
         self.policy = policy or ThresholdPolicy()
         self.dispatcher = ConcurrentDispatcher(
-            workers=workers, timeout=timeout, retries=retries, backoff=backoff
+            workers=workers,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            registry=self.registry,
         )
         self.cache: Optional[EstimateCache] = (
-            EstimateCache(cache_size) if cache_size else None
+            EstimateCache(cache_size, registry=self.registry) if cache_size else None
         )
-        self._registry: Dict[str, EngineRegistration] = {}
+        self._engines: Dict[str, EngineRegistration] = {}
+        self._m_searches = self.registry.counter("broker.searches")
+        self._m_degraded = self.registry.counter("broker.searches.degraded")
+        self._m_invoked = self.registry.counter("broker.engines.invoked")
+        self._m_search_seconds = self.registry.histogram(
+            "broker.search.seconds", buckets=LATENCY_BUCKETS
+        )
+
+    def _stage_seconds(self, stage: str):
+        return self.registry.histogram(
+            "broker.stage.seconds", buckets=LATENCY_BUCKETS, labels={"stage": stage}
+        )
 
     # -- registration -------------------------------------------------------------
 
@@ -143,12 +182,12 @@ class MetasearchBroker:
         becomes visible to selection immediately.  Registering a
         *different* engine under an existing name stays an error.
         """
-        existing = self._registry.get(engine.name)
+        existing = self._engines.get(engine.name)
         if existing is not None and existing.engine is not engine:
             raise ValueError(f"engine {engine.name!r} already registered")
         if representative is None:
             representative = build_representative(engine)
-        self._registry[engine.name] = EngineRegistration(
+        self._engines[engine.name] = EngineRegistration(
             engine=engine, representative=representative
         )
         if self.cache is not None:
@@ -156,13 +195,13 @@ class MetasearchBroker:
 
     @property
     def engine_names(self) -> List[str]:
-        return sorted(self._registry)
+        return sorted(self._engines)
 
     def __len__(self) -> int:
-        return len(self._registry)
+        return len(self._engines)
 
     def representative_of(self, name: str) -> DatabaseRepresentative:
-        return self._registry[name].representative
+        return self._engines[name].representative
 
     # -- estimation and search ---------------------------------------------------------
 
@@ -192,7 +231,7 @@ class MetasearchBroker:
                 engine=name,
                 usefulness=self._estimate_one(name, registration, query, threshold),
             )
-            for name, registration in self._registry.items()
+            for name, registration in self._engines.items()
         ]
         estimates.sort(key=lambda e: e.sort_key)
         return estimates
@@ -208,24 +247,48 @@ class MetasearchBroker:
         threshold: float,
         limit: Optional[int],
         estimates: List[EstimatedUsefulness],
+        trace: QueryTrace,
     ) -> MetasearchResponse:
-        report = self.dispatcher.dispatch(
-            {
-                name: (
-                    lambda engine=self._registry[name].engine: engine.search(
-                        query, threshold
+        with trace.span("dispatch", engines=len(names)) as span:
+            report = self.dispatcher.dispatch(
+                {
+                    name: (
+                        lambda engine=self._engines[name].engine: engine.search(
+                            query, threshold
+                        )
                     )
-                )
-                for name in names
-            }
-        )
+                    for name in names
+                }
+            )
+            span.metadata["failures"] = len(report.failures)
+        self._stage_seconds("dispatch").observe(span.duration)
+        failed = {failure.engine for failure in report.failures}
+        for name in names:
+            trace.add(
+                f"dispatch:{name}",
+                report.latencies.get(name, 0.0),
+                ok=name not in failed,
+            )
+        with trace.span("merge") as span:
+            hits = merge_hits(report.result_lists(), limit=limit)
+            span.metadata["hits"] = len(hits)
+        self._stage_seconds("merge").observe(span.duration)
         return MetasearchResponse(
-            hits=merge_hits(report.result_lists(), limit=limit),
+            hits=hits,
             invoked=names,
             estimates=estimates,
             failures=report.failures,
             latencies=report.latencies,
+            trace=trace,
         )
+
+    def _finish(self, response: MetasearchResponse, started: float) -> MetasearchResponse:
+        self._m_searches.inc()
+        self._m_invoked.inc(len(response.invoked))
+        if response.degraded:
+            self._m_degraded.inc()
+        self._m_search_seconds.observe(time.perf_counter() - started)
+        return response
 
     def search(
         self,
@@ -233,10 +296,18 @@ class MetasearchBroker:
         threshold: float,
         limit: Optional[int] = None,
     ) -> MetasearchResponse:
-        """Estimate, select, dispatch, merge."""
-        estimates = self.estimate_all(query, threshold)
-        invoked = self.policy.select(estimates)
-        return self._dispatch(invoked, query, threshold, limit, estimates)
+        """Estimate, select, dispatch, merge — with a trace of each stage."""
+        started = time.perf_counter()
+        trace = QueryTrace()
+        with trace.span("estimate", engines=len(self._engines)) as span:
+            estimates = self.estimate_all(query, threshold)
+        self._stage_seconds("estimate").observe(span.duration)
+        with trace.span("select") as span:
+            invoked = self.policy.select(estimates)
+            span.metadata["selected"] = len(invoked)
+        self._stage_seconds("select").observe(span.duration)
+        response = self._dispatch(invoked, query, threshold, limit, estimates, trace)
+        return self._finish(response, started)
 
     def search_all(
         self,
@@ -245,14 +316,18 @@ class MetasearchBroker:
         limit: Optional[int] = None,
     ) -> MetasearchResponse:
         """Broadcast baseline: query every engine regardless of estimates."""
-        return self._dispatch(self.engine_names, query, threshold, limit, [])
+        started = time.perf_counter()
+        response = self._dispatch(
+            self.engine_names, query, threshold, limit, [], QueryTrace()
+        )
+        return self._finish(response, started)
 
     def true_selection(self, query: Query, threshold: float) -> List[str]:
         """Oracle: engines that *actually* hold a document above threshold
         (by exhaustive search) — the reference for selection accuracy."""
         selected = []
         for name in self.engine_names:
-            engine = self._registry[name].engine
+            engine = self._engines[name].engine
             if engine.max_similarity(query) > threshold:
                 selected.append(name)
         return selected

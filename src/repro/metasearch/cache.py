@@ -2,10 +2,19 @@
 
 Usefulness estimation is a pure function of (representative, query,
 threshold), and real query logs are heavily repetitive — so the broker
-caches estimates keyed on ``(engine, query terms+weights, threshold)``
-and invalidates an engine's entries whenever its representative is
-rebuilt or replaced.  The cache is thread-safe: estimate lookups may
-happen concurrently with a registration refresh on another thread.
+caches estimates keyed on ``(engine, query terms, *normalized* weights,
+threshold)`` and invalidates an engine's entries whenever its
+representative is rebuilt or replaced.  Keys use the unit-normalized
+weight vector because that is all an estimator ever consumes
+(:meth:`Query.normalized_items`): raw weights ``(1, 1)`` and ``(2, 2)``
+describe the same query, and keying on them raw fragmented the cache into
+one entry per proportional variant.
+
+The cache is thread-safe: estimate lookups may happen concurrently with a
+registration refresh on another thread.  Hit/miss/eviction/invalidation
+totals are kept both as plain attributes (cheap to read in-process) and,
+when a :class:`~repro.obs.MetricsRegistry` is supplied, as registry
+counters plus a resident-size gauge for export.
 """
 
 from __future__ import annotations
@@ -16,11 +25,16 @@ from typing import Hashable, Optional, Tuple
 
 from repro.core.types import Usefulness
 from repro.corpus.query import Query
+from repro.obs.registry import NULL_REGISTRY
 
 __all__ = ["EstimateCache"]
 
-#: Cache key: (engine name, query terms, query weights, threshold).
+#: Cache key: (engine name, query terms, normalized query weights, threshold).
 CacheKey = Tuple[str, Tuple[str, ...], Tuple[float, ...], float]
+
+#: Decimals kept of each normalized weight — enough that distinct weight
+#: profiles stay distinct while float noise from equal profiles merges.
+_KEY_DECIMALS = 12
 
 
 class EstimateCache:
@@ -30,9 +44,11 @@ class EstimateCache:
         maxsize: Maximum resident entries; the least recently used entry
             is evicted when full.  Must be positive — construct no cache
             at all to disable caching.
+        registry: Metrics sink mirroring the hit/miss/eviction/invalidation
+            counters and the resident-size gauge; no-op by default.
     """
 
-    def __init__(self, maxsize: int = 1024):
+    def __init__(self, maxsize: int = 1024, registry=None):
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize!r}")
         self.maxsize = maxsize
@@ -41,12 +57,27 @@ class EstimateCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._m_hits = registry.counter("cache.hits")
+        self._m_misses = registry.counter("cache.misses")
+        self._m_evictions = registry.counter("cache.evictions")
+        self._m_invalidations = registry.counter("cache.invalidations")
+        self._m_size = registry.gauge("cache.size")
 
     @staticmethod
     def key_for(engine: str, query: Query, threshold: float) -> CacheKey:
-        """The cache key for one estimate; weights are part of the key
-        because estimators see normalized weights, not just terms."""
-        return (engine, query.terms, query.weights, float(threshold))
+        """The cache key for one estimate.
+
+        Weights enter the key *unit-normalized* (rounded to 12 decimals):
+        estimators only ever see :meth:`Query.normalized_items`, so
+        proportional raw weights — ``(1, 1)`` vs ``(2, 2)`` — must map to
+        the same entry instead of fragmenting the cache.
+        """
+        normalized = tuple(
+            round(w, _KEY_DECIMALS) for w in query.normalized_weights().tolist()
+        )
+        return (engine, query.terms, normalized, float(threshold))
 
     def get(self, key: CacheKey) -> Optional[Usefulness]:
         """The cached estimate, refreshed as most recently used; None on miss."""
@@ -54,9 +85,11 @@ class EstimateCache:
             value = self._data.get(key)
             if value is None:
                 self.misses += 1
+                self._m_misses.inc()
                 return None
             self._data.move_to_end(key)
             self.hits += 1
+            self._m_hits.inc()
             return value
 
     def put(self, key: CacheKey, value: Usefulness) -> None:
@@ -67,6 +100,8 @@ class EstimateCache:
             while len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
                 self.evictions += 1
+                self._m_evictions.inc()
+            self._m_size.set(len(self._data))
 
     def invalidate_engine(self, engine: str) -> int:
         """Drop every entry for ``engine`` (its representative changed).
@@ -78,12 +113,16 @@ class EstimateCache:
             stale = [key for key in self._data if key[0] == engine]
             for key in stale:
                 del self._data[key]
+            self.invalidations += len(stale)
+            self._m_invalidations.inc(len(stale))
+            self._m_size.set(len(self._data))
             return len(stale)
 
     def clear(self) -> None:
         """Drop all entries; the hit/miss/eviction counters survive."""
         with self._lock:
             self._data.clear()
+            self._m_size.set(0)
 
     def __len__(self) -> int:
         with self._lock:

@@ -25,10 +25,17 @@ production dispatch path:
   unaffected.  The query never sinks with one bad backend.
 
 ``workers=1`` keeps the historical serial path: calls run in the caller's
-thread, in selection order, with no executor and no timeout enforcement
-(a deadline cannot preempt an in-thread call).  Retry and failure capture
-still apply, so the serial and concurrent paths return identical results
-for healthy engines — which is what the property suite asserts.
+thread, in selection order, with no executor.  A deadline cannot preempt an
+in-thread call, so configuring ``timeout`` together with ``workers=1`` is
+rejected at construction rather than silently ignored.  Retry and failure
+capture still apply on the serial path, so the serial and concurrent paths
+return identical results for healthy engines — which is what the property
+suite asserts.
+
+Dispatch is instrumented: pass a :class:`~repro.obs.MetricsRegistry` to
+record attempts, retries, timeouts, errors, and a per-engine latency
+histogram; the default :class:`~repro.obs.NullRegistry` makes every hook a
+no-op.
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.engine.results import SearchHit
+from repro.obs.registry import LATENCY_BUCKETS, NULL_REGISTRY
 
 __all__ = ["ConcurrentDispatcher", "DispatchReport", "EngineFailure"]
 
@@ -107,14 +115,19 @@ class ConcurrentDispatcher:
 
     Args:
         workers: Maximum concurrent engine calls; ``1`` selects the
-            serial in-thread path (no executor, timeout not enforced).
+            serial in-thread path (no executor).
         timeout: Deadline in seconds for the whole fan-out, measured from
-            dispatch start; ``None`` disables it.  Only enforceable when
-            ``workers > 1``.
+            dispatch start; ``None`` disables it.  A deadline is only
+            enforceable on the concurrent path, so ``timeout`` with
+            ``workers=1`` raises :class:`ValueError` instead of silently
+            never firing.
         retries: Extra attempts after a raised engine call (a timed out
             call is never retried).
         backoff: Base sleep before retry ``i`` (``backoff * 2**(i-1)``
             seconds); set 0 for immediate retries in tests.
+        registry: Metrics sink for attempts/retries/timeouts/errors and the
+            per-engine latency histogram; the shared no-op registry by
+            default.
     """
 
     def __init__(
@@ -123,11 +136,18 @@ class ConcurrentDispatcher:
         timeout: Optional[float] = None,
         retries: int = 0,
         backoff: float = 0.05,
+        registry=None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout!r}")
+        if timeout is not None and workers == 1:
+            raise ValueError(
+                "timeout requires workers > 1: the serial path runs engine "
+                "calls in the caller's thread, where a deadline cannot be "
+                "enforced"
+            )
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries!r}")
         if backoff < 0:
@@ -136,6 +156,19 @@ class ConcurrentDispatcher:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self._m_dispatches = self.registry.counter("dispatch.fanouts")
+        self._m_attempts = self.registry.counter("dispatch.attempts")
+        self._m_retries = self.registry.counter("dispatch.retries")
+        self._m_timeouts = self.registry.counter("dispatch.timeouts")
+        self._m_errors = self.registry.counter("dispatch.errors")
+
+    def _observe_engine_latency(self, name: str, seconds: float) -> None:
+        self.registry.histogram(
+            "dispatch.engine.seconds",
+            buckets=LATENCY_BUCKETS,
+            labels={"engine": name},
+        ).observe(seconds)
 
     # -- single-engine attempt loop ------------------------------------------------
 
@@ -147,6 +180,7 @@ class ConcurrentDispatcher:
         attempts = 0
         while True:
             attempts += 1
+            self._m_attempts.inc()
             try:
                 hits = call()
                 return hits, attempts, time.perf_counter() - start
@@ -155,6 +189,7 @@ class ConcurrentDispatcher:
                     exc._dispatch_attempts = attempts
                     exc._dispatch_elapsed = time.perf_counter() - start
                     raise
+                self._m_retries.inc()
                 if self.backoff:
                     time.sleep(self.backoff * (2 ** (attempts - 1)))
 
@@ -178,6 +213,7 @@ class ConcurrentDispatcher:
                 call.  Result/latency dicts preserve this order for the
                 engines that answered.
         """
+        self._m_dispatches.inc()
         if self.workers == 1 or not calls:
             return self._dispatch_serial(calls)
         return self._dispatch_concurrent(calls)
@@ -188,11 +224,13 @@ class ConcurrentDispatcher:
             try:
                 hits, attempts, elapsed = self._call_with_retry(name, call)
             except Exception as exc:  # degraded, never fatal
+                self._m_errors.inc()
                 report.failures.append(self._error_failure(name, exc))
                 report.latencies[name] = getattr(exc, "_dispatch_elapsed", 0.0)
             else:
                 report.results[name] = hits
                 report.latencies[name] = elapsed
+            self._observe_engine_latency(name, report.latencies[name])
         return report
 
     def _dispatch_concurrent(self, calls: Mapping[str, EngineCall]) -> DispatchReport:
@@ -236,6 +274,7 @@ class ConcurrentDispatcher:
             for name in calls:
                 outcome = done.get(name)
                 if outcome is None:
+                    self._m_timeouts.inc()
                     report.failures.append(
                         EngineFailure(
                             engine=name,
@@ -250,9 +289,11 @@ class ConcurrentDispatcher:
                     report.results[name] = hits
                     report.latencies[name] = elapsed
                 else:
+                    self._m_errors.inc()
                     exc = outcome[1]
                     report.failures.append(self._error_failure(name, exc))
                     report.latencies[name] = getattr(exc, "_dispatch_elapsed", 0.0)
+                self._observe_engine_latency(name, report.latencies[name])
         finally:
             # Abandon hung workers instead of joining them; their threads
             # finish (or leak until process exit) without blocking us.

@@ -1,0 +1,73 @@
+"""Registry exporters: JSON for tooling, Prometheus text format for scraping.
+
+Both operate on :meth:`MetricsRegistry.snapshot`, so an export never holds
+registry locks while serializing and a :class:`NullRegistry` exports an
+empty (but valid) document.
+
+The Prometheus rendering follows the text exposition format: metric names
+are sanitized to ``[a-zA-Z0-9_]`` and prefixed (default ``repro_``),
+counters gain the conventional ``_total`` suffix, and histograms emit the
+``_bucket{le=...}`` / ``_sum`` / ``_count`` triplet with cumulative bucket
+counts ending at ``le="+Inf"``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import List
+
+__all__ = ["registry_to_json", "registry_to_prometheus"]
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    sanitized = _NAME_SANITIZER.sub("_", name)
+    return f"{prefix}{sanitized}" if prefix else sanitized
+
+
+def _prom_labels(labels: dict, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    return repr(float(value))
+
+
+def registry_to_json(registry, indent: int = 2) -> str:
+    """The registry snapshot as a JSON document ``{"metrics": [...]}``."""
+    return json.dumps({"metrics": registry.snapshot()}, indent=indent)
+
+
+def registry_to_prometheus(registry, prefix: str = "repro_") -> str:
+    """The registry snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    seen_types = set()
+    for metric in registry.snapshot():
+        name = _prom_name(metric["name"], prefix)
+        kind = metric["kind"]
+        labels = metric["labels"]
+        base = f"{name}_total" if kind == "counter" else name
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {base} {kind}")
+        if kind in ("counter", "gauge"):
+            lines.append(f"{base}{_prom_labels(labels)} {_prom_value(metric['value'])}")
+        else:  # histogram
+            for bucket in metric["buckets"]:
+                le = bucket["le"]
+                le_text = "+Inf" if le == "+Inf" else _prom_value(le)
+                le_label = 'le="' + le_text + '"'
+                lines.append(
+                    f"{name}_bucket{_prom_labels(labels, le_label)} "
+                    f"{bucket['count']}"
+                )
+            lines.append(f"{name}_sum{_prom_labels(labels)} {_prom_value(metric['sum'])}")
+            lines.append(f"{name}_count{_prom_labels(labels)} {metric['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -60,10 +60,25 @@ class TestEstimateCache:
         assert cache.hits == 1
 
     def test_key_includes_weights_and_threshold(self):
-        q1 = Query(terms=("a",), weights=(1.0,))
-        q2 = Query(terms=("a",), weights=(2.0,))
+        q1 = Query(terms=("a", "b"), weights=(1.0, 1.0))
+        q2 = Query(terms=("a", "b"), weights=(1.0, 2.0))
         assert EstimateCache.key_for("e", q1, 0.2) != EstimateCache.key_for("e", q2, 0.2)
         assert EstimateCache.key_for("e", q1, 0.2) != EstimateCache.key_for("e", q1, 0.3)
+
+    def test_key_normalizes_proportional_weights(self):
+        """Regression: estimators only consume normalized weights, so raw
+        weights (1, 1) and (2, 2) are the same query and must share one
+        cache entry instead of fragmenting the cache."""
+        q1 = Query(terms=("a", "b"), weights=(1.0, 1.0))
+        q2 = Query(terms=("a", "b"), weights=(2.0, 2.0))
+        q3 = Query(terms=("a", "b"), weights=(3.0, 3.0))
+        key = EstimateCache.key_for("e", q1, 0.2)
+        assert key == EstimateCache.key_for("e", q2, 0.2)
+        assert key == EstimateCache.key_for("e", q3, 0.2)
+        # Single-term queries always normalize to weight 1.0.
+        s1 = Query(terms=("a",), weights=(1.0,))
+        s2 = Query(terms=("a",), weights=(7.0,))
+        assert EstimateCache.key_for("e", s1, 0.2) == EstimateCache.key_for("e", s2, 0.2)
 
     def test_maxsize_validation(self):
         with pytest.raises(ValueError, match="maxsize"):
@@ -94,6 +109,20 @@ class TestBrokerCaching:
         second = broker.estimate_all(query, 0.2)
         assert broker.cache.hits == 2  # both engines served from cache
         assert first == second
+
+    def test_proportional_queries_share_cache_entries(self, broker):
+        """Regression: scaling every weight by the same factor describes the
+        same normalized query, so the second variant is a pure cache hit."""
+        broker.estimate_all(Query(terms=("rocket", "sauce"), weights=(1.0, 1.0)), 0.2)
+        misses = broker.cache.misses
+        doubled = broker.estimate_all(
+            Query(terms=("rocket", "sauce"), weights=(2.0, 2.0)), 0.2
+        )
+        assert broker.cache.misses == misses  # no new entries computed
+        assert broker.cache.hits == 2  # both engines served from cache
+        assert doubled == broker.estimate_all(
+            Query(terms=("rocket", "sauce"), weights=(1.0, 1.0)), 0.2
+        )
 
     def test_cache_disabled_with_zero_size(self):
         broker = MetasearchBroker(cache_size=0)

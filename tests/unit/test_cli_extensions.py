@@ -1,4 +1,6 @@
-"""Unit tests for the analyze / allocate / import-trec CLI commands."""
+"""Unit tests for the analyze / allocate / import-trec / stats CLI commands."""
+
+import json
 
 import pytest
 
@@ -117,3 +119,55 @@ class TestFleet:
         out = capsys.readouterr().out
         assert "failures : 1 timeout" in out
         assert "hits" in out
+
+
+STATS_FAST = ["stats", "--groups", "3", "--queries", "4"]
+
+
+class TestStats:
+    def test_json_output_parses(self, capsys):
+        assert main(STATS_FAST + ["--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        names = {m["name"] for m in doc["metrics"]}
+        assert "broker.searches" in names
+        assert "dispatch.fanouts" in names
+        assert "estimator.expansions" in names
+        by_name = {m["name"]: m for m in doc["metrics"] if not m.get("labels")}
+        assert by_name["broker.searches"]["value"] == 4.0
+
+    def test_prometheus_output_format(self, capsys):
+        assert main(STATS_FAST + ["--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_broker_searches_total counter" in out
+        assert "repro_broker_searches_total 4.0" in out
+        assert 'repro_dispatch_engine_seconds_bucket{engine="group00",le="+Inf"}' in out
+        assert "repro_estimator_expansions_total" in out
+
+    def test_out_flag_writes_file(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(STATS_FAST + ["--format", "json", "--out", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["metrics"]
+        assert f"wrote {path}" in capsys.readouterr().out
+
+    def test_show_trace_keeps_stdout_parseable(self, capsys):
+        assert main(STATS_FAST + ["--format", "json", "--show-trace"]) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # trace must not pollute stdout
+        assert "estimate" in captured.err
+        assert "merge" in captured.err
+
+    def test_deterministic_given_seed(self, capsys):
+        assert main(STATS_FAST + ["--format", "json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(STATS_FAST + ["--format", "json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+
+        def counters(doc):
+            return {
+                (m["name"], tuple(sorted(m.get("labels", {}).items()))): m["value"]
+                for m in doc["metrics"]
+                if m["kind"] == "counter" and "seconds" not in m["name"]
+            }
+
+        assert counters(first) == counters(second)

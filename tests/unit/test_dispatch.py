@@ -41,6 +41,22 @@ class TestDispatcherValidation:
         with pytest.raises(ValueError, match="backoff"):
             ConcurrentDispatcher(backoff=-0.1)
 
+    def test_serial_timeout_rejected(self):
+        """Regression: workers=1 routed to the serial path, which silently
+        never enforced a configured timeout — now an explicit error."""
+        with pytest.raises(ValueError, match="workers > 1"):
+            ConcurrentDispatcher(workers=1, timeout=0.5)
+
+    def test_serial_timeout_rejected_at_broker(self):
+        with pytest.raises(ValueError, match="workers > 1"):
+            MetasearchBroker(workers=1, timeout=0.5)
+
+    def test_serial_without_timeout_still_allowed(self):
+        assert ConcurrentDispatcher(workers=1, timeout=None).timeout is None
+
+    def test_concurrent_timeout_still_allowed(self):
+        assert ConcurrentDispatcher(workers=2, timeout=0.5).timeout == 0.5
+
 
 class TestSerialDispatch:
     def test_results_preserve_order_and_content(self):
@@ -145,6 +161,105 @@ class TestConcurrentDispatch:
         assert report.results == {}
         assert {f.engine for f in report.failures} == {"a", "b", "c"}
         assert not report.ok
+
+
+def assert_report_invariants(report, calls):
+    """Every dispatched engine lands in exactly one of results/failures,
+    and latencies cover every engine exactly once."""
+    failed = {f.engine for f in report.failures}
+    answered = set(report.results)
+    assert not (failed & answered), "engine in both results and failures"
+    assert failed | answered == set(calls), "engine missing from the report"
+    assert len(report.failures) == len(failed), "duplicate failure records"
+    assert set(report.latencies) == set(calls)
+    assert all(lat >= 0.0 for lat in report.latencies.values())
+
+
+class TestDeadlineRaceWindow:
+    """The window between the deadline check and the outcome snapshot."""
+
+    def test_finish_near_deadline_lands_in_exactly_one_bucket(self):
+        """An engine finishing right at the deadline may be seen as either
+        answered or timed out — but never both, and never neither."""
+        timeout = 0.08
+
+        def near_deadline():
+            time.sleep(timeout)  # finishes inside the race window
+            return ["close"]
+
+        calls = {"edge": near_deadline, "fast": lambda: ["hit"]}
+        for _ in range(5):
+            report = ConcurrentDispatcher(workers=2, timeout=timeout).dispatch(calls)
+            assert_report_invariants(report, calls)
+            assert report.results.get("fast") == ["hit"]
+            if "edge" in report.results:
+                assert report.results["edge"] == ["close"]
+            else:
+                [failure] = report.failures
+                assert failure.engine == "edge"
+                assert failure.kind == "timeout"
+
+    def test_cancelled_before_start_reported_as_timeout(self):
+        """With both workers pinned past the deadline, a queued engine's
+        future is cancelled before it ever starts — it must surface as a
+        timeout with zero attempts, not vanish from the report."""
+        state = {"third_ran": False}
+
+        def hang():
+            time.sleep(0.5)
+            return []
+
+        def third():
+            state["third_ran"] = True
+            return ["never"]
+
+        calls = {"hang-a": hang, "hang-b": hang, "queued": third}
+        report = ConcurrentDispatcher(workers=2, timeout=0.1).dispatch(calls)
+        assert_report_invariants(report, calls)
+        assert not state["third_ran"]
+        by_engine = {f.engine: f for f in report.failures}
+        assert set(by_engine) == set(calls)
+        queued = by_engine["queued"]
+        assert queued.kind == "timeout"
+        assert queued.attempts == 0
+
+    def test_late_finish_after_deadline_keeps_invariants(self):
+        """An engine that outlives the deadline by a wide margin is a clean
+        timeout; the worker thread finishing later must not corrupt the
+        already-assembled report."""
+
+        def slow():
+            time.sleep(0.4)
+            return ["late"]
+
+        calls = {"slow": slow, "fast": lambda: ["hit"]}
+        report = ConcurrentDispatcher(workers=2, timeout=0.05).dispatch(calls)
+        assert_report_invariants(report, calls)
+        assert report.results == {"fast": ["hit"]}
+        [failure] = report.failures
+        assert failure.engine == "slow" and failure.kind == "timeout"
+        time.sleep(0.5)  # let the abandoned worker finish
+        assert report.results == {"fast": ["hit"]}  # report unchanged
+
+    def test_mixed_outcomes_keep_invariants(self):
+        def boom():
+            raise OSError("down")
+
+        def slow():
+            time.sleep(0.5)
+            return []
+
+        calls = {
+            "ok": lambda: [1],
+            "err": boom,
+            "slow": slow,
+            "ok2": lambda: [2],
+        }
+        report = ConcurrentDispatcher(workers=4, timeout=0.1).dispatch(calls)
+        assert_report_invariants(report, calls)
+        kinds = {f.engine: f.kind for f in report.failures}
+        assert kinds == {"err": "error", "slow": "timeout"}
+        assert set(report.results) == {"ok", "ok2"}
 
 
 class TestBrokerFaultInjection:

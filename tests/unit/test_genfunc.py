@@ -78,9 +78,20 @@ class TestMultiply:
         assert g.pruned_mass == pytest.approx(1e-15)
         assert g.total_mass() + g.pruned_mass == pytest.approx(1.0)
 
-    def test_empty_factor_annihilates(self):
-        g = GenFunc.one().multiplied([], [])
-        assert g.n_terms == 0
+    def test_empty_factor_rejected(self):
+        """Regression: an empty factor used to return the zero polynomial
+        while carrying forward stale pruned_mass, silently breaking the
+        ``mass + pruned_mass ~= 1`` invariant."""
+        with pytest.raises(ValueError, match="non-empty"):
+            GenFunc.one().multiplied([], [])
+
+    def test_empty_factor_rejected_with_pruned_mass(self):
+        g = GenFunc.one().multiplied(
+            [1.0, 0.0], [1e-15, 1.0 - 1e-15], prune_floor=1e-12
+        )
+        assert g.pruned_mass > 0.0
+        with pytest.raises(ValueError, match="non-empty"):
+            g.multiplied([], [])
 
     def test_bad_factor_shapes(self):
         with pytest.raises(ValueError):

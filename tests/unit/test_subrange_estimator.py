@@ -133,6 +133,31 @@ class TestTripletMode:
         with pytest.raises(ValueError):
             SubrangeEstimator(max_percentile=100.0)
 
+    def test_estimated_max_clamped_to_one(self):
+        """Regression: a high-sigma term's estimated 99.9th percentile used
+        to exceed 1.0 — an impossible normalized weight that placed
+        probability mass at similarities no document can reach."""
+        estimator = SubrangeEstimator(use_stored_max=False)
+        stats = TermStats(probability=0.5, mean=0.9, std=0.5, max_weight=None)
+        # Unclamped estimate would be 0.9 + 3.09 * 0.5 ~= 2.45.
+        assert estimator._effective_max(stats) == 1.0
+
+    def test_clamped_max_keeps_mass_in_reachable_similarities(self):
+        estimator = SubrangeEstimator(use_stored_max=False)
+        rep = DatabaseRepresentative(
+            "hot",
+            n_documents=50,
+            term_stats={"spiky": TermStats(0.5, 0.9, 0.5, None)},
+        )
+        query = Query.from_terms(["spiky"])
+        # Cosine similarity cannot exceed 1, so no estimated document may
+        # sit above threshold 1.0...
+        assert estimator.estimate(query, rep, 1.0).nodoc == 0.0
+        expansion = estimator.expand(query, rep)
+        assert expansion.max_exponent() <= 1.0 + 1e-12
+        # ...while mass below 1.0 survives the clamp.
+        assert estimator.estimate(query, rep, 0.2).nodoc > 0.0
+
     def test_triplet_overestimates_max_for_tight_distributions(self, rep):
         # Estimated 99.9th percentile generally != the true stored max;
         # this is exactly why Tables 10-12 degrade vs Tables 1-2.
