@@ -1,0 +1,110 @@
+"""Batch-pipeline bench — amortization of the batched estimation path.
+
+A broker fleet answers a Zipf query log (shared vocabulary, the paper's
+synthetic corpus family) over the full threshold grid two ways:
+
+* **serial** — one ``estimate_all`` call per (query, threshold), the
+  pre-batch code path: every pair expands its generating function anew;
+* **batch** — one ``estimate_batch`` call over all pairs: queries sharing
+  a normalized identity share one expansion per engine, every threshold
+  reads off that expansion's single cumulative-sum pass, and the
+  term-polynomial cache memoizes per-term factors across the log.
+
+The bench asserts the batch path is at least 2x faster *and* returns
+answers exactly equal to the serial path — amortization is free, not a
+trade.
+
+Self-contained (its own scaled-down corpus rather than the session-scoped
+paper databases) so it doubles as a quick CI smoke.  Knobs:
+``REPRO_BENCH_BATCH_QUERIES`` (default 200), ``REPRO_BENCH_SEED``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.corpus.synth import NewsgroupModel, QueryLogModel
+from repro.engine import SearchEngine
+from repro.metasearch import MetasearchBroker
+
+from _bench_utils import BENCH_SEED, THRESHOLDS, emit
+
+BATCH_QUERIES = int(os.environ.get("REPRO_BENCH_BATCH_QUERIES", "200"))
+N_ENGINES = 4
+
+
+def _fleet_model() -> NewsgroupModel:
+    return NewsgroupModel(
+        vocab_size=4000,
+        topic_size=120,
+        topic_band=(50, 1500),
+        mean_length=80,
+        seed=BENCH_SEED,
+        group_sizes=[60, 50, 40, 30],
+    )
+
+
+def _make_broker(engines) -> MetasearchBroker:
+    broker = MetasearchBroker()
+    for engine in engines:
+        broker.register(engine)
+    return broker
+
+
+def test_batch_pipeline_speedup(benchmark):
+    model = _fleet_model()
+    engines = [
+        SearchEngine(model.generate_group(group)) for group in range(N_ENGINES)
+    ]
+    queries = QueryLogModel(model, seed=42).generate(BATCH_QUERIES)
+    # The full (query, threshold) grid, flattened in query-major order.
+    pairs = [(q, t) for q in queries for t in THRESHOLDS]
+    flat_queries = [q for q, __ in pairs]
+    flat_thresholds = [t for __, t in pairs]
+
+    serial_broker = _make_broker(engines)
+    start = time.perf_counter()
+    serial_rows = [
+        serial_broker.estimate_all(query, threshold)
+        for query, threshold in pairs
+    ]
+    serial_seconds = time.perf_counter() - start
+
+    batch_broker = _make_broker(engines)
+    start = time.perf_counter()
+    batch_rows = batch_broker.estimate_batch(flat_queries, flat_thresholds)
+    batch_seconds = time.perf_counter() - start
+
+    assert batch_rows == serial_rows, "batch pipeline drifted from serial"
+    speedup = serial_seconds / batch_seconds if batch_seconds > 0 else float("inf")
+
+    polycache = batch_broker.polycache
+    lines = [
+        "",
+        f"=== batch estimation pipeline on {N_ENGINES} engines, "
+        f"{len(queries)} Zipf queries x {len(THRESHOLDS)} thresholds ===",
+        f"{'path':<8} {'seconds':>9} {'ms/pair':>9}",
+        f"{'serial':<8} {serial_seconds:>9.2f} "
+        f"{1000.0 * serial_seconds / len(pairs):>9.2f}",
+        f"{'batch':<8} {batch_seconds:>9.2f} "
+        f"{1000.0 * batch_seconds / len(pairs):>9.2f}",
+        f"speedup  : {speedup:.2f}x (batch over serial)",
+        f"equality : exact ({len(pairs)} estimate rows compared)",
+        f"polycache: {polycache.hits + polycache.misses} lookups, "
+        f"{polycache.hit_rate:.1%} hit rate, {len(polycache)} resident",
+        f"est cache: {batch_broker.cache.hit_rate:.1%} hit rate, "
+        f"{len(batch_broker.cache)} resident",
+    ]
+    emit("batch_pipeline", "\n".join(lines))
+
+    assert speedup >= 2.0, (
+        f"batched estimation only {speedup:.2f}x faster than serial "
+        f"(expected >= 2x on the shared-vocabulary workload)"
+    )
+
+    # Time the warm batch path (both caches populated) as the benchmark
+    # kernel — the steady-state cost of re-running a seen workload.
+    benchmark(
+        lambda: batch_broker.estimate_batch(flat_queries, flat_thresholds)
+    )

@@ -305,6 +305,88 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Run a query log through the batched estimation/search pipeline and
+    report its amortization — optionally checking it against the serial
+    per-query path, which must agree exactly."""
+    import time
+
+    if args.groups < 1:
+        print(f"error: --groups must be >= 1, got {args.groups}", file=sys.stderr)
+        return 2
+    if args.queries < 1:
+        print(f"error: --queries must be >= 1, got {args.queries}", file=sys.stderr)
+        return 2
+    model = _synth_model(args.scale, args.seed)
+    n_groups = min(args.groups, model.n_groups)
+
+    def make_broker() -> MetasearchBroker:
+        broker = MetasearchBroker(
+            workers=args.workers,
+            cache_size=args.cache_size,
+            polycache_size=args.polycache_size,
+        )
+        for group in range(n_groups):
+            broker.register(SearchEngine(model.generate_group(group)))
+        return broker
+
+    try:
+        broker = make_broker()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    queries = QueryLogModel(model, seed=args.query_seed).generate(args.queries)
+
+    start = time.perf_counter()
+    if args.mode == "estimate":
+        rows = broker.estimate_batch(queries, args.threshold)
+        invoked = hits = None
+    else:
+        responses = broker.search_batch(queries, args.threshold)
+        rows = [response.estimates for response in responses]
+        invoked = sum(len(r.invoked) for r in responses)
+        hits = sum(len(r.hits) for r in responses)
+    batch_elapsed = time.perf_counter() - start
+
+    print(f"batch    : {len(broker)} engines, {len(queries)} queries, "
+          f"threshold {args.threshold:.2f}, mode {args.mode}")
+    print(f"elapsed  : {batch_elapsed:.2f}s total, "
+          f"{1000.0 * batch_elapsed / len(queries):.1f}ms/query")
+    if invoked is not None:
+        print(f"invoked  : {invoked} engine calls, {hits} merged hits")
+    if broker.cache is not None:
+        print(f"cache    : {broker.cache.hits + broker.cache.misses} lookups, "
+              f"{broker.cache.hit_rate:.1%} hit rate, "
+              f"{len(broker.cache)} resident")
+    if broker.polycache is not None:
+        pc = broker.polycache
+        print(f"polycache: {pc.hits + pc.misses} lookups, "
+              f"{pc.hit_rate:.1%} hit rate, {len(pc)} resident")
+
+    if args.compare_serial:
+        serial_broker = make_broker()
+        start = time.perf_counter()
+        if args.mode == "estimate":
+            serial_rows = [
+                serial_broker.estimate_all(query, args.threshold)
+                for query in queries
+            ]
+        else:
+            serial_rows = [
+                serial_broker.search(query, args.threshold).estimates
+                for query in queries
+            ]
+        serial_elapsed = time.perf_counter() - start
+        speedup = serial_elapsed / batch_elapsed if batch_elapsed > 0 else float("inf")
+        print(f"serial   : {serial_elapsed:.2f}s total ({speedup:.2f}x speedup)")
+        if serial_rows == rows:
+            print("equality : batch == serial (exact)")
+        else:
+            print("equality : MISMATCH — batch differs from serial", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _cmd_scalability(args: argparse.Namespace) -> int:
     rows = list(PAPER_COLLECTION_STATS)
     if args.synthetic:
@@ -425,6 +507,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1999)
     p.add_argument("--query-seed", type=int, default=42)
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "batch",
+        help="run a query log through the batched estimation pipeline",
+    )
+    p.add_argument("--groups", type=int, default=8, help="engines to register")
+    p.add_argument("--queries", type=int, default=200)
+    p.add_argument("--threshold", type=float, default=0.3)
+    p.add_argument("--mode", choices=("estimate", "search"), default="estimate",
+                   help="batched estimation only, or the full search pipeline")
+    p.add_argument("--workers", type=int, default=1,
+                   help="concurrent engine calls (1 = serial dispatch)")
+    p.add_argument("--cache-size", type=int, default=1024,
+                   help="estimate cache capacity (0 disables)")
+    p.add_argument("--polycache-size", type=int, default=4096,
+                   help="term-polynomial cache capacity (0 disables)")
+    p.add_argument("--compare-serial", action="store_true",
+                   help="also run the serial per-query path and verify the "
+                        "batch answers match it exactly")
+    p.add_argument("--scale", choices=("small", "paper"), default="small",
+                   help="corpus scale: quick demo or the paper's full size")
+    p.add_argument("--seed", type=int, default=1999)
+    p.add_argument("--query-seed", type=int, default=42)
+    p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("scalability", help="print the Section 3.2 sizing table")
     p.add_argument("--synthetic", action="store_true",

@@ -16,7 +16,7 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -122,46 +122,150 @@ class UsefulnessEstimator(ABC):
         return f"{type(self).__name__}()"
 
 
+def _frozen_polynomial(
+    polynomial: Tuple[np.ndarray, np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A read-only copy of a ``(exponents, coeffs)`` factor, safe to share
+    from a cache across queries and threads."""
+    exponents = np.asarray(polynomial[0], dtype=float)
+    coeffs = np.asarray(polynomial[1], dtype=float)
+    exponents.setflags(write=False)
+    coeffs.setflags(write=False)
+    return (exponents, coeffs)
+
+
 class ExpansionEstimator(UsefulnessEstimator):
     """Estimator whose answers come from one generating-function expansion.
+
+    Subclasses implement :meth:`term_polynomial` — a pure function of one
+    query term's ``(weight, stats, context)`` — and the base class builds
+    the per-query factor list, optionally memoizing each factor in a
+    :class:`~repro.metasearch.cache.TermPolynomialCache` shared across
+    queries (the factors depend only on the representative, the term, and
+    the normalized query weight, so a term-skewed workload recomputes
+    almost nothing).
 
     Args:
         decimals: Exponent rounding applied while expanding (see
             :class:`~repro.core.genfunc.GenFunc`).
         prune_floor: Probability floor below which expansion terms are
             dropped (their mass stays accounted in ``pruned_mass``).
+        max_terms: Adaptive expansion budget — an intermediate product
+            larger than this is shrunk by geometrically tightening the
+            prune floor (see :meth:`GenFunc.budgeted`).  ``None`` disables
+            the budget.
     """
 
-    def __init__(self, decimals: int = 8, prune_floor: float = 0.0):
+    def __init__(
+        self,
+        decimals: int = 8,
+        prune_floor: float = 0.0,
+        max_terms: Optional[int] = None,
+    ):
+        if max_terms is not None and max_terms < 1:
+            raise ValueError(f"max_terms must be >= 1, got {max_terms!r}")
         self.decimals = decimals
         self.prune_floor = prune_floor
+        self.max_terms = max_terms
 
     @abstractmethod
+    def term_polynomial(
+        self, u: float, stats, context
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``(exponents, coeffs)`` factor of one matched query term.
+
+        Args:
+            u: The term's normalized query weight.
+            stats: The representative's statistics for the term (never
+                None, and ``probability > 0``).
+            context: Whatever :meth:`_polynomial_context` returned for the
+                representative — per-database constants shared by every
+                term of a query (the document count, by default).
+        """
+
+    def _polynomial_context(self, representative: DatabaseRepresentative):
+        """Per-database constants handed to every :meth:`term_polynomial`
+        call of a query; computed once per factor-list build."""
+        return representative.n_documents
+
+    def polynomial_config(self) -> Tuple:
+        """Hashable description of everything (besides the representative,
+        term, and query weight) that determines :meth:`term_polynomial`'s
+        output — the estimator component of a term-polynomial cache key.
+
+        Subclasses with extra knobs that change the factor (subrange
+        scheme, stored-max mode, ...) must extend this tuple.
+        """
+        return (type(self).__name__,)
+
     def polynomials(
-        self, query: Query, representative: DatabaseRepresentative
+        self,
+        query: Query,
+        representative: DatabaseRepresentative,
+        polycache=None,
+        engine: Optional[str] = None,
     ) -> List[Tuple[np.ndarray, np.ndarray]]:
         """Per-query-term ``(exponents, coeffs)`` polynomials (Expr. (3)).
 
-        Terms unknown to the representative contribute nothing and must be
-        omitted; the returned list must follow query-term order (the
-        contract :meth:`explain` relies on to attribute polynomials back to
-        terms).
+        Terms unknown to the representative contribute nothing and are
+        omitted; the returned list follows query-term order (the contract
+        :meth:`explain` relies on to attribute polynomials back to terms).
+
+        Args:
+            polycache: Optional
+                :class:`~repro.metasearch.cache.TermPolynomialCache`; with
+                ``engine`` set, each factor is looked up before being
+                computed and stored after (unmatched terms are negatively
+                cached).  Cached factors are the exact arrays a fresh
+                computation would produce, so results are bit-identical.
+            engine: Cache namespace — the engine whose representative this
+                is; per-engine invalidation rides on it.
         """
+        context = self._polynomial_context(representative)
+        polys: List[Tuple[np.ndarray, np.ndarray]] = []
+        if polycache is not None and engine is not None:
+            config = self.polynomial_config()
+            for term, u in query.normalized_items():
+                hit, poly = polycache.lookup(config, engine, term, u)
+                if not hit:
+                    stats = representative.get(term)
+                    if stats is None or stats.probability <= 0.0:
+                        poly = None
+                    else:
+                        poly = _frozen_polynomial(
+                            self.term_polynomial(u, stats, context)
+                        )
+                    polycache.store(config, engine, term, u, poly)
+                if poly is not None:
+                    polys.append(poly)
+            return polys
+        for term, u in query.normalized_items():
+            stats = representative.get(term)
+            if stats is None or stats.probability <= 0.0:
+                continue
+            polys.append(self.term_polynomial(u, stats, context))
+        return polys
 
     def expand(
-        self, query: Query, representative: DatabaseRepresentative
+        self,
+        query: Query,
+        representative: DatabaseRepresentative,
+        polycache=None,
+        engine: Optional[str] = None,
     ) -> GenFunc:
         """Expand the full generating function for (query, database).
 
         Each expansion reports its duration, final term count, and pruned
         probability mass to the estimator's metrics registry (no-op unless
-        :meth:`~UsefulnessEstimator.instrument`-ed).
+        :meth:`~UsefulnessEstimator.instrument`-ed).  ``polycache`` /
+        ``engine`` memoize the per-term factors (see :meth:`polynomials`).
         """
         start = time.perf_counter()
         expansion = GenFunc.product(
-            self.polynomials(query, representative),
+            self.polynomials(query, representative, polycache, engine),
             decimals=self.decimals,
             prune_floor=self.prune_floor,
+            max_terms=self.max_terms,
         )
         registry = self.registry
         registry.counter("estimator.expansions").inc()
@@ -194,14 +298,19 @@ class ExpansionEstimator(UsefulnessEstimator):
         representative: DatabaseRepresentative,
         thresholds: Sequence[float],
     ) -> List[Usefulness]:
-        """One expansion answers every threshold."""
+        """One expansion answers every threshold.
+
+        All tails are read from the expansion's single cumulative-sum pass
+        (:meth:`GenFunc.tail_profile`) instead of re-running a
+        ``searchsorted`` + slice sum per threshold; the values are
+        bit-identical to per-threshold :meth:`estimate` calls.
+        """
         expansion = self.expand(query, representative)
         n = representative.n_documents
+        mass, moment = expansion.tail_profile(thresholds)
         return [
-            Usefulness(
-                nodoc=expansion.est_nodoc(t, n), avgsim=expansion.est_avgsim(t)
-            )
-            for t in thresholds
+            Usefulness(nodoc=n * m, avgsim=(mo / m if m > 0.0 else 0.0))
+            for m, mo in zip(mass.tolist(), moment.tolist())
         ]
 
     def explain(
@@ -247,7 +356,10 @@ class ExpansionEstimator(UsefulnessEstimator):
                     )
                 )
         expansion = GenFunc.product(
-            polys, decimals=self.decimals, prune_floor=self.prune_floor
+            polys,
+            decimals=self.decimals,
+            prune_floor=self.prune_floor,
+            max_terms=self.max_terms,
         )
         estimate = Usefulness(
             nodoc=expansion.est_nodoc(threshold, representative.n_documents),

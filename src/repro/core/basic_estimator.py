@@ -8,13 +8,11 @@ method; it is also the foundation the subrange refinement builds on.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from repro.core.base import ExpansionEstimator, register_estimator
-from repro.corpus.query import Query
-from repro.representatives.representative import DatabaseRepresentative
 
 __all__ = ["BasicEstimator"]
 
@@ -25,19 +23,12 @@ class BasicEstimator(ExpansionEstimator):
     name = "basic"
     label = "basic method"
 
-    def polynomials(
-        self, query: Query, representative: DatabaseRepresentative
-    ) -> List[Tuple[np.ndarray, np.ndarray]]:
-        polys = []
-        for term, u in query.normalized_items():
-            stats = representative.get(term)
-            if stats is None or stats.probability <= 0.0:
-                continue
-            p = stats.probability
-            exponents = np.array([u * stats.mean, 0.0])
-            coeffs = np.array([p, 1.0 - p])
-            polys.append((exponents, coeffs))
-        return polys
+    def term_polynomial(
+        self, u: float, stats, context
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Expression (7): ``p * X^(u*w) + (1-p)`` for one query term."""
+        p = stats.probability
+        return np.array([u * stats.mean, 0.0]), np.array([p, 1.0 - p])
 
 
 register_estimator("basic", BasicEstimator)

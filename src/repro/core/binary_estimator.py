@@ -48,8 +48,11 @@ class BinaryIndependenceEstimator(ExpansionEstimator):
         global_weight: Optional[float] = None,
         decimals: int = 8,
         prune_floor: float = 0.0,
+        max_terms: Optional[int] = None,
     ):
-        super().__init__(decimals=decimals, prune_floor=prune_floor)
+        super().__init__(
+            decimals=decimals, prune_floor=prune_floor, max_terms=max_terms
+        )
         if global_weight is not None and global_weight < 0.0:
             raise ValueError(
                 f"global_weight must be >= 0, got {global_weight!r}"
@@ -62,20 +65,19 @@ class BinaryIndependenceEstimator(ExpansionEstimator):
         means = [stats.mean for __, stats in representative.items()]
         return float(np.mean(means)) if means else 0.0
 
-    def polynomials(
-        self, query: Query, representative: DatabaseRepresentative
-    ) -> List[Tuple[np.ndarray, np.ndarray]]:
-        weight = self._database_weight(representative)
-        polys = []
-        for term, u in query.normalized_items():
-            stats = representative.get(term)
-            if stats is None or stats.probability <= 0.0:
-                continue
-            p = stats.probability
-            polys.append(
-                (np.array([u * weight, 0.0]), np.array([p, 1.0 - p]))
-            )
-        return polys
+    def _polynomial_context(self, representative: DatabaseRepresentative):
+        """The database-global constant weight, derived once per query."""
+        return self._database_weight(representative)
+
+    def polynomial_config(self) -> Tuple:
+        return (type(self).__name__, self.global_weight)
+
+    def term_polynomial(
+        self, u: float, stats, context
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``p * X^(u * global_weight) + (1-p)`` — occurrence only."""
+        p = stats.probability
+        return np.array([u * context, 0.0]), np.array([p, 1.0 - p])
 
 
 register_estimator("binary-independence", BinaryIndependenceEstimator)

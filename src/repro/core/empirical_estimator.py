@@ -14,7 +14,6 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.core.base import ExpansionEstimator, register_estimator
-from repro.corpus.query import Query
 from repro.representatives.empirical import EmpiricalRepresentative
 
 __all__ = ["EmpiricalSubrangeEstimator"]
@@ -26,34 +25,31 @@ class EmpiricalSubrangeEstimator(ExpansionEstimator):
     name = "subrange-empirical"
     label = "subrange (empirical medians)"
 
-    def polynomials(
-        self, query: Query, representative: EmpiricalRepresentative
-    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+    def _polynomial_context(self, representative: EmpiricalRepresentative):
+        """The scheme, its masses, and ``n`` — shared by every term."""
         scheme = representative.scheme
-        masses = np.asarray(scheme.masses)
-        n = representative.n_documents
-        polys = []
-        for term, u in query.normalized_items():
-            stats = representative.get(term)
-            if stats is None or stats.probability <= 0.0:
-                continue
-            p = stats.probability
-            exponents: List[float] = []
-            coeffs: List[float] = []
-            remaining = p
-            if scheme.include_max and n > 0:
-                p_max = min(1.0 / n, p)
-                exponents.append(u * stats.max_weight)
-                coeffs.append(p_max)
-                remaining = p - p_max
-            if remaining > 0.0:
-                medians = np.minimum(np.asarray(stats.medians), stats.max_weight)
-                exponents.extend((u * medians).tolist())
-                coeffs.extend((remaining * masses).tolist())
-            exponents.append(0.0)
-            coeffs.append(1.0 - p)
-            polys.append((np.asarray(exponents), np.asarray(coeffs)))
-        return polys
+        return (scheme, np.asarray(scheme.masses), representative.n_documents)
+
+    def term_polynomial(
+        self, u: float, stats, context
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        scheme, masses, n = context
+        p = stats.probability
+        exponents: List[float] = []
+        coeffs: List[float] = []
+        remaining = p
+        if scheme.include_max and n > 0:
+            p_max = min(1.0 / n, p)
+            exponents.append(u * stats.max_weight)
+            coeffs.append(p_max)
+            remaining = p - p_max
+        if remaining > 0.0:
+            medians = np.minimum(np.asarray(stats.medians), stats.max_weight)
+            exponents.extend((u * medians).tolist())
+            coeffs.extend((remaining * masses).tolist())
+        exponents.append(0.0)
+        coeffs.append(1.0 - p)
+        return np.asarray(exponents), np.asarray(coeffs)
 
 
 register_estimator("subrange-empirical", EmpiricalSubrangeEstimator)

@@ -16,6 +16,19 @@ otherwise floating-point noise would keep equal similarities apart and the
 term count would grow multiplicatively — and can prune coefficients below a
 floor.  Pruned probability mass is accumulated in :attr:`GenFunc.pruned_mass`
 so accuracy loss is observable, never silent.
+
+Tail read-outs (``tail_mass``, ``tail_first_moment`` and the vectorized
+:meth:`GenFunc.tail_profile`) all read from one lazily built pair of suffix
+cumulative-sum arrays, so answering every threshold of a grid costs one
+``searchsorted`` plus array indexing — and the single-threshold and
+many-threshold paths return bit-identical values by construction.
+
+:meth:`GenFunc.product` optionally takes an *adaptive expansion budget*
+(``max_terms``): whenever an intermediate product grows past the cap, the
+prune floor is tightened geometrically until the expansion fits, with the
+dropped probability recorded in :attr:`GenFunc.pruned_mass` — long queries
+stay bounded instead of growing multiplicatively, and the accuracy cost
+stays observable.
 """
 
 from __future__ import annotations
@@ -28,6 +41,13 @@ __all__ = ["GenFunc"]
 
 _DEFAULT_DECIMALS = 8
 
+#: Where the adaptive budget starts tightening when the configured prune
+#: floor is zero; small enough that the first rounds only shed float dust.
+_BUDGET_FLOOR_START = 1e-15
+
+#: Geometric growth factor of the adaptive budget's prune floor.
+_BUDGET_FLOOR_GROWTH = 8.0
+
 
 class GenFunc:
     """An expanded generating function: sum of ``coeff * X^exponent`` terms.
@@ -37,7 +57,7 @@ class GenFunc:
     per-term probability polynomials.
     """
 
-    __slots__ = ("exponents", "coeffs", "pruned_mass")
+    __slots__ = ("exponents", "coeffs", "pruned_mass", "_tails")
 
     def __init__(self, exponents, coeffs, pruned_mass: float = 0.0):
         exponents = np.asarray(exponents, dtype=float)
@@ -53,6 +73,7 @@ class GenFunc:
         self.exponents = exponents
         self.coeffs = coeffs
         self.pruned_mass = pruned_mass
+        self._tails = None
 
     # -- constructors ----------------------------------------------------------
 
@@ -140,33 +161,123 @@ class GenFunc:
             merged_coef = merged_coef[keep]
         return GenFunc(merged_exp, merged_coef, pruned)
 
+    def budgeted(self, max_terms: int, floor_start: float = 0.0) -> "GenFunc":
+        """Shrink to at most ``max_terms`` terms by tightening the prune floor.
+
+        The floor starts at ``max(floor_start, 1e-15)`` and grows
+        geometrically until the expansion fits; every dropped coefficient is
+        added to :attr:`pruned_mass`, so no probability is ever lost
+        unaccounted.  If the floor ever overshoots the whole coefficient
+        profile (all coefficients equal, say), the ``max_terms`` heaviest
+        terms are kept directly instead of annihilating the product.
+
+        Returns:
+            ``self`` when already within budget; otherwise a new
+            :class:`GenFunc`.
+        """
+        if max_terms < 1:
+            raise ValueError(f"max_terms must be >= 1, got {max_terms!r}")
+        if self.n_terms <= max_terms:
+            return self
+        floor = max(floor_start, _BUDGET_FLOOR_START)
+        exponents, coeffs = self.exponents, self.coeffs
+        pruned = self.pruned_mass
+        while exponents.size > max_terms:
+            keep = coeffs > floor
+            floor *= _BUDGET_FLOOR_GROWTH
+            if keep.all():
+                continue
+            if not keep.any():
+                # The floor skipped past every coefficient at once: fall
+                # back to keeping the heaviest max_terms directly.
+                order = np.argsort(coeffs, kind="stable")
+                keep = np.zeros(coeffs.size, dtype=bool)
+                keep[order[-max_terms:]] = True
+            pruned += float(coeffs[~keep].sum())
+            exponents = exponents[keep]
+            coeffs = coeffs[keep]
+        return GenFunc(exponents, coeffs, pruned)
+
     @classmethod
     def product(
         cls,
         polynomials: Sequence[Tuple[Sequence[float], Sequence[float]]],
         decimals: int = _DEFAULT_DECIMALS,
         prune_floor: float = 0.0,
+        max_terms: "int | None" = None,
     ) -> "GenFunc":
-        """Expand a full product of per-term polynomials (Expression (3))."""
+        """Expand a full product of per-term polynomials (Expression (3)).
+
+        Args:
+            polynomials: The per-term ``(exponents, coeffs)`` factors.
+            decimals / prune_floor: See :meth:`multiplied`.
+            max_terms: Adaptive expansion budget — after each factor, an
+                intermediate product larger than this is shrunk via
+                :meth:`budgeted`.  ``None`` (the default) disables the
+                budget, keeping the expansion exact up to ``prune_floor``.
+        """
         result = cls.one()
         for exponents, coeffs in polynomials:
             result = result.multiplied(
                 exponents, coeffs, decimals=decimals, prune_floor=prune_floor
             )
+            if max_terms is not None and result.n_terms > max_terms:
+                result = result.budgeted(max_terms, floor_start=prune_floor)
         return result
 
     # -- usefulness read-out -------------------------------------------------------------
 
+    def _tail_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Suffix cumulative sums of coefficients and first moments.
+
+        Built lazily on first read-out and cached (instances are immutable
+        once constructed), so a whole threshold grid is answered from one
+        cumulative-sum pass.  Index ``i`` holds the sum over terms ``i..n``;
+        index ``n`` is 0 — the empty tail.
+        """
+        if self._tails is None:
+            mass = np.zeros(self.coeffs.size + 1)
+            moment = np.zeros(self.coeffs.size + 1)
+            if self.coeffs.size:
+                mass[:-1] = np.cumsum(self.coeffs[::-1])[::-1]
+                moment[:-1] = np.cumsum(
+                    (self.coeffs * self.exponents)[::-1]
+                )[::-1]
+            self._tails = (mass, moment)
+        return self._tails
+
     def tail_mass(self, threshold: float) -> float:
         """Probability that a document's similarity exceeds ``threshold``."""
         start = int(np.searchsorted(self.exponents, threshold, side="right"))
-        return float(self.coeffs[start:].sum())
+        return float(self._tail_arrays()[0][start])
 
     def tail_first_moment(self, threshold: float) -> float:
         """Expected similarity restricted to similarities above ``threshold``
         (i.e. sum of ``coeff * exponent`` over the tail)."""
         start = int(np.searchsorted(self.exponents, threshold, side="right"))
-        return float(np.dot(self.coeffs[start:], self.exponents[start:]))
+        return float(self._tail_arrays()[1][start])
+
+    def tail_profile(
+        self, thresholds: Sequence[float]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Tail mass and tail first moment for a whole threshold grid.
+
+        Thresholds are sorted once, located with a single vectorized
+        ``searchsorted``, and every tail is read off the shared suffix
+        cumulative-sum arrays — so the values are bit-identical to calling
+        :meth:`tail_mass` / :meth:`tail_first_moment` per threshold.
+
+        Returns:
+            ``(mass, moment)`` arrays parallel to ``thresholds``.
+        """
+        grid = np.asarray(thresholds, dtype=float)
+        order = np.argsort(grid, kind="stable")
+        starts = np.empty(grid.size, dtype=np.intp)
+        starts[order] = np.searchsorted(
+            self.exponents, grid[order], side="right"
+        )
+        mass, moment = self._tail_arrays()
+        return mass[starts], moment[starts]
 
     def est_nodoc(self, threshold: float, n_documents: int) -> float:
         """Equation (6): expected number of documents above ``threshold``."""

@@ -47,18 +47,28 @@ class PreviousMethodEstimator(UsefulnessEstimator):
         adjustment_strength: Fraction of the apportioned cutoff actually
             applied (1.0 = full reconstruction; 0.0 degenerates to the basic
             method).  Exposed for ablation studies.
+        max_terms: Adaptive expansion budget passed through to
+            :meth:`GenFunc.product` (None disables it).
     """
 
     name = "prev"
     label = "our prev method"
 
-    def __init__(self, decimals: int = 8, adjustment_strength: float = 1.0):
+    def __init__(
+        self,
+        decimals: int = 8,
+        adjustment_strength: float = 1.0,
+        max_terms: "int | None" = None,
+    ):
         if not 0.0 <= adjustment_strength <= 1.0:
             raise ValueError(
                 f"adjustment_strength must be in [0, 1], got {adjustment_strength!r}"
             )
+        if max_terms is not None and max_terms < 1:
+            raise ValueError(f"max_terms must be >= 1, got {max_terms!r}")
         self.decimals = decimals
         self.adjustment_strength = adjustment_strength
+        self.max_terms = max_terms
 
     def adjusted_pairs(
         self,
@@ -113,7 +123,9 @@ class PreviousMethodEstimator(UsefulnessEstimator):
             polynomials.append(
                 (np.array([u * w, 0.0]), np.array([p, 1.0 - p]))
             )
-        expansion = GenFunc.product(polynomials, decimals=self.decimals)
+        expansion = GenFunc.product(
+            polynomials, decimals=self.decimals, max_terms=self.max_terms
+        )
         return Usefulness(
             nodoc=expansion.est_nodoc(threshold, representative.n_documents),
             avgsim=expansion.est_avgsim(threshold),

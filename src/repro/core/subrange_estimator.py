@@ -24,8 +24,6 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.base import ExpansionEstimator, register_estimator
-from repro.corpus.query import Query
-from repro.representatives.representative import DatabaseRepresentative
 from repro.representatives.subrange import SubrangeScheme
 from repro.representatives.term_stats import TermStats
 from repro.stats.normal import normal_quantile
@@ -58,8 +56,11 @@ class SubrangeEstimator(ExpansionEstimator):
         max_percentile: float = 99.9,
         decimals: int = 8,
         prune_floor: float = 0.0,
+        max_terms: Optional[int] = None,
     ):
-        super().__init__(decimals=decimals, prune_floor=prune_floor)
+        super().__init__(
+            decimals=decimals, prune_floor=prune_floor, max_terms=max_terms
+        )
         self.scheme = scheme or SubrangeScheme.paper_six()
         self.use_stored_max = use_stored_max
         if not 0.0 < max_percentile < 100.0:
@@ -121,18 +122,13 @@ class SubrangeEstimator(ExpansionEstimator):
         coeffs.append(1.0 - p)
         return np.asarray(exponents), np.asarray(coeffs)
 
-    def polynomials(
-        self, query: Query, representative: DatabaseRepresentative
-    ) -> List[Tuple[np.ndarray, np.ndarray]]:
-        polys = []
-        for term, u in query.normalized_items():
-            stats = representative.get(term)
-            if stats is None or stats.probability <= 0.0:
-                continue
-            polys.append(
-                self.term_polynomial(u, stats, representative.n_documents)
-            )
-        return polys
+    def polynomial_config(self) -> Tuple:
+        return (
+            type(self).__name__,
+            self.scheme,
+            self.use_stored_max,
+            self.max_percentile,
+        )
 
 
 register_estimator("subrange", SubrangeEstimator)

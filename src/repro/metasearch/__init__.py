@@ -22,7 +22,7 @@ from repro.metasearch.broker import (
     MetasearchBroker,
     MetasearchResponse,
 )
-from repro.metasearch.cache import EstimateCache
+from repro.metasearch.cache import EstimateCache, TermPolynomialCache
 from repro.metasearch.dispatch import (
     ConcurrentDispatcher,
     DispatchReport,
@@ -51,6 +51,7 @@ __all__ = [
     "MetasearchBroker",
     "MetasearchResponse",
     "SelectionPolicy",
+    "TermPolynomialCache",
     "ThresholdPolicy",
     "TopKPolicy",
     "allocate_documents",

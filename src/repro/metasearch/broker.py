@@ -17,6 +17,20 @@ Two production concerns live behind the same interface:
   keyed on (engine, query, threshold); re-registering an engine invalidates
   its entries, so a rebuilt representative is never shadowed by stale
   estimates.
+* Below the estimate cache sits a
+  :class:`~repro.metasearch.cache.TermPolynomialCache` memoizing each
+  expansion estimator's per-term ``(exponents, coeffs)`` factor keyed on
+  (estimator config, engine, term, normalized query weight) — distinct
+  queries sharing vocabulary share factors even when their estimate keys
+  differ.  Both caches invalidate through the same per-engine
+  registration hook, and the cached factors are bit-identical to fresh
+  computation, so memoized answers equal unmemoized ones exactly.
+* :meth:`MetasearchBroker.estimate_batch` and
+  :meth:`MetasearchBroker.search_batch` run many queries in one pass:
+  expansions are shared across a batch's duplicate queries, both caches
+  are consulted and populated in one sweep, and dispatch pools every
+  query's engine calls on the dispatcher's thread pool under a single
+  batch deadline (:meth:`~repro.metasearch.dispatch.ConcurrentDispatcher.dispatch_many`).
 
 The whole pipeline is observable: every search builds a
 :class:`~repro.obs.QueryTrace` with one span per stage (``estimate``,
@@ -31,14 +45,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
-from repro.core.base import UsefulnessEstimator
+from repro.core.base import ExpansionEstimator, UsefulnessEstimator
 from repro.core.subrange_estimator import SubrangeEstimator
+from repro.core.types import Usefulness
 from repro.corpus.query import Query
 from repro.engine.results import SearchHit
 from repro.engine.search_engine import SearchEngine
-from repro.metasearch.cache import EstimateCache
+from repro.metasearch.cache import EstimateCache, TermPolynomialCache
 from repro.metasearch.dispatch import ConcurrentDispatcher, EngineFailure
 from repro.metasearch.merge import merge_hits
 from repro.metasearch.selection import (
@@ -120,6 +135,9 @@ class MetasearchBroker:
         backoff: Base backoff in seconds between retry attempts.
         cache_size: Capacity of the estimate cache; ``0`` disables
             caching entirely.
+        polycache_size: Capacity of the term-polynomial cache memoizing
+            each expansion estimator's per-term factors across queries;
+            ``0`` disables it.  Only expansion estimators use it.
         registry: A :class:`~repro.obs.MetricsRegistry` receiving search
             totals, per-stage latency histograms, and the dispatcher /
             cache / estimator series; the shared no-op registry by default,
@@ -136,10 +154,15 @@ class MetasearchBroker:
         retries: int = 0,
         backoff: float = 0.05,
         cache_size: int = 1024,
+        polycache_size: int = 4096,
         registry=None,
     ):
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size!r}")
+        if polycache_size < 0:
+            raise ValueError(
+                f"polycache_size must be >= 0, got {polycache_size!r}"
+            )
         self.registry = registry if registry is not None else NULL_REGISTRY
         self.estimator = (estimator or SubrangeEstimator()).instrument(self.registry)
         self.policy = policy or ThresholdPolicy()
@@ -153,12 +176,22 @@ class MetasearchBroker:
         self.cache: Optional[EstimateCache] = (
             EstimateCache(cache_size, registry=self.registry) if cache_size else None
         )
+        self.polycache: Optional[TermPolynomialCache] = (
+            TermPolynomialCache(polycache_size, registry=self.registry)
+            if polycache_size
+            else None
+        )
         self._engines: Dict[str, EngineRegistration] = {}
         self._m_searches = self.registry.counter("broker.searches")
         self._m_degraded = self.registry.counter("broker.searches.degraded")
         self._m_invoked = self.registry.counter("broker.engines.invoked")
         self._m_search_seconds = self.registry.histogram(
             "broker.search.seconds", buckets=LATENCY_BUCKETS
+        )
+        self._m_batches = self.registry.counter("broker.batch.batches")
+        self._m_batch_queries = self.registry.counter("broker.batch.queries")
+        self._m_batch_seconds = self.registry.histogram(
+            "broker.batch.seconds", buckets=LATENCY_BUCKETS
         )
 
     def _stage_seconds(self, stage: str):
@@ -192,6 +225,8 @@ class MetasearchBroker:
         )
         if self.cache is not None:
             self.cache.invalidate_engine(engine.name)
+        if self.polycache is not None:
+            self.polycache.invalidate_engine(engine.name)
 
     @property
     def engine_names(self) -> List[str]:
@@ -205,20 +240,36 @@ class MetasearchBroker:
 
     # -- estimation and search ---------------------------------------------------------
 
+    def _compute_estimate(
+        self, name: str, registration: EngineRegistration, query: Query, threshold: float
+    ) -> Usefulness:
+        """One fresh estimate, routed through the term-polynomial cache
+        when the estimator supports it (cached factors are bit-identical
+        to fresh computation, so the answer is too)."""
+        if isinstance(self.estimator, ExpansionEstimator):
+            expansion = self.estimator.expand(
+                query, registration.representative, self.polycache, name
+            )
+            return Usefulness(
+                nodoc=expansion.est_nodoc(
+                    threshold, registration.representative.n_documents
+                ),
+                avgsim=expansion.est_avgsim(threshold),
+            )
+        return self.estimator.estimate(
+            query, registration.representative, threshold
+        )
+
     def _estimate_one(
         self, name: str, registration: EngineRegistration, query: Query, threshold: float
     ):
         if self.cache is None:
-            return self.estimator.estimate(
-                query, registration.representative, threshold
-            )
+            return self._compute_estimate(name, registration, query, threshold)
         key = EstimateCache.key_for(name, query, threshold)
         cached = self.cache.get(key)
         if cached is not None:
             return cached
-        usefulness = self.estimator.estimate(
-            query, registration.representative, threshold
-        )
+        usefulness = self._compute_estimate(name, registration, query, threshold)
         self.cache.put(key, usefulness)
         return usefulness
 
@@ -239,6 +290,192 @@ class MetasearchBroker:
     def select(self, query: Query, threshold: float) -> List[str]:
         """Names of the engines the policy picks for this query."""
         return self.policy.select(self.estimate_all(query, threshold))
+
+    # -- batch estimation and search ----------------------------------------------
+
+    @staticmethod
+    def _broadcast_thresholds(
+        queries: List[Query], thresholds: Union[float, Sequence[float]]
+    ) -> List[float]:
+        if isinstance(thresholds, (int, float)):
+            return [float(thresholds)] * len(queries)
+        per_query = [float(t) for t in thresholds]
+        if len(per_query) != len(queries):
+            raise ValueError(
+                f"got {len(per_query)} thresholds for {len(queries)} queries"
+            )
+        return per_query
+
+    def _estimate_batch_rows(
+        self, queries: List[Query], per_query: List[float]
+    ) -> List[List[EstimatedUsefulness]]:
+        """Per-query estimate rows, engines best first — the batch core.
+
+        Engines are visited in registration order (exactly as
+        :meth:`estimate_all` does) and, per engine, queries sharing a
+        normalized ``(terms, weights)`` identity share one expansion.
+        Every (engine, query, threshold) consults the estimate cache
+        first and populates it on a miss, so a batch both benefits from
+        and warms the serial path's cache.  All read-outs go through the
+        same expansion/tail code as the serial path, so the rows are
+        bit-identical to per-query :meth:`estimate_all` calls.
+        """
+        rows: List[List[EstimatedUsefulness]] = [[] for __ in queries]
+        is_expansion = isinstance(self.estimator, ExpansionEstimator)
+        for name, registration in self._engines.items():
+            expansions: Dict = {}
+            for i, (query, threshold) in enumerate(zip(queries, per_query)):
+                key = None
+                usefulness = None
+                if self.cache is not None:
+                    key = EstimateCache.key_for(name, query, threshold)
+                    usefulness = self.cache.get(key)
+                if usefulness is None:
+                    if is_expansion:
+                        gkey = EstimateCache.query_key(query)
+                        expansion = expansions.get(gkey)
+                        if expansion is None:
+                            expansion = self.estimator.expand(
+                                query,
+                                registration.representative,
+                                self.polycache,
+                                name,
+                            )
+                            expansions[gkey] = expansion
+                        usefulness = Usefulness(
+                            nodoc=expansion.est_nodoc(
+                                threshold, registration.representative.n_documents
+                            ),
+                            avgsim=expansion.est_avgsim(threshold),
+                        )
+                    else:
+                        usefulness = self.estimator.estimate(
+                            query, registration.representative, threshold
+                        )
+                    if self.cache is not None:
+                        self.cache.put(key, usefulness)
+                rows[i].append(
+                    EstimatedUsefulness(engine=name, usefulness=usefulness)
+                )
+        for row in rows:
+            row.sort(key=lambda e: e.sort_key)
+        return rows
+
+    def estimate_batch(
+        self,
+        queries: Sequence[Query],
+        thresholds: Union[float, Sequence[float]],
+    ) -> List[List[EstimatedUsefulness]]:
+        """Usefulness estimates for many queries in one amortized pass.
+
+        Args:
+            queries: The batch, in answer order.
+            thresholds: One threshold applied to every query, or a
+                sequence parallel to ``queries``.
+
+        Returns:
+            One best-first estimate row per query — each row exactly what
+            :meth:`estimate_all` would return for that (query, threshold).
+        """
+        started = time.perf_counter()
+        queries = list(queries)
+        per_query = self._broadcast_thresholds(queries, thresholds)
+        rows = self._estimate_batch_rows(queries, per_query)
+        self._m_batches.inc()
+        self._m_batch_queries.inc(len(queries))
+        self._m_batch_seconds.observe(time.perf_counter() - started)
+        return rows
+
+    def search_batch(
+        self,
+        queries: Sequence[Query],
+        thresholds: Union[float, Sequence[float]],
+        limit: Optional[int] = None,
+    ) -> List[MetasearchResponse]:
+        """The full pipeline — estimate, select, dispatch, merge — for a
+        whole batch of queries.
+
+        Estimation runs through :meth:`estimate_batch`'s shared-expansion
+        pass; dispatch pools every selected engine call of every query on
+        the dispatcher's thread pool under a *single* batch deadline
+        (:meth:`~repro.metasearch.dispatch.ConcurrentDispatcher.dispatch_many`).
+        Each query still gets its own :class:`~repro.obs.QueryTrace` and
+        its own :class:`MetasearchResponse`, equal to what a serial
+        :meth:`search` call would produce for healthy engines.
+        """
+        started = time.perf_counter()
+        queries = list(queries)
+        per_query = self._broadcast_thresholds(queries, thresholds)
+        traces = [QueryTrace() for __ in queries]
+
+        est_start = time.perf_counter()
+        all_estimates = self._estimate_batch_rows(queries, per_query)
+        est_elapsed = time.perf_counter() - est_start
+        self._stage_seconds("estimate").observe(est_elapsed)
+        shared = est_elapsed / len(queries) if queries else 0.0
+        for trace in traces:
+            trace.add("estimate", shared, engines=len(self._engines))
+
+        invoked_lists: List[List[str]] = []
+        batches = []
+        for query, threshold, estimates, trace in zip(
+            queries, per_query, all_estimates, traces
+        ):
+            with trace.span("select") as span:
+                invoked = self.policy.select(estimates)
+                span.metadata["selected"] = len(invoked)
+            self._stage_seconds("select").observe(span.duration)
+            invoked_lists.append(invoked)
+            batches.append(
+                {
+                    name: (
+                        lambda engine=self._engines[name].engine,
+                        q=query,
+                        t=threshold: engine.search(q, t)
+                    )
+                    for name in invoked
+                }
+            )
+
+        dispatch_start = time.perf_counter()
+        reports = self.dispatcher.dispatch_many(batches)
+        self._stage_seconds("dispatch").observe(
+            time.perf_counter() - dispatch_start
+        )
+
+        responses = []
+        for query, estimates, trace, invoked, report in zip(
+            queries, all_estimates, traces, invoked_lists, reports
+        ):
+            failed = {failure.engine for failure in report.failures}
+            for name in invoked:
+                trace.add(
+                    f"dispatch:{name}",
+                    report.latencies.get(name, 0.0),
+                    ok=name not in failed,
+                )
+            with trace.span("merge") as span:
+                hits = merge_hits(report.result_lists(), limit=limit)
+                span.metadata["hits"] = len(hits)
+            self._stage_seconds("merge").observe(span.duration)
+            response = MetasearchResponse(
+                hits=hits,
+                invoked=invoked,
+                estimates=estimates,
+                failures=report.failures,
+                latencies=report.latencies,
+                trace=trace,
+            )
+            self._m_searches.inc()
+            self._m_invoked.inc(len(invoked))
+            if response.degraded:
+                self._m_degraded.inc()
+            responses.append(response)
+
+        self._m_batches.inc()
+        self._m_batch_queries.inc(len(queries))
+        self._m_batch_seconds.observe(time.perf_counter() - started)
+        return responses
 
     def _dispatch(
         self,

@@ -1,16 +1,26 @@
-"""LRU cache for per-engine usefulness estimates.
+"""LRU caches for per-engine usefulness estimates and term polynomials.
 
-Usefulness estimation is a pure function of (representative, query,
-threshold), and real query logs are heavily repetitive — so the broker
-caches estimates keyed on ``(engine, query terms, *normalized* weights,
-threshold)`` and invalidates an engine's entries whenever its
-representative is rebuilt or replaced.  Keys use the unit-normalized
-weight vector because that is all an estimator ever consumes
-(:meth:`Query.normalized_items`): raw weights ``(1, 1)`` and ``(2, 2)``
-describe the same query, and keying on them raw fragmented the cache into
-one entry per proportional variant.
+Two memoization layers live here:
 
-The cache is thread-safe: estimate lookups may happen concurrently with a
+* :class:`EstimateCache` — whole answers.  Usefulness estimation is a pure
+  function of (representative, query, threshold), and real query logs are
+  heavily repetitive — so the broker caches estimates keyed on ``(engine,
+  query terms, *normalized* weights, threshold)`` and invalidates an
+  engine's entries whenever its representative is rebuilt or replaced.
+  Keys use the unit-normalized weight vector because that is all an
+  estimator ever consumes (:meth:`Query.normalized_items`): raw weights
+  ``(1, 1)`` and ``(2, 2)`` describe the same query, and keying on them raw
+  fragmented the cache into one entry per proportional variant.
+
+* :class:`TermPolynomialCache` — per-term factors.  An expansion
+  estimator's ``(exponents, coeffs)`` factor is a pure function of
+  (estimator configuration, engine representative, term, normalized query
+  weight), so distinct queries sharing vocabulary share factors even when
+  their estimate keys differ.  Unmatched terms are negatively cached
+  (value ``None``).  Both caches invalidate through the same per-engine
+  hook when a representative changes.
+
+The caches are thread-safe: lookups may happen concurrently with a
 registration refresh on another thread.  Hit/miss/eviction/invalidation
 totals are kept both as plain attributes (cheap to read in-process) and,
 when a :class:`~repro.obs.MetricsRegistry` is supplied, as registry
@@ -27,7 +37,7 @@ from repro.core.types import Usefulness
 from repro.corpus.query import Query
 from repro.obs.registry import NULL_REGISTRY
 
-__all__ = ["EstimateCache"]
+__all__ = ["EstimateCache", "TermPolynomialCache"]
 
 #: Cache key: (engine name, query terms, normalized query weights, threshold).
 CacheKey = Tuple[str, Tuple[str, ...], Tuple[float, ...], float]
@@ -66,18 +76,25 @@ class EstimateCache:
         self._m_size = registry.gauge("cache.size")
 
     @staticmethod
-    def key_for(engine: str, query: Query, threshold: float) -> CacheKey:
-        """The cache key for one estimate.
+    def query_key(query: Query) -> Tuple[Tuple[str, ...], Tuple[float, ...]]:
+        """The query's ``(terms, normalized weights)`` identity.
 
-        Weights enter the key *unit-normalized* (rounded to 12 decimals):
+        Weights enter *unit-normalized* (rounded to 12 decimals):
         estimators only ever see :meth:`Query.normalized_items`, so
         proportional raw weights — ``(1, 1)`` vs ``(2, 2)`` — must map to
-        the same entry instead of fragmenting the cache.
+        the same entry instead of fragmenting the cache.  The batch
+        pipeline also groups queries by this key to share expansions.
         """
         normalized = tuple(
             round(w, _KEY_DECIMALS) for w in query.normalized_weights().tolist()
         )
-        return (engine, query.terms, normalized, float(threshold))
+        return (query.terms, normalized)
+
+    @classmethod
+    def key_for(cls, engine: str, query: Query, threshold: float) -> CacheKey:
+        """The cache key for one estimate."""
+        terms, normalized = cls.query_key(query)
+        return (engine, terms, normalized, float(threshold))
 
     def get(self, key: CacheKey) -> Optional[Usefulness]:
         """The cached estimate, refreshed as most recently used; None on miss."""
@@ -141,5 +158,118 @@ class EstimateCache:
     def __repr__(self) -> str:
         return (
             f"EstimateCache(size={len(self)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+#: Polynomial cache key: (estimator config, engine, term, rounded weight).
+PolyKey = Tuple[Tuple, str, str, float]
+
+
+class TermPolynomialCache:
+    """Bounded LRU mapping (estimator config, engine, term, query weight)
+    to a frozen ``(exponents, coeffs)`` factor — or ``None`` for a term the
+    engine's representative does not match (negative caching, so repeated
+    misses skip the representative lookup too).
+
+    The stored arrays are exactly what a fresh
+    :meth:`~repro.core.base.ExpansionEstimator.term_polynomial` call would
+    return (read-only views of them), so memoized expansions are
+    bit-identical to unmemoized ones.
+
+    Args:
+        maxsize: Maximum resident entries (LRU-evicted beyond this).
+        registry: Metrics sink for ``estimator.polycache.*`` counters and
+            the resident-size gauge; no-op by default.
+    """
+
+    def __init__(self, maxsize: int = 4096, registry=None):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize!r}")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[PolyKey, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._m_hits = registry.counter("estimator.polycache.hits")
+        self._m_misses = registry.counter("estimator.polycache.misses")
+        self._m_evictions = registry.counter("estimator.polycache.evictions")
+        self._m_invalidations = registry.counter(
+            "estimator.polycache.invalidations"
+        )
+        self._m_size = registry.gauge("estimator.polycache.size")
+
+    @staticmethod
+    def key_for(config: Tuple, engine: str, term: str, weight: float) -> PolyKey:
+        """Weights are rounded like :meth:`EstimateCache.key_for` rounds
+        them, so float noise between equal profiles shares entries."""
+        return (config, engine, term, round(float(weight), _KEY_DECIMALS))
+
+    def lookup(
+        self, config: Tuple, engine: str, term: str, weight: float
+    ) -> Tuple[bool, object]:
+        """``(hit, value)`` — value may be a cached ``None`` on a hit."""
+        key = self.key_for(config, engine, term, weight)
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                self._m_hits.inc()
+                return True, self._data[key]
+            self.misses += 1
+            self._m_misses.inc()
+            return False, None
+
+    def store(
+        self, config: Tuple, engine: str, term: str, weight: float, value
+    ) -> None:
+        key = self.key_for(config, engine, term, weight)
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                self._m_evictions.inc()
+            self._m_size.set(len(self._data))
+
+    def invalidate_engine(self, engine: str) -> int:
+        """Drop every factor derived from ``engine``'s representative.
+
+        Returns:
+            Number of entries removed.
+        """
+        with self._lock:
+            stale = [key for key in self._data if key[1] == engine]
+            for key in stale:
+                del self._data[key]
+            self.invalidations += len(stale)
+            self._m_invalidations.inc(len(stale))
+            self._m_size.set(len(self._data))
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop all entries; the hit/miss/eviction counters survive."""
+        with self._lock:
+            self._data.clear()
+            self._m_size.set(0)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"TermPolynomialCache(size={len(self)}/{self.maxsize}, "
             f"hits={self.hits}, misses={self.misses})"
         )

@@ -44,7 +44,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor, TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.engine.results import SearchHit
 from repro.obs.registry import LATENCY_BUCKETS, NULL_REGISTRY
@@ -203,6 +203,109 @@ class ConcurrentDispatcher:
             message=f"{type(exc).__name__}: {exc}",
         )
 
+    # -- keyed execution core --------------------------------------------------------
+
+    # The execution core works on arbitrary hashable keys plus a ``label``
+    # function mapping a key to its engine name (used for failure records
+    # and latency histogram labels).  ``dispatch`` uses the engine name as
+    # the key directly; ``dispatch_many`` uses ``(batch_index, name)`` so
+    # several batches can share one fan-out and one deadline.
+
+    def _execute(self, calls: Mapping, label: Callable) -> tuple:
+        if self.workers == 1 or not calls:
+            return self._execute_serial(calls, label)
+        return self._execute_concurrent(calls, label)
+
+    def _execute_serial(self, calls: Mapping, label: Callable) -> tuple:
+        results: Dict = {}
+        failures: List[tuple] = []
+        latencies: Dict = {}
+        for key, call in calls.items():
+            name = label(key)
+            try:
+                hits, attempts, elapsed = self._call_with_retry(name, call)
+            except Exception as exc:  # degraded, never fatal
+                self._m_errors.inc()
+                failures.append((key, self._error_failure(name, exc)))
+                latencies[key] = getattr(exc, "_dispatch_elapsed", 0.0)
+            else:
+                results[key] = hits
+                latencies[key] = elapsed
+            self._observe_engine_latency(name, latencies[key])
+        return results, failures, latencies
+
+    def _execute_concurrent(self, calls: Mapping, label: Callable) -> tuple:
+        results: Dict = {}
+        failures: List[tuple] = []
+        latencies: Dict = {}
+        start = time.perf_counter()
+        outcomes: Dict = {}
+        lock = threading.Lock()
+
+        def run(key, call: EngineCall) -> None:
+            # Outcomes are recorded inside the worker so a late-finishing
+            # engine that already missed the deadline cannot race the
+            # report assembly below.
+            try:
+                hits, attempts, elapsed = self._call_with_retry(label(key), call)
+                with lock:
+                    outcomes[key] = ("ok", hits, attempts, elapsed)
+            except Exception as exc:
+                with lock:
+                    outcomes[key] = ("error", exc)
+
+        executor = ThreadPoolExecutor(
+            max_workers=min(self.workers, len(calls)),
+            thread_name_prefix="repro-dispatch",
+        )
+        try:
+            futures = {
+                key: executor.submit(run, key, call)
+                for key, call in calls.items()
+            }
+            for key, future in futures.items():
+                remaining: Optional[float] = None
+                if self.timeout is not None:
+                    remaining = max(0.0, self.timeout - (time.perf_counter() - start))
+                try:
+                    future.result(timeout=remaining)
+                except FutureTimeout:
+                    future.cancel()
+                latencies[key] = time.perf_counter() - start
+            with lock:
+                done = dict(outcomes)
+            for key in calls:
+                outcome = done.get(key)
+                if outcome is None:
+                    self._m_timeouts.inc()
+                    failures.append(
+                        (
+                            key,
+                            EngineFailure(
+                                engine=label(key),
+                                kind="timeout",
+                                attempts=0,
+                                elapsed=latencies[key],
+                                message=f"no answer within {self.timeout}s deadline",
+                            ),
+                        )
+                    )
+                elif outcome[0] == "ok":
+                    _, hits, attempts, elapsed = outcome
+                    results[key] = hits
+                    latencies[key] = elapsed
+                else:
+                    self._m_errors.inc()
+                    exc = outcome[1]
+                    failures.append((key, self._error_failure(label(key), exc)))
+                    latencies[key] = getattr(exc, "_dispatch_elapsed", 0.0)
+                self._observe_engine_latency(label(key), latencies[key])
+        finally:
+            # Abandon hung workers instead of joining them; their threads
+            # finish (or leak until process exit) without blocking us.
+            executor.shutdown(wait=False)
+        return results, failures, latencies
+
     # -- fan-out --------------------------------------------------------------------
 
     def dispatch(self, calls: Mapping[str, EngineCall]) -> DispatchReport:
@@ -214,98 +317,58 @@ class ConcurrentDispatcher:
                 engines that answered.
         """
         self._m_dispatches.inc()
-        if self.workers == 1 or not calls:
-            return self._dispatch_serial(calls)
-        return self._dispatch_concurrent(calls)
-
-    def _dispatch_serial(self, calls: Mapping[str, EngineCall]) -> DispatchReport:
-        report = DispatchReport()
-        for name, call in calls.items():
-            try:
-                hits, attempts, elapsed = self._call_with_retry(name, call)
-            except Exception as exc:  # degraded, never fatal
-                self._m_errors.inc()
-                report.failures.append(self._error_failure(name, exc))
-                report.latencies[name] = getattr(exc, "_dispatch_elapsed", 0.0)
-            else:
-                report.results[name] = hits
-                report.latencies[name] = elapsed
-            self._observe_engine_latency(name, report.latencies[name])
-        return report
-
-    def _dispatch_concurrent(self, calls: Mapping[str, EngineCall]) -> DispatchReport:
-        report = DispatchReport()
-        start = time.perf_counter()
-        outcomes: Dict[str, tuple] = {}
-        lock = threading.Lock()
-
-        def run(name: str, call: EngineCall) -> None:
-            # Outcomes are recorded inside the worker so a late-finishing
-            # engine that already missed the deadline cannot race the
-            # report assembly below.
-            try:
-                hits, attempts, elapsed = self._call_with_retry(name, call)
-                with lock:
-                    outcomes[name] = ("ok", hits, attempts, elapsed)
-            except Exception as exc:
-                with lock:
-                    outcomes[name] = ("error", exc)
-
-        executor = ThreadPoolExecutor(
-            max_workers=min(self.workers, len(calls)),
-            thread_name_prefix="repro-dispatch",
+        results, failures, latencies = self._execute(calls, lambda key: key)
+        return DispatchReport(
+            results={name: results[name] for name in calls if name in results},
+            failures=[failure for __, failure in failures],
+            latencies={
+                name: latencies[name] for name in calls if name in latencies
+            },
         )
-        try:
-            futures = {
-                name: executor.submit(run, name, call)
-                for name, call in calls.items()
-            }
-            for name, future in futures.items():
-                remaining: Optional[float] = None
-                if self.timeout is not None:
-                    remaining = max(0.0, self.timeout - (time.perf_counter() - start))
-                try:
-                    future.result(timeout=remaining)
-                except FutureTimeout:
-                    future.cancel()
-                report.latencies[name] = time.perf_counter() - start
-            with lock:
-                done = dict(outcomes)
-            for name in calls:
-                outcome = done.get(name)
-                if outcome is None:
-                    self._m_timeouts.inc()
-                    report.failures.append(
-                        EngineFailure(
-                            engine=name,
-                            kind="timeout",
-                            attempts=0,
-                            elapsed=report.latencies[name],
-                            message=f"no answer within {self.timeout}s deadline",
-                        )
-                    )
-                elif outcome[0] == "ok":
-                    _, hits, attempts, elapsed = outcome
-                    report.results[name] = hits
-                    report.latencies[name] = elapsed
-                else:
-                    self._m_errors.inc()
-                    exc = outcome[1]
-                    report.failures.append(self._error_failure(name, exc))
-                    report.latencies[name] = getattr(exc, "_dispatch_elapsed", 0.0)
-                self._observe_engine_latency(name, report.latencies[name])
-        finally:
-            # Abandon hung workers instead of joining them; their threads
-            # finish (or leak until process exit) without blocking us.
-            executor.shutdown(wait=False)
-        # Keep result/latency order aligned with the dispatch order.
-        report.results = {
-            name: report.results[name] for name in calls if name in report.results
-        }
-        report.latencies = {
-            name: report.latencies[name] for name in calls if name in report.latencies
-        }
-        return report
+
+    def dispatch_many(
+        self, batches: Sequence[Mapping[str, EngineCall]]
+    ) -> List[DispatchReport]:
+        """Fan out several queries' engine calls as one pooled dispatch.
+
+        All calls across all batches share the executor and — unlike
+        per-batch :meth:`dispatch` loops, where every batch gets a fresh
+        ``timeout`` — a *single* deadline measured from the start of the
+        whole fan-out.  Per-batch results are split back into one
+        :class:`DispatchReport` per input batch, preserving each batch's
+        call order; an engine may appear in any number of batches.
+
+        On the serial path (``workers=1``) batches simply run back to
+        back, preserving the historical semantics.
+        """
+        self._m_dispatches.inc()
+        flat: Dict[tuple, EngineCall] = {}
+        for index, calls in enumerate(batches):
+            for name, call in calls.items():
+                flat[(index, name)] = call
+        results, failures, latencies = self._execute(flat, lambda key: key[1])
+        reports = []
+        for index, calls in enumerate(batches):
+            reports.append(
+                DispatchReport(
+                    results={
+                        name: results[(index, name)]
+                        for name in calls
+                        if (index, name) in results
+                    },
+                    failures=[
+                        failure
+                        for key, failure in failures
+                        if key[0] == index
+                    ],
+                    latencies={
+                        name: latencies[(index, name)]
+                        for name in calls
+                        if (index, name) in latencies
+                    },
+                )
+            )
+        return reports
 
     def __repr__(self) -> str:
         return (

@@ -21,10 +21,15 @@ from repro.representatives import DatabaseRepresentative, TermStats, build_repre
 # -- Hypothesis profiles -------------------------------------------------------
 #
 # "ci" is fully deterministic (derandomized, fixed example budget) so the
-# GitHub Actions matrix cannot flake; select it with HYPOTHESIS_PROFILE=ci.
+# GitHub Actions matrix cannot flake on pull requests; "ci-main" spends a
+# larger randomized example budget on pushes to main, where a rare failure
+# is a find rather than a blocked merge.  Select with HYPOTHESIS_PROFILE.
 
 hypothesis_settings.register_profile(
     "ci", derandomize=True, max_examples=50, deadline=None
+)
+hypothesis_settings.register_profile(
+    "ci-main", max_examples=400, deadline=None, print_blob=True
 )
 hypothesis_settings.register_profile("dev", deadline=None)
 hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -102,6 +102,88 @@ class TestEstimatorTables:
         )
 
 
+class _BatchPipelineEstimator:
+    """Adapter running every ``estimate_many`` through a single-engine
+    broker's batched estimation path (one query duplicated across the
+    threshold grid), so the paper-table experiment exercises the batch
+    pipeline end to end."""
+
+    def __init__(self, broker: MetasearchBroker):
+        self.broker = broker
+        self.name = broker.estimator.name
+        self.label = broker.estimator.label
+
+    def estimate_many(self, query, representative, thresholds):
+        thresholds = list(thresholds)
+        rows = self.broker.estimate_batch([query] * len(thresholds), thresholds)
+        return [row[0].usefulness for row in rows]
+
+
+class TestBatchPipelineTables:
+    """Tables 1-12 computed through ``estimate_batch`` (adaptive budget
+    disabled, both caches on) and pinned to the *same* golden files as the
+    serial experiment — the batch pipeline must be drop-in identical."""
+
+    @pytest.fixture(scope="class")
+    def batch_experiment(self, small_engine, small_representative, small_queries):
+        specs = [
+            ("gloss-hc", get_estimator("gloss-hc"), small_representative, ""),
+            ("prev", get_estimator("prev"), small_representative, ""),
+            ("subrange", get_estimator("subrange"), small_representative, ""),
+            (
+                "subrange-1byte",
+                get_estimator("subrange"),
+                quantize_representative(small_representative),
+                "Sub 1-byte",
+            ),
+            (
+                "subrange-triplet",
+                SubrangeEstimator(use_stored_max=False),
+                small_representative,
+                "Sub triplet",
+            ),
+        ]
+        methods = []
+        for key, estimator, representative, label in specs:
+            broker = MetasearchBroker(estimator=estimator)
+            broker.register(small_engine, representative=representative)
+            methods.append(
+                MethodSpec(
+                    key,
+                    _BatchPipelineEstimator(broker),
+                    representative,
+                    label=label,
+                )
+            )
+        return run_usefulness_experiment(
+            small_engine, small_queries, methods, thresholds=THRESHOLDS
+        )
+
+    def test_match_table_via_batch(self, batch_experiment):
+        rendered = format_match_table(
+            batch_experiment, methods=["gloss-hc", "prev", "subrange"]
+        )
+        check_golden("match_table", rendered)
+
+    def test_error_table_via_batch(self, batch_experiment):
+        rendered = format_error_table(
+            batch_experiment, methods=["gloss-hc", "prev", "subrange"]
+        )
+        check_golden("error_table", rendered)
+
+    def test_quantized_table_via_batch(self, batch_experiment):
+        check_golden(
+            "quantized_table",
+            format_combined_table(batch_experiment, "subrange-1byte"),
+        )
+
+    def test_triplet_table_via_batch(self, batch_experiment):
+        check_golden(
+            "triplet_table",
+            format_combined_table(batch_experiment, "subrange-triplet"),
+        )
+
+
 class TestFleetSelectionTable:
     """Counterpart of the full-fleet bench table at tier-1 scale."""
 

@@ -1,0 +1,198 @@
+"""Property-based suite for the generating-function engine.
+
+Hypothesis generates random sets of per-term probability polynomials
+(each a valid ``p_1 X^{e_1} + ... + p_k X^{e_k}`` with coefficients
+summing to 1) and checks the invariants every estimator's correctness
+rests on:
+
+* mass conservation — ``total_mass + pruned_mass ~= 1`` through any
+  combination of rounding, pruning, and the adaptive budget;
+* factor-order invariance — the expansion is the same (up to exponent
+  rounding) no matter the multiplication order;
+* tail monotonicity — ``tail_mass`` never increases with the threshold;
+* budget accounting — ``max_terms`` caps the term count without ever
+  losing probability mass unaccounted.
+
+The suite is marked ``slow``: CI runs it with the reduced deterministic
+"ci" profile on pull requests and the full "ci-main" budget on main
+(see tests/conftest.py).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GenFunc
+
+pytestmark = pytest.mark.slow
+
+# -- strategies ----------------------------------------------------------------
+
+
+@st.composite
+def probability_polynomial(draw):
+    """One per-term factor: 1-4 points, coefficients summing to 1."""
+    size = draw(st.integers(min_value=1, max_value=4))
+    exponents = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    raw = draw(
+        st.lists(
+            st.floats(min_value=1e-3, max_value=1.0),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    total = sum(raw)
+    coeffs = [value / total for value in raw]
+    return (np.asarray(exponents), np.asarray(coeffs))
+
+
+polynomial_lists = st.lists(probability_polynomial(), min_size=1, max_size=6)
+
+
+# -- mass conservation ---------------------------------------------------------
+
+
+class TestMassConservation:
+    @given(polynomials=polynomial_lists)
+    def test_exact_expansion_conserves_mass(self, polynomials):
+        expansion = GenFunc.product(polynomials)
+        assert expansion.total_mass() + expansion.pruned_mass == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    @given(
+        polynomials=polynomial_lists,
+        prune_floor=st.floats(min_value=0.0, max_value=0.01),
+    )
+    def test_pruned_expansion_conserves_mass(self, polynomials, prune_floor):
+        expansion = GenFunc.product(polynomials, prune_floor=prune_floor)
+        assert expansion.total_mass() + expansion.pruned_mass == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    @given(
+        polynomials=polynomial_lists,
+        max_terms=st.integers(min_value=1, max_value=32),
+    )
+    def test_budgeted_expansion_conserves_mass(self, polynomials, max_terms):
+        expansion = GenFunc.product(polynomials, max_terms=max_terms)
+        assert expansion.total_mass() + expansion.pruned_mass == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+
+# -- factor-order invariance ---------------------------------------------------
+
+
+class TestOrderInvariance:
+    @given(
+        polynomials=polynomial_lists,
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_product_commutes(self, polynomials, seed):
+        """Shuffling the factor order changes nothing but float noise.
+
+        Exponent rounding happens after every multiplication, so two
+        orders can differ by one rounding ulp per step — the comparison
+        allows that and nothing more.
+        """
+        forward = GenFunc.product(polynomials)
+        shuffled = list(polynomials)
+        np.random.RandomState(seed).shuffle(shuffled)
+        backward = GenFunc.product(shuffled)
+        assert forward.n_terms == backward.n_terms
+        np.testing.assert_allclose(
+            forward.exponents, backward.exponents, atol=1e-8
+        )
+        np.testing.assert_allclose(forward.coeffs, backward.coeffs, atol=1e-9)
+
+
+# -- tail monotonicity ---------------------------------------------------------
+
+
+class TestTailMonotonicity:
+    @given(
+        polynomials=polynomial_lists,
+        thresholds=st.lists(
+            st.floats(min_value=-0.5, max_value=2.0),
+            min_size=2,
+            max_size=8,
+        ),
+    )
+    def test_tail_mass_non_increasing(self, polynomials, thresholds):
+        expansion = GenFunc.product(polynomials)
+        ordered = sorted(thresholds)
+        masses = [expansion.tail_mass(t) for t in ordered]
+        for lower, higher in zip(masses, masses[1:]):
+            assert higher <= lower + 1e-12
+
+    @given(polynomials=polynomial_lists)
+    def test_tail_profile_matches_scalar_readout(self, polynomials):
+        """The vectorized grid readout is bit-identical to per-threshold
+        calls — the property the batch pipeline's exactness rests on."""
+        expansion = GenFunc.product(polynomials)
+        grid = [-0.1, 0.0, 0.3, 0.7, 1.5]
+        mass, moment = expansion.tail_profile(grid)
+        for i, threshold in enumerate(grid):
+            assert mass[i] == expansion.tail_mass(threshold)
+            assert moment[i] == expansion.tail_first_moment(threshold)
+
+
+# -- adaptive budget -----------------------------------------------------------
+
+
+class TestAdaptiveBudget:
+    @given(
+        polynomials=polynomial_lists,
+        max_terms=st.integers(min_value=1, max_value=16),
+    )
+    def test_budget_caps_terms(self, polynomials, max_terms):
+        expansion = GenFunc.product(polynomials, max_terms=max_terms)
+        assert expansion.n_terms <= max_terms
+
+    @given(
+        polynomials=polynomial_lists,
+        max_terms=st.integers(min_value=1, max_value=16),
+    )
+    def test_budget_only_moves_mass_to_pruned(self, polynomials, max_terms):
+        """Whatever the budget drops shows up in pruned_mass, exactly."""
+        exact = GenFunc.product(polynomials)
+        budgeted = GenFunc.product(polynomials, max_terms=max_terms)
+        dropped = exact.total_mass() - budgeted.total_mass()
+        assert budgeted.pruned_mass == pytest.approx(
+            exact.pruned_mass + dropped, abs=1e-9
+        )
+
+    @given(polynomials=polynomial_lists)
+    def test_generous_budget_changes_nothing(self, polynomials):
+        exact = GenFunc.product(polynomials)
+        budgeted = GenFunc.product(polynomials, max_terms=exact.n_terms)
+        np.testing.assert_array_equal(exact.exponents, budgeted.exponents)
+        np.testing.assert_array_equal(exact.coeffs, budgeted.coeffs)
+        assert exact.pruned_mass == budgeted.pruned_mass
+
+    @settings(max_examples=20)
+    @given(
+        n_terms=st.integers(min_value=2, max_value=64),
+        max_terms=st.integers(min_value=1, max_value=8),
+    )
+    def test_equal_coefficients_terminate(self, n_terms, max_terms):
+        """The geometric floor overshoots a flat coefficient profile in one
+        step; the heaviest-terms fallback must still terminate and cap."""
+        flat = GenFunc(
+            np.arange(n_terms, dtype=float), np.full(n_terms, 1.0 / n_terms)
+        )
+        budgeted = flat.budgeted(max_terms)
+        assert budgeted.n_terms <= max_terms
+        assert budgeted.total_mass() + budgeted.pruned_mass == pytest.approx(
+            1.0, abs=1e-12
+        )

@@ -107,6 +107,17 @@ class TestEstimates:
             single = estimator.estimate(query, rep, threshold)
             assert estimate.nodoc == pytest.approx(single.nodoc)
 
+    def test_estimate_many_single_pass_is_exact(self, rep):
+        """estimate_many reads every tail off one cumulative-sum pass; the
+        answers must be *bit-identical* to per-threshold estimate() calls,
+        for any threshold order including duplicates."""
+        query = Query.from_terms(["common", "rare", "mid"])
+        thresholds = (0.5, 0.1, 0.3, 0.1, 0.6, 0.0)
+        estimator = SubrangeEstimator()
+        many = estimator.estimate_many(query, rep, thresholds)
+        singles = [estimator.estimate(query, rep, t) for t in thresholds]
+        assert many == singles
+
     def test_avgsim_above_threshold_when_nonzero(self, rep):
         query = Query.from_terms(["common"])
         for threshold in (0.1, 0.2, 0.4, 0.6):
