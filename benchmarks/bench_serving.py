@@ -1,0 +1,210 @@
+"""Serving bench — gateway-over-HTTP versus the in-process broker.
+
+A fleet of four engine-server *processes* (launched through ``repro serve
+engine``, exactly as an operator would) sits behind an HTTP gateway.  A
+closed-loop load generator drives Zipf queries through the gateway from
+several concurrent workers, then replays the identical workload against an
+in-process :class:`MetasearchBroker` over the same collections.
+
+The bench asserts the wire adds **zero** answer drift — merged hits,
+estimates, invoked engines and failures are all exactly equal — and
+reports what it costs: throughput, latency percentiles, and the per-request
+overhead over the in-process path.
+
+Knobs: ``REPRO_BENCH_SERVING_QUERIES`` (default 60), ``REPRO_BENCH_SEED``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+from repro.corpus import save_collection
+from repro.corpus.synth import NewsgroupModel, QueryLogModel
+from repro.engine import SearchEngine
+from repro.metasearch import MetasearchBroker
+from repro.serving import GatewayApp, GatewayClient, RemoteEngine, ServingServer
+
+from _bench_utils import BENCH_SEED, THRESHOLDS, emit
+
+SERVING_QUERIES = int(os.environ.get("REPRO_BENCH_SERVING_QUERIES", "60"))
+N_ENGINES = 4
+WORKERS = 4
+
+
+def _fleet_model() -> NewsgroupModel:
+    return NewsgroupModel(
+        vocab_size=2000,
+        topic_size=100,
+        topic_band=(50, 800),
+        mean_length=60,
+        seed=BENCH_SEED,
+        group_sizes=[40, 30, 25, 20],
+    )
+
+
+def _launch_fleet(collections, tmp):
+    """Start one ``repro serve engine`` process per collection."""
+    processes, urls = [], []
+    for collection in collections:
+        path = tmp / f"{collection.name}.jsonl.gz"
+        save_collection(collection, path)
+        processes.append(
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "serve",
+                    "engine",
+                    "--collection",
+                    str(path),
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+        )
+    for proc in processes:
+        url = None
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                break
+            match = re.search(r"serving engine at (http://\S+)", line)
+            if match:
+                url = match.group(1)
+                break
+        assert url, "engine server did not announce its URL"
+        urls.append(url)
+    return processes, urls
+
+
+def _stop_fleet(processes):
+    for proc in processes:
+        proc.send_signal(signal.SIGTERM)
+    for proc in processes:
+        try:
+            proc.communicate(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.communicate()
+
+
+def _percentile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _closed_loop(client, requests):
+    """Drive ``requests`` through ``client`` from WORKERS threads.
+
+    Returns (responses, latencies) in request order, plus the wall time.
+    """
+    responses = [None] * len(requests)
+    latencies = [0.0] * len(requests)
+    cursor = iter(range(len(requests)))
+    lock = threading.Lock()
+
+    def worker():
+        while True:
+            with lock:
+                index = next(cursor, None)
+            if index is None:
+                return
+            query, threshold = requests[index]
+            start = time.perf_counter()
+            responses[index] = client.search(query, threshold)
+            latencies[index] = time.perf_counter() - start
+
+    threads = [threading.Thread(target=worker) for __ in range(WORKERS)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return responses, latencies, time.perf_counter() - start
+
+
+def test_serving_gateway_exactness_and_overhead(benchmark, tmp_path):
+    model = _fleet_model()
+    collections = [model.generate_group(group) for group in range(N_ENGINES)]
+    queries = QueryLogModel(model, seed=42).generate(SERVING_QUERIES)
+    requests = [
+        (query, THRESHOLDS[i % len(THRESHOLDS)])
+        for i, query in enumerate(queries)
+    ]
+
+    processes, server = [], None
+    try:
+        processes, urls = _launch_fleet(collections, tmp_path)
+        broker = MetasearchBroker(workers=N_ENGINES)
+        for url in urls:
+            remote = RemoteEngine(url)
+            snapshot = remote.snapshot_representative()
+            broker.register(remote, representative=snapshot.representative)
+        server = ServingServer(
+            GatewayApp(broker, max_active=WORKERS * 2, max_queued=64)
+        )
+        server.start_background()
+        client = GatewayClient(server.url)
+
+        # Warm the keep-alive connections before measuring.
+        client.search(requests[0][0], requests[0][1])
+
+        responses, latencies, wall = _closed_loop(client, requests)
+
+        local_broker = MetasearchBroker()
+        for collection in collections:
+            local_broker.register(SearchEngine(collection))
+        start = time.perf_counter()
+        local = [
+            local_broker.search(query, threshold)
+            for query, threshold in requests
+        ]
+        local_seconds = time.perf_counter() - start
+
+        for remote_response, local_response in zip(responses, local):
+            assert remote_response.hits == local_response.hits
+            assert remote_response.estimates == local_response.estimates
+            assert remote_response.invoked == local_response.invoked
+            assert remote_response.failures == local_response.failures
+
+        ordered = sorted(latencies)
+        throughput = len(requests) / wall if wall > 0 else float("inf")
+        lines = [
+            "",
+            f"=== serving gateway over {N_ENGINES} engine-server processes, "
+            f"{len(requests)} Zipf queries, {WORKERS} closed-loop workers ===",
+            f"{'path':<11} {'seconds':>9} {'ms/req':>9}",
+            f"{'gateway':<11} {wall:>9.2f} "
+            f"{1000.0 * wall / len(requests):>9.2f}",
+            f"{'in-process':<11} {local_seconds:>9.2f} "
+            f"{1000.0 * local_seconds / len(requests):>9.2f}",
+            f"throughput : {throughput:.1f} req/s through the gateway",
+            f"latency    : p50 {1000.0 * _percentile(ordered, 0.50):.2f} ms, "
+            f"p90 {1000.0 * _percentile(ordered, 0.90):.2f} ms, "
+            f"p99 {1000.0 * _percentile(ordered, 0.99):.2f} ms",
+            f"equality   : exact ({len(requests)} responses compared: "
+            f"hits, estimates, invoked, failures)",
+        ]
+        emit("serving", "\n".join(lines))
+
+        # Steady-state kernel: one warm request through the full stack
+        # (gateway admission -> concurrent dispatch -> 4 HTTP engines).
+        query, threshold = requests[0]
+        benchmark(lambda: client.search(query, threshold))
+
+        client.close()
+    finally:
+        if server is not None:
+            server.drain(timeout=10)
+        _stop_fleet(processes)

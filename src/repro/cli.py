@@ -9,6 +9,8 @@ Subcommands::
     repro-usefulness fleet --groups 16 --workers 8 --timeout 2.0
     repro-usefulness stats --format prometheus
     repro-usefulness scalability
+    repro-usefulness serve engine --collection data/D1.jsonl.gz --port 8751
+    repro-usefulness serve gateway --engines http://127.0.0.1:8751
 
 Every command prints plain text to stdout; all randomness is seeded.
 """
@@ -45,6 +47,7 @@ from repro.representatives import (
     build_representative,
     sizing_for_collection,
 )
+from repro.version import package_version
 
 __all__ = ["main", "build_parser"]
 
@@ -387,6 +390,102 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_engine(args: argparse.Namespace) -> SearchEngine:
+    """An engine from either artifact: a JSONL collection or a saved index."""
+    if args.index:
+        from repro.index.store import load_index
+
+        return SearchEngine.from_index(load_index(args.index))
+    return SearchEngine(load_collection(args.collection))
+
+
+def _serve(server, args: argparse.Namespace) -> int:
+    """Shared serve loop: announce the URL, run until drained, flush."""
+    # flush so a parent process (test harness, CI) can read the bound
+    # port before the first request arrives.
+    print(f"serving {server.app.role} at {server.url}", flush=True)
+    completed = server.run(drain_timeout=args.drain_timeout)
+    if args.metrics_out and server.final_metrics is not None:
+        Path(args.metrics_out).write_text(
+            server.final_metrics, encoding="utf-8"
+        )
+        print(f"wrote final metrics to {args.metrics_out}")
+    print(f"drained ({'complete' if completed else 'timed out'})")
+    return 0 if completed else 1
+
+
+def _cmd_serve_engine(args: argparse.Namespace) -> int:
+    """Serve one search engine over HTTP from a saved artifact."""
+    from repro.serving import EngineApp, ServingServer
+
+    engine = _load_engine(args)
+    app = EngineApp(
+        engine,
+        registry=_serving_registry(),
+        default_deadline=args.default_deadline,
+    )
+    server = ServingServer(app, host=args.host, port=args.port)
+    print(
+        f"engine {engine.name!r}: {engine.n_documents} documents",
+        flush=True,
+    )
+    return _serve(server, args)
+
+
+def _cmd_serve_gateway(args: argparse.Namespace) -> int:
+    """Serve a metasearch broker over remote and/or local engines."""
+    from repro.serving import GatewayApp, RemoteEngine, ServingServer
+
+    if not args.engines and not args.collections:
+        print(
+            "error: give at least one --engines URL or --collections path",
+            file=sys.stderr,
+        )
+        return 2
+    registry = _serving_registry()
+    try:
+        broker = MetasearchBroker(
+            workers=args.workers,
+            timeout=args.timeout,
+            retries=args.retries,
+            cache_size=args.cache_size,
+            registry=registry,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for url in args.engines or []:
+        remote = RemoteEngine(url, timeout=args.engine_timeout)
+        snapshot = remote.snapshot_representative(quantize=args.quantize)
+        broker.register(remote, representative=snapshot.representative)
+        print(
+            f"registered remote engine {remote.name!r} at {url} "
+            f"(version {snapshot.version})",
+            flush=True,
+        )
+    for path in args.collections or []:
+        engine = SearchEngine(load_collection(path))
+        broker.register(engine)
+        print(f"registered local engine {engine.name!r} from {path}", flush=True)
+    app = GatewayApp(
+        broker,
+        max_active=args.max_active,
+        max_queued=args.max_queued,
+        max_queue_wait=args.max_queue_wait,
+        retry_after=args.retry_after,
+        registry=registry,
+        default_deadline=args.default_deadline,
+    )
+    server = ServingServer(app, host=args.host, port=args.port)
+    return _serve(server, args)
+
+
+def _serving_registry():
+    from repro.obs import MetricsRegistry
+
+    return MetricsRegistry()
+
+
 def _cmd_scalability(args: argparse.Namespace) -> int:
     rows = list(PAPER_COLLECTION_STATS)
     if args.synthetic:
@@ -403,6 +502,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-usefulness",
         description="Usefulness estimation for metasearch engine selection "
         "(Meng et al., ICDE 1999 reproduction).",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {package_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -531,6 +635,69 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1999)
     p.add_argument("--query-seed", type=int, default=42)
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "serve", help="serve an engine or the broker gateway over HTTP"
+    )
+    serve_sub = p.add_subparsers(dest="role", required=True)
+
+    def _common_serve_args(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--host", default="127.0.0.1")
+        sp.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 = pick a free one; the bound URL "
+                             "is printed on startup)")
+        sp.add_argument("--default-deadline", type=float, default=None,
+                        help="budget in seconds for requests without an "
+                             "X-Repro-Deadline header")
+        sp.add_argument("--drain-timeout", type=float, default=30.0,
+                        help="seconds to wait for in-flight requests on "
+                             "SIGTERM/SIGINT")
+        sp.add_argument("--metrics-out", default=None,
+                        help="write the final metrics flush (Prometheus "
+                             "text) here after draining")
+
+    sp = serve_sub.add_parser(
+        "engine", help="serve one search engine from a saved artifact"
+    )
+    source = sp.add_mutually_exclusive_group(required=True)
+    source.add_argument("--collection", default=None,
+                        help="JSONL collection to index and serve")
+    source.add_argument("--index", default=None,
+                        help="saved .npz index to serve without re-indexing")
+    _common_serve_args(sp)
+    sp.set_defaults(func=_cmd_serve_engine)
+
+    sp = serve_sub.add_parser(
+        "gateway", help="serve the metasearch broker over HTTP engines"
+    )
+    sp.add_argument("--engines", nargs="+", default=None,
+                    help="engine server URLs to register")
+    sp.add_argument("--collections", nargs="+", default=None,
+                    help="JSONL collections served as in-process engines")
+    sp.add_argument("--quantize", type=int, default=None,
+                    help="fetch remote representatives one-byte quantized "
+                         "with this many levels")
+    sp.add_argument("--engine-timeout", type=float, default=10.0,
+                    help="per-call budget for remote engine requests")
+    sp.add_argument("--workers", type=int, default=8,
+                    help="concurrent engine calls per search")
+    sp.add_argument("--timeout", type=float, default=None,
+                    help="broker fan-out deadline (requires workers > 1)")
+    sp.add_argument("--retries", type=int, default=0,
+                    help="extra attempts after an engine error")
+    sp.add_argument("--cache-size", type=int, default=1024,
+                    help="estimate cache capacity (0 disables)")
+    sp.add_argument("--max-active", type=int, default=8,
+                    help="broker requests allowed to run concurrently")
+    sp.add_argument("--max-queued", type=int, default=32,
+                    help="requests allowed to wait for a slot before "
+                         "shedding with 503")
+    sp.add_argument("--max-queue-wait", type=float, default=5.0,
+                    help="wait cap for queued requests without a deadline")
+    sp.add_argument("--retry-after", type=float, default=1.0,
+                    help="Retry-After hint on shed responses")
+    _common_serve_args(sp)
+    sp.set_defaults(func=_cmd_serve_gateway)
 
     p = sub.add_parser("scalability", help="print the Section 3.2 sizing table")
     p.add_argument("--synthetic", action="store_true",

@@ -53,6 +53,21 @@ class SearchEngine:
             idf=idf,
         )
 
+    @classmethod
+    def from_index(cls, index: InvertedIndex) -> "SearchEngine":
+        """Wrap an already-built index (e.g. one loaded via
+        :func:`~repro.index.store.load_index`) without re-indexing.
+
+        The engine adopts the index's collection — for a loaded index
+        that is a skeleton (ids and vocabulary, no term frequencies),
+        which serves search and representative building identically to
+        the original.
+        """
+        engine = cls.__new__(cls)
+        engine.collection = index.collection
+        engine.index = index
+        return engine
+
     @property
     def name(self) -> str:
         """The engine is named after its collection."""

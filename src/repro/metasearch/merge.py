@@ -16,12 +16,14 @@ __all__ = ["merge_hits"]
 
 
 def merge_hits(
-    result_lists: Iterable[List[SearchHit]], limit: Optional[int] = None
+    result_lists: Iterable[Iterable[SearchHit]], limit: Optional[int] = None
 ) -> List[SearchHit]:
     """Merge per-engine hit lists into one globally ranked list.
 
     Args:
-        result_lists: One list of hits per invoked engine.
+        result_lists: One iterable of hits per invoked engine.  Any
+            iterable works — lists, tuples, or generators (the wire
+            decoder streams hits straight in without materializing).
         limit: Optional cap on the merged list length.
 
     Returns:

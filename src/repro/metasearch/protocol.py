@@ -129,8 +129,17 @@ class SubscribingBroker:
         self.refresh_count = 0
 
     def register(self, server: EngineServer) -> None:
-        """Subscribe to an engine; takes an initial snapshot."""
-        if server.name in self._servers:
+        """Subscribe to an engine; takes an initial snapshot.
+
+        Engine names must be unique — the name is the routing key.
+        Re-registering the *same server object* is a refresh: a fresh
+        snapshot is taken immediately, regardless of the growth policy
+        (mirroring :meth:`~repro.metasearch.broker.MetasearchBroker.
+        register`).  Registering a *different* server under an existing
+        name stays an error.
+        """
+        existing = self._servers.get(server.name)
+        if existing is not None and existing is not server:
             raise ValueError(f"engine {server.name!r} already registered")
         self._servers[server.name] = server
         self._snapshots[server.name] = server.snapshot_representative()

@@ -120,6 +120,18 @@ class DatabaseRepresentative:
             json.loads(Path(path).read_text(encoding="utf-8"))
         )
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality — two representatives holding the same name, size
+        and per-term statistics are the same summary, however they were
+        obtained (built, loaded, or decoded off the wire)."""
+        if not isinstance(other, DatabaseRepresentative):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.n_documents == other.n_documents
+            and self._term_stats == other._term_stats
+        )
+
     def __repr__(self) -> str:
         return (
             f"DatabaseRepresentative({self.name!r}, docs={self.n_documents}, "

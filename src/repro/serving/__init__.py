@@ -1,0 +1,83 @@
+"""Network serving layer: engines and the broker over HTTP.
+
+The paper's architecture is inherently distributed — engines hold the
+documents, the broker holds only representatives — and this package puts
+that split on the wire with nothing beyond the standard library:
+
+* :mod:`repro.serving.wire` — the JSON schema; round trips are exact.
+* :mod:`repro.serving.engine_server` — one engine behind HTTP.
+* :mod:`repro.serving.remote_engine` — clients; a :class:`RemoteEngine`
+  plugs into the existing brokers unchanged.
+* :mod:`repro.serving.gateway` — the broker behind bounded admission
+  with load shedding and graceful drain.
+* :mod:`repro.serving.http` — the shared server substrate (deadlines,
+  body limits, metrics, drain).
+
+Start servers with ``repro serve engine ...`` / ``repro serve gateway
+...`` or programmatically via :class:`ServingServer`.
+"""
+
+from repro.serving.admission import AdmissionQueue
+from repro.serving.deadlines import (
+    DEADLINE_HEADER,
+    Deadline,
+    ambient_deadline,
+    deadline_scope,
+)
+from repro.serving.engine_server import EngineApp
+from repro.serving.gateway import GatewayApp
+from repro.serving.http import HTTPError, Response, ServingApp, ServingServer
+from repro.serving.remote_engine import (
+    GatewayClient,
+    RemoteEngine,
+    RemoteServingError,
+)
+from repro.serving.wire import (
+    WireFormatError,
+    decode_hits,
+    encode_hits,
+    estimate_from_wire,
+    estimate_to_wire,
+    failure_from_wire,
+    failure_to_wire,
+    query_from_wire,
+    query_to_wire,
+    representative_from_wire,
+    representative_to_wire,
+    response_from_wire,
+    response_to_wire,
+    usefulness_from_wire,
+    usefulness_to_wire,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "DEADLINE_HEADER",
+    "Deadline",
+    "EngineApp",
+    "GatewayApp",
+    "GatewayClient",
+    "HTTPError",
+    "RemoteEngine",
+    "RemoteServingError",
+    "Response",
+    "ServingApp",
+    "ServingServer",
+    "WireFormatError",
+    "ambient_deadline",
+    "deadline_scope",
+    "decode_hits",
+    "encode_hits",
+    "estimate_from_wire",
+    "estimate_to_wire",
+    "failure_from_wire",
+    "failure_to_wire",
+    "query_from_wire",
+    "query_to_wire",
+    "representative_from_wire",
+    "representative_to_wire",
+    "response_from_wire",
+    "response_to_wire",
+    "usefulness_from_wire",
+    "usefulness_to_wire",
+]

@@ -1,0 +1,171 @@
+"""Bounded admission control for the broker gateway.
+
+The gateway must keep its latency promise under load bursts, so requests
+pass through a two-stage admission queue before touching the broker:
+
+* at most ``max_active`` requests execute concurrently;
+* at most ``max_queued`` more wait for a slot (bounded by the request's
+  remaining deadline, or a configurable cap when the request carries
+  none);
+* everything beyond that is **shed immediately** — the caller gets a
+  503 with ``Retry-After`` instead of an unbounded queue delay.  An
+  overloaded gateway that answers "come back later" in microseconds
+  beats one that answers correctly after the user gave up.
+
+Draining flips the queue closed: *new* arrivals are refused, while
+requests already admitted or queued run to completion — the "finish
+in-flight work" half of graceful shutdown.
+
+The queue exports its state to the :class:`~repro.obs.MetricsRegistry`:
+``serving.admission.active`` / ``serving.admission.queued`` gauges and
+``serving.admission.{admitted,shed,expired,rejected}`` counters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.obs.registry import NULL_REGISTRY
+
+__all__ = ["ADMITTED", "CLOSED", "EXPIRED", "SHED", "AdmissionQueue"]
+
+#: Admission outcomes.
+ADMITTED = "admitted"  # a slot is held; the caller must release()
+SHED = "shed"  # queue full, refused immediately
+EXPIRED = "expired"  # queued, but the wait budget ran out first
+CLOSED = "closed"  # draining, new work refused
+
+
+class AdmissionQueue:
+    """Counting admission with a bounded wait queue and load shedding.
+
+    Args:
+        max_active: Concurrent requests allowed past admission (>= 1).
+        max_queued: Requests allowed to wait for a slot (>= 0; 0 sheds
+            everything beyond ``max_active`` instantly).
+        registry: Metrics sink; the shared no-op registry by default.
+    """
+
+    def __init__(self, max_active: int, max_queued: int, registry=None):
+        if max_active < 1:
+            raise ValueError(f"max_active must be >= 1, got {max_active!r}")
+        if max_queued < 0:
+            raise ValueError(f"max_queued must be >= 0, got {max_queued!r}")
+        self.max_active = max_active
+        self.max_queued = max_queued
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._cond = threading.Condition()
+        self._active = 0
+        self._queued = 0
+        self._closed = False
+        self._g_active = registry.gauge("serving.admission.active")
+        self._g_queued = registry.gauge("serving.admission.queued")
+        self._m_admitted = registry.counter("serving.admission.admitted")
+        self._m_shed = registry.counter("serving.admission.shed")
+        self._m_expired = registry.counter("serving.admission.expired")
+        self._m_rejected = registry.counter("serving.admission.rejected")
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def active(self) -> int:
+        with self._cond:
+            return self._active
+
+    @property
+    def queued(self) -> int:
+        with self._cond:
+            return self._queued
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    # -- admission -----------------------------------------------------------
+
+    def acquire(self, timeout: Optional[float] = None) -> str:
+        """Try to enter; returns one of the outcome constants.
+
+        Args:
+            timeout: Maximum seconds to wait in the queue (typically the
+                request's remaining deadline); ``None`` waits until a slot
+                frees up.
+
+        Only an :data:`ADMITTED` outcome holds a slot — the caller must
+        pair it with :meth:`release`.
+        """
+        with self._cond:
+            if self._closed:
+                self._m_rejected.inc()
+                return CLOSED
+            if self._active < self.max_active and self._queued == 0:
+                self._admit_locked()
+                return ADMITTED
+            if self._queued >= self.max_queued:
+                self._m_shed.inc()
+                return SHED
+            self._queued += 1
+            self._g_queued.set(self._queued)
+            expires = None if timeout is None else time.monotonic() + timeout
+            try:
+                while True:
+                    if self._active < self.max_active:
+                        self._admit_locked()
+                        return ADMITTED
+                    remaining = None
+                    if expires is not None:
+                        remaining = expires - time.monotonic()
+                        if remaining <= 0:
+                            self._m_expired.inc()
+                            return EXPIRED
+                    self._cond.wait(remaining)
+            finally:
+                self._queued -= 1
+                self._g_queued.set(self._queued)
+                self._cond.notify_all()
+
+    def _admit_locked(self) -> None:
+        self._active += 1
+        self._g_active.set(self._active)
+        self._m_admitted.inc()
+
+    def release(self) -> None:
+        """Return an admitted slot and wake one queued waiter."""
+        with self._cond:
+            if self._active <= 0:
+                raise RuntimeError("release() without a matching acquire()")
+            self._active -= 1
+            self._g_active.set(self._active)
+            self._cond.notify_all()
+
+    # -- drain ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Refuse new arrivals; admitted and queued requests still finish."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no request is active or queued; False on timeout."""
+        expires = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._active > 0 or self._queued > 0:
+                remaining = None
+                if expires is not None:
+                    remaining = expires - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(remaining)
+            return True
+
+    def __repr__(self) -> str:
+        with self._cond:
+            return (
+                f"AdmissionQueue(active={self._active}/{self.max_active}, "
+                f"queued={self._queued}/{self.max_queued}, "
+                f"closed={self._closed})"
+            )

@@ -1,0 +1,102 @@
+"""Per-request deadline propagation.
+
+A request entering the serving layer carries a *remaining budget*: the
+number of seconds the caller is still willing to wait.  The budget crosses
+process boundaries in the ``X-Repro-Deadline`` header (a float of seconds,
+not a wall-clock timestamp — clocks on two machines need not agree, but a
+duration survives the hop losing only the network transit time), and
+crosses *call* boundaries inside a process through an ambient thread-local
+scope: the gateway opens a :func:`deadline_scope` around request handling,
+and every :class:`~repro.serving.remote_engine.RemoteEngine` call issued
+underneath reads :func:`ambient_deadline` and forwards the *remaining*
+budget downstream.  Enforcement is cooperative and server-side as well:
+each server rejects work whose budget is already exhausted (504) rather
+than burning cycles on an answer nobody is waiting for.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Optional
+
+__all__ = [
+    "DEADLINE_HEADER",
+    "Deadline",
+    "ambient_deadline",
+    "deadline_scope",
+]
+
+#: Header carrying the remaining request budget in seconds.
+DEADLINE_HEADER = "X-Repro-Deadline"
+
+
+class Deadline:
+    """A monotonic-clock deadline, created from a remaining budget."""
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise ValueError(f"deadline budget must be >= 0, got {seconds!r}")
+        self.expires_at = time.monotonic() + seconds
+
+    def remaining(self) -> float:
+        """Seconds of budget left (0.0 once expired, never negative)."""
+        return max(0.0, self.expires_at - time.monotonic())
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    @classmethod
+    def parse_header(cls, value: str) -> "Deadline":
+        """Parse an ``X-Repro-Deadline`` header value.
+
+        Raises :class:`ValueError` for non-numeric or negative budgets —
+        servers map that to a 400.
+        """
+        seconds = float(value)
+        if seconds != seconds or seconds == float("inf"):
+            raise ValueError(f"deadline must be finite, got {value!r}")
+        return cls(seconds)
+
+    def header_value(self) -> str:
+        """The remaining budget rendered for the wire."""
+        return repr(self.remaining())
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+_ambient = threading.local()
+
+
+def ambient_deadline() -> Optional[Deadline]:
+    """The tightest deadline of the enclosing scopes, or None."""
+    stack = getattr(_ambient, "stack", None)
+    if not stack:
+        return None
+    return min(stack, key=lambda d: d.expires_at)
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[Deadline]):
+    """Make ``deadline`` ambient for the current thread.
+
+    ``None`` is a no-op scope so callers need not branch.  Scopes nest;
+    the effective ambient deadline is always the tightest one, so an
+    inner scope can only shorten the budget, never extend it.
+    """
+    if deadline is None:
+        yield None
+        return
+    stack = getattr(_ambient, "stack", None)
+    if stack is None:
+        stack = _ambient.stack = []
+    stack.append(deadline)
+    try:
+        yield deadline
+    finally:
+        stack.pop()

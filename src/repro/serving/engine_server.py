@@ -1,0 +1,150 @@
+"""HTTP front for one local :class:`~repro.engine.SearchEngine`.
+
+The paper's architecture has each search engine answering two remote
+calls: serve a query, and publish the database representative the broker
+estimates from.  :class:`EngineApp` exposes exactly those over the wire:
+
+* ``POST /search`` — ``{"query": <wire query>, "threshold": t}`` →
+  the engine's hits, best first.
+* ``POST /max_similarity`` — the oracle call used by ``true_selection``.
+* ``GET /representative`` — the engine's representative, *versioned by
+  document count* so a subscribing broker can tell how stale its copy is
+  without re-downloading (the propagation policy of
+  :class:`~repro.metasearch.protocol.SubscribingBroker`, over HTTP).
+  ``?quantize=256`` ships the one-byte form (~4 bytes/term, Section 3.2).
+
+The representative is built lazily and cached per version: rebuilding is
+the expensive call a deployment batches, and repeated ``GET``\\ s at the
+same version must not repeat the work.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Tuple
+
+from repro.engine.search_engine import SearchEngine
+from repro.representatives.builder import build_representative
+from repro.representatives.representative import DatabaseRepresentative
+from repro.serving.http import HTTPError, Response, ServingApp
+from repro.serving.wire import (
+    WireFormatError,
+    encode_hits,
+    query_from_wire,
+    representative_to_wire,
+)
+
+__all__ = ["EngineApp"]
+
+
+class EngineApp(ServingApp):
+    """Serve one search engine over HTTP.
+
+    Args:
+        engine: The engine to expose.  Its ``name`` is the routing key
+            brokers register it under.
+        registry: Metrics sink (a fresh registry when omitted).
+        max_body: Request body cap in bytes.
+        default_deadline: Budget applied to requests without an
+            ``X-Repro-Deadline`` header.
+    """
+
+    role = "engine"
+
+    def __init__(self, engine: SearchEngine, **kwargs):
+        self.engine = engine
+        self._rep_lock = threading.Lock()
+        self._rep_cache: Optional[Tuple[int, DatabaseRepresentative]] = None
+        super().__init__(**kwargs)
+        self._m_searches = self.registry.counter("serving.engine.searches")
+        self._m_snapshots = self.registry.counter("serving.engine.snapshots")
+
+    def add_routes(self) -> None:
+        self.route("POST", "/search", self._route_search)
+        self.route("POST", "/max_similarity", self._route_max_similarity)
+        self.route("GET", "/representative", self._route_representative)
+
+    def health_info(self) -> dict:
+        return {
+            "engine": self.engine.name,
+            "documents": self.engine.n_documents,
+        }
+
+    # -- request parsing -----------------------------------------------------
+
+    def _parse_query(self, payload: dict):
+        try:
+            return query_from_wire(payload["query"])
+        except KeyError:
+            raise HTTPError(400, "payload missing required field 'query'") from None
+        except WireFormatError as exc:
+            raise HTTPError(400, f"bad query: {exc}") from exc
+
+    @staticmethod
+    def _parse_threshold(payload: dict) -> float:
+        try:
+            return float(payload["threshold"])
+        except KeyError:
+            raise HTTPError(
+                400, "payload missing required field 'threshold'"
+            ) from None
+        except (TypeError, ValueError) as exc:
+            raise HTTPError(400, f"bad threshold: {exc}") from exc
+
+    # -- routes --------------------------------------------------------------
+
+    def _route_search(self, params, payload) -> Response:
+        query = self._parse_query(payload)
+        threshold = self._parse_threshold(payload)
+        hits = self.engine.search(query, threshold)
+        self._m_searches.inc()
+        return Response(
+            payload={
+                "kind": "hits",
+                "engine": self.engine.name,
+                "hits": encode_hits(hits),
+            }
+        )
+
+    def _route_max_similarity(self, params, payload) -> Response:
+        query = self._parse_query(payload)
+        return Response(
+            payload={
+                "kind": "max_similarity",
+                "engine": self.engine.name,
+                "value": float(self.engine.max_similarity(query)),
+            }
+        )
+
+    def _representative(self) -> Tuple[int, DatabaseRepresentative]:
+        """The current representative, rebuilt only when the version moved."""
+        version = self.engine.n_documents
+        with self._rep_lock:
+            if self._rep_cache is None or self._rep_cache[0] != version:
+                self._rep_cache = (version, build_representative(self.engine))
+                self._m_snapshots.inc()
+            return self._rep_cache
+
+    def _route_representative(self, params, payload) -> Response:
+        quantize: Optional[int] = None
+        raw = params.get("quantize")
+        if raw is not None:
+            try:
+                quantize = int(raw)
+            except ValueError as exc:
+                raise HTTPError(400, f"bad quantize parameter: {exc}") from exc
+            if quantize < 1:
+                raise HTTPError(
+                    400, f"quantize must be >= 1, got {quantize}"
+                )
+        version, representative = self._representative()
+        return Response(
+            payload={
+                "kind": "representative.snapshot",
+                "name": self.engine.name,
+                "version": version,
+                "representative": representative_to_wire(
+                    representative, quantize=quantize
+                ),
+            }
+        )

@@ -1,0 +1,241 @@
+"""The broker gateway: a metasearch broker behind HTTP admission control.
+
+:class:`GatewayApp` puts a :class:`~repro.metasearch.broker.MetasearchBroker`
+— whose registered engines may be local objects, :class:`~repro.serving.
+remote_engine.RemoteEngine` adapters, or a mix — behind three endpoints:
+
+* ``POST /estimate`` — per-engine usefulness estimates, best first.
+* ``POST /search`` — the full pipeline (estimate, select, dispatch,
+  merge); the response decodes back into a
+  :class:`~repro.metasearch.broker.MetasearchResponse` that compares
+  equal to an in-process answer.
+* ``POST /batch`` — many queries through the broker's amortized batch
+  pipeline in one request.
+
+Every broker-touching request passes the :class:`~repro.serving.admission.
+AdmissionQueue` first: ``max_active`` requests execute concurrently,
+``max_queued`` more wait (no longer than their remaining deadline), and
+the rest are shed instantly with ``503`` + ``Retry-After``.  Draining
+closes the queue — new work is refused while admitted and queued requests
+run to completion — which combined with
+:meth:`~repro.serving.http.ServingServer.drain`'s stop-accept /
+wait-idle / final-metrics-flush sequence gives the gateway a complete
+graceful-shutdown story under SIGTERM.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.corpus.query import Query
+from repro.metasearch.broker import MetasearchBroker
+from repro.obs.registry import MetricsRegistry
+from repro.serving.admission import ADMITTED, CLOSED, EXPIRED, AdmissionQueue
+from repro.serving.deadlines import Deadline
+from repro.serving.http import HTTPError, Response, Route, ServingApp
+from repro.serving.wire import (
+    WireFormatError,
+    estimate_to_wire,
+    query_from_wire,
+    response_to_wire,
+)
+
+__all__ = ["GatewayApp"]
+
+#: Largest /batch request accepted (queries per call).
+DEFAULT_MAX_BATCH = 256
+
+
+class GatewayApp(ServingApp):
+    """Serve a metasearch broker with bounded admission.
+
+    Args:
+        broker: The broker to expose.  Register engines (local or remote)
+            on it before serving.
+        max_active: Broker requests allowed to execute concurrently.
+        max_queued: Further requests allowed to wait for a slot; beyond
+            this the gateway sheds.
+        max_queue_wait: Wait cap in seconds for queued requests carrying
+            no deadline (deadline-carrying requests wait at most their
+            remaining budget).
+        retry_after: The ``Retry-After`` hint sent with shed responses.
+        max_batch: Queries accepted per ``/batch`` request.
+        registry: Metrics sink shared by the app, the admission queue,
+            and (if constructed with it) the broker.
+        max_body: Request body cap in bytes.
+        default_deadline: Budget applied to requests without an
+            ``X-Repro-Deadline`` header.
+    """
+
+    role = "gateway"
+
+    def __init__(
+        self,
+        broker: MetasearchBroker,
+        *,
+        max_active: int = 8,
+        max_queued: int = 32,
+        max_queue_wait: float = 5.0,
+        retry_after: float = 1.0,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        registry=None,
+        **kwargs,
+    ):
+        if max_queue_wait < 0:
+            raise ValueError(
+                f"max_queue_wait must be >= 0, got {max_queue_wait!r}"
+            )
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch!r}")
+        registry = registry if registry is not None else MetricsRegistry()
+        self.broker = broker
+        self.max_queue_wait = max_queue_wait
+        self.retry_after = retry_after
+        self.max_batch = max_batch
+        self.admission = AdmissionQueue(
+            max_active, max_queued, registry=registry
+        )
+        super().__init__(registry=registry, **kwargs)
+
+    def add_routes(self) -> None:
+        self.route("POST", "/estimate", self._route_estimate)
+        self.route("POST", "/search", self._route_search)
+        self.route("POST", "/batch", self._route_batch)
+
+    def health_info(self) -> dict:
+        return {
+            "engines": self.broker.engine_names,
+            "admission": {
+                "active": self.admission.active,
+                "queued": self.admission.queued,
+            },
+        }
+
+    # -- admission wrapping --------------------------------------------------
+
+    def _invoke(
+        self,
+        route: Route,
+        params,
+        payload,
+        deadline: Optional[Deadline],
+    ) -> Response:
+        if route.drain_ok:  # healthz/metrics bypass admission
+            return route.handler(params, payload)
+        wait = self.max_queue_wait
+        if deadline is not None:
+            wait = min(wait, deadline.remaining())
+        outcome = self.admission.acquire(timeout=wait)
+        if outcome != ADMITTED:
+            if outcome == CLOSED:
+                raise HTTPError(503, "gateway is draining", close=True)
+            if outcome == EXPIRED:
+                raise HTTPError(
+                    504, "deadline expired while queued for admission"
+                )
+            raise HTTPError(  # SHED
+                503,
+                "gateway overloaded; retry later",
+                retry_after=self.retry_after,
+                close=True,
+            )
+        try:
+            return route.handler(params, payload)
+        finally:
+            self.admission.release()
+
+    def begin_drain(self) -> None:
+        super().begin_drain()
+        self.admission.close()
+
+    # -- request parsing -----------------------------------------------------
+
+    @staticmethod
+    def _parse_query(raw) -> Query:
+        try:
+            return query_from_wire(raw)
+        except WireFormatError as exc:
+            raise HTTPError(400, f"bad query: {exc}") from exc
+
+    @staticmethod
+    def _parse_limit(payload: dict) -> Optional[int]:
+        limit = payload.get("limit")
+        if limit is None:
+            return None
+        try:
+            limit = int(limit)
+        except (TypeError, ValueError) as exc:
+            raise HTTPError(400, f"bad limit: {exc}") from exc
+        if limit < 0:
+            raise HTTPError(400, f"limit must be >= 0, got {limit}")
+        return limit
+
+    @staticmethod
+    def _require(payload: dict, name: str):
+        try:
+            return payload[name]
+        except KeyError:
+            raise HTTPError(
+                400, f"payload missing required field {name!r}"
+            ) from None
+
+    @classmethod
+    def _parse_threshold(cls, payload: dict) -> float:
+        try:
+            return float(cls._require(payload, "threshold"))
+        except (TypeError, ValueError) as exc:
+            raise HTTPError(400, f"bad threshold: {exc}") from exc
+
+    # -- routes --------------------------------------------------------------
+
+    def _route_estimate(self, params, payload) -> Response:
+        query = self._parse_query(self._require(payload, "query"))
+        threshold = self._parse_threshold(payload)
+        estimates = self.broker.estimate_all(query, threshold)
+        return Response(
+            payload={
+                "kind": "estimates",
+                "estimates": [estimate_to_wire(e) for e in estimates],
+            }
+        )
+
+    def _route_search(self, params, payload) -> Response:
+        query = self._parse_query(self._require(payload, "query"))
+        threshold = self._parse_threshold(payload)
+        limit = self._parse_limit(payload)
+        response = self.broker.search(query, threshold, limit=limit)
+        return Response(payload=response_to_wire(response))
+
+    def _route_batch(self, params, payload) -> Response:
+        raw_queries = self._require(payload, "queries")
+        if not isinstance(raw_queries, list):
+            raise HTTPError(400, "'queries' must be a list")
+        if len(raw_queries) > self.max_batch:
+            raise HTTPError(
+                413,
+                f"batch of {len(raw_queries)} queries exceeds limit of "
+                f"{self.max_batch}",
+            )
+        queries = [self._parse_query(raw) for raw in raw_queries]
+        raw_thresholds = self._require(payload, "thresholds")
+        thresholds: Union[float, List[float]]
+        try:
+            if isinstance(raw_thresholds, list):
+                thresholds = [float(t) for t in raw_thresholds]
+            else:
+                thresholds = float(raw_thresholds)
+        except (TypeError, ValueError) as exc:
+            raise HTTPError(400, f"bad thresholds: {exc}") from exc
+        limit = self._parse_limit(payload)
+        try:
+            responses = self.broker.search_batch(
+                queries, thresholds, limit=limit
+            )
+        except ValueError as exc:  # e.g. thresholds/queries length mismatch
+            raise HTTPError(400, str(exc)) from exc
+        return Response(
+            payload={
+                "kind": "responses",
+                "responses": [response_to_wire(r) for r in responses],
+            }
+        )

@@ -1,0 +1,368 @@
+"""HTTP clients for the serving layer.
+
+:class:`RemoteEngine` is the adapter that makes a network engine look
+like a local one: it implements the same calls
+:class:`~repro.metasearch.broker.MetasearchBroker` (``name``, ``search``,
+``max_similarity``) and :class:`~repro.metasearch.protocol.SubscribingBroker`
+(``version``, ``snapshot_representative``) consume, so the entire broker
+stack — selection, concurrent dispatch, retries, degradation, merging —
+runs unchanged over remote engines.  Failure mapping falls out of that:
+a transport or server error raises :class:`RemoteServingError`
+(a ``ConnectionError``), which the dispatcher retries and finally records
+as an :class:`~repro.metasearch.dispatch.EngineFailure` of kind
+``"error"``; a hung server trips the dispatcher's own deadline and
+becomes kind ``"timeout"``.  Remote engines degrade exactly like slow or
+broken local ones.
+
+Deadline handling: every request's budget is the tightest of the
+client's configured ``timeout`` and the ambient
+:func:`~repro.serving.deadlines.ambient_deadline` (set by the gateway
+around request handling).  The remaining budget travels downstream in
+``X-Repro-Deadline`` and doubles as the socket timeout, so a request
+admitted with 80 ms left can neither wait 10 s on a socket nor ask the
+engine for more time than its caller has.
+
+Connections are pooled per thread (``http.client`` connections are not
+thread-safe; the broker's dispatcher calls from many threads) and reused
+across requests via HTTP/1.1 keep-alive, with one transparent retry when
+a pooled connection turns out to have been closed by the server.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+from typing import List, Optional, Sequence, Union
+from urllib.parse import urlsplit
+
+from repro.corpus.query import Query
+from repro.engine.results import SearchHit
+from repro.metasearch.broker import MetasearchResponse
+from repro.metasearch.protocol import RepresentativeSnapshot
+from repro.metasearch.selection import EstimatedUsefulness
+from repro.serving.deadlines import DEADLINE_HEADER, ambient_deadline
+from repro.serving.wire import (
+    WireFormatError,
+    decode_hits,
+    estimate_from_wire,
+    query_to_wire,
+    representative_from_wire,
+    response_from_wire,
+)
+
+__all__ = ["GatewayClient", "RemoteEngine", "RemoteServingError"]
+
+
+class RemoteServingError(ConnectionError):
+    """A remote call failed (transport error or non-2xx response).
+
+    Subclasses ``ConnectionError`` so the broker's dispatcher treats it
+    like any other engine fault: retry per policy, then degrade.
+    """
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class _HTTPJsonClient:
+    """Thread-pooled JSON-over-HTTP with deadline propagation."""
+
+    def __init__(self, base_url: str, timeout: Optional[float] = 10.0):
+        split = urlsplit(base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise ValueError(
+                f"base_url must be http://host:port, got {base_url!r}"
+            )
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout!r}")
+        self.base_url = base_url.rstrip("/")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout = timeout
+        self._local = threading.local()
+
+    # -- connection pool -----------------------------------------------------
+
+    def _connection(self, budget: Optional[float]) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=budget
+            )
+            self._local.conn = conn
+        else:
+            conn.timeout = budget
+            if conn.sock is not None:
+                conn.sock.settimeout(budget)
+        return conn
+
+    def _drop_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    def close(self) -> None:
+        """Close this thread's pooled connection (others expire with their
+        threads; connections are daemonic resources, not leaks)."""
+        self._drop_connection()
+
+    # -- request execution ---------------------------------------------------
+
+    def _budget(self) -> Optional[float]:
+        """Tightest of the configured timeout and the ambient deadline."""
+        budget = self.timeout
+        ambient = ambient_deadline()
+        if ambient is not None:
+            remaining = ambient.remaining()
+            budget = remaining if budget is None else min(budget, remaining)
+        if budget is not None and budget <= 0:
+            raise RemoteServingError(
+                f"deadline exhausted before calling {self.base_url}"
+            )
+        return budget
+
+    def request(self, method: str, path: str, payload: Optional[dict] = None):
+        """One JSON round trip; returns the decoded response body."""
+        budget = self._budget()
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        if budget is not None:
+            headers[DEADLINE_HEADER] = repr(budget)
+        # One transparent retry: a pooled keep-alive connection may have
+        # been closed server-side since its last use.
+        for attempt in (0, 1):
+            conn = self._connection(budget)
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                self._drop_connection()
+                if isinstance(exc, socket.timeout):
+                    raise RemoteServingError(
+                        f"timed out calling {self.base_url}{path}"
+                    ) from exc
+                if attempt == 1:
+                    raise RemoteServingError(
+                        f"cannot reach {self.base_url}{path}: {exc}"
+                    ) from exc
+        if response.getheader("Connection", "").lower() == "close":
+            self._drop_connection()
+        if not 200 <= response.status < 300:
+            message = f"HTTP {response.status}"
+            try:
+                detail = json.loads(raw.decode("utf-8")).get("error")
+            except (AttributeError, ValueError, UnicodeDecodeError):
+                detail = None
+            if detail:
+                message = f"{message}: {detail}"
+            raise RemoteServingError(
+                f"{self.base_url}{path} answered {message}",
+                status=response.status,
+            )
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise RemoteServingError(
+                f"{self.base_url}{path} returned invalid JSON: {exc}"
+            ) from exc
+
+
+class RemoteEngine:
+    """A search engine reached over HTTP, usable wherever a local one is.
+
+    Args:
+        base_url: The engine server's root URL (``http://host:port``).
+        timeout: Per-request budget in seconds; tightened further by any
+            ambient deadline.  ``None`` relies on deadlines alone.
+        name: The engine's name if already known; fetched from
+            ``/healthz`` on first use otherwise.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: Optional[float] = 10.0,
+        name: Optional[str] = None,
+    ):
+        self._client = _HTTPJsonClient(base_url, timeout=timeout)
+        self._name = name
+
+    @property
+    def base_url(self) -> str:
+        return self._client.base_url
+
+    @property
+    def name(self) -> str:
+        if self._name is None:
+            info = self._client.request("GET", "/healthz")
+            engine = info.get("engine")
+            if not engine:
+                raise RemoteServingError(
+                    f"{self.base_url} does not identify an engine "
+                    f"(role={info.get('role')!r})"
+                )
+            self._name = str(engine)
+        return self._name
+
+    @property
+    def version(self) -> int:
+        """The engine's live document count (one ``/healthz`` round trip)."""
+        info = self._client.request("GET", "/healthz")
+        return int(info.get("documents", 0))
+
+    n_documents = version
+
+    # -- the engine protocol -------------------------------------------------
+
+    def search(self, query: Query, threshold: float) -> List[SearchHit]:
+        payload = self._client.request(
+            "POST",
+            "/search",
+            {"query": query_to_wire(query), "threshold": float(threshold)},
+        )
+        try:
+            return list(decode_hits(payload["hits"]))
+        except (KeyError, WireFormatError) as exc:
+            raise RemoteServingError(
+                f"{self.base_url} returned a malformed hit list: {exc}"
+            ) from exc
+
+    def max_similarity(self, query: Query) -> float:
+        payload = self._client.request(
+            "POST", "/max_similarity", {"query": query_to_wire(query)}
+        )
+        try:
+            return float(payload["value"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RemoteServingError(
+                f"{self.base_url} returned a malformed max_similarity: {exc}"
+            ) from exc
+
+    def snapshot_representative(
+        self, quantize: Optional[int] = None
+    ) -> RepresentativeSnapshot:
+        """Fetch the engine's versioned representative.
+
+        Args:
+            quantize: Ship the one-byte quantized wire form with this many
+                levels (~4 bytes/term) instead of the exact floats.
+        """
+        path = "/representative"
+        if quantize is not None:
+            path = f"{path}?quantize={int(quantize)}"
+        payload = self._client.request("GET", path)
+        try:
+            return RepresentativeSnapshot(
+                name=str(payload["name"]),
+                version=int(payload["version"]),
+                representative=representative_from_wire(
+                    payload["representative"]
+                ),
+            )
+        except (KeyError, TypeError, ValueError, WireFormatError) as exc:
+            raise RemoteServingError(
+                f"{self.base_url} returned a malformed representative: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        self._client.close()
+
+    def __repr__(self) -> str:
+        name = self._name or "?"
+        return f"RemoteEngine({name!r} @ {self.base_url})"
+
+
+class GatewayClient:
+    """Client for the broker gateway's estimate/search/batch endpoints.
+
+    Decodes wire payloads back into the broker's own result types, so a
+    remote answer compares ``==`` against an in-process
+    :class:`~repro.metasearch.broker.MetasearchResponse`.
+    """
+
+    def __init__(self, base_url: str, timeout: Optional[float] = 30.0):
+        self._client = _HTTPJsonClient(base_url, timeout=timeout)
+
+    @property
+    def base_url(self) -> str:
+        return self._client.base_url
+
+    def estimate(
+        self, query: Query, threshold: float
+    ) -> List[EstimatedUsefulness]:
+        payload = self._client.request(
+            "POST",
+            "/estimate",
+            {"query": query_to_wire(query), "threshold": float(threshold)},
+        )
+        try:
+            return [estimate_from_wire(e) for e in payload["estimates"]]
+        except (KeyError, WireFormatError) as exc:
+            raise RemoteServingError(
+                f"{self.base_url} returned malformed estimates: {exc}"
+            ) from exc
+
+    def search(
+        self, query: Query, threshold: float, limit: Optional[int] = None
+    ) -> MetasearchResponse:
+        body = {"query": query_to_wire(query), "threshold": float(threshold)}
+        if limit is not None:
+            body["limit"] = int(limit)
+        payload = self._client.request("POST", "/search", body)
+        try:
+            return response_from_wire(payload)
+        except WireFormatError as exc:
+            raise RemoteServingError(
+                f"{self.base_url} returned a malformed response: {exc}"
+            ) from exc
+
+    def search_batch(
+        self,
+        queries: Sequence[Query],
+        thresholds: Union[float, Sequence[float]],
+        limit: Optional[int] = None,
+    ) -> List[MetasearchResponse]:
+        if isinstance(thresholds, (int, float)):
+            wire_thresholds: Union[float, List[float]] = float(thresholds)
+        else:
+            wire_thresholds = [float(t) for t in thresholds]
+        body = {
+            "queries": [query_to_wire(q) for q in queries],
+            "thresholds": wire_thresholds,
+        }
+        if limit is not None:
+            body["limit"] = int(limit)
+        payload = self._client.request("POST", "/batch", body)
+        try:
+            return [response_from_wire(r) for r in payload["responses"]]
+        except (KeyError, WireFormatError) as exc:
+            raise RemoteServingError(
+                f"{self.base_url} returned malformed batch responses: {exc}"
+            ) from exc
+
+    def healthz(self) -> dict:
+        return self._client.request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        # /metrics is Prometheus text, not JSON — fetch raw.
+        import urllib.request
+
+        with urllib.request.urlopen(
+            f"{self.base_url}/metrics", timeout=self._client.timeout
+        ) as response:
+            return response.read().decode("utf-8")
+
+    def close(self) -> None:
+        self._client.close()
+
+    def __repr__(self) -> str:
+        return f"GatewayClient({self.base_url})"

@@ -1,0 +1,424 @@
+"""Integration tests for the serving layer.
+
+The headline contract: a fleet of engine-server *processes* behind the
+HTTP gateway answers every query **exactly** (``==``) like an in-process
+broker over the same collections — same merged hits, same estimates, same
+invoked engines.  Plus the operational behaviors: load shedding under
+burst (503 + ``Retry-After``, never a hang), graceful drain (in-flight
+requests finish, new ones are refused, final metrics are flushed), and
+server-side deadline enforcement (504).
+"""
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.corpus import Collection, Document, Query, save_collection
+from repro.engine import SearchEngine
+from repro.metasearch import MetasearchBroker
+from repro.obs import MetricsRegistry
+from repro.serving import (
+    EngineApp,
+    GatewayApp,
+    GatewayClient,
+    RemoteEngine,
+    RemoteServingError,
+    ServingServer,
+)
+
+pytestmark = pytest.mark.slow
+
+N_ENGINES = 4
+
+VOCAB = ["rocket", "orbit", "engine", "fuel", "sauce", "basil", "kiwi", "plum"]
+
+
+def fleet_collections():
+    """Four small overlapping collections with deterministic contents."""
+    collections = []
+    for e in range(N_ENGINES):
+        documents = []
+        for d in range(6):
+            terms = [
+                VOCAB[(e + d + k) % len(VOCAB)]
+                for k in range((e * 7 + d * 3) % 5 + 2)
+            ]
+            documents.append(Document(f"e{e}-d{d}", terms=terms))
+        collections.append(Collection.from_documents(f"engine{e}", documents))
+    return collections
+
+
+QUERIES = [
+    Query(terms=("rocket", "orbit"), weights=(2.0, 1.0)),
+    Query(terms=("sauce",), weights=(1.0,)),
+    Query(terms=("kiwi", "fuel", "basil"), weights=(1.0, 3.0, 0.5)),
+    Query(terms=("nosuchterm",), weights=(1.0,)),
+]
+
+
+def post_json(url, payload, headers=None, timeout=10.0):
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url,
+        data=body,
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestSubprocessFleet:
+    """The acceptance contract, over real processes."""
+
+    @pytest.fixture(scope="class")
+    def fleet(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("serving-fleet")
+        collections = fleet_collections()
+        processes, urls = [], []
+        try:
+            for collection in collections:
+                path = tmp / f"{collection.name}.jsonl.gz"
+                save_collection(collection, path)
+                proc = subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro.cli",
+                        "serve",
+                        "engine",
+                        "--collection",
+                        str(path),
+                    ],
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.STDOUT,
+                    text=True,
+                )
+                processes.append(proc)
+            for proc in processes:
+                url = None
+                deadline = time.time() + 30
+                while time.time() < deadline:
+                    line = proc.stdout.readline()
+                    if not line:
+                        break
+                    match = re.search(r"serving engine at (http://\S+)", line)
+                    if match:
+                        url = match.group(1)
+                        break
+                assert url, "engine server did not announce its URL"
+                urls.append(url)
+            yield collections, urls
+        finally:
+            for proc in processes:
+                proc.send_signal(signal.SIGTERM)
+            for proc in processes:
+                try:
+                    proc.communicate(timeout=15)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.communicate()
+
+    @pytest.fixture(scope="class")
+    def gateway(self, fleet):
+        __, urls = fleet
+        broker = MetasearchBroker(workers=N_ENGINES)
+        for url in urls:
+            remote = RemoteEngine(url)
+            snapshot = remote.snapshot_representative()
+            broker.register(remote, representative=snapshot.representative)
+        server = ServingServer(GatewayApp(broker, max_active=8, max_queued=16))
+        server.start_background()
+        yield GatewayClient(server.url)
+        server.drain(timeout=10)
+
+    @pytest.fixture(scope="class")
+    def local_broker(self, fleet):
+        collections, __ = fleet
+        broker = MetasearchBroker()
+        for collection in collections:
+            broker.register(SearchEngine(collection))
+        return broker
+
+    def test_fleet_is_at_least_four_processes(self, fleet):
+        __, urls = fleet
+        assert len(urls) >= 4
+        assert len(set(urls)) == len(urls)
+
+    def test_search_matches_in_process_broker_exactly(
+        self, gateway, local_broker
+    ):
+        for query in QUERIES:
+            for threshold in (0.0, 0.2, 0.5):
+                remote = gateway.search(query, threshold)
+                local = local_broker.search(query, threshold)
+                assert remote.hits == local.hits
+                assert remote.estimates == local.estimates
+                assert remote.invoked == local.invoked
+                assert remote.failures == local.failures
+
+    def test_estimates_match_in_process_broker_exactly(
+        self, gateway, local_broker
+    ):
+        for query in QUERIES:
+            assert gateway.estimate(query, 0.2) == local_broker.estimate_all(
+                query, 0.2
+            )
+
+    def test_batch_matches_in_process_broker_exactly(
+        self, gateway, local_broker
+    ):
+        remote = gateway.search_batch(QUERIES, 0.2, limit=5)
+        local = local_broker.search_batch(QUERIES, 0.2, limit=5)
+        assert [r.hits for r in remote] == [r.hits for r in local]
+        assert [r.estimates for r in remote] == [r.estimates for r in local]
+        assert [r.invoked for r in remote] == [r.invoked for r in local]
+
+    def test_limit_respected_over_the_wire(self, gateway, local_broker):
+        query = QUERIES[0]
+        remote = gateway.search(query, 0.0, limit=3)
+        local = local_broker.search(query, 0.0, limit=3)
+        assert len(remote.hits) <= 3
+        assert remote.hits == local.hits
+
+    def test_quantized_representative_matches_local_quantization(self, fleet):
+        from repro.representatives import build_representative
+        from repro.representatives.quantized import quantize_representative
+
+        collections, urls = fleet
+        remote = RemoteEngine(urls[0])
+        snapshot = remote.snapshot_representative(quantize=256)
+        local = quantize_representative(
+            build_representative(SearchEngine(collections[0])), levels=256
+        )
+        assert snapshot.representative == local
+
+    def test_healthz_and_metrics(self, gateway):
+        health = gateway.healthz()
+        assert health["status"] == "ok"
+        assert health["role"] == "gateway"
+        assert len(health["engines"]) == N_ENGINES
+        metrics = gateway.metrics_text()
+        assert "repro_serving_requests_total" in metrics
+        assert "repro_serving_admission_admitted_total" in metrics
+
+
+class SlowLocalEngine:
+    """A local engine whose search sleeps — drives shed/drain tests."""
+
+    def __init__(self, inner, delay):
+        self.inner = inner
+        self.delay = delay
+
+    def __getattr__(self, attr):
+        return getattr(self.inner, attr)
+
+    def search(self, query, threshold=0.0):
+        time.sleep(self.delay)
+        return self.inner.search(query, threshold)
+
+
+def slow_gateway(delay, **gateway_kwargs):
+    from repro.representatives import build_representative
+
+    collection = Collection.from_documents(
+        "slowdb", [Document("d1", terms=["rocket", "orbit"])]
+    )
+    engine = SearchEngine(collection)
+    broker = MetasearchBroker()
+    broker.register(
+        SlowLocalEngine(engine, delay),
+        representative=build_representative(engine),
+    )
+    registry = MetricsRegistry()
+    app = GatewayApp(broker, registry=registry, **gateway_kwargs)
+    server = ServingServer(app)
+    server.start_background()
+    return server, registry
+
+
+SEARCH_BODY = {
+    "query": {"kind": "query", "terms": ["rocket"], "weights": [1.0]},
+    "threshold": 0.1,
+}
+
+
+class TestLoadShedding:
+    def test_burst_sheds_with_retry_after_and_never_hangs(self):
+        server, registry = slow_gateway(0.3, max_active=1, max_queued=0)
+        statuses, retry_afters = [], []
+        lock = threading.Lock()
+
+        def fire():
+            try:
+                status, __ = post_json(
+                    server.url + "/search", SEARCH_BODY, timeout=15
+                )
+                with lock:
+                    statuses.append(status)
+            except urllib.error.HTTPError as err:
+                with lock:
+                    statuses.append(err.code)
+                    retry_afters.append(err.headers.get("Retry-After"))
+
+        threads = [threading.Thread(target=fire) for __ in range(6)]
+        started = time.monotonic()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert all(not t.is_alive() for t in threads), "a request hung"
+        assert time.monotonic() - started < 20
+        assert statuses.count(200) >= 1
+        assert statuses.count(503) >= 1
+        assert all(ra is not None for ra in retry_afters)
+        assert registry.value("serving.admission.shed") >= 1
+        # The gateway survived the burst and still answers.
+        status, __ = post_json(server.url + "/search", SEARCH_BODY)
+        assert status == 200
+        server.drain(timeout=10)
+
+    def test_queued_requests_wait_then_run(self):
+        server, registry = slow_gateway(0.15, max_active=1, max_queued=4)
+        statuses = []
+        lock = threading.Lock()
+
+        def fire():
+            status, __ = post_json(
+                server.url + "/search", SEARCH_BODY, timeout=30
+            )
+            with lock:
+                statuses.append(status)
+
+        threads = [threading.Thread(target=fire) for __ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert statuses == [200, 200, 200]
+        assert registry.value("serving.admission.shed") in (None, 0)
+        server.drain(timeout=10)
+
+
+class TestGracefulDrain:
+    def test_inflight_completes_new_work_refused_metrics_flushed(self):
+        server, __ = slow_gateway(0.5, max_active=2, max_queued=2)
+        results = {}
+
+        def long_request():
+            try:
+                status, payload = post_json(
+                    server.url + "/search", SEARCH_BODY, timeout=30
+                )
+                results["status"] = status
+                results["payload"] = payload
+            except Exception as exc:  # noqa: BLE001 - recorded for the assert
+                results["error"] = exc
+
+        thread = threading.Thread(target=long_request)
+        thread.start()
+        time.sleep(0.15)  # let the request get in flight
+        drainer = threading.Thread(target=lambda: server.drain(timeout=30))
+        drainer.start()
+        time.sleep(0.05)
+        # New work is refused while draining...
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(server.url + "/search", SEARCH_BODY, timeout=10)
+        assert excinfo.value.code == 503
+        thread.join(timeout=30)
+        drainer.join(timeout=30)
+        # ...but the in-flight request completed normally,
+        assert results.get("status") == 200
+        assert results["payload"]["hits"]
+        # and the final metrics flush captured the request counter.
+        assert server.final_metrics is not None
+        assert "repro_serving_requests_total" in server.final_metrics
+
+    def test_drain_is_idempotent(self):
+        server, __ = slow_gateway(0.0)
+        assert server.drain(timeout=5)
+        assert server.drain(timeout=5)  # second call returns, no deadlock
+
+
+class TestDeadlines:
+    def test_exhausted_deadline_rejected_with_504(self):
+        server, __ = slow_gateway(0.0)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(
+                server.url + "/search",
+                SEARCH_BODY,
+                headers={"X-Repro-Deadline": "0.0"},
+            )
+        assert excinfo.value.code == 504
+        server.drain(timeout=5)
+
+    def test_deadline_exceeded_mid_request_reported(self):
+        server, __ = slow_gateway(0.3, max_active=2, max_queued=2)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(
+                server.url + "/search",
+                SEARCH_BODY,
+                headers={"X-Repro-Deadline": "0.05"},
+                timeout=15,
+            )
+        assert excinfo.value.code == 504
+        server.drain(timeout=10)
+
+    def test_bad_deadline_header_is_400(self):
+        server, __ = slow_gateway(0.0)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(
+                server.url + "/search",
+                SEARCH_BODY,
+                headers={"X-Repro-Deadline": "soon"},
+            )
+        assert excinfo.value.code == 400
+        server.drain(timeout=5)
+
+    def test_client_budget_propagates_to_engine_failure(self):
+        """A gateway under deadline pressure maps engine slowness onto the
+        broker's standard degradation path rather than an error page."""
+        collection = Collection.from_documents(
+            "slow", [Document("d1", terms=["rocket"])]
+        )
+        engine = SearchEngine(collection)
+        engine_server = ServingServer(EngineApp(engine))
+        engine_server.start_background()
+        remote = RemoteEngine(engine_server.url, timeout=1e-6)
+        with pytest.raises(RemoteServingError):
+            remote.search(Query.from_terms(["rocket"]), 0.1)
+        engine_server.drain(timeout=5)
+
+
+class TestRemoteEngineErrors:
+    def test_unreachable_server_raises_connection_error(self):
+        remote = RemoteEngine("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(RemoteServingError):
+            remote.search(Query.from_terms(["x"]), 0.1)
+
+    def test_dispatcher_degrades_on_dead_remote(self):
+        """A dead remote engine becomes an EngineFailure, not a crash."""
+        collection = Collection.from_documents(
+            "live", [Document("d1", terms=["rocket"])]
+        )
+        engine = SearchEngine(collection)
+        from repro.representatives import build_representative
+
+        broker = MetasearchBroker(workers=2)
+        broker.register(engine)
+        dead = RemoteEngine("http://127.0.0.1:9", timeout=0.3, name="dead")
+        broker.register(
+            dead, representative=build_representative(engine)
+        )
+        response = broker.search(Query.from_terms(["rocket"]), 0.1)
+        assert [f.engine for f in response.failures] == ["dead"]
+        assert response.failures[0].kind == "error"
+        assert any(h.engine == "live" for h in response.hits)

@@ -1,0 +1,139 @@
+"""Property-based tests for the serving wire schema.
+
+The wire contract is *exactness*: anything serialized, pushed through a
+real ``json.dumps``/``json.loads`` cycle (what HTTP transports), and
+deserialized must come back ``==`` — and estimates computed from a
+decoded representative must be byte-identical to estimates from the
+original.  The quantized wire form must decode to exactly what
+:func:`~repro.representatives.quantized.quantize_representative` builds
+locally, so a broker can hold either without changing any answer.
+"""
+
+import json
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import SubrangeEstimator
+from repro.corpus import Query
+from repro.engine import SearchHit
+from repro.representatives import DatabaseRepresentative, TermStats
+from repro.representatives.quantized import quantize_representative
+from repro.serving import (
+    decode_hits,
+    encode_hits,
+    query_from_wire,
+    query_to_wire,
+    representative_from_wire,
+    representative_to_wire,
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+positive = st.floats(
+    min_value=1e-9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+nonneg = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+terms_st = st.lists(
+    st.text(
+        alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+        min_size=1,
+        max_size=8,
+    ),
+    min_size=1,
+    max_size=6,
+    unique=True,
+)
+
+
+@st.composite
+def queries(draw):
+    terms = draw(terms_st)
+    weights = [draw(positive) for __ in terms]
+    return Query(terms=tuple(terms), weights=tuple(weights))
+
+
+@st.composite
+def representatives(draw):
+    terms = draw(st.lists(
+        st.text(
+            alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=1,
+            max_size=8,
+        ),
+        min_size=0,
+        max_size=8,
+        unique=True,
+    ))
+    with_max = draw(st.booleans())
+    stats = {}
+    for term in terms:
+        stats[term] = TermStats(
+            probability=draw(unit),
+            mean=draw(nonneg),
+            std=draw(nonneg),
+            max_weight=draw(nonneg) if with_max else None,
+        )
+    return DatabaseRepresentative(
+        name=draw(st.text(min_size=1, max_size=12)),
+        n_documents=draw(st.integers(min_value=0, max_value=10**9)),
+        term_stats=stats,
+    )
+
+
+@st.composite
+def hit_lists(draw):
+    n = draw(st.integers(min_value=0, max_value=10))
+    return [
+        SearchHit(
+            similarity=draw(finite),
+            doc_id=draw(st.text(min_size=1, max_size=10)),
+            engine=draw(st.none() | st.text(min_size=1, max_size=10)),
+        )
+        for __ in range(n)
+    ]
+
+
+def through_json(payload):
+    return json.loads(json.dumps(payload))
+
+
+@given(queries())
+def test_query_roundtrip_exact(query):
+    assert query_from_wire(through_json(query_to_wire(query))) == query
+
+
+@given(hit_lists())
+def test_hits_roundtrip_exact(hits):
+    assert list(decode_hits(through_json(encode_hits(hits)))) == hits
+
+
+@given(representatives())
+def test_plain_representative_roundtrip_exact(representative):
+    wire = through_json(representative_to_wire(representative))
+    assert representative_from_wire(wire) == representative
+
+
+@given(representatives(), st.sampled_from([7, 256, 300]))
+def test_quantized_wire_equals_local_quantization(representative, levels):
+    wire = through_json(representative_to_wire(representative, quantize=levels))
+    decoded = representative_from_wire(wire)
+    assert decoded == quantize_representative(representative, levels=levels)
+
+
+@given(representatives(), st.floats(min_value=0.0, max_value=2.0))
+def test_estimates_survive_the_wire_byte_for_byte(representative, threshold):
+    terms = [t for t, __ in representative.items()][:4]
+    if not terms:
+        return
+    query = Query(
+        terms=tuple(terms), weights=tuple(1.0 for __ in terms)
+    )
+    estimator = SubrangeEstimator()
+    local = estimator.estimate(query, representative, threshold)
+    wire = through_json(representative_to_wire(representative))
+    remote = estimator.estimate(
+        query, representative_from_wire(wire), threshold
+    )
+    assert remote == local

@@ -171,3 +171,37 @@ class TestStats:
             }
 
         assert counters(first) == counters(second)
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        from repro.version import package_version
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert package_version() in out
+        assert "repro-usefulness" in out
+
+    def test_version_matches_serving_header(self):
+        """The CLI flag and the serving layer report the same version."""
+        from repro.version import package_version
+        from repro.serving import EngineApp, ServingServer
+        import urllib.request
+
+        engine = SearchEngine(
+            Collection.from_documents("v", [Document("d", terms=["x"])])
+        )
+        server = ServingServer(EngineApp(engine))
+        server.start_background()
+        try:
+            response = urllib.request.urlopen(
+                server.url + "/healthz", timeout=5
+            )
+            assert response.headers["X-Repro-Version"] == package_version()
+            assert response.headers["Server"] == (
+                f"repro-serving/{package_version()}"
+            )
+        finally:
+            server.drain(timeout=5)

@@ -45,3 +45,23 @@ class TestMergeHits:
         merged = merge_hits([[hit(0.5, "a", "news")], [hit(0.4, "b", "web")]])
         assert merged[0].engine == "news"
         assert merged[1].engine == "web"
+
+
+class TestIterableInputs:
+    def test_generator_result_lists(self):
+        def lazy(prefix, n):
+            for i in range(n):
+                yield hit(0.5 - 0.1 * i, f"{prefix}{i}")
+
+        merged = merge_hits(iter([lazy("a", 2), lazy("b", 1)]))
+        assert [h.doc_id for h in merged] == ["a0", "b0", "a1"]
+
+    def test_mixed_iterable_kinds(self):
+        merged = merge_hits(
+            [
+                (hit(0.9, "t"),),  # tuple
+                [hit(0.8, "l")],  # list
+                (hit(s, d) for s, d in [(0.7, "g")]),  # generator
+            ]
+        )
+        assert [h.doc_id for h in merged] == ["t", "l", "g"]

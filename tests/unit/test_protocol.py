@@ -55,10 +55,12 @@ class TestSubscribingBroker:
         assert broker.staleness()["alpha"] == 0.0
 
     def test_duplicate_registration_rejected(self, server):
+        # A *different* server under an existing name is refused (the same
+        # object re-registering is a refresh — see TestReRegistration).
         broker = SubscribingBroker()
         broker.register(server)
         with pytest.raises(ValueError):
-            broker.register(server)
+            broker.register(EngineServer("alpha", docs("z", [["zest"]])))
 
     def test_staleness_grows_with_updates(self, server):
         broker = SubscribingBroker(refresh_growth=10.0)  # never refresh
@@ -112,3 +114,25 @@ class TestSubscribingBroker:
         broker.register(server)
         broker.register(EngineServer("beta", docs("b", [["sauce"]])))
         assert broker.engine_names == ["alpha", "beta"]
+
+
+class TestReRegistration:
+    def test_same_server_re_register_refreshes_snapshot(self, server):
+        broker = SubscribingBroker(refresh_growth=10.0)
+        broker.register(server)
+        server.add_documents(docs("b", [["fresh"]]))
+        # The growth policy would not refresh yet, but an explicit
+        # re-registration of the same object does, immediately.
+        broker.register(server)
+        assert broker.refresh_count == 2
+        assert broker.staleness()["alpha"] == 0.0
+        assert broker.select(Query.from_terms(["fresh"]), 0.1) == ["alpha"]
+
+    def test_different_server_same_name_still_rejected(self, server):
+        broker = SubscribingBroker()
+        broker.register(server)
+        impostor = EngineServer("alpha", docs("x", [["sauce"]]))
+        with pytest.raises(ValueError, match="already registered"):
+            broker.register(impostor)
+        # The original subscription is untouched.
+        assert broker.staleness()["alpha"] == 0.0

@@ -1,0 +1,171 @@
+"""Unit tests for the serving support pieces: deadlines and admission."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serving import AdmissionQueue, Deadline, ambient_deadline, deadline_scope
+from repro.serving.admission import ADMITTED, CLOSED, EXPIRED, SHED
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        deadline = Deadline(10.0)
+        assert 9.0 < deadline.remaining() <= 10.0
+        assert not deadline.expired
+
+    def test_zero_budget_is_expired(self):
+        assert Deadline(0.0).expired
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-0.1)
+
+    def test_header_roundtrip(self):
+        deadline = Deadline(5.0)
+        parsed = Deadline.parse_header(deadline.header_value())
+        assert abs(parsed.remaining() - deadline.remaining()) < 0.1
+
+    @pytest.mark.parametrize("bad", ["soon", "", "nan", "inf"])
+    def test_bad_header_rejected(self, bad):
+        with pytest.raises(ValueError):
+            Deadline.parse_header(bad)
+
+
+class TestDeadlineScope:
+    def test_no_ambient_by_default(self):
+        assert ambient_deadline() is None
+
+    def test_scope_sets_and_clears(self):
+        deadline = Deadline(10.0)
+        with deadline_scope(deadline):
+            assert ambient_deadline() is deadline
+        assert ambient_deadline() is None
+
+    def test_none_scope_is_noop(self):
+        with deadline_scope(None):
+            assert ambient_deadline() is None
+
+    def test_tightest_scope_wins(self):
+        loose, tight = Deadline(100.0), Deadline(1.0)
+        with deadline_scope(loose):
+            with deadline_scope(tight):
+                assert ambient_deadline() is tight
+            assert ambient_deadline() is loose
+
+    def test_inner_scope_cannot_extend(self):
+        tight, loose = Deadline(1.0), Deadline(100.0)
+        with deadline_scope(tight):
+            with deadline_scope(loose):
+                assert ambient_deadline() is tight
+
+    def test_thread_isolation(self):
+        seen = []
+        with deadline_scope(Deadline(10.0)):
+            thread = threading.Thread(
+                target=lambda: seen.append(ambient_deadline())
+            )
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+
+class TestAdmissionQueue:
+    def test_admit_under_capacity(self):
+        queue = AdmissionQueue(max_active=2, max_queued=0)
+        assert queue.acquire() == ADMITTED
+        assert queue.acquire() == ADMITTED
+        assert queue.active == 2
+
+    def test_shed_beyond_queue(self):
+        queue = AdmissionQueue(max_active=1, max_queued=0)
+        assert queue.acquire() == ADMITTED
+        assert queue.acquire(timeout=0.1) == SHED
+
+    def test_release_admits_waiter(self):
+        queue = AdmissionQueue(max_active=1, max_queued=1)
+        assert queue.acquire() == ADMITTED
+        outcomes = []
+        waiter = threading.Thread(
+            target=lambda: outcomes.append(queue.acquire(timeout=5.0))
+        )
+        waiter.start()
+        deadline = time.monotonic() + 2.0
+        while queue.queued == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        queue.release()
+        waiter.join(timeout=5.0)
+        assert outcomes == [ADMITTED]
+
+    def test_queued_wait_expires(self):
+        queue = AdmissionQueue(max_active=1, max_queued=1)
+        assert queue.acquire() == ADMITTED
+        started = time.monotonic()
+        assert queue.acquire(timeout=0.05) == EXPIRED
+        assert time.monotonic() - started < 2.0
+        assert queue.queued == 0
+
+    def test_closed_refuses_new_work(self):
+        queue = AdmissionQueue(max_active=1, max_queued=1)
+        queue.close()
+        assert queue.acquire() == CLOSED
+
+    def test_close_lets_active_finish(self):
+        queue = AdmissionQueue(max_active=1, max_queued=0)
+        assert queue.acquire() == ADMITTED
+        queue.close()
+        queue.release()  # no error: held slots stay valid through close
+        assert queue.wait_idle(timeout=1.0)
+
+    def test_wait_idle_times_out_while_busy(self):
+        queue = AdmissionQueue(max_active=1, max_queued=0)
+        assert queue.acquire() == ADMITTED
+        assert not queue.wait_idle(timeout=0.05)
+        queue.release()
+        assert queue.wait_idle(timeout=1.0)
+
+    def test_unbalanced_release_rejected(self):
+        queue = AdmissionQueue(max_active=1, max_queued=0)
+        with pytest.raises(RuntimeError):
+            queue.release()
+
+    def test_metrics_exported(self):
+        registry = MetricsRegistry()
+        queue = AdmissionQueue(max_active=1, max_queued=0, registry=registry)
+        queue.acquire()
+        queue.acquire(timeout=0.01)  # shed
+        assert registry.value("serving.admission.admitted") == 1
+        assert registry.value("serving.admission.shed") == 1
+        assert registry.value("serving.admission.active") == 1
+
+    @pytest.mark.parametrize("active,queued", [(0, 0), (1, -1)])
+    def test_bad_limits_rejected(self, active, queued):
+        with pytest.raises(ValueError):
+            AdmissionQueue(max_active=active, max_queued=queued)
+
+    def test_contended_admission_never_exceeds_max_active(self):
+        queue = AdmissionQueue(max_active=3, max_queued=32)
+        peak = []
+        lock = threading.Lock()
+        current = [0]
+
+        def worker():
+            if queue.acquire(timeout=5.0) != ADMITTED:
+                return
+            with lock:
+                current[0] += 1
+                peak.append(current[0])
+            time.sleep(0.002)
+            with lock:
+                current[0] -= 1
+            queue.release()
+
+        threads = [threading.Thread(target=worker) for __ in range(20)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert max(peak) <= 3
+        assert queue.wait_idle(timeout=1.0)
