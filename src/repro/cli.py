@@ -486,6 +486,36 @@ def _serving_registry():
     return MetricsRegistry()
 
 
+def _cmd_convert_rep(args: argparse.Namespace) -> int:
+    """Convert a representative between JSON and the columnar ``.npz`` form."""
+    from pathlib import Path
+
+    from repro.representatives.columnar import ColumnarRepresentative
+
+    src = Path(args.input)
+    dst = Path(args.output)
+    to_npz = dst.suffix == ".npz"
+    from_npz = src.suffix == ".npz"
+    if to_npz == from_npz:
+        print(
+            "convert-rep: exactly one of input/output must end in .npz "
+            f"(got {src.name!r} -> {dst.name!r})"
+        )
+        return 2
+    if to_npz:
+        representative = DatabaseRepresentative.load(src)
+        ColumnarRepresentative.from_representative(representative).save_npz(dst)
+    else:
+        representative = ColumnarRepresentative.load_npz(src).to_representative()
+        representative.save(dst)
+    print(
+        f"{src} ({src.stat().st_size} bytes) -> {dst} ({dst.stat().st_size} "
+        f"bytes): {representative.name!r}, {len(representative)} terms, "
+        f"{representative.n_documents} documents"
+    )
+    return 0
+
+
 def _cmd_scalability(args: argparse.Namespace) -> int:
     rows = list(PAPER_COLLECTION_STATS)
     if args.synthetic:
@@ -541,6 +571,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1999)
     p.add_argument("--query-seed", type=int, default=42)
     p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser(
+        "convert-rep",
+        help="convert a representative between JSON and columnar .npz",
+    )
+    p.add_argument("input", help="source representative (.json or .npz)")
+    p.add_argument(
+        "output",
+        help="destination; direction follows the .npz extension",
+    )
+    p.set_defaults(func=_cmd_convert_rep)
 
     p = sub.add_parser("analyze", help="corpus statistics of a collection")
     p.add_argument("--collection", required=True)

@@ -29,6 +29,7 @@ from repro.core.prev_estimator import PreviousMethodEstimator
 from repro.core.subrange_estimator import SubrangeEstimator
 from repro.core.truth import true_usefulness, true_usefulness_many
 from repro.core.types import Usefulness
+from repro.core.vectorized import fleet_usefulness_grid, supports_fleet
 
 __all__ = [
     "BasicEstimator",
@@ -44,7 +45,9 @@ __all__ = [
     "SubrangeEstimator",
     "Usefulness",
     "UsefulnessEstimator",
+    "fleet_usefulness_grid",
     "get_estimator",
+    "supports_fleet",
     "true_usefulness",
     "true_usefulness_many",
 ]

@@ -1,0 +1,460 @@
+"""Engine-axis vectorized usefulness estimation over a fleet store.
+
+The scalar path answers one (engine, query, threshold) at a time: walk the
+representative dict, build per-term polynomials, expand, read the tail.
+This module answers a whole fleet at once from a
+:class:`~repro.representatives.columnar.FleetRepresentativeStore`: one
+gather yields the ``(engines, query terms)`` statistics block, one numpy
+pass computes every engine's polynomial factors, and the read-outs run
+across the engine axis.
+
+The contract throughout is *bit-identity with the scalar estimators*:
+
+* The subrange method computes all factor tensors (median weights
+  ``w + c_j * sigma``, the max-weight singleton, probabilities) in one
+  vectorized pass, then feeds each engine's factors to the existing
+  :meth:`GenFunc.product` — the same merge the scalar path runs, on
+  bit-identical inputs.
+* The basic and binary-independence methods expand *all* engines together:
+  the generating-function state is an ``(engines, terms)`` matrix whose
+  exponents live as integers on the rounding grid (``np.round(x, d)`` is
+  exactly ``rint(x * 10**d) / 10**d`` for float64, so integer keys and the
+  scalar's rounded floats are interconvertible bit-for-bit), and each
+  multiply-and-merge step reproduces the scalar ``round → unique →
+  bincount`` pipeline with one flat integer sort.  Terms an engine does not
+  match multiply its row by the ghost factor ``1 * X^0 + 0 * X^0``, which
+  leaves state bits unchanged (``c + 0.0 == c``; no new exponents appear).
+* The gGlOSS estimators are closed-form over sorted bands; both variants
+  vectorize to a lexsort plus suffix cumulative sums that accumulate in the
+  scalar code's exact addition order.
+
+Where an estimator configuration would change the arithmetic (prune
+floors, expansion budgets, exponents off the integer-key grid), the basic
+and binary paths fall back to per-engine :meth:`GenFunc.product` on the
+same vectorized factor tensors — slower, still exact.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import UsefulnessEstimator, _frozen_polynomial
+from repro.core.basic_estimator import BasicEstimator
+from repro.core.binary_estimator import BinaryIndependenceEstimator
+from repro.core.genfunc import GenFunc
+from repro.core.gloss import GlossDisjointEstimator, GlossHighCorrelationEstimator
+from repro.core.subrange_estimator import SubrangeEstimator
+from repro.core.types import Usefulness
+from repro.corpus.query import Query
+from repro.representatives.columnar import FleetRepresentativeStore
+from repro.stats.normal import normal_quantile
+
+__all__ = ["fleet_usefulness_grid", "supports_fleet"]
+
+#: Estimator types with a vectorized fleet path.  Exact types, not
+#: subclasses: a subclass may override term_polynomial/estimate and the
+#: vectorized re-implementation would silently diverge from it.
+_FLEET_TYPES = (
+    SubrangeEstimator,
+    BasicEstimator,
+    BinaryIndependenceEstimator,
+    GlossHighCorrelationEstimator,
+    GlossDisjointEstimator,
+)
+
+#: Above this magnitude an exponent times ``10**decimals`` may lose integer
+#: precision in float64, breaking the int-key equivalence — fall back.
+_MAX_EXACT = 2.0 ** 53
+
+
+def supports_fleet(estimator: UsefulnessEstimator) -> bool:
+    """Whether ``estimator`` has a bit-identical vectorized fleet path."""
+    return type(estimator) in _FLEET_TYPES
+
+
+def fleet_usefulness_grid(
+    estimator: UsefulnessEstimator,
+    store: FleetRepresentativeStore,
+    query: Query,
+    thresholds: Sequence[float],
+    polycache=None,
+) -> Optional[List[List[Usefulness]]]:
+    """Usefulness of every engine in ``store`` at every threshold.
+
+    Args:
+        estimator: One of the five supported estimators (see
+            :func:`supports_fleet`); ``None`` is returned otherwise.
+        store: The packed fleet; rows follow its ``engine_names`` order.
+        query: The query.
+        thresholds: Thresholds to read out (the expansion estimators share
+            one expansion across all of them, like ``estimate_many``).
+        polycache: Optional term-polynomial cache consulted/populated by
+            the subrange path (factors stored are bit-identical to the
+            scalar estimator's, so the cache stays interchangeable).
+
+    Returns:
+        ``grid[t][e]`` — the estimate for ``thresholds[t]`` and engine
+        ``store.engine_names[e]``, bit-identical to the scalar estimator;
+        or ``None`` when the estimator has no vectorized path.
+    """
+    if not supports_fleet(estimator):
+        return None
+    thresholds = [float(t) for t in thresholds]
+    if len(store) == 0:
+        return [[] for __ in thresholds]
+    ids = store.vocab.ids_of(query.terms)
+    p, w, sigma, mw = store.gather(ids)
+    u = np.asarray(query.normalized_weights(), dtype=np.float64)
+    n = store.n_documents
+    matched = p > 0.0
+    if isinstance(estimator, SubrangeEstimator):
+        return _subrange_grid(
+            estimator, store, query, p, w, sigma, mw, u, n, matched,
+            thresholds, polycache,
+        )
+    if isinstance(estimator, BasicEstimator):
+        x = u[None, :] * w
+        return _expansion_grid(estimator, x, p, matched, n, thresholds)
+    if isinstance(estimator, BinaryIndependenceEstimator):
+        if estimator.global_weight is not None:
+            gw = np.full(len(store), float(estimator.global_weight))
+        else:
+            gw = store.binary_mean_w
+        x = u[None, :] * gw[:, None]
+        return _expansion_grid(estimator, x, p, matched, n, thresholds)
+    if isinstance(estimator, GlossHighCorrelationEstimator):
+        return _gloss_hc_grid(p, w, u, n, matched, thresholds)
+    return _gloss_disjoint_grid(p, w, u, n, matched, thresholds)
+
+
+# -- subrange: vectorized factors, per-engine product ------------------------
+
+
+def _subrange_grid(
+    est, store, query, p, w, sigma, mw, u, n, matched, thresholds, polycache
+):
+    """All subrange polynomial factors in one numpy pass, expanded with the
+    scalar :meth:`GenFunc.product` per engine."""
+    n_engines, n_terms = p.shape
+    z = normal_quantile(est.max_percentile / 100.0)
+    # Effective max weight: stored when allowed and present, else the
+    # clamped normal estimate — elementwise identical to _effective_max
+    # (Python min/max and np.minimum/np.maximum agree on the non-negative,
+    # NaN-free values here).
+    estimated_mw = np.minimum(1.0, np.maximum(w + z * sigma, 0.0))
+    if est.use_stored_max:
+        mw_eff = np.where(np.isnan(mw), estimated_mw, mw)
+    else:
+        mw_eff = estimated_mw
+    n_f = n.astype(np.float64)
+    has_max_row = (
+        (n > 0) if est.scheme.include_max else np.zeros(n_engines, dtype=bool)
+    )
+    with np.errstate(divide="ignore"):
+        inv_n = np.where(n > 0, 1.0 / n_f, np.inf)
+    p_max = np.minimum(inv_n[:, None], p)
+    remaining = np.where(has_max_row[:, None], p - p_max, p)
+    n_sub = est._offsets.size
+    medians = np.clip(
+        w[:, :, None] + est._offsets * sigma[:, :, None],
+        0.0,
+        mw_eff[:, :, None],
+    )
+    exps = np.empty((n_engines, n_terms, n_sub + 2))
+    coeffs = np.empty((n_engines, n_terms, n_sub + 2))
+    exps[:, :, 0] = u[None, :] * mw_eff
+    exps[:, :, 1 : n_sub + 1] = u[None, :, None] * medians
+    exps[:, :, n_sub + 1] = 0.0
+    coeffs[:, :, 0] = p_max
+    coeffs[:, :, 1 : n_sub + 1] = remaining[:, :, None] * est._masses
+    coeffs[:, :, n_sub + 1] = 1.0 - p
+
+    head_tail = np.array([0, n_sub + 1])
+    u_items = list(query.normalized_items())
+    names = store.engine_names
+    config = est.polynomial_config() if polycache is not None else None
+    per_engine: List[List[Usefulness]] = []
+    for e in range(n_engines):
+        polys = []
+        for j, (term, uj) in enumerate(u_items):
+            if polycache is not None:
+                hit, poly = polycache.lookup(config, names[e], term, uj)
+                if hit:
+                    if poly is not None:
+                        polys.append(poly)
+                    continue
+            if not matched[e, j]:
+                if polycache is not None:
+                    polycache.store(config, names[e], term, uj, None)
+                continue
+            if has_max_row[e]:
+                if remaining[e, j] > 0.0:
+                    factor = (exps[e, j], coeffs[e, j])
+                else:
+                    factor = (exps[e, j, head_tail], coeffs[e, j, head_tail])
+            else:
+                factor = (exps[e, j, 1:], coeffs[e, j, 1:])
+            if polycache is not None:
+                poly = _frozen_polynomial(
+                    (factor[0].copy(), factor[1].copy())
+                )
+                polycache.store(config, names[e], term, uj, poly)
+                polys.append(poly)
+            else:
+                polys.append(factor)
+        expansion = GenFunc.product(
+            polys,
+            decimals=est.decimals,
+            prune_floor=est.prune_floor,
+            max_terms=est.max_terms,
+        )
+        mass, moment = expansion.tail_profile(thresholds)
+        n_e = int(n[e])
+        per_engine.append(
+            [
+                Usefulness(nodoc=n_e * m, avgsim=(mo / m if m > 0.0 else 0.0))
+                for m, mo in zip(mass.tolist(), moment.tolist())
+            ]
+        )
+    return [
+        [per_engine[e][t] for e in range(n_engines)]
+        for t in range(len(thresholds))
+    ]
+
+
+# -- basic / binary: engine-parallel expansion -------------------------------
+
+
+def _expansion_grid(est, x, p, matched, n, thresholds):
+    """Engine-parallel expansion of two-point factors; falls back to
+    per-engine products when the parallel merge cannot stay bit-exact."""
+    grid = None
+    if est.prune_floor == 0.0 and est.max_terms is None and 0 <= est.decimals <= 15:
+        grid = _parallel_expansion_grid(est, x, p, matched, n, thresholds)
+    if grid is None:
+        grid = _per_engine_expansion_grid(est, x, p, matched, n, thresholds)
+    return grid
+
+
+def _parallel_expansion_grid(est, x, p, matched, n, thresholds):
+    n_engines, n_terms = x.shape
+    scale = float(10 ** est.decimals)
+    keys = np.zeros((n_engines, 1), dtype=np.int64)
+    coeffs = np.ones((n_engines, 1))
+    row_len = np.ones(n_engines, dtype=np.int64)
+    row_ids = np.arange(n_engines, dtype=np.int64)
+    for j in range(n_terms):
+        # Matched rows multiply by [p * X^x + (1-p)]; unmatched rows by the
+        # ghost factor [1 * X^0 + 0 * X^0], whose zero-coefficient entry
+        # merges into each existing exponent group adding +0.0 — state bits
+        # are unchanged, exactly as the scalar path's skip leaves them.
+        m = matched[:, j]
+        fexp = np.stack(
+            [np.where(m, x[:, j], 0.0), np.zeros(n_engines)], axis=1
+        )
+        fcoef = np.stack(
+            [np.where(m, p[:, j], 1.0), np.where(m, 1.0 - p[:, j], 0.0)],
+            axis=1,
+        )
+        width = keys.shape[1]
+        state_exp = keys.astype(np.float64) / scale
+        sums = (state_exp[:, :, None] + fexp[:, None, :]).reshape(
+            n_engines, 2 * width
+        )
+        scaled = sums * scale
+        if scaled.size and not (np.abs(scaled).max() < _MAX_EXACT):
+            return None  # off the exact integer grid; per-engine fallback
+        new_keys = np.rint(scaled).astype(np.int64)
+        new_coeffs = (coeffs[:, :, None] * fcoef[:, None, :]).reshape(
+            n_engines, 2 * width
+        )
+        valid = np.repeat(
+            np.arange(width)[None, :] < row_len[:, None], 2, axis=1
+        ).ravel()
+        rows_flat = np.repeat(row_ids, 2 * width)[valid]
+        cols_flat = np.tile(np.arange(2 * width, dtype=np.int64), n_engines)[valid]
+        keys_flat = new_keys.ravel()[valid]
+        if keys_flat.size and int(keys_flat.min()) < 0:
+            return None
+        key_bits = max(int(keys_flat.max()).bit_length(), 1) if keys_flat.size else 1
+        idx_bits = max(int(2 * width - 1).bit_length(), 1)
+        row_bits = max(int(n_engines - 1).bit_length(), 1)
+        if row_bits + key_bits + idx_bits > 62:
+            return None
+        # One flat sort orders by (row, exponent key, original position):
+        # the low position bits make every packed value unique, so even an
+        # unstable sort yields the scalar merge's stable element order.
+        packed = (rows_flat << (key_bits + idx_bits)) | (keys_flat << idx_bits) | cols_flat
+        packed.sort()
+        idx_mask = (1 << idx_bits) - 1
+        key_mask = (1 << key_bits) - 1
+        row_sorted = packed >> (key_bits + idx_bits)
+        key_sorted = (packed >> idx_bits) & key_mask
+        col_sorted = packed & idx_mask
+        coef_sorted = new_coeffs.ravel()[row_sorted * (2 * width) + col_sorted]
+        top = packed >> idx_bits
+        boundary = np.empty(packed.size, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = top[1:] != top[:-1]
+        group_id = np.cumsum(boundary) - 1
+        n_groups = int(group_id[-1]) + 1
+        # bincount accumulates element-by-element in array order; within a
+        # group that order is the original ravel order — the exact addition
+        # sequence np.unique + bincount runs in the scalar merge.
+        group_coef = np.bincount(group_id, weights=coef_sorted, minlength=n_groups)
+        group_key = key_sorted[boundary]
+        group_row = row_sorted[boundary]
+        rows_per = np.bincount(group_row, minlength=n_engines)
+        new_width = int(rows_per.max())
+        first = np.zeros(n_engines + 1, dtype=np.int64)
+        np.cumsum(rows_per, out=first[1:])
+        pos = np.arange(n_groups, dtype=np.int64) - first[group_row]
+        keys = np.zeros((n_engines, new_width), dtype=np.int64)
+        coeffs = np.zeros((n_engines, new_width))
+        keys[group_row, pos] = group_key
+        coeffs[group_row, pos] = group_coef
+        row_len = rows_per.astype(np.int64)
+    # Read-out: suffix cumulative sums along the (ascending) exponent axis,
+    # with row padding as trailing +0.0 terms (bit-inert in the chain).
+    width = keys.shape[1]
+    real = np.arange(width)[None, :] < row_len[:, None]
+    exp_f = keys.astype(np.float64) / scale
+    exp_cmp = np.where(real, exp_f, np.inf)
+    coef = np.where(real, coeffs, 0.0)
+    moment_terms = coef * np.where(real, exp_f, 0.0)
+    mass_sfx = np.hstack(
+        [np.cumsum(coef[:, ::-1], axis=1)[:, ::-1], np.zeros((n_engines, 1))]
+    )
+    mom_sfx = np.hstack(
+        [
+            np.cumsum(moment_terms[:, ::-1], axis=1)[:, ::-1],
+            np.zeros((n_engines, 1)),
+        ]
+    )
+    n_f = n.astype(np.float64)
+    grid = []
+    for t in thresholds:
+        cnt = (exp_cmp <= t).sum(axis=1)
+        mass = mass_sfx[row_ids, cnt]
+        moment = mom_sfx[row_ids, cnt]
+        nodoc = n_f * mass
+        positive = mass > 0.0
+        avgsim = np.where(
+            positive, moment / np.where(positive, mass, 1.0), 0.0
+        )
+        grid.append(
+            [
+                Usefulness(nodoc=nd, avgsim=av)
+                for nd, av in zip(nodoc.tolist(), avgsim.tolist())
+            ]
+        )
+    return grid
+
+
+def _per_engine_expansion_grid(est, x, p, matched, n, thresholds):
+    """Exact fallback: scalar-identical factors, one product per engine."""
+    n_engines, n_terms = x.shape
+    grid_rows = []
+    for e in range(n_engines):
+        polys = [
+            (
+                np.array([x[e, j], 0.0]),
+                np.array([p[e, j], 1.0 - p[e, j]]),
+            )
+            for j in range(n_terms)
+            if matched[e, j]
+        ]
+        expansion = GenFunc.product(
+            polys,
+            decimals=est.decimals,
+            prune_floor=est.prune_floor,
+            max_terms=est.max_terms,
+        )
+        mass, moment = expansion.tail_profile(thresholds)
+        n_e = int(n[e])
+        grid_rows.append(
+            [
+                Usefulness(nodoc=n_e * m, avgsim=(mo / m if m > 0.0 else 0.0))
+                for m, mo in zip(mass.tolist(), moment.tolist())
+            ]
+        )
+    return [
+        [grid_rows[e][t] for e in range(n_engines)]
+        for t in range(len(thresholds))
+    ]
+
+
+# -- gGlOSS ------------------------------------------------------------------
+
+
+def _gloss_hc_grid(p, w, u, n, matched, thresholds):
+    """High-correlation bands across the engine axis.
+
+    Matched terms sort per engine by ``(df, u, w)`` ascending with original
+    position as the final tiebreak — the exact order Python's stable tuple
+    sort produces in the scalar estimator.  Unmatched terms sort last
+    (``df = inf``) with zero contributions, so the suffix-similarity chain
+    accumulates in the scalar order with bit-inert +0.0 prefixes.
+    """
+    n_engines, n_terms = p.shape
+    n_f = n.astype(np.float64)
+    dfs = p * n_f[:, None]
+    contrib = u[None, :] * w
+    df_key = np.where(matched, dfs, np.inf)
+    u_key = np.where(matched, np.broadcast_to(u, p.shape), 0.0)
+    w_key = np.where(matched, w, 0.0)
+    row = np.repeat(np.arange(n_engines), n_terms)
+    col = np.tile(np.arange(n_terms), n_engines)
+    order = np.lexsort(
+        (col, w_key.ravel(), u_key.ravel(), df_key.ravel(), row)
+    )
+    df_s = df_key.ravel()[order].reshape(n_engines, n_terms)
+    c_s = (
+        np.where(matched, contrib, 0.0).ravel()[order].reshape(n_engines, n_terms)
+    )
+    m_s = matched.ravel()[order].reshape(n_engines, n_terms)
+    suffix = np.cumsum(c_s[:, ::-1], axis=1)[:, ::-1]
+    prev = np.hstack([np.zeros((n_engines, 1)), df_s[:, :-1]])
+    with np.errstate(invalid="ignore"):
+        pop = df_s - prev
+        grid = []
+        for t in thresholds:
+            nodoc = np.zeros(n_engines)
+            sim_sum = np.zeros(n_engines)
+            for i in range(n_terms):
+                cond = m_s[:, i] & (pop[:, i] > 0.0) & (suffix[:, i] > t)
+                nodoc = nodoc + np.where(cond, pop[:, i], 0.0)
+                sim_sum = sim_sum + np.where(
+                    cond, pop[:, i] * suffix[:, i], 0.0
+                )
+            grid.append(_usefulness_row(nodoc, sim_sum))
+    return grid
+
+
+def _gloss_disjoint_grid(p, w, u, n, matched, thresholds):
+    """Disjoint-assumption groups, accumulated in query-term order."""
+    n_engines, n_terms = p.shape
+    n_f = n.astype(np.float64)
+    dfs = p * n_f[:, None]
+    contrib = u[None, :] * w
+    grid = []
+    for t in thresholds:
+        nodoc = np.zeros(n_engines)
+        sim_sum = np.zeros(n_engines)
+        for j in range(n_terms):
+            cond = matched[:, j] & (contrib[:, j] > t) & (dfs[:, j] > 0.0)
+            nodoc = nodoc + np.where(cond, dfs[:, j], 0.0)
+            sim_sum = sim_sum + np.where(cond, dfs[:, j] * contrib[:, j], 0.0)
+        grid.append(_usefulness_row(nodoc, sim_sum))
+    return grid
+
+
+def _usefulness_row(nodoc: np.ndarray, sim_sum: np.ndarray) -> List[Usefulness]:
+    positive = nodoc > 0.0
+    avgsim = np.where(positive, sim_sum / np.where(positive, nodoc, 1.0), 0.0)
+    return [
+        Usefulness(nodoc=(nd if ok else 0.0), avgsim=av)
+        for nd, av, ok in zip(nodoc.tolist(), avgsim.tolist(), positive.tolist())
+    ]

@@ -50,6 +50,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.core.base import ExpansionEstimator, UsefulnessEstimator
 from repro.core.subrange_estimator import SubrangeEstimator
 from repro.core.types import Usefulness
+from repro.core.vectorized import fleet_usefulness_grid, supports_fleet
 from repro.corpus.query import Query
 from repro.engine.results import SearchHit
 from repro.engine.search_engine import SearchEngine
@@ -64,6 +65,7 @@ from repro.metasearch.selection import (
 from repro.obs.registry import LATENCY_BUCKETS, NULL_REGISTRY
 from repro.obs.trace import QueryTrace
 from repro.representatives.builder import build_representative
+from repro.representatives.columnar import FleetRepresentativeStore
 from repro.representatives.representative import DatabaseRepresentative
 
 __all__ = ["EngineRegistration", "MetasearchBroker", "MetasearchResponse"]
@@ -138,6 +140,14 @@ class MetasearchBroker:
         polycache_size: Capacity of the term-polynomial cache memoizing
             each expansion estimator's per-term factors across queries;
             ``0`` disables it.  Only expansion estimators use it.
+        columnar: Keep representatives in a columnar
+            :class:`~repro.representatives.columnar.FleetRepresentativeStore`
+            (terms interned into one shared vocabulary, per-engine stats as
+            packed numpy arrays) and answer :meth:`estimate_all` /
+            :meth:`estimate_batch` through the engine-axis vectorized pass
+            of :mod:`repro.core.vectorized` when the estimator supports it.
+            Estimates are bit-identical to the scalar path; estimators
+            without a vectorized path fall back to it transparently.
         registry: A :class:`~repro.obs.MetricsRegistry` receiving search
             totals, per-stage latency histograms, and the dispatcher /
             cache / estimator series; the shared no-op registry by default,
@@ -155,6 +165,7 @@ class MetasearchBroker:
         backoff: float = 0.05,
         cache_size: int = 1024,
         polycache_size: int = 4096,
+        columnar: bool = False,
         registry=None,
     ):
         if cache_size < 0:
@@ -173,11 +184,18 @@ class MetasearchBroker:
             backoff=backoff,
             registry=self.registry,
         )
+        self.fleet: Optional[FleetRepresentativeStore] = (
+            FleetRepresentativeStore() if columnar else None
+        )
         self.cache: Optional[EstimateCache] = (
             EstimateCache(cache_size, registry=self.registry) if cache_size else None
         )
         self.polycache: Optional[TermPolynomialCache] = (
-            TermPolynomialCache(polycache_size, registry=self.registry)
+            TermPolynomialCache(
+                polycache_size,
+                registry=self.registry,
+                vocab=self.fleet.vocab if self.fleet is not None else None,
+            )
             if polycache_size
             else None
         )
@@ -220,6 +238,17 @@ class MetasearchBroker:
             raise ValueError(f"engine {engine.name!r} already registered")
         if representative is None:
             representative = build_representative(engine)
+        if self.fleet is not None:
+            # The fleet owns the packed arrays; the registration keeps a
+            # lightweight name-keyed view (the dict representative is
+            # dropped — that is the columnar memory win).
+            if representative.name != engine.name:
+                representative = DatabaseRepresentative(
+                    name=engine.name,
+                    n_documents=representative.n_documents,
+                    term_stats=dict(representative.items()),
+                )
+            representative = self.fleet.add(representative)
         self._engines[engine.name] = EngineRegistration(
             engine=engine, representative=representative
         )
@@ -273,10 +302,67 @@ class MetasearchBroker:
         self.cache.put(key, usefulness)
         return usefulness
 
+    def _fleet_rows(
+        self, query: Query, thresholds: List[float]
+    ) -> Optional[List[List[EstimatedUsefulness]]]:
+        """Vectorized estimate rows for one query at several thresholds.
+
+        One :func:`~repro.core.vectorized.fleet_usefulness_grid` call
+        answers every (engine, threshold) pair that the estimate cache
+        cannot; cache hits are honored and misses populated exactly as the
+        scalar path would (the grid is bit-identical to it, so the cache
+        stays interchangeable between paths).  Returns ``None`` when the
+        estimator has no vectorized path — the caller falls back to the
+        scalar loop.
+        """
+        if self.fleet is None or not supports_fleet(self.estimator):
+            return None
+        names = self.fleet.engine_names
+        per_threshold: Dict[float, tuple] = {}
+        missing: List[float] = []
+        for t in thresholds:
+            if t in per_threshold:
+                continue
+            if self.cache is not None and names:
+                keys = [EstimateCache.key_for(name, query, t) for name in names]
+                vals = [self.cache.get(key) for key in keys]
+                per_threshold[t] = (vals, keys)
+                if all(v is not None for v in vals):
+                    continue
+            else:
+                per_threshold[t] = (None, None)
+            missing.append(t)
+        fresh: Dict[float, List[Usefulness]] = {}
+        if missing:
+            grid = fleet_usefulness_grid(
+                self.estimator, self.fleet, query, missing, self.polycache
+            )
+            fresh = dict(zip(missing, grid))
+        rows = []
+        for t in thresholds:
+            vals, keys = per_threshold[t]
+            row = []
+            for i, name in enumerate(names):
+                usefulness = vals[i] if vals is not None else None
+                if usefulness is None:
+                    usefulness = fresh[t][i]
+                    if keys is not None:
+                        self.cache.put(keys[i], usefulness)
+                row.append(
+                    EstimatedUsefulness(engine=name, usefulness=usefulness)
+                )
+            row.sort(key=lambda e: e.sort_key)
+            rows.append(row)
+        return rows
+
     def estimate_all(
         self, query: Query, threshold: float
     ) -> List[EstimatedUsefulness]:
         """Usefulness estimate for every registered engine, best first."""
+        if self.fleet is not None:
+            rows = self._fleet_rows(query, [float(threshold)])
+            if rows is not None:
+                return rows[0]
         estimates = [
             EstimatedUsefulness(
                 engine=name,
@@ -319,7 +405,17 @@ class MetasearchBroker:
         and warms the serial path's cache.  All read-outs go through the
         same expansion/tail code as the serial path, so the rows are
         bit-identical to per-query :meth:`estimate_all` calls.
+
+        With a columnar fleet and a supported estimator the whole batch is
+        answered by the vectorized fast path instead: queries sharing a
+        normalized identity are grouped (the same sharing rule as the
+        expansion memo below) and each group costs one fleet grid over its
+        distinct thresholds.
         """
+        if self.fleet is not None:
+            fleet_rows = self._fleet_batch_rows(queries, per_query)
+            if fleet_rows is not None:
+                return fleet_rows
         rows: List[List[EstimatedUsefulness]] = [[] for __ in queries]
         is_expansion = isinstance(self.estimator, ExpansionEstimator)
         for name, registration in self._engines.items():
@@ -359,6 +455,30 @@ class MetasearchBroker:
                 )
         for row in rows:
             row.sort(key=lambda e: e.sort_key)
+        return rows
+
+    def _fleet_batch_rows(
+        self, queries: List[Query], per_query: List[float]
+    ) -> Optional[List[List[EstimatedUsefulness]]]:
+        """Batch rows through the vectorized fleet path, or ``None``.
+
+        Queries with the same normalized ``(terms, weights)`` identity
+        share one grid computed from the first of them — mirroring how the
+        scalar batch shares one expansion per identity.
+        """
+        if not supports_fleet(self.estimator):
+            return None
+        groups: Dict[tuple, List[int]] = {}
+        for i, query in enumerate(queries):
+            groups.setdefault(EstimateCache.query_key(query), []).append(i)
+        rows: List[Optional[List[EstimatedUsefulness]]] = [None] * len(queries)
+        for indices in groups.values():
+            thresholds = [float(per_query[i]) for i in indices]
+            group_rows = self._fleet_rows(queries[indices[0]], thresholds)
+            if group_rows is None:
+                return None
+            for i, row in zip(indices, group_rows):
+                rows[i] = row
         return rows
 
     def estimate_batch(

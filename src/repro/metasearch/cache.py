@@ -163,7 +163,9 @@ class EstimateCache:
 
 
 #: Polynomial cache key: (estimator config, engine, term, rounded weight).
-PolyKey = Tuple[Tuple, str, str, float]
+#: The term slot holds the string, or its interned integer id when the
+#: cache is constructed with a shared broker vocabulary.
+PolyKey = Tuple[Tuple, str, object, float]
 
 
 class TermPolynomialCache:
@@ -181,12 +183,17 @@ class TermPolynomialCache:
         maxsize: Maximum resident entries (LRU-evicted beyond this).
         registry: Metrics sink for ``estimator.polycache.*`` counters and
             the resident-size gauge; no-op by default.
+        vocab: Optional :class:`~repro.representatives.columnar.BrokerVocabulary`.
+            When given, keys carry the term's interned integer id instead of
+            the string — one shared id per distinct term fleet-wide, and key
+            tuples that hash/compare on small ints instead of text.
     """
 
-    def __init__(self, maxsize: int = 4096, registry=None):
+    def __init__(self, maxsize: int = 4096, registry=None, vocab=None):
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize!r}")
         self.maxsize = maxsize
+        self._vocab = vocab
         self._data: "OrderedDict[PolyKey, object]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
@@ -208,11 +215,16 @@ class TermPolynomialCache:
         them, so float noise between equal profiles shares entries."""
         return (config, engine, term, round(float(weight), _KEY_DECIMALS))
 
+    def _key(self, config: Tuple, engine: str, term: str, weight: float) -> PolyKey:
+        if self._vocab is not None:
+            term = self._vocab.intern(term)
+        return (config, engine, term, round(float(weight), _KEY_DECIMALS))
+
     def lookup(
         self, config: Tuple, engine: str, term: str, weight: float
     ) -> Tuple[bool, object]:
         """``(hit, value)`` — value may be a cached ``None`` on a hit."""
-        key = self.key_for(config, engine, term, weight)
+        key = self._key(config, engine, term, weight)
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
@@ -226,7 +238,7 @@ class TermPolynomialCache:
     def store(
         self, config: Tuple, engine: str, term: str, weight: float, value
     ) -> None:
-        key = self.key_for(config, engine, term, weight)
+        key = self._key(config, engine, term, weight)
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)

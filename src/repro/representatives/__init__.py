@@ -12,6 +12,12 @@ the scalability accounting.
 
 from repro.representatives.algebra import merge_representatives
 from repro.representatives.builder import build_representative
+from repro.representatives.columnar import (
+    BrokerVocabulary,
+    ColumnarRepresentative,
+    FleetRepresentativeRef,
+    FleetRepresentativeStore,
+)
 from repro.representatives.empirical import (
     EmpiricalRepresentative,
     EmpiricalTermStats,
@@ -33,8 +39,12 @@ from repro.representatives.subrange import SubrangeScheme
 from repro.representatives.term_stats import TermStats
 
 __all__ = [
+    "BrokerVocabulary",
     "CollectionSizing",
+    "ColumnarRepresentative",
     "DatabaseRepresentative",
+    "FleetRepresentativeRef",
+    "FleetRepresentativeStore",
     "EmpiricalRepresentative",
     "EmpiricalTermStats",
     "PAPER_COLLECTION_STATS",

@@ -1,0 +1,918 @@
+"""Columnar representatives and the fleet-level store.
+
+The dict-of-dataclasses :class:`~repro.representatives.DatabaseRepresentative`
+is convenient for one engine but ruinous at fleet scale: every term costs a
+dict slot, a frozen dataclass, and four boxed floats (~330 bytes measured),
+and every estimate walks it term-by-term in Python.  This module holds the
+same statistics in parallel numpy arrays keyed by a *shared broker
+vocabulary*, in three layers:
+
+* :class:`BrokerVocabulary` — interns term strings into dense integer ids
+  shared by every engine the broker knows.  Ids are append-only, so an id
+  handed out once stays valid for the life of the broker.
+* :class:`ColumnarRepresentative` — one engine's representative as parallel
+  sorted arrays (``term_ids``, ``p``, ``w``, ``sigma``, ``mw``), convertible
+  losslessly to and from :class:`DatabaseRepresentative` and persistable as
+  a binary ``.npz`` (memory-mappable member arrays, vs. today's JSON).
+* :class:`FleetRepresentativeStore` — the broker-side fleet matrix: all
+  engines' statistics packed into one term-major compressed sparse layout,
+  so a query gathers an ``(engines, terms)`` block of statistics with a few
+  array reads instead of ``engines x terms`` dict lookups.
+
+The packed layout exploits the Zipf reality of representatives: in measured
+builds ~60% of (engine, term) entries are singleton terms whose ``sigma``
+is exactly ``+0.0`` and whose ``mw`` equals ``w`` bit-for-bit.  The store
+therefore keeps only ``p`` and ``w`` densely and spills ``sigma``/``mw``
+to a sparse side channel for the minority of entries that deviate from the
+per-engine default — cutting resident bytes per entry well below the dict
+representation while reconstructing every :class:`TermStats` bit-exactly.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.representatives.representative import DatabaseRepresentative
+from repro.representatives.term_stats import TermStats
+
+__all__ = [
+    "BrokerVocabulary",
+    "ColumnarRepresentative",
+    "FleetRepresentativeRef",
+    "FleetRepresentativeStore",
+]
+
+#: .npz member schema version for :meth:`ColumnarRepresentative.save_npz`.
+_FORMAT_VERSION = 1
+
+#: Sentinel id for terms a vocabulary has never seen.
+UNKNOWN_TERM = -1
+
+
+def _encode_terms(terms: Sequence[str]) -> Tuple[np.ndarray, np.ndarray]:
+    """Terms as one UTF-8 blob plus int64 offsets (no object arrays, so
+    ``allow_pickle=False`` round-trips)."""
+    encoded = [t.encode("utf-8") for t in terms]
+    offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+    for i, raw in enumerate(encoded):
+        offsets[i + 1] = offsets[i] + len(raw)
+    blob = np.frombuffer(b"".join(encoded), dtype=np.uint8).copy()
+    return blob, offsets
+
+
+def _decode_terms(blob: np.ndarray, offsets: np.ndarray) -> List[str]:
+    raw = blob.tobytes()
+    bounds = offsets.tolist()
+    return [
+        raw[bounds[i] : bounds[i + 1]].decode("utf-8")
+        for i in range(len(bounds) - 1)
+    ]
+
+
+class BrokerVocabulary:
+    """Append-only intern table mapping term strings to dense ids.
+
+    One instance is shared by every engine of a fleet (and by the broker's
+    term-polynomial cache), so equal terms across engines collapse to the
+    same integer and fleet matrices can be indexed by term id.
+    """
+
+    def __init__(self):
+        self._ids: Dict[str, int] = {}
+        self._terms: List[str] = []
+
+    def intern(self, term: str) -> int:
+        """The term's id, allocating the next dense id on first sight."""
+        tid = self._ids.get(term)
+        if tid is None:
+            tid = len(self._terms)
+            self._ids[term] = tid
+            self._terms.append(term)
+        return tid
+
+    def intern_many(self, terms: Sequence[str]) -> np.ndarray:
+        return np.array([self.intern(t) for t in terms], dtype=np.int64)
+
+    def id_of(self, term: str) -> int:
+        """The term's id, or :data:`UNKNOWN_TERM` when never interned."""
+        return self._ids.get(term, UNKNOWN_TERM)
+
+    def ids_of(self, terms: Sequence[str]) -> np.ndarray:
+        """Ids for ``terms`` without interning; unknown terms map to
+        :data:`UNKNOWN_TERM` (so stray query vocabulary cannot grow the
+        table)."""
+        get = self._ids.get
+        return np.array(
+            [get(t, UNKNOWN_TERM) for t in terms], dtype=np.int64
+        )
+
+    def term_of(self, term_id: int) -> str:
+        return self._terms[term_id]
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._ids
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident bytes of the intern table (strings, dict
+        slots, list slots) — reported separately from the packed statistics
+        because the vocabulary is shared fleet-wide."""
+        import sys
+
+        total = sys.getsizeof(self._ids) + sys.getsizeof(self._terms)
+        for term in self._terms:
+            total += sys.getsizeof(term) + 28  # str + boxed id
+        return total
+
+    def __repr__(self) -> str:
+        return f"BrokerVocabulary(terms={len(self._terms)})"
+
+
+class ColumnarRepresentative:
+    """One engine's representative as parallel sorted numpy arrays.
+
+    The arrays are parallel over the engine's distinct terms, sorted by
+    ascending ``term_ids`` (ids from the attached vocabulary):
+
+    * ``term_ids`` — int64 vocabulary ids, strictly ascending;
+    * ``p`` / ``w`` / ``sigma`` — float64 probability, mean weight, std;
+    * ``mw`` — float64 maximum weight, ``NaN`` where the representative
+      withholds it (the triplet form).
+
+    Conversion to and from :class:`DatabaseRepresentative` is lossless and
+    bit-exact; the duck API (``get``/``items``/``n_documents``/...) matches
+    the dict representative's, so estimators accept either.
+    """
+
+    __slots__ = ("name", "n_documents", "vocab", "term_ids", "p", "w", "sigma", "mw")
+
+    def __init__(
+        self,
+        name: str,
+        n_documents: int,
+        vocab: BrokerVocabulary,
+        term_ids: np.ndarray,
+        p: np.ndarray,
+        w: np.ndarray,
+        sigma: np.ndarray,
+        mw: np.ndarray,
+    ):
+        if n_documents < 0:
+            raise ValueError(f"n_documents must be >= 0, got {n_documents!r}")
+        term_ids = np.asarray(term_ids, dtype=np.int64)
+        arrays = [np.asarray(a, dtype=np.float64) for a in (p, w, sigma, mw)]
+        for arr in arrays:
+            if arr.shape != term_ids.shape or arr.ndim != 1:
+                raise ValueError("statistic arrays must parallel term_ids")
+        if term_ids.size > 1 and not np.all(np.diff(term_ids) > 0):
+            raise ValueError("term_ids must be strictly ascending")
+        self.name = name
+        self.n_documents = int(n_documents)
+        self.vocab = vocab
+        self.term_ids = term_ids
+        self.p, self.w, self.sigma, self.mw = arrays
+        for arr in (self.term_ids, self.p, self.w, self.sigma, self.mw):
+            arr.setflags(write=False)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_representative(
+        cls,
+        representative: DatabaseRepresentative,
+        vocab: Optional[BrokerVocabulary] = None,
+    ) -> "ColumnarRepresentative":
+        """Intern the dict representative's terms and columnarize it."""
+        vocab = vocab if vocab is not None else BrokerVocabulary()
+        terms = []
+        stats_rows = []
+        for term, stats in representative.items():
+            terms.append(term)
+            stats_rows.append(stats)
+        ids = vocab.intern_many(terms)
+        order = np.argsort(ids, kind="stable")
+        ids = ids[order]
+        n = len(stats_rows)
+        p = np.empty(n)
+        w = np.empty(n)
+        sigma = np.empty(n)
+        mw = np.empty(n)
+        for out_i, src_i in enumerate(order.tolist()):
+            stats = stats_rows[src_i]
+            p[out_i] = stats.probability
+            w[out_i] = stats.mean
+            sigma[out_i] = stats.std
+            mw[out_i] = (
+                stats.max_weight if stats.max_weight is not None else np.nan
+            )
+        return cls(
+            name=representative.name,
+            n_documents=representative.n_documents,
+            vocab=vocab,
+            term_ids=ids,
+            p=p,
+            w=w,
+            sigma=sigma,
+            mw=mw,
+        )
+
+    def to_representative(self) -> DatabaseRepresentative:
+        """The equivalent dict representative (canonical term-id order)."""
+        term_stats = {}
+        mw_list = self.mw.tolist()
+        for i, tid in enumerate(self.term_ids.tolist()):
+            raw_mw = mw_list[i]
+            term_stats[self.vocab.term_of(tid)] = TermStats(
+                probability=float(self.p[i]),
+                mean=float(self.w[i]),
+                std=float(self.sigma[i]),
+                max_weight=None if raw_mw != raw_mw else raw_mw,
+            )
+        return DatabaseRepresentative(
+            name=self.name, n_documents=self.n_documents, term_stats=term_stats
+        )
+
+    # -- duck API (DatabaseRepresentative-compatible) ------------------------
+
+    def _index_of(self, term: str) -> int:
+        tid = self.vocab.id_of(term)
+        if tid == UNKNOWN_TERM:
+            return -1
+        i = int(np.searchsorted(self.term_ids, tid))
+        if i < self.term_ids.size and self.term_ids[i] == tid:
+            return i
+        return -1
+
+    def _stats_at(self, i: int) -> TermStats:
+        raw_mw = float(self.mw[i])
+        return TermStats(
+            probability=float(self.p[i]),
+            mean=float(self.w[i]),
+            std=float(self.sigma[i]),
+            max_weight=None if raw_mw != raw_mw else raw_mw,
+        )
+
+    def get(self, term: str) -> Optional[TermStats]:
+        i = self._index_of(term)
+        return self._stats_at(i) if i >= 0 else None
+
+    def __contains__(self, term: str) -> bool:
+        return self._index_of(term) >= 0
+
+    def __len__(self) -> int:
+        return int(self.term_ids.size)
+
+    @property
+    def n_terms(self) -> int:
+        return int(self.term_ids.size)
+
+    def items(self) -> Iterator[Tuple[str, TermStats]]:
+        for i, tid in enumerate(self.term_ids.tolist()):
+            yield self.vocab.term_of(tid), self._stats_at(i)
+
+    @property
+    def has_max_weights(self) -> bool:
+        return not bool(np.isnan(self.mw).any())
+
+    def document_frequency(self, term: str) -> float:
+        i = self._index_of(term)
+        return float(self.p[i]) * self.n_documents if i >= 0 else 0.0
+
+    def as_triplets(self) -> "ColumnarRepresentative":
+        """The triplet view: ``mw`` withheld for every term."""
+        return ColumnarRepresentative(
+            name=self.name,
+            n_documents=self.n_documents,
+            vocab=self.vocab,
+            term_ids=self.term_ids,
+            p=self.p,
+            w=self.w,
+            sigma=self.sigma,
+            mw=np.full(self.mw.shape, np.nan),
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the statistic arrays (the vocabulary is shared
+        and accounted separately)."""
+        return sum(
+            a.nbytes for a in (self.term_ids, self.p, self.w, self.sigma, self.mw)
+        )
+
+    # -- persistence ---------------------------------------------------------
+
+    def save_npz(self, path: Union[str, Path, io.IOBase]) -> None:
+        """Write the representative as an *uncompressed* ``.npz``.
+
+        Uncompressed members keep ``np.load(..., mmap_mode)``-style lazy
+        reads cheap and make the statistics arrays page-mappable; terms go
+        as a UTF-8 blob plus offsets so ``allow_pickle=False`` suffices.
+        """
+        terms = [self.vocab.term_of(t) for t in self.term_ids.tolist()]
+        blob, offsets = _encode_terms(terms)
+        np.savez(
+            path,
+            format_version=np.int64(_FORMAT_VERSION),
+            kind=np.frombuffer(b"columnar-representative", dtype=np.uint8),
+            name=np.frombuffer(self.name.encode("utf-8"), dtype=np.uint8),
+            n_documents=np.int64(self.n_documents),
+            term_blob=blob,
+            term_offsets=offsets,
+            p=self.p,
+            w=self.w,
+            sigma=self.sigma,
+            mw=self.mw,
+        )
+
+    @classmethod
+    def load_npz(
+        cls,
+        path: Union[str, Path, io.IOBase],
+        vocab: Optional[BrokerVocabulary] = None,
+    ) -> "ColumnarRepresentative":
+        """Read a representative written by :meth:`save_npz`, interning its
+        terms into ``vocab`` (a fresh private vocabulary when omitted)."""
+        with np.load(path, allow_pickle=False) as data:
+            version = int(data["format_version"])
+            if version != _FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported representative format version {version}"
+                )
+            kind = data["kind"].tobytes().decode("utf-8")
+            if kind != "columnar-representative":
+                raise ValueError(f"not a columnar representative: {kind!r}")
+            name = data["name"].tobytes().decode("utf-8")
+            n_documents = int(data["n_documents"])
+            terms = _decode_terms(data["term_blob"], data["term_offsets"])
+            p = data["p"].copy()
+            w = data["w"].copy()
+            sigma = data["sigma"].copy()
+            mw = data["mw"].copy()
+        vocab = vocab if vocab is not None else BrokerVocabulary()
+        ids = vocab.intern_many(terms)
+        order = np.argsort(ids, kind="stable")
+        return cls(
+            name=name,
+            n_documents=n_documents,
+            vocab=vocab,
+            term_ids=ids[order],
+            p=p[order],
+            w=w[order],
+            sigma=sigma[order],
+            mw=mw[order],
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ColumnarRepresentative):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.n_documents == other.n_documents
+            and self.to_representative() == other.to_representative()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarRepresentative({self.name!r}, docs={self.n_documents}, "
+            f"terms={self.n_terms}, max_weights={self.has_max_weights})"
+        )
+
+
+def _smallest_uint(max_value: int) -> np.dtype:
+    for dtype in (np.uint8, np.uint16, np.uint32):
+        if max_value <= np.iinfo(dtype).max:
+            return np.dtype(dtype)
+    return np.dtype(np.int64)
+
+
+class _PackedFleet:
+    """The immutable packed form of a fleet: term-major compressed rows.
+
+    For vocabulary ids ``0..V-1`` (``V`` frozen at pack time), the entries
+    of term ``t`` live at ``starts[t]:starts[t+1]`` of the parallel entry
+    arrays, with ``engine_idx`` ascending inside each slice:
+
+    * ``engine_idx`` — smallest unsigned dtype that fits the fleet width;
+    * ``p`` / ``w`` — dense float64 per entry;
+    * ``extra_pos`` (sorted) + ``sigma_extra`` / ``mw_extra`` — the sparse
+      side channel for entries whose ``sigma`` is not ``+0.0`` or whose
+      ``mw`` differs from the engine's default (``w`` itself for engines
+      publishing max weights, absent otherwise).  Everything not in the
+      side channel reconstructs as ``sigma = +0.0`` and the default ``mw``
+      — bit-identical to the source statistics by construction.
+    """
+
+    __slots__ = (
+        "vocab_size",
+        "starts",
+        "engine_idx",
+        "p",
+        "w",
+        "extra_pos",
+        "sigma_extra",
+        "mw_extra",
+        "engine_rows",
+    )
+
+    def __init__(self, vocab_size, starts, engine_idx, p, w,
+                 extra_pos, sigma_extra, mw_extra, engine_rows):
+        self.vocab_size = vocab_size
+        self.starts = starts
+        self.engine_idx = engine_idx
+        self.p = p
+        self.w = w
+        self.extra_pos = extra_pos
+        self.sigma_extra = sigma_extra
+        self.mw_extra = mw_extra
+        #: per-engine row ranges are not stored; engine_rows counts entries.
+        self.engine_rows = engine_rows
+
+    @property
+    def nbytes(self) -> int:
+        return (
+            self.starts.nbytes
+            + self.engine_idx.nbytes
+            + self.p.nbytes
+            + self.w.nbytes
+            + self.extra_pos.nbytes
+            + self.sigma_extra.nbytes
+            + self.mw_extra.nbytes
+        )
+
+
+class _EngineColumns:
+    """Per-engine dense columns held only until the next pack."""
+
+    __slots__ = ("name", "n_documents", "term_ids", "p", "w", "sigma", "mw",
+                 "has_max_weights", "binary_mean_w", "n_terms")
+
+    def __init__(self, name, n_documents, term_ids, p, w, sigma, mw,
+                 has_max_weights, binary_mean_w):
+        self.name = name
+        self.n_documents = n_documents
+        self.term_ids = term_ids
+        self.p = p
+        self.w = w
+        self.sigma = sigma
+        self.mw = mw
+        self.has_max_weights = has_max_weights
+        self.binary_mean_w = binary_mean_w
+        self.n_terms = int(term_ids.size)
+
+
+class FleetRepresentativeStore:
+    """Every engine's representative, packed into fleet-wide term-major
+    arrays keyed by a shared :class:`BrokerVocabulary`.
+
+    ``add`` accepts dict or columnar representatives; the dense per-engine
+    columns are folded into the packed layout lazily (on first read after a
+    change) and then dropped, so resident memory is the compressed layout
+    plus small per-engine metadata.  :meth:`gather` returns the
+    ``(engines, query terms)`` statistics block the vectorized estimators
+    consume; :meth:`materialize` reconstructs a single engine's
+    representative bit-exactly on demand.
+    """
+
+    def __init__(self, vocab: Optional[BrokerVocabulary] = None):
+        self.vocab = vocab if vocab is not None else BrokerVocabulary()
+        self._names: List[str] = []
+        self._by_name: Dict[str, int] = {}
+        self._n_documents: List[int] = []
+        self._has_mw_default: List[bool] = []
+        self._binary_mean_w: List[float] = []
+        self._n_terms: List[int] = []
+        self._pending: Dict[int, _EngineColumns] = {}
+        self._packed: Optional[_PackedFleet] = None
+
+    # -- registration --------------------------------------------------------
+
+    def _columns_from(self, representative) -> _EngineColumns:
+        if isinstance(representative, ColumnarRepresentative):
+            source = representative
+            if source.vocab is not self.vocab:
+                # Re-intern into the fleet vocabulary.
+                terms = [source.vocab.term_of(t) for t in source.term_ids.tolist()]
+                ids = self.vocab.intern_many(terms)
+                order = np.argsort(ids, kind="stable")
+                cols = (ids[order], source.p[order], source.w[order],
+                        source.sigma[order], source.mw[order])
+            else:
+                cols = (source.term_ids, source.p, source.w, source.sigma,
+                        source.mw)
+            w = cols[2]
+            mean_w = float(np.mean(w)) if w.size else 0.0
+            return _EngineColumns(
+                name=source.name,
+                n_documents=source.n_documents,
+                term_ids=cols[0], p=cols[1], w=cols[2],
+                sigma=cols[3], mw=cols[4],
+                has_max_weights=source.has_max_weights,
+                binary_mean_w=mean_w,
+            )
+        # Dict representative: the binary estimator's database weight is
+        # np.mean over *iteration order*, so compute it here, before the
+        # order is lost to sorting, to stay bit-identical to the scalar path.
+        means = [stats.mean for __, stats in representative.items()]
+        binary_mean_w = float(np.mean(means)) if means else 0.0
+        columnar = ColumnarRepresentative.from_representative(
+            representative, self.vocab
+        )
+        return _EngineColumns(
+            name=columnar.name,
+            n_documents=columnar.n_documents,
+            term_ids=columnar.term_ids, p=columnar.p, w=columnar.w,
+            sigma=columnar.sigma, mw=columnar.mw,
+            has_max_weights=columnar.has_max_weights,
+            binary_mean_w=binary_mean_w,
+        )
+
+    def add(
+        self,
+        representative: Union[DatabaseRepresentative, ColumnarRepresentative],
+    ) -> "FleetRepresentativeRef":
+        """Add or replace an engine's representative (keyed by its name).
+
+        Returns:
+            A lightweight :class:`FleetRepresentativeRef` reading through
+            this store — hand it to anything expecting a representative.
+        """
+        columns = self._columns_from(representative)
+        name = columns.name
+        index = self._by_name.get(name)
+        if index is None:
+            index = len(self._names)
+            self._names.append(name)
+            self._by_name[name] = index
+            self._n_documents.append(columns.n_documents)
+            self._has_mw_default.append(columns.has_max_weights)
+            self._binary_mean_w.append(columns.binary_mean_w)
+            self._n_terms.append(columns.n_terms)
+        else:
+            self._n_documents[index] = columns.n_documents
+            self._has_mw_default[index] = columns.has_max_weights
+            self._binary_mean_w[index] = columns.binary_mean_w
+            self._n_terms[index] = columns.n_terms
+        self._pending[index] = columns
+        return FleetRepresentativeRef(name, self)
+
+    def remove(self, name: str) -> None:
+        """Forget an engine (its packed entries are dropped on next pack)."""
+        index = self._by_name.pop(name, None)
+        if index is None:
+            raise KeyError(name)
+        # Rebuild dense columns for every other engine, then repack lazily.
+        survivors = [
+            self._pending.get(i) or self._columns_at(i)
+            for i in range(len(self._names))
+            if i != index
+        ]
+        self._names.pop(index)
+        self._n_documents.pop(index)
+        self._has_mw_default.pop(index)
+        self._binary_mean_w.pop(index)
+        self._n_terms.pop(index)
+        self._by_name = {n: i for i, n in enumerate(self._names)}
+        self._pending = {self._by_name[c.name]: c for c in survivors}
+        self._packed = None
+
+    # -- packing -------------------------------------------------------------
+
+    def _columns_at(self, index: int) -> _EngineColumns:
+        """Dense columns for one engine, reconstructed from the packed
+        layout (used for materialize/repack; bit-exact)."""
+        pending = self._pending.get(index)
+        if pending is not None:
+            return pending
+        packed = self._packed
+        if packed is None:
+            raise KeyError(index)
+        entry_mask = packed.engine_idx == index
+        positions = np.flatnonzero(entry_mask)
+        term_ids = (
+            np.searchsorted(packed.starts, positions, side="right") - 1
+        ).astype(np.int64)
+        p = packed.p[positions]
+        w = packed.w[positions]
+        sigma = np.zeros(positions.size)
+        if self._has_mw_default[index]:
+            mw = w.copy()
+        else:
+            mw = np.full(positions.size, np.nan)
+        if packed.extra_pos.size:
+            where = np.searchsorted(packed.extra_pos, positions)
+            where = np.clip(where, 0, packed.extra_pos.size - 1)
+            hit = packed.extra_pos[where] == positions
+            sigma[hit] = packed.sigma_extra[where[hit]]
+            mw[hit] = packed.mw_extra[where[hit]]
+        return _EngineColumns(
+            name=self._names[index],
+            n_documents=self._n_documents[index],
+            term_ids=term_ids, p=p, w=w, sigma=sigma, mw=mw,
+            has_max_weights=self._has_mw_default[index],
+            binary_mean_w=self._binary_mean_w[index],
+        )
+
+    def _pack(self) -> _PackedFleet:
+        """Fold every engine's columns into the term-major layout."""
+        n_engines = len(self._names)
+        all_columns = [self._columns_at(i) for i in range(n_engines)]
+        vocab_size = len(self.vocab)
+        total = sum(c.n_terms for c in all_columns)
+        term_of_entry = np.empty(total, dtype=np.int64)
+        engine_of_entry = np.empty(total, dtype=np.int64)
+        p = np.empty(total)
+        w = np.empty(total)
+        sigma = np.empty(total)
+        mw = np.empty(total)
+        cursor = 0
+        for i, cols in enumerate(all_columns):
+            n = cols.n_terms
+            sl = slice(cursor, cursor + n)
+            term_of_entry[sl] = cols.term_ids
+            engine_of_entry[sl] = i
+            p[sl] = cols.p
+            w[sl] = cols.w
+            sigma[sl] = cols.sigma
+            mw[sl] = cols.mw
+            cursor += n
+        order = np.lexsort((engine_of_entry, term_of_entry))
+        term_of_entry = term_of_entry[order]
+        engine_of_entry = engine_of_entry[order]
+        p = p[order]
+        w = w[order]
+        sigma = sigma[order]
+        mw = mw[order]
+
+        starts = np.zeros(vocab_size + 1, dtype=np.int64)
+        counts = np.bincount(term_of_entry, minlength=vocab_size)
+        np.cumsum(counts, out=starts[1:])
+
+        # Side channel: entries whose sigma is not +0.0 bit-for-bit, or
+        # whose mw differs from the engine default (w for quadruplet
+        # engines, absent/NaN for triplet engines).
+        sigma_nonzero = sigma.view(np.int64) != 0
+        has_default = np.asarray(self._has_mw_default, dtype=bool)
+        entry_default_is_w = (
+            has_default[engine_of_entry] if n_engines else
+            np.zeros(0, dtype=bool)
+        )
+        mw_is_nan = np.isnan(mw)
+        mw_nondefault = np.where(
+            entry_default_is_w,
+            mw_is_nan | (mw.view(np.int64) != w.view(np.int64)),
+            ~mw_is_nan,
+        )
+        extra = sigma_nonzero | mw_nondefault
+        extra_pos = np.flatnonzero(extra).astype(
+            np.int32 if total <= np.iinfo(np.int32).max else np.int64
+        )
+        packed = _PackedFleet(
+            vocab_size=vocab_size,
+            starts=starts,
+            engine_idx=engine_of_entry.astype(
+                _smallest_uint(max(n_engines - 1, 0))
+            ),
+            p=p,
+            w=w,
+            extra_pos=extra_pos,
+            sigma_extra=sigma[extra],
+            mw_extra=mw[extra],
+            engine_rows=np.bincount(engine_of_entry, minlength=n_engines),
+        )
+        return packed
+
+    def _ensure_packed(self) -> _PackedFleet:
+        if self._packed is None or self._pending:
+            self._packed = self._pack()
+            self._pending.clear()
+        return self._packed
+
+    # -- reads ---------------------------------------------------------------
+
+    @property
+    def engine_names(self) -> List[str]:
+        """Engine names in registration (= row) order."""
+        return list(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def index_of(self, name: str) -> int:
+        return self._by_name[name]
+
+    @property
+    def n_documents(self) -> np.ndarray:
+        return np.asarray(self._n_documents, dtype=np.int64)
+
+    @property
+    def binary_mean_w(self) -> np.ndarray:
+        """Per-engine mean of mean term weights (the binary-independence
+        estimator's database weight), precomputed at add time over the
+        source representative's own iteration order."""
+        return np.asarray(self._binary_mean_w, dtype=np.float64)
+
+    def has_max_weights(self, name: str) -> bool:
+        return self._has_mw_default[self._by_name[name]]
+
+    def n_terms_of(self, name: str) -> int:
+        return self._n_terms[self._by_name[name]]
+
+    def gather(
+        self, term_ids: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The fleet's statistics for ``term_ids`` as ``(E, Q)`` arrays.
+
+        Returns:
+            ``(p, w, sigma, mw)``; rows follow :attr:`engine_names` order.
+            Terms an engine lacks (or ids outside the packed vocabulary,
+            including :data:`UNKNOWN_TERM`) read as ``p = 0`` — exactly the
+            "unmatched" condition the estimators test — with ``sigma = 0``
+            and ``mw = NaN``.
+        """
+        packed = self._ensure_packed()
+        n_engines = len(self._names)
+        term_ids = np.asarray(term_ids, dtype=np.int64)
+        n_terms = term_ids.size
+        p = np.zeros((n_engines, n_terms))
+        w = np.zeros((n_engines, n_terms))
+        sigma = np.zeros((n_engines, n_terms))
+        mw = np.full((n_engines, n_terms), np.nan)
+        has_default = np.asarray(self._has_mw_default, dtype=bool)
+        for j, tid in enumerate(term_ids.tolist()):
+            if tid < 0 or tid >= packed.vocab_size:
+                continue
+            lo = int(packed.starts[tid])
+            hi = int(packed.starts[tid + 1])
+            if lo == hi:
+                continue
+            rows = packed.engine_idx[lo:hi]
+            p[rows, j] = packed.p[lo:hi]
+            w_col = packed.w[lo:hi]
+            w[rows, j] = w_col
+            mw[rows, j] = np.where(has_default[rows], w_col, np.nan)
+            if packed.extra_pos.size:
+                first = int(np.searchsorted(packed.extra_pos, lo))
+                last = int(np.searchsorted(packed.extra_pos, hi))
+                if last > first:
+                    positions = packed.extra_pos[first:last]
+                    local = positions - lo
+                    sigma[rows[local], j] = packed.sigma_extra[first:last]
+                    mw[rows[local], j] = packed.mw_extra[first:last]
+        return p, w, sigma, mw
+
+    def term_stats(self, name: str, term: str) -> Optional[TermStats]:
+        """One engine's stats for one term, reconstructed bit-exactly."""
+        index = self._by_name[name]
+        pending = self._pending.get(index)
+        if pending is not None:
+            tid = self.vocab.id_of(term)
+            if tid == UNKNOWN_TERM:
+                return None
+            i = int(np.searchsorted(pending.term_ids, tid))
+            if i >= pending.term_ids.size or pending.term_ids[i] != tid:
+                return None
+            raw_mw = float(pending.mw[i])
+            return TermStats(
+                probability=float(pending.p[i]),
+                mean=float(pending.w[i]),
+                std=float(pending.sigma[i]),
+                max_weight=None if raw_mw != raw_mw else raw_mw,
+            )
+        packed = self._ensure_packed()
+        tid = self.vocab.id_of(term)
+        if tid == UNKNOWN_TERM or tid >= packed.vocab_size:
+            return None
+        lo = int(packed.starts[tid])
+        hi = int(packed.starts[tid + 1])
+        rows = packed.engine_idx[lo:hi]
+        i = int(np.searchsorted(rows, index))
+        if i >= rows.size or rows[i] != index:
+            return None
+        entry = lo + i
+        std = 0.0
+        if self._has_mw_default[index]:
+            raw_mw: float = float(packed.w[entry])
+        else:
+            raw_mw = float("nan")
+        if packed.extra_pos.size:
+            at = int(np.searchsorted(packed.extra_pos, entry))
+            if at < packed.extra_pos.size and packed.extra_pos[at] == entry:
+                std = float(packed.sigma_extra[at])
+                raw_mw = float(packed.mw_extra[at])
+        return TermStats(
+            probability=float(packed.p[entry]),
+            mean=float(packed.w[entry]),
+            std=std,
+            max_weight=None if raw_mw != raw_mw else raw_mw,
+        )
+
+    def materialize(self, name: str) -> DatabaseRepresentative:
+        """Reconstruct one engine's dict representative (bit-exact, in
+        canonical term-id order).  O(total fleet entries) — a diagnostics
+        and interop path, not a hot one."""
+        self._ensure_packed()
+        columns = self._columns_at(self._by_name[name])
+        term_stats = {}
+        mw_list = columns.mw.tolist()
+        for i, tid in enumerate(columns.term_ids.tolist()):
+            raw_mw = mw_list[i]
+            term_stats[self.vocab.term_of(tid)] = TermStats(
+                probability=float(columns.p[i]),
+                mean=float(columns.w[i]),
+                std=float(columns.sigma[i]),
+                max_weight=None if raw_mw != raw_mw else raw_mw,
+            )
+        return DatabaseRepresentative(
+            name=name,
+            n_documents=columns.n_documents,
+            term_stats=term_stats,
+        )
+
+    # -- sizing --------------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the packed statistics (excluding the shared
+        vocabulary — see :attr:`vocab_nbytes`)."""
+        packed = self._ensure_packed()
+        pending = sum(
+            c.term_ids.nbytes + c.p.nbytes + c.w.nbytes
+            + c.sigma.nbytes + c.mw.nbytes
+            for c in self._pending.values()
+        )
+        return packed.nbytes + pending
+
+    @property
+    def vocab_nbytes(self) -> int:
+        return self.vocab.nbytes
+
+    @property
+    def total_entries(self) -> int:
+        self._ensure_packed()
+        return sum(self._n_terms)
+
+    def __repr__(self) -> str:
+        return (
+            f"FleetRepresentativeStore(engines={len(self._names)}, "
+            f"vocab={len(self.vocab)})"
+        )
+
+
+class FleetRepresentativeRef:
+    """A representative facade reading through a fleet store.
+
+    Registered engines in columnar brokers keep no per-engine dict
+    representative; anything that walks a representative (the scalar
+    estimators, diagnostics) goes through this reference, which answers
+    from the packed fleet layout bit-exactly.
+    """
+
+    __slots__ = ("name", "_store")
+
+    def __init__(self, name: str, store: FleetRepresentativeStore):
+        self.name = name
+        self._store = store
+
+    @property
+    def n_documents(self) -> int:
+        return int(self._store._n_documents[self._store.index_of(self.name)])
+
+    def get(self, term: str) -> Optional[TermStats]:
+        return self._store.term_stats(self.name, term)
+
+    def __contains__(self, term: str) -> bool:
+        return self.get(term) is not None
+
+    def __len__(self) -> int:
+        return self._store.n_terms_of(self.name)
+
+    @property
+    def n_terms(self) -> int:
+        return self._store.n_terms_of(self.name)
+
+    @property
+    def has_max_weights(self) -> bool:
+        return self._store.has_max_weights(self.name)
+
+    def document_frequency(self, term: str) -> float:
+        stats = self.get(term)
+        return stats.probability * self.n_documents if stats else 0.0
+
+    def items(self) -> Iterator[Tuple[str, TermStats]]:
+        return self._store.materialize(self.name).items()
+
+    def materialize(self) -> DatabaseRepresentative:
+        return self._store.materialize(self.name)
+
+    def __repr__(self) -> str:
+        return f"FleetRepresentativeRef({self.name!r})"

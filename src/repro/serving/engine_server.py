@@ -11,7 +11,12 @@ estimates from.  :class:`EngineApp` exposes exactly those over the wire:
   document count* so a subscribing broker can tell how stale its copy is
   without re-downloading (the propagation policy of
   :class:`~repro.metasearch.protocol.SubscribingBroker`, over HTTP).
-  ``?quantize=256`` ships the one-byte form (~4 bytes/term, Section 3.2).
+  ``?quantize=256`` ships the one-byte form (~4 bytes/term, Section 3.2);
+  ``?format=npz`` ships the columnar binary form
+  (:meth:`~repro.representatives.columnar.ColumnarRepresentative.save_npz`)
+  as ``application/octet-stream`` with the version echoed in the
+  ``X-Repro-Representative-Version`` header — no JSON decode, no float
+  text round-trip, directly loadable into a broker's fleet store.
 
 The representative is built lazily and cached per version: rebuilding is
 the expensive call a deployment batches, and repeated ``GET``\\ s at the
@@ -20,11 +25,13 @@ same version must not repeat the work.
 
 from __future__ import annotations
 
+import io
 import threading
 from typing import Optional, Tuple
 
 from repro.engine.search_engine import SearchEngine
 from repro.representatives.builder import build_representative
+from repro.representatives.columnar import ColumnarRepresentative
 from repro.representatives.representative import DatabaseRepresentative
 from repro.serving.http import HTTPError, Response, ServingApp
 from repro.serving.wire import (
@@ -55,6 +62,7 @@ class EngineApp(ServingApp):
         self.engine = engine
         self._rep_lock = threading.Lock()
         self._rep_cache: Optional[Tuple[int, DatabaseRepresentative]] = None
+        self._npz_cache: Optional[Tuple[int, bytes]] = None
         super().__init__(**kwargs)
         self._m_searches = self.registry.counter("serving.engine.searches")
         self._m_snapshots = self.registry.counter("serving.engine.snapshots")
@@ -125,7 +133,35 @@ class EngineApp(ServingApp):
                 self._m_snapshots.inc()
             return self._rep_cache
 
+    def _npz_snapshot(self) -> Tuple[int, bytes]:
+        """The columnar binary form, cached per version like the dict form."""
+        version, representative = self._representative()
+        with self._rep_lock:
+            if self._npz_cache is None or self._npz_cache[0] != version:
+                buffer = io.BytesIO()
+                ColumnarRepresentative.from_representative(
+                    representative
+                ).save_npz(buffer)
+                self._npz_cache = (version, buffer.getvalue())
+            return self._npz_cache
+
     def _route_representative(self, params, payload) -> Response:
+        fmt = params.get("format", "json")
+        if fmt not in ("json", "npz"):
+            raise HTTPError(
+                400, f"unknown representative format {fmt!r} (json or npz)"
+            )
+        if fmt == "npz":
+            if params.get("quantize") is not None:
+                raise HTTPError(
+                    400, "quantize is not supported with format=npz"
+                )
+            version, blob = self._npz_snapshot()
+            return Response(
+                raw=blob,
+                content_type="application/octet-stream",
+                headers={"X-Repro-Representative-Version": str(version)},
+            )
         quantize: Optional[int] = None
         raw = params.get("quantize")
         if raw is not None:

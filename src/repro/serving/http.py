@@ -89,13 +89,16 @@ class Response:
     """What a route handler returns; the handler layer does the framing."""
 
     status: int = 200
-    payload: Optional[dict] = None  # JSON body (exactly one of payload/text)
+    payload: Optional[dict] = None  # JSON body (one of payload/text/raw)
     text: Optional[str] = None  # raw text body (/metrics)
+    raw: Optional[bytes] = None  # binary body (columnar representatives)
     content_type: str = "application/json"
     headers: Dict[str, str] = field(default_factory=dict)
     close: bool = False
 
     def body_bytes(self) -> bytes:
+        if self.raw is not None:
+            return self.raw
         if self.text is not None:
             return self.text.encode("utf-8")
         if self.payload is not None:

@@ -127,6 +127,20 @@ class _HTTPJsonClient:
 
     def request(self, method: str, path: str, payload: Optional[dict] = None):
         """One JSON round trip; returns the decoded response body."""
+        raw, response = self._roundtrip(method, path, payload)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise RemoteServingError(
+                f"{self.base_url}{path} returned invalid JSON: {exc}"
+            ) from exc
+
+    def request_raw(self, method: str, path: str):
+        """One round trip for a binary body; returns ``(bytes, headers)``."""
+        raw, response = self._roundtrip(method, path, None)
+        return raw, dict(response.getheaders())
+
+    def _roundtrip(self, method: str, path: str, payload: Optional[dict]):
         budget = self._budget()
         body = None
         headers = {"Accept": "application/json"}
@@ -168,12 +182,7 @@ class _HTTPJsonClient:
                 f"{self.base_url}{path} answered {message}",
                 status=response.status,
             )
-        try:
-            return json.loads(raw.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError) as exc:
-            raise RemoteServingError(
-                f"{self.base_url}{path} returned invalid JSON: {exc}"
-            ) from exc
+        return raw, response
 
 
 class RemoteEngine:
@@ -248,14 +257,24 @@ class RemoteEngine:
             ) from exc
 
     def snapshot_representative(
-        self, quantize: Optional[int] = None
+        self, quantize: Optional[int] = None, columnar: bool = False
     ) -> RepresentativeSnapshot:
         """Fetch the engine's versioned representative.
 
         Args:
             quantize: Ship the one-byte quantized wire form with this many
                 levels (~4 bytes/term) instead of the exact floats.
+            columnar: Ship the columnar ``.npz`` binary form instead of
+                JSON — no float text round-trip, decoded straight into a
+                :class:`~repro.representatives.columnar.ColumnarRepresentative`
+                (duck-compatible with the dict representative and directly
+                registrable with a columnar broker).  Exclusive with
+                ``quantize``.
         """
+        if columnar:
+            if quantize is not None:
+                raise ValueError("quantize is not supported with columnar")
+            return self._snapshot_columnar()
         path = "/representative"
         if quantize is not None:
             path = f"{path}?quantize={int(quantize)}"
@@ -272,6 +291,36 @@ class RemoteEngine:
             raise RemoteServingError(
                 f"{self.base_url} returned a malformed representative: {exc}"
             ) from exc
+
+    def _snapshot_columnar(self) -> RepresentativeSnapshot:
+        import io
+
+        from repro.representatives.columnar import ColumnarRepresentative
+
+        raw, headers = self._client.request_raw(
+            "GET", "/representative?format=npz"
+        )
+        version_header = next(
+            (
+                value
+                for key, value in headers.items()
+                if key.lower() == "x-repro-representative-version"
+            ),
+            None,
+        )
+        try:
+            representative = ColumnarRepresentative.load_npz(io.BytesIO(raw))
+            version = int(version_header)
+        except (KeyError, TypeError, ValueError, OSError) as exc:
+            raise RemoteServingError(
+                f"{self.base_url} returned a malformed columnar "
+                f"representative: {exc}"
+            ) from exc
+        return RepresentativeSnapshot(
+            name=representative.name,
+            version=version,
+            representative=representative,
+        )
 
     def close(self) -> None:
         self._client.close()

@@ -1,0 +1,183 @@
+"""Differential suite: the columnar broker vs the scalar broker.
+
+A broker constructed with ``columnar=True`` keeps the fleet's
+representatives in the packed :class:`FleetRepresentativeStore` and
+answers supported estimators through the engine-axis vectorized grid.
+That path promises *exact* equality with the scalar broker — same bits,
+same row order, same cache interplay — so every comparison here is
+``==``, never ``approx``.
+
+Covered: estimate_all/estimate_batch/search equality across estimator
+families, the estimate cache in front of the fleet path, representative
+refresh via re-registration, fall-back for estimators the grid does not
+support, and the lightweight read-through ref the registration keeps in
+place of the dict representative.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BasicEstimator,
+    BinaryIndependenceEstimator,
+    GlossDisjointEstimator,
+    GlossHighCorrelationEstimator,
+    PreviousMethodEstimator,
+    SubrangeEstimator,
+)
+from repro.corpus.synth import NewsgroupModel, QueryLogModel
+from repro.engine import SearchEngine
+from repro.metasearch import MetasearchBroker
+from repro.representatives import (
+    DatabaseRepresentative,
+    FleetRepresentativeRef,
+    SubrangeScheme,
+    build_representative,
+)
+
+N_QUERIES = 25
+THRESHOLDS = (0.1, 0.3, 0.6)
+
+
+@pytest.fixture(scope="module")
+def fleet_model():
+    return NewsgroupModel(
+        vocab_size=2500,
+        topic_size=100,
+        topic_band=(40, 1000),
+        mean_length=70,
+        seed=2024,
+        group_sizes=[35, 30, 25, 20],
+    )
+
+
+@pytest.fixture(scope="module")
+def fleet_engines(fleet_model):
+    return [
+        SearchEngine(fleet_model.generate_group(group)) for group in range(4)
+    ]
+
+
+@pytest.fixture(scope="module")
+def fleet_queries(fleet_model):
+    return QueryLogModel(fleet_model, seed=77).generate(N_QUERIES)
+
+
+def make_pair(engines, estimator_factory, **kwargs):
+    brokers = []
+    for columnar in (False, True):
+        broker = MetasearchBroker(
+            estimator=estimator_factory(), columnar=columnar, **kwargs
+        )
+        for engine in engines:
+            broker.register(engine)
+        brokers.append(broker)
+    return brokers
+
+
+ESTIMATOR_FACTORIES = [
+    pytest.param(SubrangeEstimator, id="subrange"),
+    pytest.param(
+        lambda: SubrangeEstimator(scheme=SubrangeScheme.equal(4, include_max=True)),
+        id="subrange-max",
+    ),
+    pytest.param(BasicEstimator, id="basic"),
+    pytest.param(BinaryIndependenceEstimator, id="binary"),
+    pytest.param(GlossHighCorrelationEstimator, id="gloss-hc"),
+    pytest.param(GlossDisjointEstimator, id="gloss-dj"),
+]
+
+
+class TestEquality:
+    @pytest.mark.parametrize("estimator_factory", ESTIMATOR_FACTORIES)
+    def test_estimate_all_exact(
+        self, fleet_engines, fleet_queries, estimator_factory
+    ):
+        scalar, columnar = make_pair(fleet_engines, estimator_factory)
+        for query in fleet_queries:
+            for threshold in THRESHOLDS:
+                assert columnar.estimate_all(
+                    query, threshold
+                ) == scalar.estimate_all(query, threshold)
+
+    def test_estimate_batch_exact(self, fleet_engines, fleet_queries):
+        scalar, columnar = make_pair(fleet_engines, SubrangeEstimator)
+        queries = [q for q in fleet_queries for __ in THRESHOLDS]
+        thresholds = [t for __ in fleet_queries for t in THRESHOLDS]
+        assert columnar.estimate_batch(queries, thresholds) == (
+            scalar.estimate_batch(queries, thresholds)
+        )
+
+    def test_search_exact(self, fleet_engines, fleet_queries):
+        scalar, columnar = make_pair(fleet_engines, SubrangeEstimator)
+        for query in fleet_queries[:8]:
+            a = scalar.search(query, 0.3)
+            b = columnar.search(query, 0.3)
+            assert b.estimates == a.estimates
+            assert b.hits == a.hits
+
+
+class TestCacheInterplay:
+    def test_estimate_cache_serves_fleet_rows(self, fleet_engines, fleet_queries):
+        __, columnar = make_pair(fleet_engines, SubrangeEstimator)
+        query = fleet_queries[0]
+        cold = columnar.estimate_all(query, 0.3)
+        misses = columnar.cache.misses
+        warm = columnar.estimate_all(query, 0.3)
+        assert warm == cold
+        assert columnar.cache.hits >= len(fleet_engines)
+        assert columnar.cache.misses == misses
+
+    def test_disabled_caches_still_exact(self, fleet_engines, fleet_queries):
+        scalar, columnar = make_pair(
+            fleet_engines, SubrangeEstimator, cache_size=0, polycache_size=0
+        )
+        for query in fleet_queries[:6]:
+            assert columnar.estimate_all(query, 0.3) == scalar.estimate_all(
+                query, 0.3
+            )
+
+
+class TestRegistration:
+    def test_registration_keeps_read_through_ref(self, fleet_engines):
+        __, columnar = make_pair(fleet_engines, SubrangeEstimator)
+        name = fleet_engines[0].name
+        rep = columnar.representative_of(name)
+        assert isinstance(rep, FleetRepresentativeRef)
+        materialized = columnar.fleet.materialize(name)
+        assert dict(rep.items()) == dict(materialized.items())
+
+    def test_refresh_invalidates_and_stays_exact(
+        self, fleet_model, fleet_queries
+    ):
+        engines = [
+            SearchEngine(fleet_model.generate_group(group)) for group in range(3)
+        ]
+        scalar, columnar = make_pair(engines, SubrangeEstimator)
+        query = fleet_queries[0]
+        before = columnar.estimate_all(query, 0.3)
+        assert before == scalar.estimate_all(query, 0.3)
+        # Refresh one engine's registration with a replacement
+        # representative (as a subscribing broker would after an update).
+        donor = build_representative(SearchEngine(fleet_model.generate_group(3)))
+        replacement = DatabaseRepresentative(
+            name=engines[0].name,
+            n_documents=donor.n_documents,
+            term_stats=dict(donor.items()),
+        )
+        scalar.register(engines[0], representative=replacement)
+        columnar.register(engines[0], representative=replacement)
+        after = columnar.estimate_all(query, 0.3)
+        assert after == scalar.estimate_all(query, 0.3)
+        # The fleet store really swapped the representative in place.
+        materialized = columnar.fleet.materialize(engines[0].name)
+        assert materialized.n_documents == donor.n_documents
+        assert dict(materialized.items()) == dict(donor.items())
+
+    def test_unsupported_estimator_falls_back(self, fleet_engines, fleet_queries):
+        scalar, columnar = make_pair(fleet_engines, PreviousMethodEstimator)
+        for query in fleet_queries[:6]:
+            assert columnar.estimate_all(query, 0.3) == scalar.estimate_all(
+                query, 0.3
+            )

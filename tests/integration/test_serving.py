@@ -422,3 +422,67 @@ class TestRemoteEngineErrors:
         assert [f.engine for f in response.failures] == ["dead"]
         assert response.failures[0].kind == "error"
         assert any(h.engine == "live" for h in response.hits)
+
+
+class TestColumnarSnapshot:
+    """``GET /representative?format=npz`` ships the columnar binary form."""
+
+    @pytest.fixture
+    def engine_server(self):
+        collection = Collection.from_documents(
+            "colnpz",
+            [
+                Document("d1", terms=["rocket", "orbit", "rocket", "fuel"]),
+                Document("d2", terms=["sauce", "basil", "orbit"]),
+                Document("d3", terms=["kiwi", "plum", "rocket"]),
+            ],
+        )
+        engine = SearchEngine(collection)
+        server = ServingServer(EngineApp(engine))
+        server.start_background()
+        yield engine, server
+        server.drain(timeout=5)
+
+    def test_columnar_snapshot_is_bit_exact(self, engine_server):
+        from repro.representatives import build_representative
+
+        engine, server = engine_server
+        remote = RemoteEngine(server.url)
+        snapshot = remote.snapshot_representative(columnar=True)
+        local = build_representative(engine)
+        assert snapshot.version == engine.n_documents
+        assert snapshot.representative.name == local.name
+        assert snapshot.representative.n_documents == local.n_documents
+        assert dict(snapshot.representative.items()) == dict(local.items())
+
+    def test_columnar_snapshot_registers_into_columnar_broker(self, engine_server):
+        engine, server = engine_server
+        remote = RemoteEngine(server.url)
+        snapshot = remote.snapshot_representative(columnar=True)
+        broker = MetasearchBroker(columnar=True)
+        broker.register(remote, representative=snapshot.representative)
+        local = MetasearchBroker()
+        local.register(engine)
+        query = Query.from_terms(["rocket", "orbit"])
+        assert [
+            (e.engine, e.usefulness) for e in broker.estimate_all(query, 0.1)
+        ] == [
+            (e.engine, e.usefulness) for e in local.estimate_all(query, 0.1)
+        ]
+
+    def test_columnar_excludes_quantize(self, engine_server):
+        __, server = engine_server
+        remote = RemoteEngine(server.url)
+        with pytest.raises(ValueError):
+            remote.snapshot_representative(quantize=256, columnar=True)
+
+    @pytest.mark.parametrize(
+        "suffix", ["?format=bogus", "?format=npz&quantize=256"]
+    )
+    def test_bad_format_requests_are_400(self, engine_server, suffix):
+        __, server = engine_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                f"{server.url}/representative{suffix}", timeout=5
+            )
+        assert excinfo.value.code == 400

@@ -205,3 +205,41 @@ class TestVersionFlag:
             )
         finally:
             server.drain(timeout=5)
+
+
+class TestConvertRep:
+    @pytest.fixture
+    def rep_json(self, tmp_path):
+        engine = SearchEngine(
+            Collection.from_documents(
+                "db",
+                [
+                    Document("d1", terms=["rocket", "orbit", "rocket"]),
+                    Document("d2", terms=["sauce", "basil", "orbit"]),
+                ],
+            )
+        )
+        path = tmp_path / "rep.json"
+        build_representative(engine).save(path)
+        return path
+
+    def test_round_trip_is_lossless(self, rep_json, tmp_path, capsys):
+        from repro.representatives import DatabaseRepresentative
+
+        npz = tmp_path / "rep.npz"
+        back = tmp_path / "back.json"
+        assert main(["convert-rep", str(rep_json), str(npz)]) == 0
+        assert main(["convert-rep", str(npz), str(back)]) == 0
+        original = DatabaseRepresentative.load(rep_json)
+        restored = DatabaseRepresentative.load(back)
+        assert restored.name == original.name
+        assert restored.n_documents == original.n_documents
+        assert dict(restored.items()) == dict(original.items())
+        out = capsys.readouterr().out
+        assert "rep.npz" in out
+
+    def test_requires_exactly_one_npz_side(self, rep_json, tmp_path, capsys):
+        assert (
+            main(["convert-rep", str(rep_json), str(tmp_path / "o.json")]) == 2
+        )
+        assert "exactly one" in capsys.readouterr().out

@@ -1,0 +1,239 @@
+"""Unit tests for the columnar representative store (Section 3 layout)."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.representatives import (
+    BrokerVocabulary,
+    ColumnarRepresentative,
+    DatabaseRepresentative,
+    FleetRepresentativeRef,
+    FleetRepresentativeStore,
+    TermStats,
+)
+from repro.representatives.columnar import UNKNOWN_TERM
+
+
+def make_rep(name="d1", n=100, triplet=False, terms=("apple", "pear", "plum")):
+    stats = {}
+    for i, term in enumerate(terms):
+        mean = 0.2 + 0.1 * i
+        stats[term] = TermStats(
+            probability=(i + 1) / (len(terms) + 1),
+            mean=mean,
+            std=0.05 * i,
+            max_weight=None if triplet else mean + 0.3,
+        )
+    return DatabaseRepresentative(name, n_documents=n, term_stats=stats)
+
+
+class TestBrokerVocabulary:
+    def test_intern_is_stable_and_dense(self):
+        vocab = BrokerVocabulary()
+        assert vocab.intern("apple") == 0
+        assert vocab.intern("pear") == 1
+        assert vocab.intern("apple") == 0
+        assert len(vocab) == 2
+        assert "apple" in vocab and "plum" not in vocab
+        assert vocab.term_of(1) == "pear"
+
+    def test_id_of_unknown_is_sentinel(self):
+        vocab = BrokerVocabulary()
+        vocab.intern("apple")
+        assert vocab.id_of("ghost") == UNKNOWN_TERM
+        ids = vocab.ids_of(["apple", "ghost"])
+        assert ids.tolist() == [0, UNKNOWN_TERM]
+        # ids_of never interns.
+        assert len(vocab) == 1
+
+    def test_nbytes_positive(self):
+        vocab = BrokerVocabulary()
+        vocab.intern_many(["a", "b", "c"])
+        assert vocab.nbytes > 0
+
+
+class TestColumnarRepresentative:
+    def test_from_representative_sorts_by_term_id(self):
+        vocab = BrokerVocabulary()
+        vocab.intern_many(["zebra", "apple"])  # zebra gets the smaller id
+        rep = make_rep(terms=("apple", "zebra"))
+        columnar = ColumnarRepresentative.from_representative(rep, vocab)
+        assert columnar.term_ids.tolist() == [0, 1]
+        assert np.all(np.diff(columnar.term_ids) > 0)
+        assert columnar.vocab is vocab
+
+    def test_duck_api_matches_dict_form(self):
+        rep = make_rep()
+        columnar = ColumnarRepresentative.from_representative(rep)
+        assert len(columnar) == len(rep)
+        assert columnar.n_documents == rep.n_documents
+        assert "apple" in columnar and "ghost" not in columnar
+        assert columnar.get("ghost") is None
+        assert columnar.get("pear") == rep.get("pear")
+        assert dict(columnar.items()) == dict(rep.items())
+        assert columnar.document_frequency("apple") == pytest.approx(
+            rep.get("apple").probability * rep.n_documents
+        )
+        assert columnar.document_frequency("ghost") == 0.0
+
+    def test_triplet_mode_round_trips_none(self):
+        rep = make_rep(triplet=True)
+        columnar = ColumnarRepresentative.from_representative(rep)
+        assert not columnar.has_max_weights
+        assert columnar.get("apple").max_weight is None
+        assert dict(columnar.to_representative().items()) == dict(rep.items())
+
+    def test_as_triplets_withholds_max(self):
+        columnar = ColumnarRepresentative.from_representative(make_rep())
+        triplets = columnar.as_triplets()
+        assert columnar.has_max_weights and not triplets.has_max_weights
+        assert triplets.get("apple").max_weight is None
+        assert triplets.get("apple").mean == columnar.get("apple").mean
+
+    def test_validation(self):
+        vocab = BrokerVocabulary()
+        ids = vocab.intern_many(["a", "b"]).astype(np.int64)
+        ok = dict(p=np.ones(2), w=np.ones(2), sigma=np.zeros(2), mw=np.ones(2))
+        with pytest.raises(ValueError, match="n_documents"):
+            ColumnarRepresentative("d", -1, vocab, ids, **ok)
+        with pytest.raises(ValueError, match="parallel"):
+            ColumnarRepresentative(
+                "d", 1, vocab, ids,
+                p=np.ones(3), w=np.ones(2), sigma=np.zeros(2), mw=np.ones(2),
+            )
+        with pytest.raises(ValueError, match="ascending"):
+            ColumnarRepresentative("d", 1, vocab, ids[::-1].copy(), **ok)
+
+    def test_nbytes_is_array_budget(self):
+        columnar = ColumnarRepresentative.from_representative(make_rep())
+        # 3 terms x (int64 id + four float64 stats) = 3 x 40 bytes.
+        assert columnar.nbytes == 3 * 5 * 8
+
+
+class TestNpzPersistence:
+    def test_round_trip_through_path(self, tmp_path):
+        rep = make_rep()
+        path = tmp_path / "rep.npz"
+        ColumnarRepresentative.from_representative(rep).save_npz(path)
+        restored = ColumnarRepresentative.load_npz(path)
+        assert dict(restored.to_representative().items()) == dict(rep.items())
+        assert restored.name == rep.name
+        assert restored.n_documents == rep.n_documents
+
+    def test_load_interns_into_given_vocab(self):
+        buffer = io.BytesIO()
+        ColumnarRepresentative.from_representative(make_rep()).save_npz(buffer)
+        buffer.seek(0)
+        vocab = BrokerVocabulary()
+        vocab.intern("unrelated")
+        restored = ColumnarRepresentative.load_npz(buffer, vocab)
+        assert restored.vocab is vocab
+        assert vocab.id_of("apple") != UNKNOWN_TERM
+
+    def test_rejects_foreign_npz(self):
+        buffer = io.BytesIO()
+        np.savez(buffer, format_version=np.int64(1), kind=np.frombuffer(
+            b"something-else", dtype=np.uint8
+        ))
+        buffer.seek(0)
+        with pytest.raises(ValueError, match="not a columnar"):
+            ColumnarRepresentative.load_npz(buffer)
+
+    def test_rejects_unknown_version(self):
+        buffer = io.BytesIO()
+        np.savez(buffer, format_version=np.int64(999))
+        buffer.seek(0)
+        with pytest.raises(ValueError, match="version"):
+            ColumnarRepresentative.load_npz(buffer)
+
+
+class TestFleetStore:
+    def test_add_returns_read_through_ref(self):
+        store = FleetRepresentativeStore()
+        rep = make_rep("d1")
+        ref = store.add(rep)
+        assert isinstance(ref, FleetRepresentativeRef)
+        assert ref.n_documents == rep.n_documents
+        assert len(ref) == len(rep)
+        assert ref.get("pear") == rep.get("pear")
+        assert ref.get("ghost") is None
+        assert "apple" in ref
+        assert dict(ref.items()) == dict(rep.items())
+        assert ref.has_max_weights
+        assert ref.document_frequency("apple") == pytest.approx(
+            rep.get("apple").probability * rep.n_documents
+        )
+
+    def test_replace_by_name(self):
+        store = FleetRepresentativeStore()
+        store.add(make_rep("d1", n=10))
+        store.add(make_rep("d2", n=20))
+        store.add(make_rep("d1", n=30, terms=("kiwi",)))
+        assert store.engine_names == ["d1", "d2"]
+        assert store.n_documents.tolist() == [30, 20]
+        assert store.term_stats("d1", "apple") is None
+        assert store.term_stats("d1", "kiwi") is not None
+
+    def test_remove(self):
+        store = FleetRepresentativeStore()
+        store.add(make_rep("d1"))
+        store.add(make_rep("d2", terms=("kiwi", "apple")))
+        store.gather(store.vocab.ids_of(["apple"]))  # force a pack
+        store.remove("d1")
+        assert store.engine_names == ["d2"]
+        assert store.index_of("d2") == 0
+        assert store.term_stats("d2", "kiwi") is not None
+        with pytest.raises(KeyError):
+            store.remove("d1")
+
+    def test_term_stats_reads_pending_before_pack(self):
+        store = FleetRepresentativeStore()
+        store.add(make_rep("d1"))
+        store.gather(store.vocab.ids_of(["apple"]))  # pack d1
+        store.add(make_rep("d1", n=7, terms=("kiwi",)))  # pending again
+        stats = store.term_stats("d1", "kiwi")
+        assert stats is not None and stats.mean == 0.2
+        assert store.term_stats("d1", "apple") is None
+
+    def test_gather_shapes_and_unknowns(self):
+        store = FleetRepresentativeStore()
+        store.add(make_rep("d1"))
+        store.add(make_rep("d2", triplet=True, terms=("apple", "kiwi")))
+        ids = store.vocab.ids_of(["apple", "kiwi", "ghost"])
+        p, w, sigma, mw = store.gather(ids)
+        assert p.shape == w.shape == sigma.shape == mw.shape == (2, 3)
+        # d1 lacks kiwi; nobody has ghost (UNKNOWN_TERM id).
+        assert p[0, 1] == 0.0 and p[0, 2] == 0.0 and p[1, 2] == 0.0
+        assert p[0, 0] > 0 and p[1, 1] > 0
+        # Triplet engine reads NaN max weights; quadruplet engine doesn't.
+        assert np.isnan(mw[1, 0]) and not np.isnan(mw[0, 0])
+
+    def test_materialize_is_exact(self):
+        store = FleetRepresentativeStore()
+        rep = make_rep("d1", triplet=False)
+        store.add(rep)
+        back = store.materialize("d1")
+        assert back.n_documents == rep.n_documents
+        assert dict(back.items()) == dict(rep.items())
+
+    def test_memory_and_counts(self):
+        store = FleetRepresentativeStore()
+        store.add(make_rep("d1"))
+        store.add(make_rep("d2", terms=("apple",)))
+        assert store.total_entries == 4
+        assert store.nbytes > 0
+        assert store.vocab_nbytes > 0
+        assert store.n_terms_of("d2") == 1
+        assert "d1" in store and "d3" not in store
+        assert len(store) == 2
+
+    def test_binary_mean_w_matches_scalar_iteration_order(self):
+        rep = make_rep("d1")
+        store = FleetRepresentativeStore()
+        store.add(rep)
+        expected = float(np.mean([s.mean for __, s in rep.items()]))
+        assert store.binary_mean_w.tolist() == [expected]

@@ -89,6 +89,32 @@ class TestEvictionInvalidation:
             TermPolynomialCache(maxsize=0)
 
 
+class TestVocabularyKeys:
+    def test_interned_keys_hit_across_string_instances(self):
+        from repro.representatives import BrokerVocabulary
+
+        vocab = BrokerVocabulary()
+        cache = TermPolynomialCache(vocab=vocab)
+        cache.store(CONFIG, "d1", "apple", 0.5, poly(0.3, 0.0))
+        # A distinct string object with equal text reaches the same entry
+        # through the shared interned id.
+        hit, __ = cache.lookup(CONFIG, "d1", "".join(["app", "le"]), 0.5)
+        assert hit
+        assert vocab.id_of("apple") == 0
+        key = next(iter(cache._data))
+        assert key[2] == 0  # term slot carries the interned id, not text
+
+    def test_invalidate_engine_with_vocab_keys(self):
+        from repro.representatives import BrokerVocabulary
+
+        cache = TermPolynomialCache(vocab=BrokerVocabulary())
+        cache.store(CONFIG, "d1", "apple", 0.5, poly(0.3, 0.0))
+        cache.store(CONFIG, "d2", "apple", 0.5, poly(0.4, 0.0))
+        assert cache.invalidate_engine("d1") == 1
+        assert not cache.lookup(CONFIG, "d1", "apple", 0.5)[0]
+        assert cache.lookup(CONFIG, "d2", "apple", 0.5)[0]
+
+
 class TestMetrics:
     def test_registry_series(self):
         registry = MetricsRegistry()

@@ -1,0 +1,213 @@
+"""Unit tests for the engine-axis vectorized estimation path."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    BasicEstimator,
+    BinaryIndependenceEstimator,
+    GlossDisjointEstimator,
+    GlossHighCorrelationEstimator,
+    SubrangeEstimator,
+    fleet_usefulness_grid,
+    supports_fleet,
+)
+from repro.corpus import Query
+from repro.metasearch.cache import TermPolynomialCache
+from repro.representatives import (
+    DatabaseRepresentative,
+    FleetRepresentativeStore,
+    SubrangeScheme,
+    TermStats,
+)
+
+THRESHOLDS = [0.0, 0.2, 0.5, 1.0]
+
+
+def make_rep(name, n=50, stats=None):
+    if stats is None:
+        stats = {
+            "apple": TermStats(0.4, 0.3, 0.1, 0.7),
+            "pear": TermStats(0.2, 0.5, 0.0, 0.5),
+        }
+    return DatabaseRepresentative(name, n_documents=n, term_stats=stats)
+
+
+def make_store(*reps):
+    store = FleetRepresentativeStore()
+    for rep in reps:
+        store.add(rep)
+    return store
+
+
+def bits(value):
+    return float(value).hex()
+
+
+def assert_grid_matches_scalar(estimator, store, reps, query, thresholds=THRESHOLDS):
+    grid = fleet_usefulness_grid(estimator, store, query, thresholds)
+    assert grid is not None
+    for row, threshold in zip(grid, thresholds):
+        for got, rep in zip(row, reps):
+            want = estimator.estimate(query, rep, threshold)
+            assert bits(got.nodoc) == bits(want.nodoc)
+            assert bits(got.avgsim) == bits(want.avgsim)
+    return grid
+
+
+class TestSupportsFleet:
+    def test_exact_types_only(self):
+        for estimator in (
+            SubrangeEstimator(),
+            BasicEstimator(),
+            BinaryIndependenceEstimator(),
+            GlossHighCorrelationEstimator(),
+            GlossDisjointEstimator(),
+        ):
+            assert supports_fleet(estimator)
+
+    def test_subclasses_fall_back_to_scalar(self):
+        class Tweaked(BasicEstimator):
+            pass
+
+        store = make_store(make_rep("d1"))
+        assert not supports_fleet(Tweaked())
+        assert (
+            fleet_usefulness_grid(
+                Tweaked(), store, Query.from_terms(["apple"]), [0.2]
+            )
+            is None
+        )
+
+
+class TestEdgeCases:
+    def test_empty_store(self):
+        grid = fleet_usefulness_grid(
+            BasicEstimator(),
+            FleetRepresentativeStore(),
+            Query.from_terms(["apple"]),
+            THRESHOLDS,
+        )
+        assert grid == [[] for __ in THRESHOLDS]
+
+    def test_zero_document_engine(self):
+        reps = [make_rep("d0", n=0), make_rep("d1", n=50)]
+        for estimator in (
+            SubrangeEstimator(),
+            BasicEstimator(),
+            GlossHighCorrelationEstimator(),
+        ):
+            assert_grid_matches_scalar(
+                estimator, make_store(*reps), reps,
+                Query.from_terms(["apple", "pear"]),
+            )
+
+    def test_no_term_matches_any_engine(self):
+        reps = [make_rep("d1"), make_rep("d2", n=9)]
+        query = Query.from_terms(["ghost", "phantom"])
+        for estimator in (
+            SubrangeEstimator(),
+            BasicEstimator(),
+            BinaryIndependenceEstimator(),
+            GlossHighCorrelationEstimator(),
+            GlossDisjointEstimator(),
+        ):
+            grid = assert_grid_matches_scalar(
+                estimator, make_store(*reps), reps, query
+            )
+            assert all(u.nodoc == 0 for row in grid for u in row)
+
+    def test_certain_term_probability_one(self):
+        stats = {"apple": TermStats(1.0, 0.6, 0.0, 0.6)}
+        reps = [make_rep("d1", stats=stats)]
+        assert_grid_matches_scalar(
+            BasicEstimator(), make_store(*reps), reps,
+            Query.from_terms(["apple"]),
+        )
+
+    def test_subrange_modes(self):
+        reps = [make_rep("d1"), make_rep("d2", n=7)]
+        query = Query(terms=("apple", "pear"), weights=(2.0, 1.0))
+        for scheme in (
+            SubrangeScheme.equal(3, include_max=False),
+            SubrangeScheme.equal(4, include_max=True),
+        ):
+            for use_stored_max in (True, False):
+                assert_grid_matches_scalar(
+                    SubrangeEstimator(
+                        scheme=scheme, use_stored_max=use_stored_max
+                    ),
+                    make_store(*reps), reps, query,
+                )
+
+
+class TestScalarFallbacks:
+    def test_pruned_expansion_falls_back_per_engine(self):
+        """prune_floor/max_terms change GenFunc.product semantics, so the
+        parallel merge is skipped — but the per-engine fallback must still
+        be bit-identical to the scalar estimator."""
+        reps = [make_rep("d1"), make_rep("d2", n=200)]
+        query = Query.from_terms(["apple", "pear"])
+        for estimator in (
+            BasicEstimator(prune_floor=1e-6),
+            BasicEstimator(max_terms=3),
+            BinaryIndependenceEstimator(prune_floor=1e-6),
+        ):
+            assert_grid_matches_scalar(
+                estimator, make_store(*reps), reps, query
+            )
+
+
+class TestPolycacheIntegration:
+    def test_warm_cache_returns_same_bits(self):
+        reps = [make_rep("d1"), make_rep("d2", n=11)]
+        store = make_store(*reps)
+        query = Query.from_terms(["apple", "pear", "ghost"])
+        estimator = SubrangeEstimator()
+        cache = TermPolynomialCache(vocab=store.vocab)
+        cold = fleet_usefulness_grid(
+            estimator, store, query, THRESHOLDS, polycache=cache
+        )
+        assert cache.misses > 0 and cache.hits == 0
+        warm = fleet_usefulness_grid(
+            estimator, store, query, THRESHOLDS, polycache=cache
+        )
+        assert cache.hits > 0
+        for cold_row, warm_row in zip(cold, warm):
+            for a, b in zip(cold_row, warm_row):
+                assert bits(a.nodoc) == bits(b.nodoc)
+                assert bits(a.avgsim) == bits(b.avgsim)
+        assert_grid_matches_scalar(estimator, store, reps, query)
+
+    def test_unmatched_terms_negatively_cached(self):
+        reps = [make_rep("d1")]
+        store = make_store(*reps)
+        cache = TermPolynomialCache(vocab=store.vocab)
+        query = Query.from_terms(["ghost", "apple"])
+        fleet_usefulness_grid(
+            SubrangeEstimator(), store, query, [0.2], polycache=cache
+        )
+        hit, value = cache.lookup(
+            SubrangeEstimator().polynomial_config(),
+            "d1",
+            "ghost",
+            Query.from_terms(["ghost", "apple"]).normalized_weights()[0],
+        )
+        assert hit and value is None
+
+
+class TestGridShape:
+    def test_rows_follow_engine_registration_order(self):
+        reps = [make_rep("b"), make_rep("a", n=3)]
+        store = make_store(*reps)
+        grid = fleet_usefulness_grid(
+            BasicEstimator(), store, Query.from_terms(["apple"]), [0.1]
+        )
+        assert store.engine_names == ["b", "a"]
+        assert [u.nodoc for u in grid[0]] == [
+            BasicEstimator().estimate(
+                Query.from_terms(["apple"]), rep, 0.1
+            ).nodoc
+            for rep in reps
+        ]
