@@ -10,7 +10,9 @@ every width x estimator the bench:
 
 * asserts scalar and columnar estimates are **exactly equal** on every
   (engine, query, threshold) triple,
-* records throughput and p50/p95 per-query selection latency, and
+* records throughput and p50/p95 per-query selection latency — the two
+  paths timed interleaved per query, best of two sweeps, so machine-load
+  drift cannot land on one side of the speedup ratio, and
 * measures resident representative memory both ways.
 
 It also re-verifies the paper's single-term correct-identification
@@ -26,13 +28,22 @@ override: ``REPRO_BENCH_FLEET_JSON``) alongside the human-readable
 
 Hard floors (asserted only when the sweep reaches the relevant width, so
 tiny CI configurations still run everything): at >=256 engines the
-expansion-based array-parallel path (basic) must be >=5x scalar; memory
-at >=64 engines must be >=10x smaller than the dict baseline.  gloss-hc
-is Amdahl-capped well below its kernel speedup — both paths spend ~half
-of each call building the per-engine ``Usefulness``/``EstimatedUsefulness``
-rows the broker API promises — so its end-to-end floor is 2x; subrange
-must stay at parity (>=0.9x), since bit-identity pins its per-engine
-``GenFunc.product`` merge to the scalar implementation.
+expansion-based array-parallel paths must beat scalar by >=5x — basic
+via its two-point expansion grid, and subrange via the batched
+``BatchedGenFunc`` product (the CSR-ragged, width-bucketed merge kernel
+that replicates ``GenFunc.product`` bit-for-bit, so bit-identity no
+longer pins it to per-engine Python).  Memory at >=64 engines must be
+>=10x smaller than the dict baseline.  gloss-hc is Amdahl-capped well
+below its kernel speedup — both paths spend ~half of each call building
+the per-engine ``Usefulness``/``EstimatedUsefulness`` rows the broker
+API promises, which caps the end-to-end ratio right around 2x — so its
+floor sits at 1.8x, leaving noise headroom below the cap instead of
+asserting the cap itself.
+
+The sweep must also complete with **zero scalar-fallback demotions**:
+every engine row of every query is required to flow through the batched
+kernel (``repro.core.fallback_count`` stays 0), so the floors measure
+the fast path and nothing else.
 """
 
 from __future__ import annotations
@@ -50,6 +61,8 @@ from repro.core import (
     BasicEstimator,
     GlossHighCorrelationEstimator,
     SubrangeEstimator,
+    fallback_count,
+    reset_fallback_count,
 )
 from repro.corpus import Query
 from repro.corpus.synth import NewsgroupModel, QueryLogModel
@@ -72,7 +85,7 @@ THRESHOLDS = (0.1, 0.3, 0.6)
 
 #: Floors asserted on the widest fleet of the sweep when it reaches 256
 #: engines (see the module docstring for why each sits where it does).
-SPEEDUP_FLOORS = {"basic": 5.0, "gloss-hc": 2.0, "subrange": 0.9}
+SPEEDUP_FLOORS = {"basic": 5.0, "gloss-hc": 1.8, "subrange": 5.0}
 MEMORY_FLOOR = 10.0
 
 ESTIMATORS = (
@@ -109,16 +122,34 @@ def _make_broker(engines, representatives, estimator, columnar: bool):
     return broker
 
 
-def _run_selection(broker, queries):
-    """All estimate rows plus per-query latency (all thresholds)."""
-    rows = []
-    latencies = []
-    for query in queries:
-        start = time.perf_counter()
-        for threshold in THRESHOLDS:
-            rows.append(broker.estimate_all(query, threshold))
-        latencies.append(time.perf_counter() - start)
-    return rows, latencies
+def _run_selection_pair(scalar, columnar, queries, passes=2):
+    """Estimate rows plus per-query latency for both paths.
+
+    The two brokers are timed *interleaved* (scalar then columnar on each
+    query) and each query's latency is the minimum over ``passes`` sweeps:
+    on a shared machine, CPU-speed drift between two long sequential
+    blocks would land entirely on one side of the speedup ratio, while
+    interleaving spreads it evenly and the per-query minimum reads the
+    steady state through transient contention.
+    """
+    scalar_rows: List = []
+    columnar_rows: List = []
+    scalar_lat = [float("inf")] * len(queries)
+    columnar_lat = [float("inf")] * len(queries)
+    for sweep in range(passes):
+        scalar_rows, columnar_rows = [], []
+        for i, query in enumerate(queries):
+            start = time.perf_counter()
+            for threshold in THRESHOLDS:
+                scalar_rows.append(scalar.estimate_all(query, threshold))
+            scalar_lat[i] = min(scalar_lat[i], time.perf_counter() - start)
+            start = time.perf_counter()
+            for threshold in THRESHOLDS:
+                columnar_rows.append(columnar.estimate_all(query, threshold))
+            columnar_lat[i] = min(
+                columnar_lat[i], time.perf_counter() - start
+            )
+    return scalar_rows, columnar_rows, scalar_lat, columnar_lat
 
 
 def _lat_stats(latencies: List[float]) -> Dict[str, float]:
@@ -221,6 +252,7 @@ def test_fleet_scaling(benchmark):
     ]
     guarantee_checked = 0
     widest_result = None
+    reset_fallback_count()
     for width in sorted(WIDTHS):
         engines, representatives, queries = _build_fleet(width)
         total_docs = sum(e.n_documents for e in engines)
@@ -238,8 +270,9 @@ def test_fleet_scaling(benchmark):
             # so the timed loop measures steady-state selection.
             scalar.estimate_all(queries[0], THRESHOLDS[0])
             columnar.estimate_all(queries[0], THRESHOLDS[0])
-            scalar_rows, scalar_lat = _run_selection(scalar, queries)
-            columnar_rows, columnar_lat = _run_selection(columnar, queries)
+            scalar_rows, columnar_rows, scalar_lat, columnar_lat = (
+                _run_selection_pair(scalar, columnar, queries)
+            )
             assert columnar_rows == scalar_rows, (
                 f"columnar estimates diverged from scalar "
                 f"(width={width}, estimator={est_name})"
@@ -299,10 +332,16 @@ def test_fleet_scaling(benchmark):
         widest_result = entry
 
     report["guarantee_checked"] = guarantee_checked
+    report["fallback_invocations"] = fallback_count()
     JSON_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     lines.append(f"json: {JSON_PATH}")
     emit("fleet_scaling", "\n".join(lines))
 
+    assert fallback_count() == 0, (
+        f"{fallback_count()} engine rows were demoted to the scalar "
+        f"GenFunc during the sweep — the batched kernel must cover every "
+        f"benchmarked configuration (see repro.core.fallback_count)"
+    )
     if widest_result["width"] >= 256:
         for est_name, floor in SPEEDUP_FLOORS.items():
             speedup = widest_result["estimators"][est_name]["speedup"]

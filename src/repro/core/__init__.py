@@ -29,7 +29,12 @@ from repro.core.prev_estimator import PreviousMethodEstimator
 from repro.core.subrange_estimator import SubrangeEstimator
 from repro.core.truth import true_usefulness, true_usefulness_many
 from repro.core.types import Usefulness
-from repro.core.vectorized import fleet_usefulness_grid, supports_fleet
+from repro.core.vectorized import (
+    fallback_count,
+    fleet_usefulness_grid,
+    reset_fallback_count,
+    supports_fleet,
+)
 
 __all__ = [
     "BasicEstimator",
@@ -45,8 +50,10 @@ __all__ = [
     "SubrangeEstimator",
     "Usefulness",
     "UsefulnessEstimator",
+    "fallback_count",
     "fleet_usefulness_grid",
     "get_estimator",
+    "reset_fallback_count",
     "supports_fleet",
     "true_usefulness",
     "true_usefulness_many",

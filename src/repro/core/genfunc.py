@@ -33,11 +33,11 @@ stays observable.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["GenFunc"]
+__all__ = ["BatchedGenFunc", "GenFunc"]
 
 _DEFAULT_DECIMALS = 8
 
@@ -47,6 +47,17 @@ _BUDGET_FLOOR_START = 1e-15
 
 #: Geometric growth factor of the adaptive budget's prune floor.
 _BUDGET_FLOOR_GROWTH = 8.0
+
+#: Batched kernels partition rows into power-of-two width buckets (see
+#: BatchedGenFunc); rows at or below 2**_BUCKET_MIN_EXP wide share one
+#: bucket — at that size numpy per-call overhead outweighs padding waste.
+_BUCKET_MIN_EXP = 4
+
+#: Width buckets holding at most this many rows run the scalar merge
+#: pipeline row by row instead of the padded batch kernel: for a
+#: near-empty bucket (typically one very wide outlier engine) the plain
+#: round->unique->bincount sequence is fewer array passes.
+_ROWWISE_BLOCK_ROWS = 4
 
 
 class GenFunc:
@@ -145,8 +156,14 @@ class GenFunc:
                 "factor polynomial must be non-empty (a per-term polynomial "
                 "always carries its (0, 1-p) term)"
             )
-        product_exp = np.round(
-            (self.exponents[:, None] + fexp[None, :]).ravel(), decimals
+        # ``+ 0.0`` canonicalizes signed zeros (-0.0 -> +0.0) and is the
+        # identity on every other finite value.  Without it, a merge group
+        # holding both zero bit patterns would keep whichever one the
+        # unstable sort left first — the lone case where "group by value"
+        # admits more than one representative bit pattern.
+        product_exp = (
+            np.round((self.exponents[:, None] + fexp[None, :]).ravel(), decimals)
+            + 0.0
         )
         product_coef = (self.coeffs[:, None] * fcoef[None, :]).ravel()
         merged_exp, inverse = np.unique(product_exp, return_inverse=True)
@@ -295,4 +312,591 @@ class GenFunc:
         return (
             f"GenFunc(terms={self.n_terms}, mass={self.total_mass():.6f}, "
             f"pruned={self.pruned_mass:.2e})"
+        )
+
+
+class BatchedGenFunc:
+    """A ragged batch of generating functions advanced in lock-step.
+
+    Each row is one :class:`GenFunc` state, stored as padded 2-D arrays so
+    a whole fleet of expansions moves through one numpy call per query
+    term instead of one Python loop per engine.  The contract is
+    *bit-identity per row*: every operation replicates the scalar methods'
+    float arithmetic operation-for-operation —
+
+    * :meth:`multiply_rows` reproduces :meth:`GenFunc.multiplied`'s
+      ``round → unique → bincount`` merge.  Product entries are rounded
+      with the same elementwise ``np.round``, grouped by exponent *value*
+      (exactly ``np.unique``'s equivalence — no integer-key detour, so
+      exponents past ``2**53 / 10**decimals`` and negative ``decimals``
+      stay exact), and each group's coefficients are accumulated by
+      ``np.bincount`` in the original product order after a stable
+      per-row sort — the precise addition sequence the scalar merge runs.
+      Pruning drops the same ``coeff <= prune_floor`` groups, and the
+      per-row pruned mass is accumulated with ``np.sum`` over the same
+      compressed drop array the scalar code sums, so even the pairwise
+      summation order matches.
+    * :meth:`budget_rows` reproduces :meth:`GenFunc.budgeted`'s
+      geometric floor-tightening loop per over-budget row, including the
+      keep-heaviest stable-argsort rescue when the floor overshoots.
+    * :meth:`tail_profile` reads every row's tails off one pair of suffix
+      cumulative sums, with row padding as bit-inert trailing ``+0.0``
+      terms — the values :meth:`GenFunc.tail_profile` returns per row.
+
+    Factor exponents must be finite: the padded sort uses ``inf`` as the
+    out-of-row sentinel, so rows whose factors carry non-finite exponents
+    (or whose rounding would overflow to ``inf``) must be routed through
+    the scalar :class:`GenFunc` instead — see
+    :func:`repro.core.vectorized.fallback_count`.
+    """
+
+    __slots__ = (
+        "exponents", "coeffs", "starts", "row_len", "tail", "pruned_mass"
+    )
+
+    def __init__(
+        self,
+        exponents: np.ndarray,
+        coeffs: np.ndarray,
+        starts: np.ndarray,
+        row_len: np.ndarray,
+        pruned_mass: np.ndarray,
+        tail: Optional[int] = None,
+    ):
+        self.exponents = exponents
+        self.coeffs = coeffs
+        self.starts = starts
+        self.row_len = row_len
+        self.tail = int(exponents.size) if tail is None else tail
+        self.pruned_mass = pruned_mass
+
+    @classmethod
+    def ones(cls, n_rows: int) -> "BatchedGenFunc":
+        """``n_rows`` copies of the multiplicative identity ``1 * X^0``."""
+        if n_rows < 0:
+            raise ValueError(f"n_rows must be >= 0, got {n_rows!r}")
+        # The arena starts with headroom so the first few products append
+        # without a compaction pass (see _write_blocks).
+        cap = max(64 * n_rows, 1024)
+        exponents = np.zeros(cap)
+        coeffs = np.zeros(cap)
+        coeffs[:n_rows] = 1.0
+        return cls(
+            exponents=exponents,
+            coeffs=coeffs,
+            starts=np.arange(n_rows, dtype=np.int64),
+            row_len=np.ones(n_rows, dtype=np.int64),
+            pruned_mass=np.zeros(n_rows),
+            tail=n_rows,
+        )
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.row_len.size)
+
+    def row(self, r: int) -> GenFunc:
+        """Row ``r`` as a scalar :class:`GenFunc` (compressed copy)."""
+        start = int(self.starts[r])
+        length = int(self.row_len[r])
+        return GenFunc(
+            self.exponents[start : start + length].copy(),
+            self.coeffs[start : start + length].copy(),
+            float(self.pruned_mass[r]),
+        )
+
+    # -- ragged storage ------------------------------------------------------
+    #
+    # Rows live packed in flat 1-D arrays (CSR-style: `starts` + `row_len`).
+    # Expansion widths are heavily skewed in practice — one engine's
+    # polynomial can be orders of magnitude wider than the fleet median —
+    # so a padded (rows, max_width) block would spend almost all its work
+    # on padding.  Kernels instead gather power-of-two width buckets into
+    # small padded blocks (padding waste bounded at 2x) and hand back
+    # CSR-packed results that append at the arena tail as contiguous
+    # slice copies.
+
+    @staticmethod
+    def _positions(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+        """Flat positions of the given ragged rows, row-major."""
+        total = int(lens.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        first = np.zeros(lens.size + 1, dtype=np.int64)
+        np.cumsum(lens, out=first[1:])
+        return np.repeat(starts - first[:-1], lens) + np.arange(total)
+
+    def _gather(
+        self, rows: np.ndarray, width: int, lens: np.ndarray,
+        pad_exp: float = 0.0,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The state of ``rows`` as padded ``(len(rows), width)`` blocks
+        (``width`` must be ``>= lens.max()``).  Padding coefficients are
+        always ``0.0`` (an additive identity); padding *exponents* default
+        to ``0.0`` but callers that sort by exponent pass ``np.inf`` so the
+        padding self-sorts behind every real entry with no extra mask."""
+        span = np.arange(width)
+        mask = span[None, :] < lens[:, None]
+        idx = np.where(mask, self.starts[rows][:, None] + span[None, :], 0)
+        return (
+            np.where(mask, self.exponents[idx], pad_exp),
+            np.where(mask, self.coeffs[idx], 0.0),
+        )
+
+    def _write_blocks(
+        self,
+        blocks: Sequence[
+            Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ],
+    ) -> None:
+        """Replace the state of each block's rows; other rows untouched.
+
+        ``blocks`` holds ``(rows, exp_flat, coef_flat, len_sub)`` tuples
+        with disjoint row sets; the flat arrays are the rows' new values
+        CSR-packed row-major.  Each block's rows are *appended* at the
+        arena tail and their ``starts`` repointed — the packed values land
+        as two contiguous slice copies, untouched rows are never moved,
+        and the abandoned segments stay as dead space until the arena runs
+        out and :meth:`_compact_arena` repacks the live rows (amortized:
+        one compaction per few products, instead of one full rebuild per
+        multiply).
+        """
+        if not blocks:
+            return
+        total_new = sum(int(len_sub.sum()) for __, __, __, len_sub in blocks)
+        if self.tail + total_new > self.exponents.size:
+            self._compact_arena(total_new)
+        base = self.tail
+        for rows, exp_flat, coef_flat, len_sub in blocks:
+            bounds = np.zeros(len_sub.size + 1, dtype=np.int64)
+            np.cumsum(len_sub, out=bounds[1:])
+            total = int(bounds[-1])
+            self.exponents[base : base + total] = exp_flat
+            self.coeffs[base : base + total] = coef_flat
+            self.starts[rows] = base + bounds[:-1]
+            self.row_len[rows] = len_sub
+            base += total
+        self.tail = base
+
+    def _compact_arena(self, incoming: int) -> None:
+        """Repack the live rows into a fresh arena sized with headroom for
+        ``incoming`` new terms plus a few more products' growth."""
+        live = int(self.row_len.sum())
+        cap = max(4 * (live + incoming), 1024)
+        new_exp = np.empty(cap)
+        new_coef = np.empty(cap)
+        bounds = np.zeros(self.row_len.size + 1, dtype=np.int64)
+        np.cumsum(self.row_len, out=bounds[1:])
+        new_starts = bounds[:-1].copy()
+        src = self._positions(self.starts, self.row_len)
+        new_exp[:live] = self.exponents[src]
+        new_coef[:live] = self.coeffs[src]
+        self.exponents = new_exp
+        self.coeffs = new_coef
+        self.starts = new_starts
+        self.tail = live
+
+    @staticmethod
+    def _compact(
+        values_exp: np.ndarray,
+        values_coef: np.ndarray,
+        keep: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The kept entries of each padded row, CSR-packed row-major
+        (2-D boolean extraction preserves within-row order)."""
+        new_len = keep.sum(axis=1).astype(np.int64)
+        return values_exp[keep], values_coef[keep], new_len
+
+    def multiply_rows(
+        self,
+        rows: np.ndarray,
+        factor_exponents: np.ndarray,
+        factor_coeffs: np.ndarray,
+        factor_len: Optional[np.ndarray] = None,
+        decimals: int = _DEFAULT_DECIMALS,
+        prune_floor: float = 0.0,
+    ) -> None:
+        """Multiply the state of ``rows`` by per-row factor polynomials.
+
+        Args:
+            rows: Row indices whose state this factor multiplies (the
+                scalar path's "matched" rows; other rows are untouched,
+                exactly as :meth:`ExpansionEstimator.polynomials` skips
+                unmatched terms).
+            factor_exponents / factor_coeffs: ``(len(rows), F)`` arrays;
+                row ``i`` holds the factor for ``rows[i]``.
+            factor_len: Effective width of each row's factor (entries at
+                or past it are padding and ignored); ``None`` means every
+                row uses the full width ``F``.
+            decimals / prune_floor: As in :meth:`GenFunc.multiplied`.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        fexp = np.asarray(factor_exponents, dtype=float)
+        fcoef = np.asarray(factor_coeffs, dtype=float)
+        if fexp.ndim != 2 or fexp.shape != fcoef.shape or fexp.shape[0] != rows.size:
+            raise ValueError(
+                "factor arrays must be parallel (len(rows), F) 2-D arrays"
+            )
+        n_sub, width_f = fexp.shape
+        if n_sub == 0:
+            return
+        if factor_len is None:
+            flen = np.full(n_sub, width_f, dtype=np.int64)
+        else:
+            flen = np.asarray(factor_len, dtype=np.int64)
+        if (flen < 1).any():
+            raise ValueError(
+                "factor polynomial must be non-empty (a per-term polynomial "
+                "always carries its (0, 1-p) term)"
+            )
+        f_valid = np.arange(width_f)[None, :] < flen[:, None]
+        if not np.isfinite(np.where(f_valid, fexp, 0.0)).all():
+            raise ValueError("batched product requires finite factor exponents")
+        # Normalize the padding once, up front: +inf exponents make padded
+        # product entries self-sort behind every real entry, and 0.0
+        # coefficients make them bit-inert additive identities — so the
+        # block kernel needs no validity mask at all.
+        fexp = np.where(f_valid, fexp, np.inf)
+        fcoef = np.where(f_valid, fcoef, 0.0)
+        # Rows are independent, so processing them in power-of-two width
+        # buckets changes nothing about the result — it just keeps a
+        # handful of very wide rows from inflating every row's padded work.
+        # Narrow rows (<= 2**_BUCKET_MIN_EXP wide) share one bucket: at
+        # that size per-call overhead outweighs padding waste.
+        sub_len = self.row_len[rows]
+        bucket = np.maximum(
+            np.frexp(np.maximum(sub_len, 1).astype(np.float64))[1],
+            _BUCKET_MIN_EXP,
+        )
+        blocks = []
+        if bucket.size and bucket.min() != bucket.max():
+            for b in np.unique(bucket):
+                sel = np.nonzero(bucket == b)[0]
+                block = self._multiply_block(
+                    rows[sel], fexp[sel], fcoef[sel], flen[sel],
+                    decimals, prune_floor,
+                )
+                if block is not None:
+                    blocks.append(block)
+        else:
+            block = self._multiply_block(
+                rows, fexp, fcoef, flen, decimals, prune_floor
+            )
+            if block is not None:
+                blocks.append(block)
+        self._write_blocks(blocks)
+
+    def _multiply_block(
+        self,
+        rows: np.ndarray,
+        fexp: np.ndarray,
+        fcoef: np.ndarray,
+        flen: np.ndarray,
+        decimals: int,
+        prune_floor: float,
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """The :meth:`multiply_rows` kernel for one similar-width block;
+        returns the block's ``(rows, exp, coef, len)`` result for
+        :meth:`_write_blocks` (``None`` when the block is a no-op)."""
+        n_sub, width_f = fexp.shape
+        sub_len = self.row_len[rows]
+        width_s = int(sub_len.max())
+        flat = width_s * width_f
+        if flat == 0:
+            return None  # every row was annihilated; the product stays empty
+        if n_sub <= _ROWWISE_BLOCK_ROWS:
+            # A near-empty bucket (typically the one very wide outlier
+            # engine): the scalar merge pipeline per row is fewer array
+            # passes than the padded batch machinery — and is trivially
+            # bit-identical, being the very ops GenFunc.multiplied runs.
+            return self._multiply_rowwise(
+                rows, fexp, fcoef, flen, decimals, prune_floor
+            )
+        # Padding is pre-normalized (exponent +inf, coefficient 0.0) by
+        # multiply_rows and _gather, so the product entries need no
+        # validity mask: padded exponents are +inf (inf + finite), padded
+        # coefficients are exactly 0.0 (0 * finite or finite * 0).
+        state_exp, state_coef = self._gather(
+            rows, width_s, sub_len, pad_exp=np.inf
+        )
+        # Product entries in the scalar ravel order (state-major,
+        # factor-minor) — the exact addition sequence np.unique+bincount
+        # consumes in GenFunc.multiplied.
+        # ``+ 0.0`` canonicalizes signed zeros exactly as GenFunc.multiplied
+        # does, so a group holding -0.0 and +0.0 has one bit pattern and
+        # the unstable sorts on either path pick the same representative.
+        prod_exp = (
+            np.round(
+                (state_exp[:, :, None] + fexp[:, None, :]).reshape(n_sub, flat),
+                decimals,
+            )
+            + 0.0
+        )
+        prod_coef = (state_coef[:, :, None] * fcoef[:, None, :]).reshape(
+            n_sub, flat
+        )
+        # Every padded entry is +inf by construction; any FURTHER
+        # non-finite entry is a live exponent whose rounding overflowed.
+        n_valid = sub_len * flen
+        pad_count = n_sub * flat - int(n_valid.sum())
+        if int((~np.isfinite(prod_exp)).sum()) != pad_count:
+            raise ValueError(
+                "rounded exponents overflowed float64; route these rows "
+                "through the scalar GenFunc instead"
+            )
+        # Per-row sort by exponent; padding sorts last behind its +inf.
+        # Group membership depends only on the rounded *values*, so the
+        # cheaper unstable quicksort finds the same groups a stable sort
+        # would.
+        order = np.argsort(prod_exp, axis=1)
+        perm = np.arange(n_sub, dtype=np.intp)[:, None] * flat + order
+        exp_s = prod_exp.ravel()[perm]
+        in_valid = np.arange(flat)[None, :] < n_valid[:, None]
+        boundary = np.empty((n_sub, flat), dtype=bool)
+        boundary[:, 0] = True
+        boundary[:, 1:] = exp_s[:, 1:] != exp_s[:, :-1]
+        # One flat cumsum assigns globally consecutive group ids: every
+        # row's first entry is forced to be a boundary, so groups can never
+        # straddle a row edge even when adjacent rows share an exponent.
+        gid = np.cumsum(boundary.ravel()) - 1
+        # bincount accumulates sequentially in array order, so feeding it
+        # the coefficients in their ORIGINAL (state-major) product layout
+        # with scattered group ids reproduces the scalar np.unique+bincount
+        # addition sequence exactly — each group's partial sums run in
+        # original product order regardless of how the sort permuted ties.
+        # Padded entries weigh 0.0 — bit-inert additive identities in
+        # whatever (padding) group they land.
+        gid_orig = np.empty(n_sub * flat, dtype=np.int64)
+        gid_orig[perm.ravel()] = gid
+        group_coef = np.bincount(
+            gid_orig,
+            weights=prod_coef.ravel(),
+            minlength=int(gid[-1]) + 1,
+        )
+        # Each row's padding (all +inf) forms at most one trailing group,
+        # so the boundaries inside the valid prefix are exactly the real
+        # merged entries — and reading them off in row-major order yields
+        # the result already CSR-packed, no padded intermediate needed.
+        start = boundary & in_valid
+        merged_len = start.sum(axis=1).astype(np.int64)
+        sel = start.ravel()
+        merged_exp = exp_s.ravel()[sel]
+        merged_coef = group_coef[gid[sel]]
+        if prune_floor > 0.0 and merged_exp.size:
+            keep = merged_coef > prune_floor
+            if not keep.all():
+                bounds = np.zeros(n_sub + 1, dtype=np.int64)
+                np.cumsum(merged_len, out=bounds[1:])
+                row_of = np.repeat(np.arange(n_sub), merged_len)
+                for r in np.unique(row_of[~keep]).tolist():
+                    seg = slice(int(bounds[r]), int(bounds[r + 1]))
+                    # The segment is exactly the scalar merge's merged_coef
+                    # and the drop extraction the scalar's merged_coef[~keep];
+                    # np.sum over the same 1-D array reproduces its pairwise
+                    # summation bit-for-bit.
+                    self.pruned_mass[rows[r]] += float(
+                        merged_coef[seg][~keep[seg]].sum()
+                    )
+                merged_exp = merged_exp[keep]
+                merged_coef = merged_coef[keep]
+                merged_len = np.bincount(
+                    row_of[keep], minlength=n_sub
+                ).astype(np.int64)
+        return (rows, merged_exp, merged_coef, merged_len)
+
+    def _multiply_rowwise(
+        self,
+        rows: np.ndarray,
+        fexp: np.ndarray,
+        fcoef: np.ndarray,
+        flen: np.ndarray,
+        decimals: int,
+        prune_floor: float,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`GenFunc.multiplied`'s own pipeline, one row at a time —
+        bit-identical by construction (it runs the identical operations on
+        the identical arrays)."""
+        merged = []
+        for i in range(rows.size):
+            r = int(rows[i])
+            length = int(self.row_len[r])
+            if length == 0:
+                merged.append((np.empty(0), np.empty(0)))
+                continue
+            start = int(self.starts[r])
+            state_exp = self.exponents[start : start + length]
+            state_coef = self.coeffs[start : start + length]
+            fe = fexp[i, : flen[i]]
+            fc = fcoef[i, : flen[i]]
+            prod_exp = (
+                np.round((state_exp[:, None] + fe[None, :]).ravel(), decimals)
+                + 0.0
+            )
+            prod_coef = (state_coef[:, None] * fc[None, :]).ravel()
+            if not np.isfinite(prod_exp).all():
+                raise ValueError(
+                    "rounded exponents overflowed float64; route these rows "
+                    "through the scalar GenFunc instead"
+                )
+            merged_exp, inverse = np.unique(prod_exp, return_inverse=True)
+            merged_coef = np.bincount(
+                inverse, weights=prod_coef, minlength=merged_exp.size
+            )
+            if prune_floor > 0.0 and merged_exp.size:
+                keep = merged_coef > prune_floor
+                self.pruned_mass[r] += float(merged_coef[~keep].sum())
+                merged_exp = merged_exp[keep]
+                merged_coef = merged_coef[keep]
+            merged.append((merged_exp, merged_coef))
+        lens = np.array([e.size for e, __ in merged], dtype=np.int64)
+        exp_flat = (
+            np.concatenate([e for e, __ in merged]) if merged else np.empty(0)
+        )
+        coef_flat = (
+            np.concatenate([c for __, c in merged]) if merged else np.empty(0)
+        )
+        return (rows, exp_flat, coef_flat, lens)
+
+    def budget_rows(self, max_terms: int, floor_start: float = 0.0) -> None:
+        """Apply :meth:`GenFunc.budgeted` to every over-budget row.
+
+        All over-budget rows advance through the floor-tightening rounds
+        together; each row's floor, keep masks, pruned mass, and the
+        stable keep-heaviest rescue match its scalar loop exactly.
+        """
+        if max_terms < 1:
+            raise ValueError(f"max_terms must be >= 1, got {max_terms!r}")
+        over = np.nonzero(self.row_len > max_terms)[0]
+        if over.size == 0:
+            return
+        floors = np.full(over.size, max(floor_start, _BUDGET_FLOOR_START))
+        while True:
+            active = np.nonzero(self.row_len[over] > max_terms)[0]
+            if active.size == 0:
+                return
+            rows = over[active]
+            lens = self.row_len[rows]
+            width = int(lens.max())
+            exp, coef = self._gather(rows, width, lens)
+            v_mask = np.arange(width)[None, :] < lens[:, None]
+            keep = (coef > floors[active][:, None]) & v_mask
+            floors[active] *= _BUDGET_FLOOR_GROWTH
+            kept = keep.sum(axis=1)
+            rescue = np.nonzero(kept == 0)[0]
+            for i in rescue.tolist():
+                # The floor skipped past every coefficient at once: keep
+                # the heaviest max_terms via the scalar's stable argsort.
+                length = int(lens[i])
+                row_coef = coef[i, :length].copy()
+                argorder = np.argsort(row_coef, kind="stable")
+                mask = np.zeros(length, dtype=bool)
+                mask[argorder[-max_terms:]] = True
+                keep[i, :length] = mask
+            if rescue.size:
+                kept = keep.sum(axis=1)
+            changed = np.nonzero(kept < lens)[0]
+            if changed.size == 0:
+                continue
+            for i in changed.tolist():
+                length = int(lens[i])
+                mask = keep[i, :length]
+                self.pruned_mass[rows[i]] += float(coef[i, :length][~mask].sum())
+            sub_exp, sub_coef, sub_len = self._compact(
+                exp[changed], coef[changed], keep[changed]
+            )
+            self._write_blocks([(rows[changed], sub_exp, sub_coef, sub_len)])
+
+    @classmethod
+    def product(
+        cls,
+        n_rows: int,
+        term_factors: Iterable[
+            Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]
+        ],
+        decimals: int = _DEFAULT_DECIMALS,
+        prune_floor: float = 0.0,
+        max_terms: "int | None" = None,
+    ) -> "BatchedGenFunc":
+        """Batched :meth:`GenFunc.product` across ``n_rows`` rows.
+
+        Args:
+            term_factors: One ``(rows, factor_exponents, factor_coeffs,
+                factor_len)`` tuple per query term, in query-term order —
+                the rows the term's factor multiplies and the per-row
+                factors (see :meth:`multiply_rows`).
+            decimals / prune_floor / max_terms: As in
+                :meth:`GenFunc.product`.
+
+        Returns:
+            The batch after all factors; row ``r`` is bit-identical to
+            ``GenFunc.product`` over the factors whose ``rows`` contain
+            ``r``, in order.
+        """
+        batch = cls.ones(n_rows)
+        for rows, fexp, fcoef, flen in term_factors:
+            batch.multiply_rows(
+                rows, fexp, fcoef, flen, decimals=decimals, prune_floor=prune_floor
+            )
+            if max_terms is not None:
+                # Only rows touched this step can exceed the budget — every
+                # other row was shrunk when it was last multiplied.
+                batch.budget_rows(max_terms, floor_start=prune_floor)
+        return batch
+
+    # -- batched usefulness read-out -----------------------------------------
+
+    def tail_profile(
+        self, thresholds: Sequence[float]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Tail mass and first moment of every row at every threshold.
+
+        Returns:
+            ``(mass, moment)`` arrays of shape ``(len(thresholds),
+            n_rows)``, bit-identical to calling
+            :meth:`GenFunc.tail_profile` on each row: the suffix
+            cumulative sums run over the padded rows whose trailing zeros
+            are additive identities, and the threshold cut reproduces
+            ``searchsorted(..., side="right")``.
+        """
+        grid = np.asarray(thresholds, dtype=float)
+        n_rows = self.row_len.size
+        mass = np.empty((grid.size, n_rows))
+        moment = np.empty((grid.size, n_rows))
+        if n_rows == 0:
+            return mass, moment
+        # Same power-of-two width bucketing as multiply_rows: the suffix
+        # sums only pay for each row's own width (plus <2x padding), not
+        # the widest row in the batch.
+        bucket = np.maximum(
+            np.frexp(np.maximum(self.row_len, 1).astype(np.float64))[1],
+            _BUCKET_MIN_EXP,
+        )
+        for b in np.unique(bucket):
+            rows = np.nonzero(bucket == b)[0]
+            lens = self.row_len[rows]
+            width = int(lens.max())
+            exps, coef = self._gather(rows, width, lens)
+            v_mask = np.arange(width)[None, :] < lens[:, None]
+            exp_cmp = np.where(v_mask, exps, np.inf)
+            moment_terms = coef * exps
+            zero_col = np.zeros((rows.size, 1))
+            mass_sfx = np.hstack(
+                [np.cumsum(coef[:, ::-1], axis=1)[:, ::-1], zero_col]
+            )
+            mom_sfx = np.hstack(
+                [np.cumsum(moment_terms[:, ::-1], axis=1)[:, ::-1], zero_col]
+            )
+            r_idx = np.arange(rows.size)
+            for i, t in enumerate(grid.tolist()):
+                if t != t:  # searchsorted places NaN after every exponent
+                    cnt = lens
+                else:
+                    cnt = (exp_cmp <= t).sum(axis=1)
+                mass[i, rows] = mass_sfx[r_idx, cnt]
+                moment[i, rows] = mom_sfx[r_idx, cnt]
+        return mass, moment
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchedGenFunc(rows={self.n_rows}, "
+            f"max_terms={int(self.row_len.max()) if self.row_len.size else 0})"
         )

@@ -122,6 +122,76 @@ class SubrangeEstimator(ExpansionEstimator):
         coeffs.append(1.0 - p)
         return np.asarray(exponents), np.asarray(coeffs)
 
+    def factor_grid(
+        self,
+        p: np.ndarray,
+        w: np.ndarray,
+        sigma: np.ndarray,
+        mw: np.ndarray,
+        u: np.ndarray,
+        n: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Expression (8) for a whole fleet in one numpy pass.
+
+        The batched counterpart of :meth:`term_polynomial`: given the
+        ``(engines, query terms)`` statistics block of a
+        :class:`~repro.representatives.columnar.FleetRepresentativeStore`
+        gather, computes every engine's per-term factor points at once.
+
+        Args:
+            p / w / sigma / mw: ``(E, Q)`` statistics arrays; ``NaN`` in
+                ``mw`` encodes a triplet-mode "no stored max".
+            u: ``(Q,)`` normalized query weights.
+            n: ``(E,)`` per-engine document counts.
+
+        Returns:
+            ``(exponents, coefficients, has_max_row, remaining)``.  The
+            first two are ``(E, Q, S + 2)`` tensors laid out
+            ``[max-weight singleton, subrange medians..., miss]``; each
+            slot is elementwise bit-identical to the scalar
+            :meth:`term_polynomial`'s value for that engine and term.
+            ``has_max_row`` marks engines whose factors carry the
+            singleton slot, and ``remaining[e, q] > 0`` marks factors
+            whose median slots are live — together they say which slice
+            of the tensor is engine ``e``'s actual factor.
+        """
+        n_engines = p.shape[0]
+        z = normal_quantile(self.max_percentile / 100.0)
+        # Effective max weight: stored when allowed and present, else the
+        # clamped normal estimate — elementwise identical to
+        # _effective_max (Python min/max and np.minimum/np.maximum agree
+        # on the non-negative, NaN-free values here).
+        estimated_mw = np.minimum(1.0, np.maximum(w + z * sigma, 0.0))
+        if self.use_stored_max:
+            mw_eff = np.where(np.isnan(mw), estimated_mw, mw)
+        else:
+            mw_eff = estimated_mw
+        n_f = n.astype(np.float64)
+        has_max_row = (
+            (n > 0)
+            if self.scheme.include_max
+            else np.zeros(n_engines, dtype=bool)
+        )
+        with np.errstate(divide="ignore"):
+            inv_n = np.where(n > 0, 1.0 / n_f, np.inf)
+        p_max = np.minimum(inv_n[:, None], p)
+        remaining = np.where(has_max_row[:, None], p - p_max, p)
+        n_sub = self._offsets.size
+        medians = np.clip(
+            w[:, :, None] + self._offsets * sigma[:, :, None],
+            0.0,
+            mw_eff[:, :, None],
+        )
+        exponents = np.empty(p.shape + (n_sub + 2,))
+        coefficients = np.empty_like(exponents)
+        exponents[:, :, 0] = u[None, :] * mw_eff
+        exponents[:, :, 1 : n_sub + 1] = u[None, :, None] * medians
+        exponents[:, :, n_sub + 1] = 0.0
+        coefficients[:, :, 0] = p_max
+        coefficients[:, :, 1 : n_sub + 1] = remaining[:, :, None] * self._masses
+        coefficients[:, :, n_sub + 1] = 1.0 - p
+        return exponents, coefficients, has_max_row, remaining
+
     def polynomial_config(self) -> Tuple:
         return (
             type(self).__name__,

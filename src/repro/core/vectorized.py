@@ -10,48 +10,54 @@ across the engine axis.
 
 The contract throughout is *bit-identity with the scalar estimators*:
 
-* The subrange method computes all factor tensors (median weights
-  ``w + c_j * sigma``, the max-weight singleton, probabilities) in one
-  vectorized pass, then feeds each engine's factors to the existing
-  :meth:`GenFunc.product` — the same merge the scalar path runs, on
-  bit-identical inputs.
-* The basic and binary-independence methods expand *all* engines together:
-  the generating-function state is an ``(engines, terms)`` matrix whose
-  exponents live as integers on the rounding grid (``np.round(x, d)`` is
-  exactly ``rint(x * 10**d) / 10**d`` for float64, so integer keys and the
-  scalar's rounded floats are interconvertible bit-for-bit), and each
-  multiply-and-merge step reproduces the scalar ``round → unique →
-  bincount`` pipeline with one flat integer sort.  Terms an engine does not
-  match multiply its row by the ghost factor ``1 * X^0 + 0 * X^0``, which
-  leaves state bits unchanged (``c + 0.0 == c``; no new exponents appear).
+* The three expansion estimators (subrange, basic, binary-independence)
+  share one batched polynomial kernel,
+  :class:`~repro.core.genfunc.BatchedGenFunc`: the generating-function
+  state of every engine advances together, one multiply-and-merge per
+  query term, replicating the scalar ``round → unique → bincount``
+  pipeline per row (see the kernel's docstring for the exactness argument
+  covering rounding, merge order, pruning, and expansion budgets).  The
+  subrange factor tensor — median weights ``w + c_j * sigma``, the
+  max-weight singleton, probabilities — is built in one vectorized pass by
+  :meth:`SubrangeEstimator.factor_grid`, and all tails come off one
+  batched suffix-cumsum read (:meth:`BatchedGenFunc.tail_profile`).
 * The gGlOSS estimators are closed-form over sorted bands; both variants
   vectorize to a lexsort plus suffix cumulative sums that accumulate in the
   scalar code's exact addition order.
 
-Where an estimator configuration would change the arithmetic (prune
-floors, expansion budgets, exponents off the integer-key grid), the basic
-and binary paths fall back to per-engine :meth:`GenFunc.product` on the
-same vectorized factor tensors — slower, still exact.
+There is no configuration-triggered fallback: pruning floors, expansion
+budgets, off-grid ``decimals``, and exponents past ``2**53`` all run
+through the batched kernel with scalar-identical semantics.  The only
+escape hatch is per-engine *demotion* for rows whose factor exponents are
+non-finite (or whose rounding would overflow float64) — those rows alone
+are expanded with the scalar :meth:`GenFunc.product`, everything else
+stays batched, and every demotion is counted (:func:`fallback_count`) and
+reported to the estimator's metrics registry as
+``vectorized.scalar_demotions``.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.base import UsefulnessEstimator, _frozen_polynomial
 from repro.core.basic_estimator import BasicEstimator
 from repro.core.binary_estimator import BinaryIndependenceEstimator
-from repro.core.genfunc import GenFunc
+from repro.core.genfunc import BatchedGenFunc, GenFunc
 from repro.core.gloss import GlossDisjointEstimator, GlossHighCorrelationEstimator
 from repro.core.subrange_estimator import SubrangeEstimator
 from repro.core.types import Usefulness
 from repro.corpus.query import Query
 from repro.representatives.columnar import FleetRepresentativeStore
-from repro.stats.normal import normal_quantile
 
-__all__ = ["fleet_usefulness_grid", "supports_fleet"]
+__all__ = [
+    "fallback_count",
+    "fleet_usefulness_grid",
+    "reset_fallback_count",
+    "supports_fleet",
+]
 
 #: Estimator types with a vectorized fleet path.  Exact types, not
 #: subclasses: a subclass may override term_polynomial/estimate and the
@@ -64,9 +70,29 @@ _FLEET_TYPES = (
     GlossDisjointEstimator,
 )
 
-#: Above this magnitude an exponent times ``10**decimals`` may lose integer
-#: precision in float64, breaking the int-key equivalence — fall back.
-_MAX_EXACT = 2.0 ** 53
+#: Exponent-magnitude ceiling after ``10**decimals`` scaling: beyond this
+#: ``np.round``'s intermediate product can overflow to ``inf`` and the
+#: batched kernel's padded sort loses its finite/in-row distinction.  The
+#: affected rows are demoted to the scalar path (still exact); float64
+#: itself tops out near 1.8e308.
+_ROUND_OVERFLOW = 1e306
+
+#: How many engine rows were demoted to the scalar per-engine product
+#: because their factor exponents were non-finite or overflow-adjacent.
+#: Zero on every sane representative; the fleet-scaling bench asserts it
+#: stays zero through the whole sweep.
+_SCALAR_DEMOTIONS = 0
+
+
+def fallback_count() -> int:
+    """Engine rows demoted to the scalar product since the last reset."""
+    return _SCALAR_DEMOTIONS
+
+
+def reset_fallback_count() -> None:
+    """Zero the demotion counter (benches call this before a sweep)."""
+    global _SCALAR_DEMOTIONS
+    _SCALAR_DEMOTIONS = 0
 
 
 def supports_fleet(estimator: UsefulnessEstimator) -> bool:
@@ -90,9 +116,10 @@ def fleet_usefulness_grid(
         query: The query.
         thresholds: Thresholds to read out (the expansion estimators share
             one expansion across all of them, like ``estimate_many``).
-        polycache: Optional term-polynomial cache consulted/populated by
-            the subrange path (factors stored are bit-identical to the
-            scalar estimator's, so the cache stays interchangeable).
+        polycache: Optional term-polynomial cache kept warm by the
+            subrange path (factors stored are bit-identical to the scalar
+            estimator's, so the cache stays interchangeable between the
+            scalar and vectorized paths).
 
     Returns:
         ``grid[t][e]`` — the estimate for ``thresholds[t]`` and engine
@@ -129,221 +156,61 @@ def fleet_usefulness_grid(
     return _gloss_disjoint_grid(p, w, u, n, matched, thresholds)
 
 
-# -- subrange: vectorized factors, per-engine product ------------------------
+# -- shared expansion machinery ----------------------------------------------
 
 
-def _subrange_grid(
-    est, store, query, p, w, sigma, mw, u, n, matched, thresholds, polycache
-):
-    """All subrange polynomial factors in one numpy pass, expanded with the
-    scalar :meth:`GenFunc.product` per engine."""
-    n_engines, n_terms = p.shape
-    z = normal_quantile(est.max_percentile / 100.0)
-    # Effective max weight: stored when allowed and present, else the
-    # clamped normal estimate — elementwise identical to _effective_max
-    # (Python min/max and np.minimum/np.maximum agree on the non-negative,
-    # NaN-free values here).
-    estimated_mw = np.minimum(1.0, np.maximum(w + z * sigma, 0.0))
-    if est.use_stored_max:
-        mw_eff = np.where(np.isnan(mw), estimated_mw, mw)
-    else:
-        mw_eff = estimated_mw
-    n_f = n.astype(np.float64)
-    has_max_row = (
-        (n > 0) if est.scheme.include_max else np.zeros(n_engines, dtype=bool)
-    )
-    with np.errstate(divide="ignore"):
-        inv_n = np.where(n > 0, 1.0 / n_f, np.inf)
-    p_max = np.minimum(inv_n[:, None], p)
-    remaining = np.where(has_max_row[:, None], p - p_max, p)
-    n_sub = est._offsets.size
-    medians = np.clip(
-        w[:, :, None] + est._offsets * sigma[:, :, None],
-        0.0,
-        mw_eff[:, :, None],
-    )
-    exps = np.empty((n_engines, n_terms, n_sub + 2))
-    coeffs = np.empty((n_engines, n_terms, n_sub + 2))
-    exps[:, :, 0] = u[None, :] * mw_eff
-    exps[:, :, 1 : n_sub + 1] = u[None, :, None] * medians
-    exps[:, :, n_sub + 1] = 0.0
-    coeffs[:, :, 0] = p_max
-    coeffs[:, :, 1 : n_sub + 1] = remaining[:, :, None] * est._masses
-    coeffs[:, :, n_sub + 1] = 1.0 - p
+def _unsafe_rows(exponent_bound: np.ndarray, decimals: int) -> np.ndarray:
+    """Rows the batched kernel must not touch: worst-case accumulated
+    exponent magnitude non-finite, or large enough that ``np.round``'s
+    ``x * 10**decimals`` scaling could overflow float64 mid-product."""
+    bad = ~np.isfinite(exponent_bound)
+    if decimals > 0:
+        with np.errstate(over="ignore", invalid="ignore"):
+            bad |= exponent_bound * (10.0 ** decimals) >= _ROUND_OVERFLOW
+    return bad
 
-    head_tail = np.array([0, n_sub + 1])
-    u_items = list(query.normalized_items())
-    names = store.engine_names
-    config = est.polynomial_config() if polycache is not None else None
-    per_engine: List[List[Usefulness]] = []
-    for e in range(n_engines):
-        polys = []
-        for j, (term, uj) in enumerate(u_items):
-            if polycache is not None:
-                hit, poly = polycache.lookup(config, names[e], term, uj)
-                if hit:
-                    if poly is not None:
-                        polys.append(poly)
-                    continue
-            if not matched[e, j]:
-                if polycache is not None:
-                    polycache.store(config, names[e], term, uj, None)
-                continue
-            if has_max_row[e]:
-                if remaining[e, j] > 0.0:
-                    factor = (exps[e, j], coeffs[e, j])
-                else:
-                    factor = (exps[e, j, head_tail], coeffs[e, j, head_tail])
-            else:
-                factor = (exps[e, j, 1:], coeffs[e, j, 1:])
-            if polycache is not None:
-                poly = _frozen_polynomial(
-                    (factor[0].copy(), factor[1].copy())
-                )
-                polycache.store(config, names[e], term, uj, poly)
-                polys.append(poly)
-            else:
-                polys.append(factor)
+
+def _demote_rows(
+    est,
+    rows: np.ndarray,
+    polys_of,
+    thresholds: List[float],
+) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+    """Scalar ``GenFunc.product`` tails for the demoted rows, counted."""
+    global _SCALAR_DEMOTIONS
+    tails: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+    for e in rows.tolist():
         expansion = GenFunc.product(
-            polys,
+            polys_of(e),
             decimals=est.decimals,
             prune_floor=est.prune_floor,
             max_terms=est.max_terms,
         )
-        mass, moment = expansion.tail_profile(thresholds)
-        n_e = int(n[e])
-        per_engine.append(
-            [
-                Usefulness(nodoc=n_e * m, avgsim=(mo / m if m > 0.0 else 0.0))
-                for m, mo in zip(mass.tolist(), moment.tolist())
-            ]
-        )
-    return [
-        [per_engine[e][t] for e in range(n_engines)]
-        for t in range(len(thresholds))
-    ]
+        tails[e] = expansion.tail_profile(thresholds)
+    _SCALAR_DEMOTIONS += len(tails)
+    est.registry.counter("vectorized.scalar_demotions").inc(len(tails))
+    return tails
 
 
-# -- basic / binary: engine-parallel expansion -------------------------------
-
-
-def _expansion_grid(est, x, p, matched, n, thresholds):
-    """Engine-parallel expansion of two-point factors; falls back to
-    per-engine products when the parallel merge cannot stay bit-exact."""
-    grid = None
-    if est.prune_floor == 0.0 and est.max_terms is None and 0 <= est.decimals <= 15:
-        grid = _parallel_expansion_grid(est, x, p, matched, n, thresholds)
-    if grid is None:
-        grid = _per_engine_expansion_grid(est, x, p, matched, n, thresholds)
-    return grid
-
-
-def _parallel_expansion_grid(est, x, p, matched, n, thresholds):
-    n_engines, n_terms = x.shape
-    scale = float(10 ** est.decimals)
-    keys = np.zeros((n_engines, 1), dtype=np.int64)
-    coeffs = np.ones((n_engines, 1))
-    row_len = np.ones(n_engines, dtype=np.int64)
-    row_ids = np.arange(n_engines, dtype=np.int64)
-    for j in range(n_terms):
-        # Matched rows multiply by [p * X^x + (1-p)]; unmatched rows by the
-        # ghost factor [1 * X^0 + 0 * X^0], whose zero-coefficient entry
-        # merges into each existing exponent group adding +0.0 — state bits
-        # are unchanged, exactly as the scalar path's skip leaves them.
-        m = matched[:, j]
-        fexp = np.stack(
-            [np.where(m, x[:, j], 0.0), np.zeros(n_engines)], axis=1
-        )
-        fcoef = np.stack(
-            [np.where(m, p[:, j], 1.0), np.where(m, 1.0 - p[:, j], 0.0)],
-            axis=1,
-        )
-        width = keys.shape[1]
-        state_exp = keys.astype(np.float64) / scale
-        sums = (state_exp[:, :, None] + fexp[:, None, :]).reshape(
-            n_engines, 2 * width
-        )
-        scaled = sums * scale
-        if scaled.size and not (np.abs(scaled).max() < _MAX_EXACT):
-            return None  # off the exact integer grid; per-engine fallback
-        new_keys = np.rint(scaled).astype(np.int64)
-        new_coeffs = (coeffs[:, :, None] * fcoef[:, None, :]).reshape(
-            n_engines, 2 * width
-        )
-        valid = np.repeat(
-            np.arange(width)[None, :] < row_len[:, None], 2, axis=1
-        ).ravel()
-        rows_flat = np.repeat(row_ids, 2 * width)[valid]
-        cols_flat = np.tile(np.arange(2 * width, dtype=np.int64), n_engines)[valid]
-        keys_flat = new_keys.ravel()[valid]
-        if keys_flat.size and int(keys_flat.min()) < 0:
-            return None
-        key_bits = max(int(keys_flat.max()).bit_length(), 1) if keys_flat.size else 1
-        idx_bits = max(int(2 * width - 1).bit_length(), 1)
-        row_bits = max(int(n_engines - 1).bit_length(), 1)
-        if row_bits + key_bits + idx_bits > 62:
-            return None
-        # One flat sort orders by (row, exponent key, original position):
-        # the low position bits make every packed value unique, so even an
-        # unstable sort yields the scalar merge's stable element order.
-        packed = (rows_flat << (key_bits + idx_bits)) | (keys_flat << idx_bits) | cols_flat
-        packed.sort()
-        idx_mask = (1 << idx_bits) - 1
-        key_mask = (1 << key_bits) - 1
-        row_sorted = packed >> (key_bits + idx_bits)
-        key_sorted = (packed >> idx_bits) & key_mask
-        col_sorted = packed & idx_mask
-        coef_sorted = new_coeffs.ravel()[row_sorted * (2 * width) + col_sorted]
-        top = packed >> idx_bits
-        boundary = np.empty(packed.size, dtype=bool)
-        boundary[0] = True
-        boundary[1:] = top[1:] != top[:-1]
-        group_id = np.cumsum(boundary) - 1
-        n_groups = int(group_id[-1]) + 1
-        # bincount accumulates element-by-element in array order; within a
-        # group that order is the original ravel order — the exact addition
-        # sequence np.unique + bincount runs in the scalar merge.
-        group_coef = np.bincount(group_id, weights=coef_sorted, minlength=n_groups)
-        group_key = key_sorted[boundary]
-        group_row = row_sorted[boundary]
-        rows_per = np.bincount(group_row, minlength=n_engines)
-        new_width = int(rows_per.max())
-        first = np.zeros(n_engines + 1, dtype=np.int64)
-        np.cumsum(rows_per, out=first[1:])
-        pos = np.arange(n_groups, dtype=np.int64) - first[group_row]
-        keys = np.zeros((n_engines, new_width), dtype=np.int64)
-        coeffs = np.zeros((n_engines, new_width))
-        keys[group_row, pos] = group_key
-        coeffs[group_row, pos] = group_coef
-        row_len = rows_per.astype(np.int64)
-    # Read-out: suffix cumulative sums along the (ascending) exponent axis,
-    # with row padding as trailing +0.0 terms (bit-inert in the chain).
-    width = keys.shape[1]
-    real = np.arange(width)[None, :] < row_len[:, None]
-    exp_f = keys.astype(np.float64) / scale
-    exp_cmp = np.where(real, exp_f, np.inf)
-    coef = np.where(real, coeffs, 0.0)
-    moment_terms = coef * np.where(real, exp_f, 0.0)
-    mass_sfx = np.hstack(
-        [np.cumsum(coef[:, ::-1], axis=1)[:, ::-1], np.zeros((n_engines, 1))]
-    )
-    mom_sfx = np.hstack(
-        [
-            np.cumsum(moment_terms[:, ::-1], axis=1)[:, ::-1],
-            np.zeros((n_engines, 1)),
-        ]
-    )
+def _grid_readout(
+    batch: BatchedGenFunc,
+    n: np.ndarray,
+    thresholds: List[float],
+    scalar_tails: Dict[int, Tuple[np.ndarray, np.ndarray]],
+) -> List[List[Usefulness]]:
+    """Batched tails -> per-threshold Usefulness rows (scalar-identical
+    ``nodoc = n * mass`` / ``avgsim = moment / mass`` arithmetic)."""
+    mass, moment = batch.tail_profile(thresholds)
+    for e, (row_mass, row_moment) in scalar_tails.items():
+        mass[:, e] = row_mass
+        moment[:, e] = row_moment
     n_f = n.astype(np.float64)
     grid = []
-    for t in thresholds:
-        cnt = (exp_cmp <= t).sum(axis=1)
-        mass = mass_sfx[row_ids, cnt]
-        moment = mom_sfx[row_ids, cnt]
-        nodoc = n_f * mass
-        positive = mass > 0.0
-        avgsim = np.where(
-            positive, moment / np.where(positive, mass, 1.0), 0.0
-        )
+    for i in range(len(thresholds)):
+        m = mass[i]
+        nodoc = n_f * m
+        positive = m > 0.0
+        avgsim = np.where(positive, moment[i] / np.where(positive, m, 1.0), 0.0)
         grid.append(
             [
                 Usefulness(nodoc=nd, avgsim=av)
@@ -353,37 +220,195 @@ def _parallel_expansion_grid(est, x, p, matched, n, thresholds):
     return grid
 
 
-def _per_engine_expansion_grid(est, x, p, matched, n, thresholds):
-    """Exact fallback: scalar-identical factors, one product per engine."""
-    n_engines, n_terms = x.shape
-    grid_rows = []
-    for e in range(n_engines):
-        polys = [
-            (
-                np.array([x[e, j], 0.0]),
-                np.array([p[e, j], 1.0 - p[e, j]]),
+# -- subrange: batched factor tensor, batched product ------------------------
+
+
+def _subrange_grid(
+    est, store, query, p, w, sigma, mw, u, n, matched, thresholds, polycache
+):
+    """All subrange polynomial factors in one numpy pass, expanded with the
+    batched :class:`BatchedGenFunc` product across the engine axis."""
+    n_engines, n_terms = p.shape
+    exps, coeffs, has_max_row, remaining = est.factor_grid(p, w, sigma, mw, u, n)
+    n_sub = est._offsets.size
+    if polycache is not None:
+        _maintain_subrange_polycache(
+            est, store, query, matched, has_max_row, remaining,
+            exps, coeffs, n_sub, polycache,
+        )
+    # Worst-case exponent accumulation per engine: the largest |slot| of
+    # each matched term's factor, summed over the query.
+    slot_bound = np.where(matched, np.abs(exps).max(axis=2), 0.0).sum(axis=1)
+    demoted = _unsafe_rows(slot_bound, est.decimals)
+    vectorizable = ~demoted
+    batch = BatchedGenFunc.ones(n_engines)
+    for j in range(n_terms):
+        rows = np.nonzero(matched[:, j] & vectorizable)[0]
+        if rows.size == 0:
+            continue
+        fexp, fcoef, flen = _subrange_factor_rows(
+            exps, coeffs, has_max_row, remaining, rows, j, n_sub
+        )
+        batch.multiply_rows(
+            rows, fexp, fcoef, flen,
+            decimals=est.decimals, prune_floor=est.prune_floor,
+        )
+        if est.max_terms is not None:
+            batch.budget_rows(est.max_terms, floor_start=est.prune_floor)
+    scalar_tails: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+    if demoted.any():
+        scalar_tails = _demote_rows(
+            est,
+            np.nonzero(demoted)[0],
+            lambda e: _subrange_scalar_polys(
+                exps, coeffs, has_max_row, remaining, matched, e, n_sub
+            ),
+            thresholds,
+        )
+    return _grid_readout(batch, n, thresholds, scalar_tails)
+
+
+def _subrange_factor_rows(exps, coeffs, has_max_row, remaining, rows, j, n_sub):
+    """Per-row subrange factors for term ``j`` in scalar point order.
+
+    Three factor shapes exist (see
+    :meth:`SubrangeEstimator.term_polynomial`): the full
+    ``[singleton, medians..., miss]``, the collapsed ``[singleton, miss]``
+    when the singleton absorbs the whole occurrence probability, and the
+    ``[medians..., miss]`` form when the scheme carries no max subrange
+    (or the engine has no documents).  All three are sliced from the
+    factor tensor into one padded ``(rows, S + 2)`` block with per-row
+    effective lengths — the batched kernel ignores the padding entirely.
+    """
+    width = n_sub + 2
+    fexp = np.zeros((rows.size, width))
+    fcoef = np.zeros((rows.size, width))
+    flen = np.empty(rows.size, dtype=np.int64)
+    with_max = has_max_row[rows]
+    live_medians = remaining[rows, j] > 0.0
+    full = with_max & live_medians
+    singleton = with_max & ~live_medians
+    no_max = ~with_max
+    if full.any():
+        sel = rows[full]
+        fexp[full] = exps[sel, j]
+        fcoef[full] = coeffs[sel, j]
+        flen[full] = width
+    if singleton.any():
+        sel = rows[singleton]
+        fexp[singleton, 0] = exps[sel, j, 0]
+        fcoef[singleton, 0] = coeffs[sel, j, 0]
+        fexp[singleton, 1] = exps[sel, j, n_sub + 1]
+        fcoef[singleton, 1] = coeffs[sel, j, n_sub + 1]
+        flen[singleton] = 2
+    if no_max.any():
+        sel = rows[no_max]
+        fexp[no_max, : n_sub + 1] = exps[sel, j, 1:]
+        fcoef[no_max, : n_sub + 1] = coeffs[sel, j, 1:]
+        flen[no_max] = n_sub + 1
+    return fexp, fcoef, flen
+
+
+def _subrange_scalar_polys(exps, coeffs, has_max_row, remaining, matched, e, n_sub):
+    """Engine ``e``'s factor list, sliced from the same tensors the batch
+    uses — the demotion path's input to the scalar ``GenFunc.product``."""
+    head_tail = np.array([0, n_sub + 1])
+    polys = []
+    for j in range(matched.shape[1]):
+        if not matched[e, j]:
+            continue
+        if has_max_row[e]:
+            if remaining[e, j] > 0.0:
+                polys.append((exps[e, j], coeffs[e, j]))
+            else:
+                polys.append((exps[e, j, head_tail], coeffs[e, j, head_tail]))
+        else:
+            polys.append((exps[e, j, 1:], coeffs[e, j, 1:]))
+    return polys
+
+
+def _maintain_subrange_polycache(
+    est, store, query, matched, has_max_row, remaining, exps, coeffs, n_sub,
+    polycache,
+):
+    """Keep the term-polynomial cache warm from the vectorized tensors.
+
+    The batched kernel computes every factor in one pass, so the cache is
+    no longer consulted *for* the computation — but it is still the
+    scalar/batch interchange point (the scalar broker path and
+    ``TermPolynomialCache`` invalidation tests rely on it), so the grid
+    performs the same lookup/store protocol: misses are populated with
+    frozen copies bit-identical to :meth:`term_polynomial`'s output and
+    unmatched terms are negatively cached.
+    """
+    config = est.polynomial_config()
+    names = store.engine_names
+    head_tail = np.array([0, n_sub + 1])
+    u_items = list(query.normalized_items())
+    for e, name in enumerate(names):
+        for j, (term, uj) in enumerate(u_items):
+            hit, __ = polycache.lookup(config, name, term, uj)
+            if hit:
+                continue
+            if not matched[e, j]:
+                polycache.store(config, name, term, uj, None)
+                continue
+            if has_max_row[e]:
+                if remaining[e, j] > 0.0:
+                    factor = (exps[e, j], coeffs[e, j])
+                else:
+                    factor = (exps[e, j, head_tail], coeffs[e, j, head_tail])
+            else:
+                factor = (exps[e, j, 1:], coeffs[e, j, 1:])
+            polycache.store(
+                config, name, term, uj,
+                _frozen_polynomial((factor[0].copy(), factor[1].copy())),
             )
-            for j in range(n_terms)
-            if matched[e, j]
-        ]
-        expansion = GenFunc.product(
-            polys,
-            decimals=est.decimals,
-            prune_floor=est.prune_floor,
-            max_terms=est.max_terms,
+
+
+# -- basic / binary: engine-parallel expansion -------------------------------
+
+
+def _expansion_grid(est, x, p, matched, n, thresholds):
+    """Engine-parallel expansion of the two-point factors
+    ``p * X^x + (1-p)`` through the batched kernel — every estimator
+    configuration (pruning, budgets, any ``decimals``) included."""
+    n_engines, n_terms = x.shape
+    bound = np.where(matched, np.abs(x), 0.0).sum(axis=1)
+    demoted = _unsafe_rows(bound, est.decimals)
+    vectorizable = ~demoted
+    batch = BatchedGenFunc.ones(n_engines)
+    for j in range(n_terms):
+        rows = np.nonzero(matched[:, j] & vectorizable)[0]
+        if rows.size == 0:
+            continue
+        fexp = np.zeros((rows.size, 2))
+        fexp[:, 0] = x[rows, j]
+        fcoef = np.empty((rows.size, 2))
+        fcoef[:, 0] = p[rows, j]
+        fcoef[:, 1] = 1.0 - p[rows, j]
+        batch.multiply_rows(
+            rows, fexp, fcoef,
+            decimals=est.decimals, prune_floor=est.prune_floor,
         )
-        mass, moment = expansion.tail_profile(thresholds)
-        n_e = int(n[e])
-        grid_rows.append(
-            [
-                Usefulness(nodoc=n_e * m, avgsim=(mo / m if m > 0.0 else 0.0))
-                for m, mo in zip(mass.tolist(), moment.tolist())
-            ]
+        if est.max_terms is not None:
+            batch.budget_rows(est.max_terms, floor_start=est.prune_floor)
+    scalar_tails: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+    if demoted.any():
+        scalar_tails = _demote_rows(
+            est,
+            np.nonzero(demoted)[0],
+            lambda e: [
+                (
+                    np.array([x[e, j2], 0.0]),
+                    np.array([p[e, j2], 1.0 - p[e, j2]]),
+                )
+                for j2 in range(n_terms)
+                if matched[e, j2]
+            ],
+            thresholds,
         )
-    return [
-        [grid_rows[e][t] for e in range(n_engines)]
-        for t in range(len(thresholds))
-    ]
+    return _grid_readout(batch, n, thresholds, scalar_tails)
 
 
 # -- gGlOSS ------------------------------------------------------------------

@@ -313,7 +313,13 @@ class MetasearchBroker:
         scalar path would (the grid is bit-identical to it, so the cache
         stays interchangeable between paths).  Returns ``None`` when the
         estimator has no vectorized path — the caller falls back to the
-        scalar loop.
+        scalar loop.  For supported estimators the route is unconditional:
+        pruning floors, ``max_terms`` caps, non-default decimals, and
+        triplet mode all run through the batched
+        :class:`~repro.core.genfunc.BatchedGenFunc` product (the grid only
+        ever demotes individual engines whose exponents would overflow
+        ``np.round``'s float64 scaling, counted by
+        :func:`repro.core.fallback_count`).
         """
         if self.fleet is None or not supports_fleet(self.estimator):
             return None

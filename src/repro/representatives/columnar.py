@@ -490,6 +490,10 @@ class FleetRepresentativeStore:
         self._n_terms: List[int] = []
         self._pending: Dict[int, _EngineColumns] = {}
         self._packed: Optional[_PackedFleet] = None
+        # Derived per-engine arrays served on every grid call; rebuilt
+        # lazily after a registration change instead of per read.
+        self._docs_array: Optional[np.ndarray] = None
+        self._mean_w_array: Optional[np.ndarray] = None
 
     # -- registration --------------------------------------------------------
 
@@ -560,6 +564,8 @@ class FleetRepresentativeStore:
             self._binary_mean_w[index] = columns.binary_mean_w
             self._n_terms[index] = columns.n_terms
         self._pending[index] = columns
+        self._docs_array = None
+        self._mean_w_array = None
         return FleetRepresentativeRef(name, self)
 
     def remove(self, name: str) -> None:
@@ -581,6 +587,8 @@ class FleetRepresentativeStore:
         self._by_name = {n: i for i, n in enumerate(self._names)}
         self._pending = {self._by_name[c.name]: c for c in survivors}
         self._packed = None
+        self._docs_array = None
+        self._mean_w_array = None
 
     # -- packing -------------------------------------------------------------
 
@@ -712,14 +720,22 @@ class FleetRepresentativeStore:
 
     @property
     def n_documents(self) -> np.ndarray:
-        return np.asarray(self._n_documents, dtype=np.int64)
+        if self._docs_array is None:
+            arr = np.asarray(self._n_documents, dtype=np.int64)
+            arr.flags.writeable = False
+            self._docs_array = arr
+        return self._docs_array
 
     @property
     def binary_mean_w(self) -> np.ndarray:
         """Per-engine mean of mean term weights (the binary-independence
         estimator's database weight), precomputed at add time over the
         source representative's own iteration order."""
-        return np.asarray(self._binary_mean_w, dtype=np.float64)
+        if self._mean_w_array is None:
+            arr = np.asarray(self._binary_mean_w, dtype=np.float64)
+            arr.flags.writeable = False
+            self._mean_w_array = arr
+        return self._mean_w_array
 
     def has_max_weights(self, name: str) -> bool:
         return self._has_mw_default[self._by_name[name]]

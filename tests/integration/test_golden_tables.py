@@ -18,7 +18,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import SubrangeEstimator, get_estimator
+from repro.core import (
+    SubrangeEstimator,
+    fallback_count,
+    get_estimator,
+    reset_fallback_count,
+)
 from repro.engine import SearchEngine
 from repro.evaluation import (
     MethodSpec,
@@ -181,6 +186,81 @@ class TestBatchPipelineTables:
         check_golden(
             "triplet_table",
             format_combined_table(batch_experiment, "subrange-triplet"),
+        )
+
+
+class TestColumnarGridTables:
+    """Tables 1-12 computed through a ``columnar=True`` broker — the
+    vectorized subrange grid with the batched ``BatchedGenFunc`` product
+    — and pinned to the *same* golden files as the serial experiment.
+    The paper-table numbers must survive the vectorized path bit-for-bit,
+    with zero scalar-fallback demotions along the way."""
+
+    @pytest.fixture(scope="class")
+    def columnar_experiment(
+        self, small_engine, small_representative, small_queries
+    ):
+        specs = [
+            ("gloss-hc", get_estimator("gloss-hc"), small_representative, ""),
+            ("prev", get_estimator("prev"), small_representative, ""),
+            ("subrange", get_estimator("subrange"), small_representative, ""),
+            (
+                "subrange-1byte",
+                get_estimator("subrange"),
+                quantize_representative(small_representative),
+                "Sub 1-byte",
+            ),
+            (
+                "subrange-triplet",
+                SubrangeEstimator(use_stored_max=False),
+                small_representative,
+                "Sub triplet",
+            ),
+        ]
+        methods = []
+        for key, estimator, representative, label in specs:
+            broker = MetasearchBroker(estimator=estimator, columnar=True)
+            broker.register(small_engine, representative=representative)
+            methods.append(
+                MethodSpec(
+                    key,
+                    _BatchPipelineEstimator(broker),
+                    representative,
+                    label=label,
+                )
+            )
+        reset_fallback_count()
+        experiment = run_usefulness_experiment(
+            small_engine, small_queries, methods, thresholds=THRESHOLDS
+        )
+        assert fallback_count() == 0, (
+            "the golden-table sweep demoted rows to the scalar path; "
+            "every configuration must run through the batched kernel"
+        )
+        return experiment
+
+    def test_match_table_via_columnar_grid(self, columnar_experiment):
+        rendered = format_match_table(
+            columnar_experiment, methods=["gloss-hc", "prev", "subrange"]
+        )
+        check_golden("match_table", rendered)
+
+    def test_error_table_via_columnar_grid(self, columnar_experiment):
+        rendered = format_error_table(
+            columnar_experiment, methods=["gloss-hc", "prev", "subrange"]
+        )
+        check_golden("error_table", rendered)
+
+    def test_quantized_table_via_columnar_grid(self, columnar_experiment):
+        check_golden(
+            "quantized_table",
+            format_combined_table(columnar_experiment, "subrange-1byte"),
+        )
+
+    def test_triplet_table_via_columnar_grid(self, columnar_experiment):
+        check_golden(
+            "triplet_table",
+            format_combined_table(columnar_experiment, "subrange-triplet"),
         )
 
 

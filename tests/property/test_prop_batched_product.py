@@ -1,0 +1,273 @@
+"""Property-based bit-exactness wall for the batched polynomial product.
+
+:class:`~repro.core.genfunc.BatchedGenFunc` promises *bit-identity per
+row* with the scalar :class:`~repro.core.genfunc.GenFunc` pipeline — not
+"close", the same IEEE-754 bits.  This suite drives the batched kernel
+through randomly shaped products and checks every row against the scalar
+``GenFunc.product`` run over exactly that row's factors:
+
+* ragged factor counts — each term multiplies an arbitrary subset of
+  rows, with per-row factor widths from singleton points up;
+* degenerate shapes — zero rows, zero terms, rows a prune annihilated to
+  the empty polynomial, factors of width 1;
+* extreme coefficients near ``2**53``, where one misplaced addition in
+  the merge order loses a unit in the last place;
+* every expansion-control combination — ``decimals`` (negative,
+  zero, default, high), ``prune_floor`` on/off, ``max_terms`` caps that
+  trigger the budget loop and its stable keep-heaviest rescue;
+* the tail read-out — ``tail_profile`` over thresholds including
+  ``-inf``, ``+inf``, ``NaN``, and exact exponent hits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.genfunc import BatchedGenFunc, GenFunc
+
+# Exponents stay modest so no (exponent * 10**decimals) rounding overflow
+# occurs — overflow demotion is covered by the explicit tests below.
+_EXPONENTS = st.one_of(
+    st.sampled_from(
+        [0.0, -0.0, 0.1, 0.25, 1.0 / 3.0, 1e-9, 5.5, 123.456789, -7.125]
+    ),
+    st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+)
+
+# Coefficients include values at the 2**53 integer boundary: adding 1.0 to
+# 2**53 is a no-op in float64, so any deviation from the scalar merge's
+# addition sequence shows up as a last-place difference here.
+_COEFFS = st.one_of(
+    st.sampled_from(
+        [
+            0.0,
+            1.0,
+            0.5,
+            1e-300,
+            1e-12,
+            12345.6789,
+            float(2**53 - 1),
+            float(2**53),
+            float(2**53 + 2),
+            1e16,
+        ]
+    ),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+_THRESHOLDS = [float("-inf"), 0.0, 0.1, 0.30000000000000004, 5.5, float("inf"), float("nan")]
+
+
+@st.composite
+def product_cases(draw):
+    n_rows = draw(st.integers(min_value=0, max_value=5))
+    n_terms = draw(st.integers(min_value=0, max_value=4))
+    decimals = draw(st.sampled_from([-2, 0, 3, 8, 15]))
+    prune_floor = draw(st.sampled_from([0.0, 1e-12, 1e-3, 0.2]))
+    max_terms = draw(st.sampled_from([None, 1, 2, 4]))
+    terms = []
+    for __ in range(n_terms):
+        rows = [r for r in range(n_rows) if draw(st.booleans())]
+        if not rows:
+            continue
+        flen = [draw(st.integers(min_value=1, max_value=5)) for __ in rows]
+        width = max(flen)
+        fexp = np.zeros((len(rows), width))
+        fcoef = np.zeros((len(rows), width))
+        for i, k in enumerate(flen):
+            for j in range(k):
+                fexp[i, j] = draw(_EXPONENTS)
+                fcoef[i, j] = draw(_COEFFS)
+            # Poison the padding: the kernel must never read past flen.
+            fexp[i, k:] = draw(st.sampled_from([0.0, 99.0, -3.5]))
+            fcoef[i, k:] = draw(st.sampled_from([0.0, 7.0]))
+        terms.append(
+            (
+                np.asarray(rows, dtype=np.intp),
+                fexp,
+                fcoef,
+                np.asarray(flen, dtype=np.int64),
+            )
+        )
+    return n_rows, terms, decimals, prune_floor, max_terms
+
+
+def scalar_reference(n_rows, terms, decimals, prune_floor, max_terms):
+    """Row-by-row scalar ``GenFunc.product`` over the same factors."""
+    out = []
+    for r in range(n_rows):
+        polys = []
+        for rows, fexp, fcoef, flen in terms:
+            hits = np.nonzero(rows == r)[0]
+            for i in hits.tolist():
+                k = int(flen[i])
+                polys.append((fexp[i, :k].copy(), fcoef[i, :k].copy()))
+        out.append(
+            GenFunc.product(
+                polys,
+                decimals=decimals,
+                prune_floor=prune_floor,
+                max_terms=max_terms,
+            )
+        )
+    return out
+
+
+def assert_rows_bit_identical(batch, scalars):
+    for r, want in enumerate(scalars):
+        got = batch.row(r)
+        assert got.exponents.tobytes() == want.exponents.tobytes(), (
+            f"row {r} exponents diverged: {got.exponents!r} vs "
+            f"{want.exponents!r}"
+        )
+        assert got.coeffs.tobytes() == want.coeffs.tobytes(), (
+            f"row {r} coefficients diverged: {got.coeffs!r} vs "
+            f"{want.coeffs!r}"
+        )
+        assert float(got.pruned_mass).hex() == float(want.pruned_mass).hex(), (
+            f"row {r} pruned mass diverged: {got.pruned_mass!r} vs "
+            f"{want.pruned_mass!r}"
+        )
+
+
+class TestBatchedProductBitIdentity:
+    @settings(max_examples=150, deadline=None)
+    @given(product_cases())
+    def test_product_matches_scalar_bit_for_bit(self, case):
+        n_rows, terms, decimals, prune_floor, max_terms = case
+        batch = BatchedGenFunc.product(
+            n_rows,
+            terms,
+            decimals=decimals,
+            prune_floor=prune_floor,
+            max_terms=max_terms,
+        )
+        assert_rows_bit_identical(
+            batch,
+            scalar_reference(n_rows, terms, decimals, prune_floor, max_terms),
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(product_cases())
+    def test_tail_profile_matches_scalar_bit_for_bit(self, case):
+        n_rows, terms, decimals, prune_floor, max_terms = case
+        batch = BatchedGenFunc.product(
+            n_rows,
+            terms,
+            decimals=decimals,
+            prune_floor=prune_floor,
+            max_terms=max_terms,
+        )
+        mass, moment = batch.tail_profile(_THRESHOLDS)
+        assert mass.shape == moment.shape == (len(_THRESHOLDS), n_rows)
+        scalars = scalar_reference(
+            n_rows, terms, decimals, prune_floor, max_terms
+        )
+        for r, want in enumerate(scalars):
+            want_mass, want_moment = want.tail_profile(_THRESHOLDS)
+            assert mass[:, r].tobytes() == want_mass.tobytes()
+            assert moment[:, r].tobytes() == want_moment.tobytes()
+
+    @settings(max_examples=60, deadline=None)
+    @given(product_cases(), st.integers(min_value=1, max_value=3))
+    def test_budget_rows_matches_scalar_budgeted(self, case, budget):
+        n_rows, terms, decimals, prune_floor, __ = case
+        batch = BatchedGenFunc.product(
+            n_rows, terms, decimals=decimals, prune_floor=prune_floor
+        )
+        scalars = scalar_reference(n_rows, terms, decimals, prune_floor, None)
+        batch.budget_rows(budget, floor_start=prune_floor)
+        shrunk = [g.budgeted(budget, floor_start=prune_floor) for g in scalars]
+        assert_rows_bit_identical(batch, shrunk)
+
+
+class TestBatchedProductEdgeCases:
+    def test_zero_rows_zero_terms(self):
+        batch = BatchedGenFunc.product(0, [])
+        assert batch.n_rows == 0
+        mass, moment = batch.tail_profile([0.5])
+        assert mass.shape == (1, 0) and moment.shape == (1, 0)
+
+    def test_identity_rows_stay_one(self):
+        batch = BatchedGenFunc.product(3, [])
+        for r in range(3):
+            row = batch.row(r)
+            assert row.exponents.tolist() == [0.0]
+            assert row.coeffs.tolist() == [1.0]
+
+    def test_annihilated_row_survives_later_multiplies(self):
+        # A prune that drops every term leaves the empty polynomial; the
+        # scalar path keeps multiplying it (products of nothing stay
+        # nothing) and so must the batch.
+        rows = np.array([0])
+        terms = [
+            (rows, np.array([[1.0]]), np.array([[1e-6]]), np.array([1])),
+            (rows, np.array([[2.0, 0.0]]), np.array([[0.5, 0.5]]), np.array([2])),
+        ]
+        batch = BatchedGenFunc.product(1, terms, prune_floor=1e-3)
+        [want] = scalar_reference(1, terms, 8, 1e-3, None)
+        assert_rows_bit_identical(batch, [want])
+        assert batch.row(0).n_terms == 0
+
+    def test_near_2_53_coefficient_accumulation_order(self):
+        # Three product entries share one rounded exponent; their
+        # coefficients only sum to the scalar value when added in the
+        # same sequence (2**53 + 1.0 truncates, order matters).
+        rows = np.array([0, 1])
+        fexp = np.tile(np.array([0.1, 0.1 + 1e-12, 0.1 - 1e-13]), (2, 1))
+        fcoef = np.tile(np.array([float(2**53 - 1), 1.0, 1.0]), (2, 1))
+        terms = [(rows, fexp, fcoef, np.array([3, 3]))]
+        batch = BatchedGenFunc.product(2, terms, decimals=8)
+        assert_rows_bit_identical(
+            batch, scalar_reference(2, terms, 8, 0.0, None)
+        )
+
+    def test_rounding_overflow_raises_in_both_pipelines(self):
+        # decimals=8 scales by 1e8; 1e303 * 1e8 overflows to inf, which
+        # the scalar np.round tolerates but the batched kernel must
+        # reject (the caller demotes those rows to scalar GenFunc).
+        wide = BatchedGenFunc.product(
+            8,
+            [
+                (
+                    np.arange(8, dtype=np.intp),
+                    np.tile(np.linspace(0.0, 3.0, 24), (8, 1)),
+                    np.full((8, 24), 1.0 / 24.0),
+                    np.full(8, 24, dtype=np.int64),
+                )
+            ],
+        )
+        bad_exp = np.full((8, 2), 1e303)
+        bad_coef = np.full((8, 2), 0.5)
+        with np.errstate(over="ignore"):
+            with pytest.raises(ValueError, match="overflowed"):
+                wide.multiply_rows(
+                    np.arange(8, dtype=np.intp), bad_exp, bad_coef, decimals=8
+                )
+            narrow = BatchedGenFunc.ones(1)
+            with pytest.raises(ValueError, match="overflowed"):
+                narrow.multiply_rows(
+                    np.array([0]), bad_exp[:1], bad_coef[:1], decimals=8
+                )
+
+    def test_nonfinite_factor_exponent_rejected(self):
+        batch = BatchedGenFunc.ones(2)
+        with pytest.raises(ValueError, match="finite"):
+            batch.multiply_rows(
+                np.array([0, 1]),
+                np.array([[np.inf], [0.0]]),
+                np.array([[1.0], [1.0]]),
+            )
+
+    def test_empty_factor_rejected(self):
+        batch = BatchedGenFunc.ones(1)
+        with pytest.raises(ValueError, match="non-empty"):
+            batch.multiply_rows(
+                np.array([0]),
+                np.array([[1.0]]),
+                np.array([[1.0]]),
+                np.array([0]),
+            )

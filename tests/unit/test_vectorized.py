@@ -10,7 +10,9 @@ from repro.core import (
     GlossDisjointEstimator,
     GlossHighCorrelationEstimator,
     SubrangeEstimator,
+    fallback_count,
     fleet_usefulness_grid,
+    reset_fallback_count,
     supports_fleet,
 )
 from repro.corpus import Query
@@ -142,13 +144,15 @@ class TestEdgeCases:
                 )
 
 
-class TestScalarFallbacks:
-    def test_pruned_expansion_falls_back_per_engine(self):
-        """prune_floor/max_terms change GenFunc.product semantics, so the
-        parallel merge is skipped — but the per-engine fallback must still
-        be bit-identical to the scalar estimator."""
+class TestExpansionControlConfigs:
+    def test_pruned_and_capped_expansions_stay_batched(self):
+        """prune_floor/max_terms used to skip the parallel merge; the
+        batched kernel now implements their exact semantics, so these
+        configurations run fully vectorized and must still be
+        bit-identical to the scalar estimator."""
         reps = [make_rep("d1"), make_rep("d2", n=200)]
         query = Query.from_terms(["apple", "pear"])
+        reset_fallback_count()
         for estimator in (
             BasicEstimator(prune_floor=1e-6),
             BasicEstimator(max_terms=3),
@@ -157,6 +161,7 @@ class TestScalarFallbacks:
             assert_grid_matches_scalar(
                 estimator, make_store(*reps), reps, query
             )
+        assert fallback_count() == 0
 
 
 class TestPolycacheIntegration:
