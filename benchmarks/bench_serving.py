@@ -11,11 +11,30 @@ estimates, invoked engines and failures are all exactly equal — and
 reports what it costs: throughput, latency percentiles, and the per-request
 overhead over the in-process path.
 
-Knobs: ``REPRO_BENCH_SERVING_QUERIES`` (default 60), ``REPRO_BENCH_SEED``.
+The sharded bench pits the 4-shard scatter-gather coordinator (spawned
+end-to-end through ``repro serve coordinator --shards 4``: four shard
+worker processes plus the asyncio frontend) against the PR 4
+single-broker gateway over the same collections, driven by a
+*multi-process* closed-loop load generator (each worker is its own
+Python process with its own keep-alive connection, barrier-released so
+interpreter startup never lands inside the timed window).  Exactness vs
+the in-process columnar broker is asserted outside the timed section;
+the machine-readable outcome lands in ``BENCH_sharded_serving.json``
+(override: ``REPRO_BENCH_SHARDED_JSON``).  The >=2x throughput floor is
+armed only on machines with >=4 usable CPUs (a 1-CPU container cannot
+express process-level parallelism; ``cpus`` and ``floor_armed`` are
+recorded either way) — force it with ``REPRO_BENCH_SHARDED_FLOOR=1``/
+``0``.
+
+Knobs: ``REPRO_BENCH_SERVING_QUERIES`` (default 60), ``REPRO_BENCH_SEED``,
+``REPRO_BENCH_SHARDED_QUERIES`` (default 40),
+``REPRO_BENCH_SHARDED_ROUNDS`` (default 3),
+``REPRO_BENCH_SHARDED_WORKERS`` (default 8 load-generator processes).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import re
 import signal
@@ -23,8 +42,9 @@ import subprocess
 import sys
 import threading
 import time
+from pathlib import Path
 
-from repro.corpus import save_collection
+from repro.corpus import Query, save_collection
 from repro.corpus.synth import NewsgroupModel, QueryLogModel
 from repro.engine import SearchEngine
 from repro.metasearch import MetasearchBroker
@@ -35,6 +55,14 @@ from _bench_utils import BENCH_SEED, THRESHOLDS, emit
 SERVING_QUERIES = int(os.environ.get("REPRO_BENCH_SERVING_QUERIES", "60"))
 N_ENGINES = 4
 WORKERS = 4
+
+SHARDED_QUERIES = int(os.environ.get("REPRO_BENCH_SHARDED_QUERIES", "40"))
+SHARDED_ROUNDS = int(os.environ.get("REPRO_BENCH_SHARDED_ROUNDS", "3"))
+SHARDED_WORKERS = int(os.environ.get("REPRO_BENCH_SHARDED_WORKERS", "8"))
+SHARDED_JSON = Path(
+    os.environ.get("REPRO_BENCH_SHARDED_JSON", "BENCH_sharded_serving.json")
+)
+N_SHARDS = 4
 
 
 def _fleet_model() -> NewsgroupModel:
@@ -208,3 +236,265 @@ def test_serving_gateway_exactness_and_overhead(benchmark, tmp_path):
         if server is not None:
             server.drain(timeout=10)
         _stop_fleet(processes)
+
+
+# -- sharded topology vs single-broker gateway ------------------------------
+
+_LOADGEN_SOURCE = '''
+"""Closed-loop load-generator worker: one process, one connection."""
+import json
+import sys
+import time
+
+from repro.corpus import Query
+from repro.serving import GatewayClient
+
+url, requests_path, index, n_workers, rounds = (
+    sys.argv[1],
+    sys.argv[2],
+    int(sys.argv[3]),
+    int(sys.argv[4]),
+    int(sys.argv[5]),
+)
+with open(requests_path, encoding="utf-8") as fh:
+    raw = json.load(fh)
+requests = [
+    (Query(terms=tuple(terms), weights=tuple(weights)), threshold)
+    for terms, weights, threshold in raw
+]
+mine = list(range(index, len(requests), n_workers))
+client = GatewayClient(url)
+query, threshold = requests[mine[0] if mine else 0]
+client.search(query, threshold)  # warm the keep-alive connection
+print("READY", flush=True)
+assert sys.stdin.readline().strip() == "GO"
+latencies = []
+for _ in range(rounds):
+    for i in mine:
+        query, threshold = requests[i]
+        start = time.perf_counter()
+        client.search(query, threshold)
+        latencies.append(time.perf_counter() - start)
+client.close()
+print(json.dumps({"count": len(latencies), "latencies": latencies}), flush=True)
+'''
+
+
+def _spawn_announced(cli_args, pattern):
+    """Start a ``repro serve ...`` process; return (process, url)."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", *cli_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    url, deadline = None, time.time() + 90
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        match = re.search(pattern, line)
+        if match:
+            url = match.group(1)
+            break
+    if url is None:
+        _stop_fleet([proc])
+        raise AssertionError(f"server did not announce a URL for {cli_args}")
+    return proc, url
+
+
+def _mp_closed_loop(url, requests_path, script_path, n_workers, rounds):
+    """Drive the workload from ``n_workers`` worker *processes*.
+
+    Workers warm up, report READY, and start on a GO barrier, so process
+    startup cost stays outside the timed window.  Returns
+    ``(total_requests, wall_seconds, sorted_latencies)``.
+    """
+    workers = [
+        subprocess.Popen(
+            [
+                sys.executable,
+                str(script_path),
+                url,
+                str(requests_path),
+                str(index),
+                str(n_workers),
+                str(rounds),
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        for index in range(n_workers)
+    ]
+    try:
+        for worker in workers:
+            line = worker.stdout.readline()
+            assert line.strip() == "READY", f"worker failed to start: {line!r}"
+        start = time.perf_counter()
+        for worker in workers:
+            worker.stdin.write("GO\n")
+            worker.stdin.flush()
+        total, latencies = 0, []
+        for worker in workers:
+            payload = json.loads(worker.stdout.readline())
+            total += payload["count"]
+            latencies.extend(payload["latencies"])
+        wall = time.perf_counter() - start
+    finally:
+        _stop_fleet(workers)
+    return total, wall, sorted(latencies)
+
+
+def test_sharded_coordinator_throughput_vs_single_broker(tmp_path):
+    model = _fleet_model()
+    collections = [model.generate_group(group) for group in range(N_ENGINES)]
+    queries = QueryLogModel(model, seed=43).generate(SHARDED_QUERIES)
+    requests = [
+        (query, THRESHOLDS[i % len(THRESHOLDS)])
+        for i, query in enumerate(queries)
+    ]
+    paths = []
+    for collection in collections:
+        path = tmp_path / f"{collection.name}.jsonl.gz"
+        save_collection(collection, path)
+        paths.append(str(path))
+    requests_path = tmp_path / "requests.json"
+    requests_path.write_text(
+        json.dumps(
+            [
+                [list(q.terms), list(q.weights), threshold]
+                for q, threshold in requests
+            ]
+        ),
+        encoding="utf-8",
+    )
+    script_path = tmp_path / "loadgen_worker.py"
+    script_path.write_text(_LOADGEN_SOURCE, encoding="utf-8")
+
+    servers = []
+    try:
+        single_proc, single_url = _spawn_announced(
+            [
+                "gateway",
+                "--collections",
+                *paths,
+                "--workers",
+                str(N_ENGINES),
+                "--max-active",
+                str(SHARDED_WORKERS),
+                "--max-queued",
+                "64",
+            ],
+            r"serving gateway at (http://\S+)",
+        )
+        servers.append(single_proc)
+        sharded_proc, sharded_url = _spawn_announced(
+            [
+                "coordinator",
+                "--shards",
+                str(N_SHARDS),
+                "--collections",
+                *paths,
+                "--max-active",
+                str(SHARDED_WORKERS),
+                "--max-queued",
+                "64",
+            ],
+            r"serving coordinator at (http://\S+)",
+        )
+        servers.append(sharded_proc)
+
+        # Exactness first, outside the timed section: the coordinator's
+        # merged rankings are exactly the in-process columnar broker's.
+        local_broker = MetasearchBroker(columnar=True)
+        for collection in collections:
+            local_broker.register(SearchEngine(collection))
+        client = GatewayClient(sharded_url)
+        for query, threshold in requests:
+            sharded = client.search(query, threshold)
+            local = local_broker.search(query, threshold)
+            assert sharded.hits == local.hits
+            assert sharded.estimates == local.estimates
+            assert sharded.invoked == local.invoked
+            assert sharded.failures == local.failures
+        client.close()
+
+        single_total, single_wall, single_lat = _mp_closed_loop(
+            single_url, requests_path, script_path, SHARDED_WORKERS,
+            SHARDED_ROUNDS,
+        )
+        sharded_total, sharded_wall, sharded_lat = _mp_closed_loop(
+            sharded_url, requests_path, script_path, SHARDED_WORKERS,
+            SHARDED_ROUNDS,
+        )
+        assert single_total == sharded_total == len(requests) * SHARDED_ROUNDS
+    finally:
+        _stop_fleet(servers)
+
+    single_rps = single_total / single_wall if single_wall > 0 else 0.0
+    sharded_rps = sharded_total / sharded_wall if sharded_wall > 0 else 0.0
+    speedup = sharded_rps / single_rps if single_rps > 0 else float("inf")
+    cpus = len(os.sched_getaffinity(0))
+    floor_env = os.environ.get("REPRO_BENCH_SHARDED_FLOOR")
+    floor_armed = cpus >= 4 if floor_env is None else floor_env == "1"
+
+    report = {
+        "bench": "sharded_serving",
+        "n_shards": N_SHARDS,
+        "n_engines": N_ENGINES,
+        "queries": len(requests),
+        "rounds": SHARDED_ROUNDS,
+        "loadgen_processes": SHARDED_WORKERS,
+        "cpus": cpus,
+        "floor_armed": floor_armed,
+        "throughput_floor": 2.0,
+        "single_broker": {
+            "requests": single_total,
+            "seconds": single_wall,
+            "rps": single_rps,
+            "p50_ms": 1000.0 * _percentile(single_lat, 0.50),
+            "p95_ms": 1000.0 * _percentile(single_lat, 0.95),
+        },
+        "sharded": {
+            "requests": sharded_total,
+            "seconds": sharded_wall,
+            "rps": sharded_rps,
+            "p50_ms": 1000.0 * _percentile(sharded_lat, 0.50),
+            "p95_ms": 1000.0 * _percentile(sharded_lat, 0.95),
+        },
+        "speedup": speedup,
+        "exactness": "exact",
+    }
+    SHARDED_JSON.write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+
+    lines = [
+        "",
+        f"=== sharded coordinator ({N_SHARDS} shard processes, asyncio "
+        f"frontend) vs single-broker gateway ===",
+        f"workload   : {len(requests)} Zipf queries x {SHARDED_ROUNDS} "
+        f"rounds from {SHARDED_WORKERS} load-generator processes",
+        f"{'path':<14} {'req/s':>8} {'p50 ms':>8} {'p95 ms':>8}",
+        f"{'single':<14} {single_rps:>8.1f} "
+        f"{1000.0 * _percentile(single_lat, 0.50):>8.2f} "
+        f"{1000.0 * _percentile(single_lat, 0.95):>8.2f}",
+        f"{'sharded x4':<14} {sharded_rps:>8.1f} "
+        f"{1000.0 * _percentile(sharded_lat, 0.50):>8.2f} "
+        f"{1000.0 * _percentile(sharded_lat, 0.95):>8.2f}",
+        f"speedup    : {speedup:.2f}x "
+        f"(floor 2.0x {'armed' if floor_armed else 'disarmed'}, "
+        f"{cpus} cpu(s) visible)",
+        f"equality   : exact ({len(requests)} coordinator responses vs "
+        f"in-process columnar broker)",
+    ]
+    emit("sharded_serving", "\n".join(lines))
+
+    if floor_armed:
+        assert speedup >= 2.0, (
+            f"sharded throughput {sharded_rps:.1f} rps is only {speedup:.2f}x "
+            f"the single-broker {single_rps:.1f} rps (floor 2.0x at "
+            f"{N_SHARDS} shards)"
+        )

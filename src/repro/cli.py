@@ -11,6 +11,8 @@ Subcommands::
     repro-usefulness scalability
     repro-usefulness serve engine --collection data/D1.jsonl.gz --port 8751
     repro-usefulness serve gateway --engines http://127.0.0.1:8751
+    repro-usefulness serve shard --collections data/D1.jsonl.gz --shard-index 0
+    repro-usefulness serve coordinator --shards 4 --collections data/*.jsonl.gz
 
 Every command prints plain text to stdout; all randomness is seeded.
 """
@@ -434,7 +436,12 @@ def _cmd_serve_engine(args: argparse.Namespace) -> int:
 
 def _cmd_serve_gateway(args: argparse.Namespace) -> int:
     """Serve a metasearch broker over remote and/or local engines."""
-    from repro.serving import GatewayApp, RemoteEngine, ServingServer
+    from repro.serving import (
+        AsyncServingServer,
+        GatewayApp,
+        RemoteEngine,
+        ServingServer,
+    )
 
     if not args.engines and not args.collections:
         print(
@@ -476,7 +483,10 @@ def _cmd_serve_gateway(args: argparse.Namespace) -> int:
         registry=registry,
         default_deadline=args.default_deadline,
     )
-    server = ServingServer(app, host=args.host, port=args.port)
+    if args.async_io:
+        server = AsyncServingServer(app, host=args.host, port=args.port)
+    else:
+        server = ServingServer(app, host=args.host, port=args.port)
     return _serve(server, args)
 
 
@@ -484,6 +494,185 @@ def _serving_registry():
     from repro.obs import MetricsRegistry
 
     return MetricsRegistry()
+
+
+def _cmd_serve_shard(args: argparse.Namespace) -> int:
+    """Serve one shard of a partitioned fleet: a columnar broker over the
+    engines assigned to this shard, behind the shard scatter endpoints."""
+    from repro.serving import ServingServer, ShardApp
+
+    registry = _serving_registry()
+    fleet = None
+    if args.slice:
+        from repro.representatives.columnar import FleetRepresentativeStore
+
+        fleet = FleetRepresentativeStore.load_npz(args.slice)
+        print(
+            f"loaded slice {args.slice} "
+            f"({len(fleet)} representatives)",
+            flush=True,
+        )
+    try:
+        broker = MetasearchBroker(
+            workers=args.workers,
+            timeout=args.timeout,
+            retries=args.retries,
+            cache_size=args.cache_size,
+            columnar=True,
+            fleet=fleet,
+            registry=registry,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for path in args.collections or []:
+        engine = SearchEngine(load_collection(path))
+        broker.register(engine)
+        print(
+            f"registered local engine {engine.name!r} from {path}", flush=True
+        )
+    if not len(broker):
+        print("error: shard has no engines (give --collections)", file=sys.stderr)
+        return 2
+    app = ShardApp(
+        broker,
+        shard_index=args.shard_index,
+        registry=registry,
+        default_deadline=args.default_deadline,
+    )
+    server = ServingServer(app, host=args.host, port=args.port)
+    return _serve(server, args)
+
+
+def _spawn_shards(args: argparse.Namespace) -> tuple:
+    """Launch ``--shards`` shard worker subprocesses, each owning a
+    round-robin slice of ``--collections``; returns (processes, urls)."""
+    import re
+    import subprocess
+    import time
+
+    from repro.representatives import partition_round_robin
+
+    slices = [
+        paths
+        for paths in partition_round_robin(args.collections, args.shards)
+        if paths
+    ]
+    processes = []
+    for index, paths in enumerate(slices):
+        command = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "shard",
+            "--shard-index",
+            str(index),
+            "--collections",
+            *paths,
+        ]
+        processes.append(
+            subprocess.Popen(
+                command,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+        )
+    urls = []
+    for index, proc in enumerate(processes):
+        url = None
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                break
+            match = re.search(r"serving shard at (http://\S+)", line)
+            if match:
+                url = match.group(1)
+                break
+        if url is None:
+            raise RuntimeError(f"shard {index} did not announce its URL")
+        print(f"shard {index} at {url}", flush=True)
+        urls.append(url)
+    return processes, urls
+
+
+def _cmd_serve_coordinator(args: argparse.Namespace) -> int:
+    """Serve the scatter-gather coordinator over shard workers — spawned
+    here (``--shards N`` partitioning ``--collections``) or already
+    running (``--shard-urls``)."""
+    from repro.serving import (
+        AsyncServingServer,
+        CoordinatorApp,
+        RemoteServingError,
+        ServingServer,
+        ShardedFleet,
+    )
+
+    if bool(args.shards) == bool(args.shard_urls):
+        print(
+            "error: give exactly one of --shards N (spawn workers from "
+            "--collections) or --shard-urls (attach to running workers)",
+            file=sys.stderr,
+        )
+        return 2
+    children = []
+    try:
+        if args.shards:
+            if not args.collections:
+                print(
+                    "error: --shards needs --collections to partition",
+                    file=sys.stderr,
+                )
+                return 2
+            try:
+                children, shard_urls = _spawn_shards(args)
+            except (OSError, RuntimeError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        else:
+            shard_urls = list(args.shard_urls)
+        registry = _serving_registry()
+        fleet = ShardedFleet(
+            shard_urls,
+            timeout=args.timeout,
+            retries=args.retries,
+            shard_timeout=args.shard_timeout,
+            registry=registry,
+        )
+        try:
+            fleet.attach(timeout=args.attach_timeout)
+        except (RemoteServingError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"attached {fleet.n_shards} shard(s), "
+            f"{len(fleet)} engines: {', '.join(fleet.engine_names)}",
+            flush=True,
+        )
+        app = CoordinatorApp(
+            fleet,
+            max_active=args.max_active,
+            max_queued=args.max_queued,
+            max_queue_wait=args.max_queue_wait,
+            retry_after=args.retry_after,
+            registry=registry,
+            default_deadline=args.default_deadline,
+        )
+        if args.sync:
+            server = ServingServer(app, host=args.host, port=args.port)
+        else:
+            server = AsyncServingServer(app, host=args.host, port=args.port)
+        return _serve(server, args)
+    finally:
+        for proc in children:
+            proc.terminate()
+        for proc in children:
+            try:
+                proc.wait(timeout=5)
+            except Exception:
+                proc.kill()
 
 
 def _cmd_convert_rep(args: argparse.Namespace) -> int:
@@ -737,8 +926,70 @@ def build_parser() -> argparse.ArgumentParser:
                     help="wait cap for queued requests without a deadline")
     sp.add_argument("--retry-after", type=float, default=1.0,
                     help="Retry-After hint on shed responses")
+    sp.add_argument("--async-io", action="store_true",
+                    help="serve on the asyncio connection frontend instead "
+                         "of a thread per connection")
     _common_serve_args(sp)
     sp.set_defaults(func=_cmd_serve_gateway)
+
+    sp = serve_sub.add_parser(
+        "shard", help="serve one shard of a partitioned fleet"
+    )
+    sp.add_argument("--collections", nargs="+", default=None,
+                    help="JSONL collections owned by this shard")
+    sp.add_argument("--slice", default=None,
+                    help="columnar fleet slice (.npz) holding this shard's "
+                         "representatives; engines registered from "
+                         "--collections adopt their resident entry")
+    sp.add_argument("--shard-index", type=int, default=0,
+                    help="this shard's position in the coordinator's list")
+    sp.add_argument("--workers", type=int, default=4,
+                    help="concurrent engine calls per dispatch entry")
+    sp.add_argument("--timeout", type=float, default=None,
+                    help="engine fan-out deadline (requires workers > 1)")
+    sp.add_argument("--retries", type=int, default=0,
+                    help="extra attempts after an engine error")
+    sp.add_argument("--cache-size", type=int, default=1024,
+                    help="estimate cache capacity (0 disables)")
+    _common_serve_args(sp)
+    sp.set_defaults(func=_cmd_serve_shard)
+
+    sp = serve_sub.add_parser(
+        "coordinator",
+        help="serve the scatter-gather coordinator over shard workers",
+    )
+    sp.add_argument("--shards", type=int, default=None,
+                    help="spawn this many shard worker processes, "
+                         "partitioning --collections round-robin")
+    sp.add_argument("--collections", nargs="+", default=None,
+                    help="JSONL collections to partition across spawned "
+                         "shards (with --shards)")
+    sp.add_argument("--shard-urls", nargs="+", default=None,
+                    help="attach to already-running shard workers instead "
+                         "of spawning")
+    sp.add_argument("--timeout", type=float, default=None,
+                    help="scatter deadline per fan-out; a shard missing it "
+                         "is treated as dead for that request")
+    sp.add_argument("--retries", type=int, default=0,
+                    help="extra attempts per shard call")
+    sp.add_argument("--shard-timeout", type=float, default=30.0,
+                    help="per-request socket budget for shard calls")
+    sp.add_argument("--attach-timeout", type=float, default=30.0,
+                    help="seconds to wait for shard /healthz at startup")
+    sp.add_argument("--max-active", type=int, default=8,
+                    help="coordinator requests allowed to run concurrently")
+    sp.add_argument("--max-queued", type=int, default=32,
+                    help="requests allowed to wait for a slot before "
+                         "shedding with 503")
+    sp.add_argument("--max-queue-wait", type=float, default=5.0,
+                    help="wait cap for queued requests without a deadline")
+    sp.add_argument("--retry-after", type=float, default=1.0,
+                    help="Retry-After hint on shed responses")
+    sp.add_argument("--sync", action="store_true",
+                    help="serve on the threaded server instead of the "
+                         "asyncio connection frontend")
+    _common_serve_args(sp)
+    sp.set_defaults(func=_cmd_serve_coordinator)
 
     p = sub.add_parser("scalability", help="print the Section 3.2 sizing table")
     p.add_argument("--synthetic", action="store_true",

@@ -853,8 +853,12 @@ class BatchedGenFunc:
             ``(mass, moment)`` arrays of shape ``(len(thresholds),
             n_rows)``, bit-identical to calling
             :meth:`GenFunc.tail_profile` on each row: the suffix
-            cumulative sums run over the padded rows whose trailing zeros
-            are additive identities, and the threshold cut reproduces
+            cumulative sums run over the padded rows whose trailing pad
+            entries are additive identities (``-0.0`` for the moment
+            terms — ``x + -0.0 == x`` bit-for-bit even when ``x`` is a
+            signed zero, whereas ``-0.0 + +0.0`` flips the sign the
+            scalar cumsum preserves by *copying* its first element), and
+            the threshold cut reproduces
             ``searchsorted(..., side="right")``.
         """
         grid = np.asarray(thresholds, dtype=float)
@@ -877,7 +881,12 @@ class BatchedGenFunc:
             exps, coef = self._gather(rows, width, lens)
             v_mask = np.arange(width)[None, :] < lens[:, None]
             exp_cmp = np.where(v_mask, exps, np.inf)
-            moment_terms = coef * exps
+            # Pad slots must be the additive identity under IEEE addition:
+            # -0.0, not +0.0.  A zero-coefficient term with a negative
+            # exponent contributes -0.0 to the moment, and the scalar
+            # cumsum *copies* that as its first reversed element, while
+            # a +0.0 pad would turn it into +0.0 (-0.0 + 0.0 == +0.0).
+            moment_terms = np.where(v_mask, coef * exps, -0.0)
             zero_col = np.zeros((rows.size, 1))
             mass_sfx = np.hstack(
                 [np.cumsum(coef[:, ::-1], axis=1)[:, ::-1], zero_col]
@@ -886,6 +895,9 @@ class BatchedGenFunc:
                 [np.cumsum(moment_terms[:, ::-1], axis=1)[:, ::-1], zero_col]
             )
             r_idx = np.arange(rows.size)
+            # The empty tail reads the scalar sentinel +0.0, but a suffix
+            # of -0.0 pads sums to -0.0 — pin each row's sentinel column.
+            mom_sfx[r_idx, lens] = 0.0
             for i, t in enumerate(grid.tolist()):
                 if t != t:  # searchsorted places NaN after every exponent
                     cnt = lens

@@ -65,7 +65,10 @@ from repro.metasearch.selection import (
 from repro.obs.registry import LATENCY_BUCKETS, NULL_REGISTRY
 from repro.obs.trace import QueryTrace
 from repro.representatives.builder import build_representative
-from repro.representatives.columnar import FleetRepresentativeStore
+from repro.representatives.columnar import (
+    FleetRepresentativeRef,
+    FleetRepresentativeStore,
+)
 from repro.representatives.representative import DatabaseRepresentative
 
 __all__ = ["EngineRegistration", "MetasearchBroker", "MetasearchResponse"]
@@ -148,6 +151,13 @@ class MetasearchBroker:
             of :mod:`repro.core.vectorized` when the estimator supports it.
             Estimates are bit-identical to the scalar path; estimators
             without a vectorized path fall back to it transparently.
+        fleet: A pre-built
+            :class:`~repro.representatives.columnar.FleetRepresentativeStore`
+            to adopt instead of creating a fresh one (implies
+            ``columnar=True``).  Shard workers use this to serve a slice
+            shipped as an ``.npz`` bundle: engines registered without an
+            explicit representative reuse their resident fleet entry
+            rather than rebuilding from the engine (which may be remote).
         registry: A :class:`~repro.obs.MetricsRegistry` receiving search
             totals, per-stage latency histograms, and the dispatcher /
             cache / estimator series; the shared no-op registry by default,
@@ -166,6 +176,7 @@ class MetasearchBroker:
         cache_size: int = 1024,
         polycache_size: int = 4096,
         columnar: bool = False,
+        fleet: Optional[FleetRepresentativeStore] = None,
         registry=None,
     ):
         if cache_size < 0:
@@ -184,9 +195,10 @@ class MetasearchBroker:
             backoff=backoff,
             registry=self.registry,
         )
-        self.fleet: Optional[FleetRepresentativeStore] = (
-            FleetRepresentativeStore() if columnar else None
-        )
+        if fleet is not None:
+            self.fleet: Optional[FleetRepresentativeStore] = fleet
+        else:
+            self.fleet = FleetRepresentativeStore() if columnar else None
         self.cache: Optional[EstimateCache] = (
             EstimateCache(cache_size, registry=self.registry) if cache_size else None
         )
@@ -237,8 +249,22 @@ class MetasearchBroker:
         if existing is not None and existing.engine is not engine:
             raise ValueError(f"engine {engine.name!r} already registered")
         if representative is None:
-            representative = build_representative(engine)
-        if self.fleet is not None:
+            if (
+                self.fleet is not None
+                and existing is None
+                and engine.name in self.fleet
+            ):
+                # First registration of an engine whose representative is
+                # already resident in a pre-built fleet (a shard slice):
+                # adopt the resident entry instead of rebuilding from the
+                # engine, which may be remote or expensive to walk.
+                representative = FleetRepresentativeRef(engine.name, self.fleet)
+            else:
+                representative = build_representative(engine)
+        if self.fleet is not None and not (
+            isinstance(representative, FleetRepresentativeRef)
+            and representative._store is self.fleet
+        ):
             # The fleet owns the packed arrays; the registration keeps a
             # lightweight name-keyed view (the dict representative is
             # dropped — that is the columnar memory win).
@@ -266,6 +292,11 @@ class MetasearchBroker:
 
     def representative_of(self, name: str) -> DatabaseRepresentative:
         return self._engines[name].representative
+
+    def engine_of(self, name: str) -> SearchEngine:
+        """The registered engine object itself (shard workers dispatch to
+        a requested subset of engines directly)."""
+        return self._engines[name].engine
 
     # -- estimation and search ---------------------------------------------------------
 

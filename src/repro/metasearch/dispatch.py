@@ -16,10 +16,20 @@ production dispatch path:
   ``"timeout"``.  The overall dispatch therefore returns within roughly
   ``timeout`` seconds no matter how many engines hang.
 * **Retry** — an engine call that *raises* is retried up to ``retries``
-  extra times with exponential backoff (``backoff * 2**attempt`` seconds
-  between attempts).  Retries count against the same deadline.  A timed
-  out call is *not* retried: the request is still in flight, and issuing
-  another would double the load on an already-struggling backend.
+  extra times with jittered exponential backoff (uniform in
+  ``[base/2, base]`` for ``base = backoff * 2**attempt`` seconds, so
+  concurrent retries against one struggling backend do not synchronize).
+  Retries count against the same deadline: the backoff sleep is clamped
+  to whatever remains of the fan-out deadline and of any ambient
+  request deadline (:func:`repro.serving.deadlines.deadline_scope`), and
+  when the budget is already spent the retry is skipped entirely — the
+  last exception is surfaced instead of sleeping into a lost cause.  An
+  exception whose ``retryable`` attribute is false is never retried
+  (serving-layer clients use this to fail fast on exhausted deadlines),
+  and its ``failure_kind`` attribute, when present, overrides the
+  default ``"error"`` failure kind.  A timed out call is *not* retried:
+  the request is still in flight, and issuing another would double the
+  load on an already-struggling backend.
 * **Graceful degradation** — a failed engine contributes an empty result
   list plus a structured failure record; healthy engines' results are
   unaffected.  The query never sinks with one bad backend.
@@ -40,6 +50,7 @@ no-op.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor, TimeoutError as FutureTimeout
@@ -53,6 +64,22 @@ __all__ = ["ConcurrentDispatcher", "DispatchReport", "EngineFailure"]
 
 #: A zero-argument callable performing one engine search.
 EngineCall = Callable[[], List[SearchHit]]
+
+
+def _ambient_remaining() -> Optional[float]:
+    """Seconds left on the tightest ambient serving deadline, or ``None``.
+
+    The serving layer (which imports this module) publishes per-request
+    deadlines through a thread-local scope; importing it eagerly here
+    would be circular, so the lookup is deferred to call time — by the
+    first retry every module involved is fully initialized.
+    """
+    try:
+        from repro.serving.deadlines import ambient_deadline
+    except ImportError:  # pragma: no cover - serving package always ships
+        return None
+    deadline = ambient_deadline()
+    return None if deadline is None else deadline.remaining()
 
 
 @dataclass(frozen=True)
@@ -123,8 +150,11 @@ class ConcurrentDispatcher:
             never firing.
         retries: Extra attempts after a raised engine call (a timed out
             call is never retried).
-        backoff: Base sleep before retry ``i`` (``backoff * 2**(i-1)``
-            seconds); set 0 for immediate retries in tests.
+        backoff: Base sleep before retry ``i``: uniform jitter in
+            ``[base/2, base]`` for ``base = backoff * 2**(i-1)`` seconds,
+            clamped to the remaining fan-out/ambient deadline (the retry
+            is skipped outright once that budget is spent); set 0 for
+            immediate retries in tests.
         registry: Metrics sink for attempts/retries/timeouts/errors and the
             per-engine latency histogram; the shared no-op registry by
             default.
@@ -172,10 +202,32 @@ class ConcurrentDispatcher:
 
     # -- single-engine attempt loop ------------------------------------------------
 
-    def _call_with_retry(self, name: str, call: EngineCall):
+    def _retry_budget(self, expires_at: Optional[float]) -> Optional[float]:
+        """Seconds of sleep available before the tightest deadline —
+        the fan-out deadline (``expires_at``, on the ``perf_counter``
+        clock) or the ambient serving-request deadline — or ``None``
+        when neither applies."""
+        budget: Optional[float] = None
+        if expires_at is not None:
+            budget = expires_at - time.perf_counter()
+        ambient = _ambient_remaining()
+        if ambient is not None:
+            budget = ambient if budget is None else min(budget, ambient)
+        return budget
+
+    def _call_with_retry(
+        self, name: str, call: EngineCall, expires_at: Optional[float] = None
+    ):
         """Run one engine call with bounded retry; returns
         ``(hits, attempts, elapsed)`` or raises the final exception with
-        ``.attempts`` / ``.elapsed`` bookkeeping attached."""
+        ``.attempts`` / ``.elapsed`` bookkeeping attached.
+
+        ``expires_at`` is the fan-out deadline on the ``perf_counter``
+        clock (``None`` when the dispatcher has no timeout).  Backoff
+        sleeps are jittered and clamped to the remaining budget; once the
+        budget is spent the attempt loop stops retrying and surfaces the
+        last exception immediately.
+        """
         start = time.perf_counter()
         attempts = 0
         while True:
@@ -185,23 +237,44 @@ class ConcurrentDispatcher:
                 hits = call()
                 return hits, attempts, time.perf_counter() - start
             except Exception as exc:
-                if attempts > self.retries:
+                if attempts > self.retries or not getattr(exc, "retryable", True):
                     exc._dispatch_attempts = attempts
                     exc._dispatch_elapsed = time.perf_counter() - start
                     raise
-                self._m_retries.inc()
                 if self.backoff:
-                    time.sleep(self.backoff * (2 ** (attempts - 1)))
+                    budget = self._retry_budget(expires_at)
+                    if budget is not None and budget <= 0:
+                        # Deadline already spent: a retry could never
+                        # answer in time, so don't sleep into it.
+                        exc._dispatch_attempts = attempts
+                        exc._dispatch_elapsed = time.perf_counter() - start
+                        raise
+                    base = self.backoff * (2 ** (attempts - 1))
+                    sleep = base * (0.5 + 0.5 * random.random())
+                    if budget is not None:
+                        sleep = min(sleep, budget)
+                    if sleep > 0:
+                        time.sleep(sleep)
+                self._m_retries.inc()
 
     @staticmethod
     def _error_failure(name: str, exc: Exception) -> EngineFailure:
+        # Exceptions may carry a ``failure_kind`` (e.g. the serving layer
+        # marks an exhausted-deadline fail-fast as a "timeout" rather
+        # than a generic "error").
         return EngineFailure(
             engine=name,
-            kind="error",
+            kind=getattr(exc, "failure_kind", "error"),
             attempts=getattr(exc, "_dispatch_attempts", 1),
             elapsed=getattr(exc, "_dispatch_elapsed", 0.0),
             message=f"{type(exc).__name__}: {exc}",
         )
+
+    def _count_failure(self, failure: EngineFailure) -> None:
+        if failure.kind == "timeout":
+            self._m_timeouts.inc()
+        else:
+            self._m_errors.inc()
 
     # -- keyed execution core --------------------------------------------------------
 
@@ -225,8 +298,9 @@ class ConcurrentDispatcher:
             try:
                 hits, attempts, elapsed = self._call_with_retry(name, call)
             except Exception as exc:  # degraded, never fatal
-                self._m_errors.inc()
-                failures.append((key, self._error_failure(name, exc)))
+                failure = self._error_failure(name, exc)
+                self._count_failure(failure)
+                failures.append((key, failure))
                 latencies[key] = getattr(exc, "_dispatch_elapsed", 0.0)
             else:
                 results[key] = hits
@@ -239,6 +313,7 @@ class ConcurrentDispatcher:
         failures: List[tuple] = []
         latencies: Dict = {}
         start = time.perf_counter()
+        expires_at = None if self.timeout is None else start + self.timeout
         outcomes: Dict = {}
         lock = threading.Lock()
 
@@ -247,7 +322,9 @@ class ConcurrentDispatcher:
             # engine that already missed the deadline cannot race the
             # report assembly below.
             try:
-                hits, attempts, elapsed = self._call_with_retry(label(key), call)
+                hits, attempts, elapsed = self._call_with_retry(
+                    label(key), call, expires_at
+                )
                 with lock:
                     outcomes[key] = ("ok", hits, attempts, elapsed)
             except Exception as exc:
@@ -295,9 +372,10 @@ class ConcurrentDispatcher:
                     results[key] = hits
                     latencies[key] = elapsed
                 else:
-                    self._m_errors.inc()
                     exc = outcome[1]
-                    failures.append((key, self._error_failure(label(key), exc)))
+                    failure = self._error_failure(label(key), exc)
+                    self._count_failure(failure)
+                    failures.append((key, failure))
                     latencies[key] = getattr(exc, "_dispatch_elapsed", 0.0)
                 self._observe_engine_latency(label(key), latencies[key])
         finally:

@@ -17,6 +17,7 @@ from repro.representatives.columnar import (
     ColumnarRepresentative,
     FleetRepresentativeRef,
     FleetRepresentativeStore,
+    partition_round_robin,
 )
 from repro.representatives.empirical import (
     EmpiricalRepresentative,
@@ -55,6 +56,7 @@ __all__ = [
     "build_empirical_representative",
     "build_representative",
     "merge_representatives",
+    "partition_round_robin",
     "quantize_representative",
     "representative_size_bytes",
     "sizing_for_collection",

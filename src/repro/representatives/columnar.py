@@ -44,7 +44,22 @@ __all__ = [
     "ColumnarRepresentative",
     "FleetRepresentativeRef",
     "FleetRepresentativeStore",
+    "partition_round_robin",
 ]
+
+
+def partition_round_robin(items: Sequence, n_shards: int) -> List[list]:
+    """Deal ``items`` into ``n_shards`` slices round-robin, preserving
+    relative order inside each slice (slice ``i`` gets ``items[i::n]``).
+
+    The dealing order is deterministic, so shard workers and the
+    coordinator agree on slice membership from the item list alone; empty
+    slices are legal (more shards than items).
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards!r}")
+    items = list(items)
+    return [items[i::n_shards] for i in range(n_shards)]
 
 #: .npz member schema version for :meth:`ColumnarRepresentative.save_npz`.
 _FORMAT_VERSION = 1
@@ -853,6 +868,149 @@ class FleetRepresentativeStore:
             n_documents=columns.n_documents,
             term_stats=term_stats,
         )
+
+    # -- slicing and persistence ---------------------------------------------
+
+    def columnar_of(self, name: str) -> ColumnarRepresentative:
+        """One engine's representative as a :class:`ColumnarRepresentative`
+        sharing this store's vocabulary (bit-exact reconstruction)."""
+        self._ensure_packed()
+        cols = self._columns_at(self._by_name[name])
+        return ColumnarRepresentative(
+            name=cols.name,
+            n_documents=cols.n_documents,
+            vocab=self.vocab,
+            term_ids=cols.term_ids,
+            p=cols.p,
+            w=cols.w,
+            sigma=cols.sigma,
+            mw=cols.mw,
+        )
+
+    def partition(self, n_shards: int) -> List[List[str]]:
+        """Engine names dealt round-robin (registration order) into
+        ``n_shards`` slices — the canonical shard assignment."""
+        return partition_round_robin(self._names, n_shards)
+
+    def slice_engines(
+        self,
+        names: Sequence[str],
+        vocab: Optional[BrokerVocabulary] = None,
+    ) -> "FleetRepresentativeStore":
+        """A new store holding only ``names`` (a shard's slice).
+
+        The slice gets its own (fresh or supplied) vocabulary; statistics
+        reconstruct bit-exactly, including each engine's registration-time
+        binary mean weight, which is copied rather than recomputed —
+        ``np.mean`` over the sorted column order can differ in the last
+        ulp from the mean over the source representative's iteration
+        order, and shard estimates must match the fleet-wide broker
+        bit-for-bit.
+        """
+        store = FleetRepresentativeStore(vocab)
+        for name in names:
+            source_index = self._by_name[name]
+            store.add(self.columnar_of(name))
+            store._binary_mean_w[store._by_name[name]] = self._binary_mean_w[
+                source_index
+            ]
+        store._mean_w_array = None
+        return store
+
+    def save_npz(self, path: Union[str, Path, io.IOBase]) -> None:
+        """Write the whole fleet (or slice) as one uncompressed ``.npz``.
+
+        Entries are concatenated engine-major with per-engine offsets;
+        term strings are stored once (the union of the slice's terms) and
+        referenced by local index, so shared vocabulary across engines is
+        not duplicated.  ``binary_mean_w`` rides along for the same
+        bit-exactness reason as in :meth:`slice_engines`.
+        """
+        self._ensure_packed()
+        columns = [self._columns_at(i) for i in range(len(self._names))]
+        counts = np.array([c.n_terms for c in columns], dtype=np.int64)
+        entry_starts = np.zeros(len(columns) + 1, dtype=np.int64)
+        np.cumsum(counts, out=entry_starts[1:])
+        if columns:
+            term_ids = np.concatenate([c.term_ids for c in columns])
+            p = np.concatenate([c.p for c in columns])
+            w = np.concatenate([c.w for c in columns])
+            sigma = np.concatenate([c.sigma for c in columns])
+            mw = np.concatenate([c.mw for c in columns])
+        else:
+            term_ids = np.zeros(0, dtype=np.int64)
+            p = w = sigma = mw = np.zeros(0)
+        used = np.unique(term_ids)
+        term_local = np.searchsorted(used, term_ids).astype(np.int64)
+        term_blob, term_offsets = _encode_terms(
+            [self.vocab.term_of(t) for t in used.tolist()]
+        )
+        name_blob, name_offsets = _encode_terms(self._names)
+        np.savez(
+            path,
+            format_version=np.int64(_FORMAT_VERSION),
+            kind=np.frombuffer(b"columnar-fleet", dtype=np.uint8),
+            name_blob=name_blob,
+            name_offsets=name_offsets,
+            n_documents=np.asarray(self._n_documents, dtype=np.int64),
+            binary_mean_w=np.asarray(self._binary_mean_w, dtype=np.float64),
+            entry_starts=entry_starts,
+            term_local=term_local,
+            term_blob=term_blob,
+            term_offsets=term_offsets,
+            p=p,
+            w=w,
+            sigma=sigma,
+            mw=mw,
+        )
+
+    @classmethod
+    def load_npz(
+        cls,
+        path: Union[str, Path, io.IOBase],
+        vocab: Optional[BrokerVocabulary] = None,
+    ) -> "FleetRepresentativeStore":
+        """Read a fleet bundle written by :meth:`save_npz`."""
+        with np.load(path, allow_pickle=False) as data:
+            version = int(data["format_version"])
+            if version != _FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported fleet bundle format version {version}"
+                )
+            kind = data["kind"].tobytes().decode("utf-8")
+            if kind != "columnar-fleet":
+                raise ValueError(f"not a columnar fleet bundle: {kind!r}")
+            names = _decode_terms(data["name_blob"], data["name_offsets"])
+            n_documents = data["n_documents"].tolist()
+            binary_mean_w = data["binary_mean_w"].tolist()
+            entry_starts = data["entry_starts"].tolist()
+            term_local = data["term_local"]
+            terms = _decode_terms(data["term_blob"], data["term_offsets"])
+            p = data["p"].copy()
+            w = data["w"].copy()
+            sigma = data["sigma"].copy()
+            mw = data["mw"].copy()
+        store = cls(vocab)
+        for i, name in enumerate(names):
+            lo, hi = entry_starts[i], entry_starts[i + 1]
+            engine_terms = [terms[k] for k in term_local[lo:hi].tolist()]
+            ids = store.vocab.intern_many(engine_terms)
+            order = np.argsort(ids, kind="stable")
+            store.add(
+                ColumnarRepresentative(
+                    name=name,
+                    n_documents=int(n_documents[i]),
+                    vocab=store.vocab,
+                    term_ids=ids[order],
+                    p=p[lo:hi][order],
+                    w=w[lo:hi][order],
+                    sigma=sigma[lo:hi][order],
+                    mw=mw[lo:hi][order],
+                )
+            )
+            store._binary_mean_w[i] = float(binary_mean_w[i])
+        store._mean_w_array = None
+        return store
 
     # -- sizing --------------------------------------------------------------
 

@@ -12,12 +12,23 @@ that split on the wire with nothing beyond the standard library:
   with load shedding and graceful drain.
 * :mod:`repro.serving.http` — the shared server substrate (deadlines,
   body limits, metrics, drain).
+* :mod:`repro.serving.shard_worker` — one shard of a partitioned fleet:
+  batch estimation and targeted dispatch over a columnar slice.
+* :mod:`repro.serving.coordinator` — scatter-gather over shard workers
+  behind the broker interface; :class:`CoordinatorApp` is the gateway
+  served over a :class:`ShardedFleet`.
+* :mod:`repro.serving.async_gateway` — an asyncio connection frontend
+  (one coroutine per keep-alive connection instead of one thread) for
+  any of the apps.
 
-Start servers with ``repro serve engine ...`` / ``repro serve gateway
-...`` or programmatically via :class:`ServingServer`.
+Start servers with ``repro serve engine|gateway|shard|coordinator ...``
+or programmatically via :class:`ServingServer` /
+:class:`AsyncServingServer`.
 """
 
 from repro.serving.admission import AdmissionQueue
+from repro.serving.async_gateway import AsyncServingServer
+from repro.serving.coordinator import CoordinatorApp, ShardedFleet
 from repro.serving.deadlines import (
     DEADLINE_HEADER,
     Deadline,
@@ -31,7 +42,9 @@ from repro.serving.remote_engine import (
     GatewayClient,
     RemoteEngine,
     RemoteServingError,
+    RemoteTimeout,
 )
+from repro.serving.shard_worker import ShardApp
 from repro.serving.wire import (
     WireFormatError,
     decode_hits,
@@ -52,6 +65,8 @@ from repro.serving.wire import (
 
 __all__ = [
     "AdmissionQueue",
+    "AsyncServingServer",
+    "CoordinatorApp",
     "DEADLINE_HEADER",
     "Deadline",
     "EngineApp",
@@ -60,9 +75,12 @@ __all__ = [
     "HTTPError",
     "RemoteEngine",
     "RemoteServingError",
+    "RemoteTimeout",
     "Response",
     "ServingApp",
     "ServingServer",
+    "ShardApp",
+    "ShardedFleet",
     "WireFormatError",
     "ambient_deadline",
     "deadline_scope",

@@ -1,0 +1,384 @@
+"""An asyncio frontend for the serving apps.
+
+:class:`AsyncServingServer` serves the same :class:`~repro.serving.http.
+ServingApp` subclasses as the thread-per-connection
+:class:`~repro.serving.http.ServingServer`, but the connection handling
+is a single ``asyncio`` event loop: each keep-alive connection costs one
+coroutine instead of one OS thread, so a coordinator multiplexing
+hundreds of idle client connections (shards, load generators, health
+probes) does not pay a thread stack per socket.  Request *handling*
+stays synchronous — ``app.handle`` runs on a bounded thread pool, where
+blocking broker work (NumPy kernels, shard RPCs) belongs — so every app
+runs unchanged under either server.  The pool is sized past the app's
+admission bound (``max_active + max_queued``) when it has one, so the
+admission queue, not the executor, decides who waits and who is shed.
+
+Framing mirrors the threaded server's policy exactly: HTTP/1.1 with
+keep-alive, ``Content-Length`` on every response, 411 for chunked
+bodies, 400 for a bad ``Content-Length``, and 413 with
+``Connection: close`` for bodies over ``app.max_body`` (refused before
+reading).  Binary bodies (shard ``/slice`` bundles) are handed to the
+transport without copying.
+
+The lifecycle API matches :class:`~repro.serving.http.ServingServer` —
+``url``, ``start_background()``, ``run()``, ``drain()``,
+``final_metrics``, ``install_signal_handlers()`` — so the CLI and the
+subprocess test harness drive both interchangeably.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import signal
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from http import HTTPStatus
+from typing import Optional, Set
+
+from repro.obs.export import registry_to_prometheus
+from repro.serving.http import HTTPError, Response, ServingApp
+from repro.version import package_version
+
+__all__ = ["AsyncServingServer"]
+
+log = logging.getLogger("repro.serving.async")
+
+#: Stream reader buffer limit; also bounds a single header line.
+_READ_LIMIT = 1 << 16
+
+
+class _Headers(dict):
+    """A case-insensitive header mapping (stdlib ``self.headers`` is
+    case-insensitive, and app code — ``X-Repro-Deadline`` lookups — relies
+    on that)."""
+
+    def __setitem__(self, key: str, value: str) -> None:
+        super().__setitem__(key.lower(), value)
+
+    def __getitem__(self, key: str) -> str:
+        return super().__getitem__(key.lower())
+
+    def __contains__(self, key) -> bool:
+        return super().__contains__(str(key).lower())
+
+    def get(self, key: str, default=None):
+        return super().get(key.lower(), default)
+
+
+class _CloseConnection(Exception):
+    """Stop serving this connection (after any response already sent)."""
+
+
+class AsyncServingServer:
+    """Serve a :class:`~repro.serving.http.ServingApp` on an asyncio loop.
+
+    Args:
+        app: The app to serve (gateway, coordinator, shard, engine — any
+            :class:`ServingApp`).
+        host: Bind address (loopback by default).
+        port: TCP port; 0 asks the OS for a free one (read it back from
+            :attr:`port` / :attr:`url`).
+        workers: Handler thread-pool size; defaults to the app's
+            admission bound plus slack (or 16 without admission) so
+            admission control, not the executor queue, is what limits
+            concurrency.
+        backlog: Listen backlog.
+    """
+
+    def __init__(
+        self,
+        app: ServingApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: Optional[int] = None,
+        backlog: int = 128,
+    ):
+        if workers is None:
+            admission = getattr(app, "admission", None)
+            if admission is not None:
+                workers = admission.max_active + admission.max_queued + 4
+            else:
+                workers = 16
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        self.app = app
+        # Bind eagerly (as ServingServer does) so the port is known — and
+        # printable — before the event loop thread starts.
+        self._sock = socket.create_server((host, port), backlog=backlog)
+        self.host, self.port = self._sock.getsockname()[:2]
+        self._workers = workers
+        self._backlog = backlog
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._connections: Set[asyncio.Task] = set()
+        self._ready = threading.Event()
+        self._drained = threading.Event()
+        self._drain_lock = threading.Lock()
+        self._drain_started = False
+        self._drain_timeout: Optional[float] = 30.0
+        self._drain_completed = False
+        self._startup_error: Optional[BaseException] = None
+        self.final_metrics: Optional[str] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- the event loop ------------------------------------------------------
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix="repro-async"
+        )
+        try:
+            server = await asyncio.start_server(
+                self._serve_connection,
+                sock=self._sock,
+                backlog=self._backlog,
+                limit=_READ_LIMIT,
+            )
+        except OSError as exc:
+            self._startup_error = exc
+            self._ready.set()
+            self._drained.set()
+            return
+        self._ready.set()
+        try:
+            await self._stop.wait()
+            # Drain: stop accepting first, then let in-flight handlers
+            # finish (wait_idle blocks a pool thread, not the loop), then
+            # nudge idle keep-alive connections closed.
+            server.close()
+            await server.wait_closed()
+            self._drain_completed = await self._loop.run_in_executor(
+                None, self.app.wait_idle, self._drain_timeout
+            )
+            for task in list(self._connections):
+                task.cancel()
+            if self._connections:
+                await asyncio.gather(
+                    *self._connections, return_exceptions=True
+                )
+        finally:
+            self.final_metrics = registry_to_prometheus(self.app.registry)
+            self._executor.shutdown(wait=False)
+            self._drained.set()
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        gauge = self.app.registry.gauge("serving.async.connections")
+        gauge.set(len(self._connections))
+        try:
+            while True:
+                try:
+                    await self._serve_one(reader, writer)
+                except (
+                    _CloseConnection,
+                    asyncio.CancelledError,
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                    TimeoutError,
+                ):
+                    break
+        finally:
+            self._connections.discard(task)
+            gauge.set(len(self._connections))
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # client already gone
+                pass
+
+    async def _serve_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+        except ValueError:  # request line exceeded the stream limit
+            await self._respond(
+                writer,
+                HTTPError(431, "request line too long", close=True).to_response(),
+            )
+            raise _CloseConnection
+        if not request_line:
+            raise _CloseConnection  # clean keep-alive close
+        try:
+            method, path, version = (
+                request_line.decode("latin-1").rstrip("\r\n").split(" ", 2)
+            )
+        except (UnicodeDecodeError, ValueError):
+            await self._respond(
+                writer,
+                HTTPError(400, "malformed request line", close=True).to_response(),
+            )
+            raise _CloseConnection
+        headers = _Headers()
+        while True:
+            try:
+                line = await reader.readline()
+            except ValueError:
+                await self._respond(
+                    writer,
+                    HTTPError(431, "header too long", close=True).to_response(),
+                )
+                raise _CloseConnection
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip()] = value.strip()
+
+        # Body policy mirrors the threaded server: 411/400/413 with close,
+        # the oversized body refused unread.
+        try:
+            if "chunked" in headers.get("Transfer-Encoding", ""):
+                raise HTTPError(
+                    411,
+                    "chunked bodies unsupported; send Content-Length",
+                    close=True,
+                )
+            try:
+                length = int(headers.get("Content-Length") or 0)
+            except ValueError:
+                raise HTTPError(400, "bad Content-Length", close=True) from None
+            if length < 0:
+                raise HTTPError(400, "bad Content-Length", close=True)
+            if length > self.app.max_body:
+                raise HTTPError(
+                    413,
+                    f"body of {length} bytes exceeds limit of "
+                    f"{self.app.max_body}",
+                    close=True,
+                )
+        except HTTPError as err:
+            await self._respond(writer, err.to_response())
+            raise _CloseConnection
+        body = await reader.readexactly(length) if length else b""
+
+        # The app (and JSON framing) run on the pool; the loop only moves
+        # bytes.  ``handle`` never raises by contract.
+        response, payload = await self._loop.run_in_executor(
+            self._executor, self._render, method, path, headers, body
+        )
+        client_close = headers.get("Connection", "").lower() == "close" or (
+            version == "HTTP/1.0"
+            and headers.get("Connection", "").lower() != "keep-alive"
+        )
+        await self._respond(writer, response, payload)
+        if response.close or client_close or self.app.draining:
+            raise _CloseConnection
+
+    def _render(self, method, path, headers, body):
+        response = self.app.handle(method, path, headers, body)
+        return response, response.body_bytes()
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        response: Response,
+        payload: Optional[bytes] = None,
+    ) -> None:
+        if payload is None:
+            payload = response.body_bytes()
+        try:
+            reason = HTTPStatus(response.status).phrase
+        except ValueError:
+            reason = ""
+        lines = [
+            f"HTTP/1.1 {response.status} {reason}",
+            f"Server: repro-serving/{package_version()}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(payload)}",
+            f"X-Repro-Version: {package_version()}",
+        ]
+        for name, value in response.headers.items():
+            lines.append(f"{name}: {value}")
+        if response.close:
+            lines.append("Connection: close")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head)
+        if payload:
+            # write() enqueues the buffer as-is — no copy of a cached
+            # .npz blob on its way out.
+            writer.write(payload)
+        await writer.drain()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - loop crash
+            self._startup_error = exc
+            self._ready.set()
+            self._drained.set()
+
+    def start_background(self) -> threading.Thread:
+        """Serve on a daemon thread; returns once the listener is bound."""
+        thread = threading.Thread(
+            target=self._run_loop,
+            name=f"repro-async-{self.app.role}",
+            daemon=True,
+        )
+        thread.start()
+        self._ready.wait(timeout=5.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        return thread
+
+    def drain(self, timeout: Optional[float] = 30.0) -> bool:
+        """Graceful shutdown: refuse new work, finish in-flight requests,
+        flush metrics, close every connection.  Idempotent; concurrent
+        callers block until the first drain finishes."""
+        with self._drain_lock:
+            first = not self._drain_started
+            self._drain_started = True
+        if not first:
+            self._drained.wait()
+            return self._drain_completed
+        self._drain_timeout = timeout
+        self.app.begin_drain()
+        if self._loop is not None and not self._loop.is_closed():
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:  # loop shut down between check and call
+                pass
+        self._drained.wait()
+        log.info(
+            "drained %s (%scomplete)",
+            self.app.role,
+            "" if self._drain_completed else "in",
+        )
+        return self._drain_completed
+
+    def install_signal_handlers(self, drain_timeout: Optional[float] = 30.0):
+        """Map SIGTERM/SIGINT to a graceful drain (main thread only)."""
+
+        def _on_signal(signum, frame):
+            threading.Thread(
+                target=self.drain, args=(drain_timeout,), daemon=True
+            ).start()
+
+        try:
+            signal.signal(signal.SIGTERM, _on_signal)
+            signal.signal(signal.SIGINT, _on_signal)
+        except ValueError:  # pragma: no cover - not the main thread
+            log.debug("signal handlers unavailable off the main thread")
+
+    def run(self, drain_timeout: Optional[float] = 30.0) -> bool:
+        """Foreground serving for the CLI: serve, drain on signal, return
+        True when the drain completed cleanly."""
+        thread = self.start_background()
+        self.install_signal_handlers(drain_timeout)
+        self._drained.wait()
+        thread.join(timeout=5.0)
+        return self._drain_completed

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import logging
+import math
 import signal
 import threading
 import time
@@ -75,7 +76,9 @@ class HTTPError(Exception):
         headers = {}
         if self.retry_after is not None:
             # Retry-After is delta-seconds and integral per RFC 9110.
-            headers["Retry-After"] = str(max(1, int(round(self.retry_after))))
+            # Round *up*: rounding 1.2s down to 1s invites the client back
+            # before the window it was shed from has actually passed.
+            headers["Retry-After"] = str(max(1, math.ceil(self.retry_after)))
         return Response(
             status=self.status,
             payload={"error": self.message, "status": self.status},

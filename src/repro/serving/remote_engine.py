@@ -10,9 +10,10 @@ runs unchanged over remote engines.  Failure mapping falls out of that:
 a transport or server error raises :class:`RemoteServingError`
 (a ``ConnectionError``), which the dispatcher retries and finally records
 as an :class:`~repro.metasearch.dispatch.EngineFailure` of kind
-``"error"``; a hung server trips the dispatcher's own deadline and
-becomes kind ``"timeout"``.  Remote engines degrade exactly like slow or
-broken local ones.
+``"error"``; a socket timeout or an already-exhausted deadline raises
+:class:`RemoteTimeout` (non-retryable, kind ``"timeout"``); a hung server
+trips the dispatcher's own deadline and becomes kind ``"timeout"``.
+Remote engines degrade exactly like slow or broken local ones.
 
 Deadline handling: every request's budget is the tightest of the
 client's configured ``timeout`` and the ambient
@@ -22,16 +23,22 @@ around request handling).  The remaining budget travels downstream in
 admitted with 80 ms left can neither wait 10 s on a socket nor ask the
 engine for more time than its caller has.
 
-Connections are pooled per thread (``http.client`` connections are not
-thread-safe; the broker's dispatcher calls from many threads) and reused
-across requests via HTTP/1.1 keep-alive, with one transparent retry when
-a pooled connection turns out to have been closed by the server.
+Connections are pooled per ``(pid, thread)`` (``http.client`` connections
+are not thread-safe; the broker's dispatcher calls from many threads) and
+reused across requests via HTTP/1.1 keep-alive, with one transparent
+retry when a pooled connection turns out to have been closed by the
+server.  The pid half of the key makes the pool fork-safe: a process that
+``fork()``\\ s after making requests (shard workers, multiprocessing load
+generators) inherits the parent's pooled sockets, and writing on one of
+those would interleave two processes' requests on a single connection —
+so a pooled entry whose pid no longer matches is closed and redialed.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import os
 import socket
 import threading
 from typing import List, Optional, Sequence, Union
@@ -52,7 +59,12 @@ from repro.serving.wire import (
     response_from_wire,
 )
 
-__all__ = ["GatewayClient", "RemoteEngine", "RemoteServingError"]
+__all__ = [
+    "GatewayClient",
+    "RemoteEngine",
+    "RemoteServingError",
+    "RemoteTimeout",
+]
 
 
 class RemoteServingError(ConnectionError):
@@ -65,6 +77,25 @@ class RemoteServingError(ConnectionError):
     def __init__(self, message: str, status: Optional[int] = None):
         super().__init__(message)
         self.status = status
+
+
+class RemoteTimeout(RemoteServingError):
+    """A remote call ran out of time — socket timeout, or the ambient
+    deadline was already spent before the request could even be sent.
+
+    The class attributes are the dispatcher's duck-typed failure
+    contract: ``retryable = False`` stops
+    :class:`~repro.metasearch.dispatch.ConcurrentDispatcher` from
+    re-issuing a request whose budget is gone (the fail-fast half of the
+    ``X-Repro-Deadline: 0`` bug — previously the clamped-to-zero budget
+    raised a generic retryable error, so the dispatcher would burn the
+    caller's non-existent remaining time on retries), and
+    ``failure_kind = "timeout"`` records the degradation as a timeout
+    rather than a generic error.
+    """
+
+    retryable = False
+    failure_kind = "timeout"
 
 
 class _HTTPJsonClient:
@@ -87,6 +118,20 @@ class _HTTPJsonClient:
     # -- connection pool -----------------------------------------------------
 
     def _connection(self, budget: Optional[float]) -> http.client.HTTPConnection:
+        # Fork safety: thread-local state survives fork() into the child's
+        # surviving thread, so the pooled connection's socket would be
+        # shared with the parent process.  Detect the pid change and
+        # redial instead of writing on the inherited socket (close() only
+        # drops this process's descriptor; the parent's copy is unharmed).
+        if getattr(self._local, "pid", None) != os.getpid():
+            stale = getattr(self._local, "conn", None)
+            if stale is not None:
+                try:
+                    stale.close()
+                except OSError:  # pragma: no cover - close is best-effort
+                    pass
+            self._local.conn = None
+            self._local.pid = os.getpid()
         conn = getattr(self._local, "conn", None)
         if conn is None:
             conn = http.client.HTTPConnection(
@@ -113,14 +158,20 @@ class _HTTPJsonClient:
     # -- request execution ---------------------------------------------------
 
     def _budget(self) -> Optional[float]:
-        """Tightest of the configured timeout and the ambient deadline."""
+        """Tightest of the configured timeout and the ambient deadline.
+
+        A budget that has clamped to zero fails fast with a
+        non-retryable :class:`RemoteTimeout` — sending the request anyway
+        would propagate ``X-Repro-Deadline: 0`` and make the downstream
+        engine do work it can never return in time.
+        """
         budget = self.timeout
         ambient = ambient_deadline()
         if ambient is not None:
             remaining = ambient.remaining()
             budget = remaining if budget is None else min(budget, remaining)
         if budget is not None and budget <= 0:
-            raise RemoteServingError(
+            raise RemoteTimeout(
                 f"deadline exhausted before calling {self.base_url}"
             )
         return budget
@@ -161,7 +212,7 @@ class _HTTPJsonClient:
             except (http.client.HTTPException, ConnectionError, OSError) as exc:
                 self._drop_connection()
                 if isinstance(exc, socket.timeout):
-                    raise RemoteServingError(
+                    raise RemoteTimeout(
                         f"timed out calling {self.base_url}{path}"
                     ) from exc
                 if attempt == 1:

@@ -1,0 +1,225 @@
+"""One shard of a partitioned fleet, behind HTTP.
+
+A shard worker owns a *slice* of the fleet: a columnar
+:class:`~repro.metasearch.broker.MetasearchBroker` whose
+:class:`~repro.representatives.columnar.FleetRepresentativeStore` holds
+the representatives of the engines assigned to this shard (typically
+loaded from an ``.npz`` bundle written by
+:meth:`~repro.representatives.columnar.FleetRepresentativeStore.save_npz`).
+The scatter-gather coordinator (:mod:`repro.serving.coordinator`) fans
+each request out to every shard and merges the answers, so a shard never
+sees the rest of the fleet — and never needs to: per-engine usefulness
+estimates depend only on that engine's representative and the query, so
+a slice estimates bit-identically to the full fleet.
+
+:class:`ShardApp` exposes the two scatter phases plus slice shipping:
+
+* ``POST /estimate`` — a *batch* of queries with per-query thresholds;
+  returns one estimate row per query covering this shard's engines,
+  computed through the broker's vectorized columnar path.
+* ``POST /dispatch`` — a batch of ``{query, threshold, engines}``
+  entries; forwards each query to the named engines (which must live on
+  this shard) through the broker's dispatcher and returns per-engine
+  hits, failure records, and latencies.  Selection is *not* applied
+  here — the coordinator selects centrally on the merged estimate rows,
+  so any policy behaves exactly as it would in one process.
+* ``GET /slice`` — the shard's fleet slice as the columnar ``.npz``
+  bundle (``application/octet-stream``), cached after the first build;
+  the ``X-Repro-Shard`` header echoes the shard index.
+
+The coordinator treats a dead shard as a set of per-engine failures,
+so the shard's own error story stays simple: malformed requests are
+400s, unknown engines are 400s, and anything else is the substrate's
+generic 500.
+"""
+
+from __future__ import annotations
+
+import io
+import threading
+from typing import List, Optional
+
+from repro.metasearch.broker import MetasearchBroker
+from repro.serving.http import HTTPError, Response, ServingApp
+from repro.serving.wire import (
+    WireFormatError,
+    encode_hits,
+    estimate_to_wire,
+    failure_to_wire,
+    query_from_wire,
+)
+
+__all__ = ["ShardApp"]
+
+
+class ShardApp(ServingApp):
+    """Serve one fleet shard: batch estimation, targeted dispatch, slice.
+
+    Args:
+        broker: The shard's broker, holding this shard's engines and (for
+            ``/slice``) a columnar fleet store.  Construct it with
+            ``columnar=True`` or with a pre-built ``fleet=`` slice.
+        shard_index: This shard's position in the coordinator's shard
+            list; echoed in ``/healthz`` and the ``X-Repro-Shard`` header
+            so a misconfigured topology is visible.
+        max_batch: Queries accepted per ``/estimate`` request and entries
+            per ``/dispatch`` request.
+    """
+
+    role = "shard"
+
+    def __init__(
+        self,
+        broker: MetasearchBroker,
+        *,
+        shard_index: int = 0,
+        max_batch: int = 256,
+        **kwargs,
+    ):
+        if shard_index < 0:
+            raise ValueError(f"shard_index must be >= 0, got {shard_index!r}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch!r}")
+        self.broker = broker
+        self.shard_index = shard_index
+        self.max_batch = max_batch
+        self._slice_lock = threading.Lock()
+        self._slice_cache: Optional[bytes] = None
+        super().__init__(**kwargs)
+        self._m_estimates = self.registry.counter("serving.shard.estimates")
+        self._m_dispatches = self.registry.counter("serving.shard.dispatches")
+
+    def add_routes(self) -> None:
+        self.route("POST", "/estimate", self._route_estimate)
+        self.route("POST", "/dispatch", self._route_dispatch)
+        self.route("GET", "/slice", self._route_slice)
+
+    def health_info(self) -> dict:
+        return {
+            "shard": self.shard_index,
+            "engines": self.broker.engine_names,
+        }
+
+    # -- request parsing -----------------------------------------------------
+
+    def _parse_query(self, raw):
+        try:
+            return query_from_wire(raw)
+        except WireFormatError as exc:
+            raise HTTPError(400, f"bad query: {exc}") from exc
+
+    def _parse_batch(self, payload: dict, name: str) -> list:
+        raw = payload.get(name)
+        if not isinstance(raw, list):
+            raise HTTPError(400, f"{name!r} must be a list")
+        if len(raw) > self.max_batch:
+            raise HTTPError(
+                413,
+                f"{len(raw)} {name} exceed the shard batch limit of "
+                f"{self.max_batch}",
+            )
+        return raw
+
+    # -- routes --------------------------------------------------------------
+
+    def _route_estimate(self, params, payload) -> Response:
+        raw_queries = self._parse_batch(payload, "queries")
+        queries = [self._parse_query(raw) for raw in raw_queries]
+        raw_thresholds = payload.get("thresholds")
+        try:
+            if isinstance(raw_thresholds, list):
+                thresholds: object = [float(t) for t in raw_thresholds]
+            else:
+                thresholds = float(raw_thresholds)
+        except (TypeError, ValueError) as exc:
+            raise HTTPError(400, f"bad thresholds: {exc}") from exc
+        try:
+            rows = self.broker.estimate_batch(queries, thresholds)
+        except ValueError as exc:  # thresholds/queries length mismatch
+            raise HTTPError(400, str(exc)) from exc
+        self._m_estimates.inc(len(queries))
+        return Response(
+            payload={
+                "kind": "shard.estimates",
+                "shard": self.shard_index,
+                "rows": [
+                    [estimate_to_wire(e) for e in row] for row in rows
+                ],
+            }
+        )
+
+    def _route_dispatch(self, params, payload) -> Response:
+        entries = self._parse_batch(payload, "entries")
+        batches = []
+        for entry in entries:
+            if not isinstance(entry, dict):
+                raise HTTPError(400, "each dispatch entry must be an object")
+            query = self._parse_query(entry.get("query"))
+            try:
+                threshold = float(entry.get("threshold"))
+            except (TypeError, ValueError) as exc:
+                raise HTTPError(400, f"bad threshold: {exc}") from exc
+            names = entry.get("engines")
+            if not isinstance(names, list):
+                raise HTTPError(400, "'engines' must be a list of names")
+            calls = {}
+            for raw_name in names:
+                name = str(raw_name)
+                try:
+                    engine = self.broker.engine_of(name)
+                except KeyError:
+                    raise HTTPError(
+                        400,
+                        f"engine {name!r} is not on shard {self.shard_index}",
+                    ) from None
+                calls[name] = (
+                    lambda engine=engine, q=query, t=threshold: engine.search(
+                        q, t
+                    )
+                )
+            batches.append(calls)
+        reports = self.broker.dispatcher.dispatch_many(batches)
+        self._m_dispatches.inc(len(entries))
+        return Response(
+            payload={
+                "kind": "shard.dispatches",
+                "shard": self.shard_index,
+                "reports": [
+                    {
+                        "results": {
+                            name: encode_hits(hits)
+                            for name, hits in report.results.items()
+                        },
+                        "failures": [
+                            failure_to_wire(f) for f in report.failures
+                        ],
+                        "latencies": {
+                            name: float(v)
+                            for name, v in report.latencies.items()
+                        },
+                    }
+                    for report in reports
+                ],
+            }
+        )
+
+    def _slice_bytes(self) -> bytes:
+        """The fleet slice as ``.npz`` bytes, built once and cached (shard
+        slices are immutable for the life of the worker)."""
+        with self._slice_lock:
+            if self._slice_cache is None:
+                if self.broker.fleet is None:
+                    raise HTTPError(
+                        404, "this shard's broker has no columnar fleet"
+                    )
+                buffer = io.BytesIO()
+                self.broker.fleet.save_npz(buffer)
+                self._slice_cache = buffer.getvalue()
+            return self._slice_cache
+
+    def _route_slice(self, params, payload) -> Response:
+        return Response(
+            raw=self._slice_bytes(),
+            content_type="application/octet-stream",
+            headers={"X-Repro-Shard": str(self.shard_index)},
+        )

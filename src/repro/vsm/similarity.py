@@ -12,6 +12,12 @@ from repro.vsm.vector import SparseVector
 
 __all__ = ["dot_similarity", "cosine_similarity"]
 
+# Norm products inside this range divide directly (the legacy arithmetic,
+# unchanged bit-for-bit); outside it the cross products or the quotient
+# would drift through subnormals, so the Cosine is taken on unit vectors.
+_COSINE_SAFE_LO = 1e-140
+_COSINE_SAFE_HI = 1e140
+
 
 def dot_similarity(query: SparseVector, document: SparseVector) -> float:
     """Plain inner product of the two weight vectors."""
@@ -19,8 +25,17 @@ def dot_similarity(query: SparseVector, document: SparseVector) -> float:
 
 
 def cosine_similarity(query: SparseVector, document: SparseVector) -> float:
-    """Cosine of the angle between the vectors; 0 when either is empty."""
-    denom = query.norm() * document.norm()
-    if denom == 0.0:
+    """Cosine of the angle between the vectors; 0 when either is empty.
+
+    Vectors with extreme weights (norm product outside the normal double
+    range, where the direct quotient loses scale invariance to subnormal
+    underflow) are normalized first and their unit vectors dotted.
+    """
+    query_norm = query.norm()
+    document_norm = document.norm()
+    if query_norm == 0.0 or document_norm == 0.0:
         return 0.0
-    return query.dot(document) / denom
+    denom = query_norm * document_norm
+    if _COSINE_SAFE_LO <= denom <= _COSINE_SAFE_HI:
+        return query.dot(document) / denom
+    return query.normalized().dot(document.normalized())

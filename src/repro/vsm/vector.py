@@ -16,6 +16,13 @@ import numpy as np
 
 __all__ = ["SparseVector"]
 
+# Largest-magnitude weight for which squaring stays comfortably inside the
+# normal double range.  Outside it, sums of squares drift through subnormals
+# (or overflow), so the norm is computed under an exact power-of-two rescale
+# instead.  Inside it, the legacy arithmetic runs unchanged, bit-for-bit.
+_NORM_SAFE_LO = 1e-140
+_NORM_SAFE_HI = 1e140
+
 
 class SparseVector:
     """Immutable sparse vector over integer term ids.
@@ -81,8 +88,30 @@ class SparseVector:
         return int(self.indices.size)
 
     def norm(self) -> float:
-        """Euclidean norm, the denominator of the Cosine function."""
-        return float(math.sqrt(float(np.dot(self.values, self.values))))
+        """Euclidean norm, the denominator of the Cosine function.
+
+        Weights whose squares would leave the normal double range are
+        rescaled by an exact power of two first, so subnormal underflow
+        cannot erase (or grossly distort) the norm of a tiny vector.
+        """
+        if self.indices.size == 0:
+            return 0.0
+        m = float(np.max(np.abs(self.values)))
+        if m == 0.0 or _NORM_SAFE_LO <= m <= _NORM_SAFE_HI:
+            return float(math.sqrt(float(np.dot(self.values, self.values))))
+        v, e = self._pow2_scaled(m)
+        with np.errstate(over="ignore"):  # a true norm beyond DBL_MAX is inf
+            return float(np.ldexp(math.sqrt(float(np.dot(v, v))), e))
+
+    def _pow2_scaled(self, m: float) -> Tuple[np.ndarray, int]:
+        """``values * 2**-e`` (an exact scaling) with the max magnitude
+        brought into ``[0.5, 1)``, plus the exponent ``e``.
+
+        ``np.ldexp`` shifts exponents elementwise — ``2**-e`` itself can
+        exceed the double range when the weights are subnormal.
+        """
+        e = math.frexp(m)[1]
+        return np.ldexp(self.values, -e), e
 
     def dot(self, other: "SparseVector") -> float:
         """Dot product with another sparse vector (sorted-merge in numpy)."""
@@ -102,11 +131,22 @@ class SparseVector:
         return SparseVector(self.indices, self.values * factor, checked=False)
 
     def normalized(self) -> "SparseVector":
-        """Unit-norm copy; the zero vector normalizes to itself."""
-        n = self.norm()
-        if n == 0.0:
+        """Unit-norm copy; the zero vector normalizes to itself.
+
+        Extreme weights take the same power-of-two rescale as
+        :meth:`norm` and divide in the normal range — multiplying by the
+        reciprocal of a subnormal norm would overflow to inf.
+        """
+        if self.indices.size == 0:
             return self
-        return self.scaled(1.0 / n)
+        m = float(np.max(np.abs(self.values)))
+        if m == 0.0:
+            return self
+        if _NORM_SAFE_LO <= m <= _NORM_SAFE_HI:
+            return self.scaled(1.0 / self.norm())
+        v, _ = self._pow2_scaled(m)
+        n = math.sqrt(float(np.dot(v, v)))
+        return SparseVector(self.indices, v / n, checked=False)
 
     def to_mapping(self) -> Dict[int, float]:
         """Materialize as a ``{term_id: weight}`` dict."""

@@ -1,0 +1,506 @@
+"""Integration tests for the sharded fleet topology.
+
+The headline contract: a fleet partitioned across shard-worker
+*processes* behind the scatter-gather coordinator answers every query
+**exactly** (``==``) like an in-process columnar broker over the same
+collections — same merged hits, same estimate rows, same invoked
+engines — at 2 shards and at 4.  Plus the degradation story: a shard
+killed mid-flight becomes per-engine ``EngineFailure`` records naming
+the shard, while the surviving shards' answers merge exactly as the
+in-process broker restricted to the surviving engines would.  The
+asyncio frontend's framing policy (keep-alive reuse, 411/413/400) is
+covered here too, since the coordinator is its primary tenant.
+"""
+
+import http.client
+import json
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.corpus import Collection, Document, Query, save_collection
+from repro.engine import SearchEngine
+from repro.metasearch import MetasearchBroker
+from repro.obs import MetricsRegistry
+from repro.representatives import partition_round_robin
+from repro.serving import (
+    AsyncServingServer,
+    CoordinatorApp,
+    GatewayApp,
+    GatewayClient,
+    ServingServer,
+    ShardApp,
+    ShardedFleet,
+)
+
+pytestmark = pytest.mark.slow
+
+N_ENGINES = 4
+
+VOCAB = ["rocket", "orbit", "engine", "fuel", "sauce", "basil", "kiwi", "plum"]
+
+
+def fleet_collections():
+    """Four small overlapping collections with deterministic contents."""
+    collections = []
+    for e in range(N_ENGINES):
+        documents = []
+        for d in range(6):
+            terms = [
+                VOCAB[(e + d + k) % len(VOCAB)]
+                for k in range((e * 7 + d * 3) % 5 + 2)
+            ]
+            documents.append(Document(f"e{e}-d{d}", terms=terms))
+        collections.append(Collection.from_documents(f"engine{e}", documents))
+    return collections
+
+
+QUERIES = [
+    Query(terms=("rocket", "orbit"), weights=(2.0, 1.0)),
+    Query(terms=("sauce",), weights=(1.0,)),
+    Query(terms=("kiwi", "fuel", "basil"), weights=(1.0, 3.0, 0.5)),
+    Query(terms=("nosuchterm",), weights=(1.0,)),
+]
+
+THRESHOLDS = (0.0, 0.2, 0.5)
+
+
+def save_fleet(tmp, collections):
+    paths = []
+    for collection in collections:
+        path = tmp / f"{collection.name}.jsonl.gz"
+        save_collection(collection, path)
+        paths.append(str(path))
+    return paths
+
+
+def spawn_shard_workers(paths, n_shards):
+    """Launch one ``repro serve shard`` process per round-robin slice;
+    returns ``(processes, urls)`` with urls in shard-index order."""
+    slices = [s for s in partition_round_robin(paths, n_shards) if s]
+    processes, urls = [], []
+    try:
+        for index, slice_paths in enumerate(slices):
+            proc = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "serve",
+                    "shard",
+                    "--shard-index",
+                    str(index),
+                    "--collections",
+                    *slice_paths,
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+            processes.append(proc)
+        for proc in processes:
+            url = None
+            deadline = time.time() + 60
+            while time.time() < deadline:
+                line = proc.stdout.readline()
+                if not line:
+                    break
+                match = re.search(r"serving shard at (http://\S+)", line)
+                if match:
+                    url = match.group(1)
+                    break
+            assert url, "shard worker did not announce its URL"
+            urls.append(url)
+    except BaseException:
+        stop_processes(processes)
+        raise
+    return processes, urls
+
+
+def stop_processes(processes):
+    for proc in processes:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+    for proc in processes:
+        try:
+            proc.communicate(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.communicate()
+
+
+def local_columnar_broker(collections):
+    broker = MetasearchBroker(columnar=True)
+    for collection in collections:
+        broker.register(SearchEngine(collection))
+    return broker
+
+
+class TestShardedExactness:
+    """2- and 4-shard topologies vs the in-process columnar broker."""
+
+    @pytest.fixture(scope="class", params=[2, 4])
+    def topology(self, request, tmp_path_factory):
+        n_shards = request.param
+        tmp = tmp_path_factory.mktemp(f"sharded-{n_shards}")
+        collections = fleet_collections()
+        paths = save_fleet(tmp, collections)
+        processes, urls = spawn_shard_workers(paths, n_shards)
+        fleet = ShardedFleet(urls, retries=1).attach(timeout=30.0)
+        try:
+            yield collections, fleet, urls
+        finally:
+            fleet.close()
+            stop_processes(processes)
+
+    @pytest.fixture(scope="class")
+    def local_broker(self, topology):
+        collections, __, __urls = topology
+        return local_columnar_broker(collections)
+
+    def test_every_engine_is_owned_exactly_once(self, topology):
+        __, fleet, urls = topology
+        assert fleet.n_shards == len(urls)
+        assert fleet.engine_names == sorted(f"engine{e}" for e in range(N_ENGINES))
+
+    def test_search_matches_in_process_broker_exactly(
+        self, topology, local_broker
+    ):
+        __, fleet, __urls = topology
+        for query in QUERIES:
+            for threshold in THRESHOLDS:
+                sharded = fleet.search(query, threshold)
+                local = local_broker.search(query, threshold)
+                assert sharded.hits == local.hits
+                assert sharded.estimates == local.estimates
+                assert sharded.invoked == local.invoked
+                assert sharded.failures == local.failures
+
+    def test_estimates_match_in_process_broker_exactly(
+        self, topology, local_broker
+    ):
+        __, fleet, __urls = topology
+        for query in QUERIES:
+            for threshold in THRESHOLDS:
+                assert fleet.estimate_all(query, threshold) == (
+                    local_broker.estimate_all(query, threshold)
+                )
+
+    def test_batch_matches_in_process_broker_exactly(
+        self, topology, local_broker
+    ):
+        __, fleet, __urls = topology
+        sharded = fleet.search_batch(QUERIES, 0.2, limit=5)
+        local = local_broker.search_batch(QUERIES, 0.2, limit=5)
+        assert [r.hits for r in sharded] == [r.hits for r in local]
+        assert [r.estimates for r in sharded] == [r.estimates for r in local]
+        assert [r.invoked for r in sharded] == [r.invoked for r in local]
+        assert [r.failures for r in sharded] == [r.failures for r in local]
+
+    def test_per_query_thresholds_match(self, topology, local_broker):
+        __, fleet, __urls = topology
+        thresholds = [0.1, 0.3, 0.0, 0.5]
+        assert fleet.estimate_batch(QUERIES, thresholds) == (
+            local_broker.estimate_batch(QUERIES, thresholds)
+        )
+
+    def test_coordinator_app_serves_the_fleet(self, topology, local_broker):
+        """The coordinator behind the asyncio frontend answers the PR 4
+        wire schema exactly like a single-broker gateway would."""
+        __, fleet, urls = topology
+        app = CoordinatorApp(fleet, max_active=8, max_queued=16)
+        server = AsyncServingServer(app)
+        server.start_background()
+        try:
+            client = GatewayClient(server.url)
+            health = client.healthz()
+            assert health["role"] == "coordinator"
+            assert len(health["shards"]) == len(urls)
+            assert len(health["engines"]) == N_ENGINES
+            for query in QUERIES:
+                remote = client.search(query, 0.2)
+                local = local_broker.search(query, 0.2)
+                assert remote.hits == local.hits
+                assert remote.estimates == local.estimates
+                assert remote.invoked == local.invoked
+            remote_batch = client.search_batch(QUERIES, 0.2, limit=5)
+            local_batch = local_broker.search_batch(QUERIES, 0.2, limit=5)
+            assert [r.hits for r in remote_batch] == [
+                r.hits for r in local_batch
+            ]
+            metrics = client.metrics_text()
+            assert "repro_serving_requests_total" in metrics
+            assert "repro_serving_async_connections" in metrics
+        finally:
+            assert server.drain(timeout=15)
+        assert server.final_metrics is not None
+
+
+class TestPartialShardFailure:
+    """A dead shard degrades to per-engine failures, never a failed query."""
+
+    @pytest.fixture
+    def degraded(self, tmp_path):
+        collections = fleet_collections()
+        paths = save_fleet(tmp_path, collections)
+        processes, urls = spawn_shard_workers(paths, 2)
+        fleet = ShardedFleet(urls, shard_timeout=5.0)
+        try:
+            fleet.attach(timeout=30.0)
+            # Learn the ownership map from the workers themselves, then
+            # kill shard 1 outright (SIGKILL: no graceful drain, the
+            # socket just dies under the coordinator).
+            with urllib.request.urlopen(urls[1] + "/healthz", timeout=5) as r:
+                dead_engines = json.loads(r.read())["engines"]
+            processes[1].kill()
+            processes[1].wait(timeout=15)
+            survivors = [
+                c for c in collections if c.name not in set(dead_engines)
+            ]
+            yield fleet, survivors, dead_engines
+        finally:
+            fleet.close()
+            stop_processes(processes)
+
+    def test_search_degrades_to_surviving_engines(self, degraded):
+        fleet, survivors, dead_engines = degraded
+        local = local_columnar_broker(survivors)
+        for query in QUERIES[:2]:
+            sharded = fleet.search(query, 0.2)
+            expected = local.search(query, 0.2)
+            # The merged ranking is exactly the in-process broker
+            # restricted to the surviving engines...
+            assert sharded.hits == expected.hits
+            assert sharded.estimates == expected.estimates
+            assert sharded.invoked == expected.invoked
+            # ...plus one failure record per engine the dead shard owned,
+            # naming the shard so the topology fault is diagnosable.
+            assert sorted(f.engine for f in sharded.failures) == sorted(
+                dead_engines
+            )
+            for failure in sharded.failures:
+                assert "shard 1" in failure.message
+                assert failure.kind in ("error", "timeout")
+            assert sharded.degraded
+
+    def test_estimates_degrade_to_surviving_engines(self, degraded):
+        fleet, survivors, dead_engines = degraded
+        local = local_columnar_broker(survivors)
+        query = QUERIES[0]
+        assert fleet.estimate_all(query, 0.2) == local.estimate_all(query, 0.2)
+
+
+class TestShardAppValidation:
+    """Shard route policy, exercised directly against the app."""
+
+    @pytest.fixture(scope="class")
+    def shard_app(self):
+        broker = local_columnar_broker(fleet_collections()[:2])
+        return ShardApp(broker, shard_index=3, max_batch=2)
+
+    def post(self, app, path, payload):
+        return app.handle(
+            "POST", path, {}, json.dumps(payload).encode("utf-8")
+        )
+
+    def test_healthz_names_shard_and_engines(self, shard_app):
+        response = shard_app.handle("GET", "/healthz", {}, b"")
+        assert response.status == 200
+        assert response.payload["shard"] == 3
+        assert response.payload["engines"] == ["engine0", "engine1"]
+
+    def test_estimate_batch_answers_per_query_rows(self, shard_app):
+        from repro.serving.wire import query_to_wire
+
+        response = self.post(
+            shard_app,
+            "/estimate",
+            {
+                "queries": [query_to_wire(q) for q in QUERIES[:2]],
+                "thresholds": 0.2,
+            },
+        )
+        assert response.status == 200
+        assert response.payload["kind"] == "shard.estimates"
+        assert response.payload["shard"] == 3
+        assert len(response.payload["rows"]) == 2
+        assert all(len(row) == 2 for row in response.payload["rows"])
+
+    def test_non_list_batch_is_400(self, shard_app):
+        assert self.post(shard_app, "/estimate", {"queries": "nope"}).status == 400
+
+    def test_oversized_batch_is_413(self, shard_app):
+        from repro.serving.wire import query_to_wire
+
+        wire = [query_to_wire(q) for q in QUERIES[:3]]
+        response = self.post(
+            shard_app, "/estimate", {"queries": wire, "thresholds": 0.2}
+        )
+        assert response.status == 413
+
+    def test_unknown_engine_in_dispatch_is_400(self, shard_app):
+        from repro.serving.wire import query_to_wire
+
+        response = self.post(
+            shard_app,
+            "/dispatch",
+            {
+                "entries": [
+                    {
+                        "query": query_to_wire(QUERIES[0]),
+                        "threshold": 0.2,
+                        "engines": ["engine7"],
+                    }
+                ]
+            },
+        )
+        assert response.status == 400
+        assert "engine7" in response.payload["error"]
+
+    def test_slice_round_trips_the_columnar_store(self, shard_app, tmp_path):
+        import io
+
+        from repro.representatives import FleetRepresentativeStore
+
+        response = shard_app.handle("GET", "/slice", {}, b"")
+        assert response.status == 200
+        assert response.content_type == "application/octet-stream"
+        assert response.headers["X-Repro-Shard"] == "3"
+        restored = FleetRepresentativeStore.load_npz(io.BytesIO(response.raw))
+        assert restored.engine_names == shard_app.broker.fleet.engine_names
+        # Cached: the second request serves the identical buffer.
+        again = shard_app.handle("GET", "/slice", {}, b"")
+        assert again.raw is response.raw
+
+
+class TestAsyncFrontendFraming:
+    """The asyncio server's body/keep-alive policy mirrors the threaded one."""
+
+    @pytest.fixture(scope="class")
+    def async_gateway(self):
+        broker = local_columnar_broker(fleet_collections())
+        registry = MetricsRegistry()
+        app = GatewayApp(
+            broker, max_active=4, max_queued=8, registry=registry,
+            max_body=4096,
+        )
+        server = AsyncServingServer(app)
+        server.start_background()
+        yield server
+        server.drain(timeout=10)
+
+    def request_raw(self, server, payload: bytes, conn=None, extra=()):
+        own = conn is None
+        if own:
+            conn = http.client.HTTPConnection(
+                server.host, server.port, timeout=10
+            )
+        headers = {"Content-Type": "application/json"}
+        headers.update(dict(extra))
+        conn.request("POST", "/search", body=payload, headers=headers)
+        response = conn.getresponse()
+        body = response.read()
+        if own:
+            conn.close()
+        return response, body
+
+    SEARCH = json.dumps(
+        {
+            "query": {"kind": "query", "terms": ["rocket"], "weights": [1.0]},
+            "threshold": 0.1,
+        }
+    ).encode("utf-8")
+
+    def test_keep_alive_reuses_one_connection(self, async_gateway):
+        conn = http.client.HTTPConnection(
+            async_gateway.host, async_gateway.port, timeout=10
+        )
+        try:
+            first, __ = self.request_raw(async_gateway, self.SEARCH, conn)
+            assert first.status == 200
+            sock = conn.sock
+            second, body = self.request_raw(async_gateway, self.SEARCH, conn)
+            assert second.status == 200
+            assert conn.sock is sock, "server closed a keep-alive connection"
+            assert json.loads(body)["kind"] == "response"
+        finally:
+            conn.close()
+
+    def test_chunked_body_is_411(self, async_gateway):
+        conn = http.client.HTTPConnection(
+            async_gateway.host, async_gateway.port, timeout=10
+        )
+        try:
+            conn.putrequest("POST", "/search")
+            conn.putheader("Transfer-Encoding", "chunked")
+            conn.putheader("Content-Type", "application/json")
+            conn.endheaders()
+            response = conn.getresponse()
+            assert response.status == 411
+            assert response.getheader("Connection") == "close"
+        finally:
+            conn.close()
+
+    def test_oversized_body_is_413_and_closes(self, async_gateway):
+        response, body = self.request_raw(async_gateway, b"x" * 8192)
+        assert response.status == 413
+        assert response.getheader("Connection") == "close"
+        assert "exceeds" in json.loads(body)["error"]
+
+    def test_bad_content_length_is_400(self, async_gateway):
+        with socket.create_connection(
+            (async_gateway.host, async_gateway.port), timeout=10
+        ) as raw:
+            raw.sendall(
+                b"POST /search HTTP/1.1\r\n"
+                b"Host: x\r\nContent-Length: banana\r\n\r\n"
+            )
+            answer = raw.recv(4096)
+        assert answer.startswith(b"HTTP/1.1 400")
+
+    def test_deadline_header_is_honored_case_insensitively(self, async_gateway):
+        response, body = self.request_raw(
+            async_gateway, self.SEARCH, extra=[("x-repro-deadline", "0.0")]
+        )
+        assert response.status == 504
+
+    def test_unknown_route_is_404(self, async_gateway):
+        conn = http.client.HTTPConnection(
+            async_gateway.host, async_gateway.port, timeout=10
+        )
+        try:
+            conn.request("GET", "/nope")
+            assert conn.getresponse().status == 404
+        finally:
+            conn.close()
+
+
+class TestThreadedAndAsyncAgree:
+    """One app, both servers, identical answers — the frontends are
+    interchangeable by contract."""
+
+    def test_same_broker_same_answers(self):
+        collections = fleet_collections()
+        broker = local_columnar_broker(collections)
+        threaded = ServingServer(GatewayApp(broker))
+        threaded.start_background()
+        async_server = AsyncServingServer(GatewayApp(broker))
+        async_server.start_background()
+        try:
+            a = GatewayClient(threaded.url)
+            b = GatewayClient(async_server.url)
+            for query in QUERIES:
+                ra, rb = a.search(query, 0.2), b.search(query, 0.2)
+                assert ra.hits == rb.hits
+                assert ra.estimates == rb.estimates
+                assert ra.invoked == rb.invoked
+        finally:
+            threaded.drain(timeout=10)
+            async_server.drain(timeout=10)

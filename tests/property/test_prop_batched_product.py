@@ -212,6 +212,27 @@ class TestBatchedProductEdgeCases:
         assert_rows_bit_identical(batch, [want])
         assert batch.row(0).n_terms == 0
 
+    def test_tail_moment_preserves_negative_zero(self):
+        # A zero-coefficient term with a negative exponent contributes
+        # -0.0 to the moment; the scalar suffix cumsum *copies* it as
+        # its first reversed element.  The batched kernel pads rows, and
+        # a +0.0 pad would flip the sign (-0.0 + 0.0 == +0.0) — while
+        # the empty-tail sentinel must still read +0.0, not the sum of
+        # -0.0 pads.  Both rows exercise one side of that trade.
+        terms = [(
+            np.array([0, 1]),
+            np.array([[0.0, 0.1], [-1.0, 0.0]]),
+            np.array([[0.0, 0.0], [0.0, 0.0]]),
+            np.array([2, 1]),
+        )]
+        thresholds = [float("-inf"), 0.0, float("inf"), float("nan")]
+        batch = BatchedGenFunc.product(2, terms, decimals=3)
+        mass, moment = batch.tail_profile(thresholds)
+        for r, want in enumerate(scalar_reference(2, terms, 3, 0.0, None)):
+            want_mass, want_moment = want.tail_profile(thresholds)
+            assert mass[:, r].tobytes() == want_mass.tobytes()
+            assert moment[:, r].tobytes() == want_moment.tobytes()
+
     def test_near_2_53_coefficient_accumulation_order(self):
         # Three product entries share one rounded exponent; their
         # coefficients only sum to the scalar value when added in the

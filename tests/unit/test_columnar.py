@@ -14,6 +14,7 @@ from repro.representatives import (
     FleetRepresentativeRef,
     FleetRepresentativeStore,
     TermStats,
+    partition_round_robin,
 )
 from repro.representatives.columnar import UNKNOWN_TERM
 
@@ -237,3 +238,101 @@ class TestFleetStore:
         store.add(rep)
         expected = float(np.mean([s.mean for __, s in rep.items()]))
         assert store.binary_mean_w.tolist() == [expected]
+
+
+class TestFleetNpz:
+    """Fleet bundles: the unit of shipment between coordinator and shards."""
+
+    def fleet(self):
+        store = FleetRepresentativeStore()
+        store.add(make_rep("d1", n=10))
+        store.add(make_rep("d2", n=20, triplet=True, terms=("apple", "kiwi")))
+        store.add(make_rep("d3", n=30, terms=("plum",)))
+        return store
+
+    def test_round_trip_is_bit_exact(self):
+        store = self.fleet()
+        buffer = io.BytesIO()
+        store.save_npz(buffer)
+        buffer.seek(0)
+        restored = FleetRepresentativeStore.load_npz(buffer)
+        assert restored.engine_names == store.engine_names
+        assert restored.n_documents.tolist() == store.n_documents.tolist()
+        # binary_mean_w is copied, not recomputed: recomputing over the
+        # sorted column order can differ in the last ulp.
+        assert restored.binary_mean_w.tolist() == store.binary_mean_w.tolist()
+        for name in store.engine_names:
+            assert dict(restored.materialize(name).items()) == dict(
+                store.materialize(name).items()
+            )
+
+    def test_round_trip_through_path(self, tmp_path):
+        store = self.fleet()
+        path = tmp_path / "fleet.npz"
+        store.save_npz(path)
+        restored = FleetRepresentativeStore.load_npz(path)
+        assert restored.engine_names == store.engine_names
+
+    def test_load_interns_into_given_vocab(self):
+        store = self.fleet()
+        buffer = io.BytesIO()
+        store.save_npz(buffer)
+        buffer.seek(0)
+        vocab = BrokerVocabulary()
+        vocab.intern("zebra")  # pre-existing ids shift every term id
+        restored = FleetRepresentativeStore.load_npz(buffer, vocab)
+        assert restored.vocab is vocab
+        assert dict(restored.materialize("d1").items()) == dict(
+            store.materialize("d1").items()
+        )
+
+    def test_rejects_representative_bundle(self):
+        buffer = io.BytesIO()
+        ColumnarRepresentative.from_representative(make_rep()).save_npz(buffer)
+        buffer.seek(0)
+        with pytest.raises(ValueError, match="fleet"):
+            FleetRepresentativeStore.load_npz(buffer)
+
+    def test_empty_fleet_round_trips(self):
+        buffer = io.BytesIO()
+        FleetRepresentativeStore().save_npz(buffer)
+        buffer.seek(0)
+        assert FleetRepresentativeStore.load_npz(buffer).engine_names == []
+
+    def test_slice_preserves_binary_mean_w(self):
+        store = self.fleet()
+        part = store.slice_engines(["d2", "d3"])
+        assert part.engine_names == ["d2", "d3"]
+        full = {n: v for n, v in zip(store.engine_names, store.binary_mean_w)}
+        assert part.binary_mean_w.tolist() == [full["d2"], full["d3"]]
+        for name in ("d2", "d3"):
+            assert dict(part.materialize(name).items()) == dict(
+                store.materialize(name).items()
+            )
+
+    def test_slices_cover_the_fleet_disjointly(self):
+        store = self.fleet()
+        slices = partition_round_robin(store.engine_names, 2)
+        assert slices == [["d1", "d3"], ["d2"]]
+        parts = [store.slice_engines(names) for names in slices]
+        seen = [n for part in parts for n in part.engine_names]
+        assert sorted(seen) == store.engine_names
+
+
+class TestPartitionRoundRobin:
+    def test_deals_in_index_order(self):
+        assert partition_round_robin(["a", "b", "c", "d", "e"], 2) == [
+            ["a", "c", "e"],
+            ["b", "d"],
+        ]
+
+    def test_more_shards_than_items_leaves_empty_slices(self):
+        assert partition_round_robin(["a"], 3) == [["a"], [], []]
+
+    def test_single_shard_is_identity(self):
+        items = ["a", "b", "c"]
+        assert partition_round_robin(items, 1) == [items]
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            partition_round_robin(["a"], 0)

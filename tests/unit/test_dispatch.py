@@ -348,3 +348,120 @@ class TestBrokerFaultInjection:
         response = broker.search(Query.from_terms(["rocket"]), 0.1)
         assert set(response.latencies) == set(response.invoked)
         assert all(lat >= 0.0 for lat in response.latencies.values())
+
+
+class TestRetryBackoffBudget:
+    """The retry sleep is jittered, clamped to the remaining deadline, and
+    skipped outright once the budget is spent."""
+
+    @staticmethod
+    def failing_call(exc_factory=lambda: RuntimeError("boom")):
+        def call():
+            raise exc_factory()
+
+        return call
+
+    @pytest.fixture
+    def sleeps(self, monkeypatch):
+        """Record backoff sleeps without actually sleeping."""
+        recorded = []
+        monkeypatch.setattr(
+            "repro.metasearch.dispatch.time.sleep",
+            lambda seconds: recorded.append(seconds),
+        )
+        return recorded
+
+    def test_jitter_stays_in_half_to_full_base(self, sleeps):
+        dispatcher = ConcurrentDispatcher(retries=3, backoff=0.1)
+        with pytest.raises(RuntimeError):
+            dispatcher._call_with_retry("e", self.failing_call())
+        assert len(sleeps) == 3
+        for attempt, slept in enumerate(sleeps, start=1):
+            base = 0.1 * 2 ** (attempt - 1)
+            assert base / 2 <= slept <= base, (
+                f"retry {attempt} slept {slept}, outside [{base / 2}, {base}]"
+            )
+
+    def test_sleep_clamped_to_fanout_deadline(self, sleeps):
+        dispatcher = ConcurrentDispatcher(workers=2, retries=1, backoff=10.0)
+        expires_at = time.perf_counter() + 0.05
+        with pytest.raises(RuntimeError):
+            dispatcher._call_with_retry("e", self.failing_call(), expires_at)
+        assert len(sleeps) == 1
+        # Un-clamped jitter would sleep >= 5s; the budget was 50ms.
+        assert sleeps[0] <= 0.05
+
+    def test_sleep_clamped_to_ambient_deadline(self, sleeps):
+        from repro.serving import Deadline, deadline_scope
+
+        dispatcher = ConcurrentDispatcher(retries=1, backoff=10.0)
+        with deadline_scope(Deadline(0.05)):
+            with pytest.raises(RuntimeError):
+                dispatcher._call_with_retry("e", self.failing_call())
+        assert len(sleeps) == 1
+        assert sleeps[0] <= 0.05
+
+    def test_retry_skipped_when_budget_already_spent(self, sleeps):
+        """An exhausted deadline surfaces the failure immediately instead
+        of sleeping into a retry that can never answer in time."""
+        from repro.serving import Deadline, deadline_scope
+
+        dispatcher = ConcurrentDispatcher(retries=5, backoff=0.05)
+        calls = []
+        with deadline_scope(Deadline(0.0)):
+            with pytest.raises(RuntimeError) as excinfo:
+                dispatcher._call_with_retry(
+                    "e", lambda: calls.append(1) or (_ for _ in ()).throw(
+                        RuntimeError("boom")
+                    )
+                )
+        assert len(calls) == 1  # no second attempt
+        assert sleeps == []  # and no sleep at all
+        assert excinfo.value._dispatch_attempts == 1
+
+    def test_retry_skipped_when_fanout_deadline_spent(self, sleeps):
+        dispatcher = ConcurrentDispatcher(workers=2, retries=5, backoff=0.05)
+        expires_at = time.perf_counter() - 1.0  # already past
+        with pytest.raises(RuntimeError) as excinfo:
+            dispatcher._call_with_retry("e", self.failing_call(), expires_at)
+        assert sleeps == []
+        assert excinfo.value._dispatch_attempts == 1
+
+    def test_non_retryable_exception_fails_fast(self, sleeps):
+        class FatalError(RuntimeError):
+            retryable = False
+
+        dispatcher = ConcurrentDispatcher(retries=5, backoff=0.05)
+        attempts = []
+        with pytest.raises(FatalError):
+            dispatcher._call_with_retry(
+                "e",
+                lambda: attempts.append(1) or (_ for _ in ()).throw(
+                    FatalError("gone")
+                ),
+            )
+        assert len(attempts) == 1
+        assert sleeps == []
+
+    def test_failure_kind_attribute_overrides_error_kind(self):
+        class BudgetGone(RuntimeError):
+            retryable = False
+            failure_kind = "timeout"
+
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        dispatcher = ConcurrentDispatcher(retries=2, registry=registry)
+        report = dispatcher.dispatch(
+            {"e": self.failing_call(lambda: BudgetGone("spent"))}
+        )
+        assert report.failures[0].kind == "timeout"
+        assert report.failures[0].attempts == 1
+        assert registry.value("dispatch.timeouts") == 1
+        assert registry.value("dispatch.retries") in (None, 0)
+
+    def test_zero_backoff_never_sleeps(self, sleeps):
+        dispatcher = ConcurrentDispatcher(retries=3, backoff=0.0)
+        with pytest.raises(RuntimeError):
+            dispatcher._call_with_retry("e", self.failing_call())
+        assert sleeps == []

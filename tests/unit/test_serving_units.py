@@ -169,3 +169,154 @@ class TestAdmissionQueue:
             t.join(timeout=10.0)
         assert max(peak) <= 3
         assert queue.wait_idle(timeout=1.0)
+
+
+class TestRetryAfterHeader:
+    """Shed responses advertise an *integral* Retry-After (RFC 9110
+    delta-seconds), rounded up so clients never come back early."""
+
+    @pytest.mark.parametrize(
+        "hint,expected",
+        [(1.2, "2"), (1.0, "1"), (0.2, "1"), (0.0, "1"), (4.0, "4"), (4.5, "5")],
+    )
+    def test_hint_rounds_up_to_whole_seconds(self, hint, expected):
+        from repro.serving import HTTPError
+
+        response = HTTPError(503, "shed", retry_after=hint).to_response()
+        assert response.headers["Retry-After"] == expected
+
+    def test_header_absent_without_hint(self):
+        from repro.serving import HTTPError
+
+        response = HTTPError(503, "shed").to_response()
+        assert "Retry-After" not in response.headers
+
+    def test_gateway_shed_carries_configured_hint(self):
+        """End to end through the app: a shed /search answers 503 with the
+        ceil()ed Retry-After of the configured float hint."""
+        import json
+
+        from repro.corpus import Collection, Document
+        from repro.engine import SearchEngine
+        from repro.metasearch import MetasearchBroker
+        from repro.serving import GatewayApp
+
+        broker = MetasearchBroker()
+        broker.register(
+            SearchEngine(
+                Collection.from_documents(
+                    "db", [Document("d1", terms=["rocket"])]
+                )
+            )
+        )
+        app = GatewayApp(
+            broker, max_active=1, max_queued=0, retry_after=2.5
+        )
+        app.admission.acquire()  # occupy the only active slot
+        try:
+            body = json.dumps(
+                {
+                    "query": {
+                        "kind": "query",
+                        "terms": ["rocket"],
+                        "weights": [1.0],
+                    },
+                    "threshold": 0.1,
+                }
+            ).encode("utf-8")
+            response = app.handle("POST", "/search", {}, body)
+        finally:
+            app.admission.release()
+        assert response.status == 503
+        assert response.headers["Retry-After"] == "3"
+
+
+class TestConnectionPoolForkSafety:
+    """The per-thread pool is keyed on pid too: an entry inherited across
+    fork() is closed and redialed, never written to."""
+
+    def make_client(self):
+        from repro.serving.remote_engine import _HTTPJsonClient
+
+        return _HTTPJsonClient("http://127.0.0.1:9", timeout=1.0)
+
+    class FakeConnection:
+        sock = None
+        timeout = None
+
+        def __init__(self):
+            self.closed = False
+
+        def close(self):
+            self.closed = True
+
+    def test_same_pid_reuses_pooled_connection(self):
+        client = self.make_client()
+        conn = client._connection(1.0)
+        assert client._connection(2.0) is conn
+        assert conn.timeout == 2.0  # budget refreshed on reuse
+
+    def test_pid_change_closes_and_redials(self):
+        import os
+
+        client = self.make_client()
+        stale = self.FakeConnection()
+        client._local.conn = stale
+        client._local.pid = os.getpid() + 1  # as if inherited across fork()
+        fresh = client._connection(1.0)
+        assert stale.closed, "inherited connection must be closed, not reused"
+        assert fresh is not stale
+        assert client._local.pid == os.getpid()
+
+    def test_pool_is_per_thread(self):
+        import threading
+
+        client = self.make_client()
+        here = client._connection(1.0)
+        seen = []
+        thread = threading.Thread(
+            target=lambda: seen.append(client._connection(1.0))
+        )
+        thread.start()
+        thread.join()
+        assert seen[0] is not here
+
+
+class TestRemoteTimeoutFailFast:
+    """An exhausted deadline raises before any bytes hit the wire, and the
+    dispatcher records it as a non-retried timeout."""
+
+    def test_exhausted_ambient_deadline_raises_without_io(self):
+        from repro.serving import RemoteTimeout
+        from repro.serving.remote_engine import _HTTPJsonClient
+
+        # Port 9 (discard) would hang or refuse; the fail-fast path must
+        # raise before ever dialing it.
+        client = _HTTPJsonClient("http://127.0.0.1:9", timeout=10.0)
+        with deadline_scope(Deadline(0.0)):
+            with pytest.raises(RemoteTimeout, match="deadline exhausted"):
+                client.request("GET", "/healthz")
+
+    def test_remote_timeout_is_non_retryable_timeout_kind(self):
+        from repro.serving import RemoteTimeout
+
+        assert RemoteTimeout.retryable is False
+        assert RemoteTimeout.failure_kind == "timeout"
+
+    def test_dispatcher_records_timeout_without_retrying(self):
+        from repro.metasearch import ConcurrentDispatcher
+        from repro.serving import RemoteTimeout
+
+        registry = MetricsRegistry()
+        dispatcher = ConcurrentDispatcher(retries=3, registry=registry)
+        attempts = []
+
+        def call():
+            attempts.append(1)
+            raise RemoteTimeout("deadline exhausted before calling x")
+
+        report = dispatcher.dispatch({"remote": call})
+        assert len(attempts) == 1, "a spent budget must not be retried"
+        assert report.failures[0].kind == "timeout"
+        assert registry.value("dispatch.timeouts") == 1
+        assert registry.value("dispatch.retries") in (None, 0)

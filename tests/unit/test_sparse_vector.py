@@ -91,6 +91,47 @@ class TestAlgebra:
         assert abs(a.dot(b)) <= a.norm() * b.norm() + 1e-12
 
 
+class TestExtremeWeights:
+    """Weights whose squares leave the normal double range: the norm is
+    computed under an exact power-of-two rescale instead of letting the
+    sum of squares drift through subnormals (or overflow)."""
+
+    TINY = (5e-324, 1e-300, 1e-170, 2.2250738585072014e-308)
+
+    @pytest.mark.parametrize("w", TINY)
+    def test_tiny_norm_is_not_erased(self, w):
+        vec = SparseVector([0], [w])
+        assert vec.norm() == w
+
+    @pytest.mark.parametrize("w", TINY + (1e200,))
+    def test_normalized_has_unit_norm(self, w):
+        vec = SparseVector([0, 3], [w, w / 2 if w / 2 else w])
+        assert math.isclose(vec.normalized().norm(), 1.0, rel_tol=1e-12)
+
+    @pytest.mark.parametrize("w", TINY + (1e200,))
+    def test_cosine_with_scaled_self_is_one(self, w):
+        from repro.vsm import cosine_similarity
+
+        a = SparseVector([0, 3], [w, w / 2 if w / 2 else w])
+        b = a.scaled(2.0)
+        assert math.isclose(cosine_similarity(a, b), 1.0, rel_tol=1e-12)
+
+    def test_huge_norm_overflows_to_inf_not_error(self):
+        vec = SparseVector([0, 1], [1.5e308, 1.5e308])
+        assert vec.norm() == math.inf
+        assert math.isclose(vec.normalized().norm(), 1.0, rel_tol=1e-12)
+
+    def test_normal_weights_keep_the_legacy_arithmetic(self):
+        # The rescale only arms outside [1e-140, 1e140]; inside it the
+        # result must be the historical expression, bit for bit.
+        vec = SparseVector([0, 1], [3.0, 4.0])
+        assert vec.norm() == math.sqrt(float(np.dot(vec.values, vec.values)))
+        assert vec.normalized().values.tolist() == [
+            3.0 * (1.0 / 5.0),
+            4.0 * (1.0 / 5.0),
+        ]
+
+
 class TestProtocol:
     def test_equality(self):
         a = SparseVector([0, 1], [1.0, 2.0])

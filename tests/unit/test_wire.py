@@ -194,3 +194,48 @@ class TestRepresentativeWire:
         del wire["fields"]["std"]
         with pytest.raises(WireFormatError):
             representative_from_wire(wire)
+
+
+class TestShardWirePayloads:
+    """The shard RPC payloads are compositions of the existing codecs;
+    what matters is that a full JSON round trip preserves the exact
+    values the coordinator's bit-exact merge depends on."""
+
+    def test_estimate_row_roundtrip_preserves_sort_key(self):
+        row = [
+            EstimatedUsefulness(
+                engine=f"engine{i}",
+                usefulness=Usefulness(nodoc=7 - i, avgsim=0.1 * i + 1e-17),
+            )
+            for i in range(3)
+        ]
+        back = [
+            estimate_from_wire(e)
+            for e in roundtrip_json([estimate_to_wire(e) for e in row])
+        ]
+        assert back == row
+        assert [e.sort_key for e in back] == [e.sort_key for e in row]
+
+    def test_failure_roundtrip_preserves_shard_prefixed_message(self):
+        failure = EngineFailure(
+            engine="engine2",
+            kind="timeout",
+            attempts=1,
+            elapsed=0.125,
+            message="shard 1 at http://127.0.0.1:9: no answer within 5s",
+        )
+        assert failure_from_wire(roundtrip_json(failure_to_wire(failure))) == (
+            failure
+        )
+
+    def test_retry_after_is_integral_on_the_wire(self):
+        """The shed response's Retry-After is RFC 9110 delta-seconds:
+        an integer string, rounded up from the configured float hint."""
+        from repro.serving import HTTPError
+
+        for hint, expected in ((1.2, "2"), (1.0, "1"), (0.2, "1")):
+            header = HTTPError(
+                503, "shed", retry_after=hint
+            ).to_response().headers["Retry-After"]
+            assert header == expected
+            assert header == str(int(header))  # integral, never "1.2"
