@@ -6,6 +6,7 @@ Subcommands::
     repro-usefulness represent --collection data/D1.jsonl.gz --out D1.rep.json
     repro-usefulness estimate --collection ... --query "terms ..." --threshold 0.2
     repro-usefulness evaluate --database D1 --queries 2000
+    repro-usefulness eval --config columnar --out-dir results
     repro-usefulness fleet --groups 16 --workers 8 --timeout 2.0
     repro-usefulness stats --format prometheus
     repro-usefulness scalability
@@ -705,6 +706,162 @@ def _cmd_convert_rep(args: argparse.Namespace) -> int:
     return 0
 
 
+_EVAL_ESTIMATORS = [
+    "basic",
+    "binary-independence",
+    "gloss-hc",
+    "gloss-disjoint",
+    "subrange",
+]
+
+
+def _eval_backends(args, estimator_names, engines, representatives, stack):
+    """Backends for ``repro eval``, one per estimator, behind the chosen
+    configuration; resources (sharded topologies) register on ``stack``."""
+    from repro.representatives import partition_round_robin
+
+    backends = {}
+    if args.config in ("dict", "columnar"):
+        for name in estimator_names:
+            broker = MetasearchBroker(
+                estimator=get_estimator(name),
+                columnar=(args.config == "columnar"),
+            )
+            for engine in engines:
+                broker.register(engine, representative=representatives[engine.name])
+            backends[name] = broker
+        return backends
+
+    # Sharded: per estimator, a real scatter-gather topology — shard
+    # brokers behind in-process HTTP servers, a ShardedFleet coordinator
+    # in front.  Estimates travel the same wire CI's subprocess topology
+    # uses; only the process boundary is elided.
+    from repro.serving import ServingServer, ShardApp, ShardedFleet
+
+    for name in estimator_names:
+        urls = []
+        for index, engine_slice in enumerate(
+            s for s in partition_round_robin(engines, args.shards) if s
+        ):
+            broker = MetasearchBroker(
+                estimator=get_estimator(name), columnar=True
+            )
+            for engine in engine_slice:
+                broker.register(engine, representative=representatives[engine.name])
+            server = ServingServer(ShardApp(broker, shard_index=index))
+            server.start_background()
+            stack.callback(server.drain, 10.0)
+            urls.append(server.url)
+        fleet = ShardedFleet(urls).attach(timeout=30.0)
+        stack.callback(fleet.close)
+        backends[name] = fleet
+    return backends
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    """Score engine selection as a ranking task over the golden strata
+    and emit the timestamped markdown + JSON report."""
+    import contextlib
+
+    from repro.evaluation.harness import (
+        DEFAULT_N_ENGINES,
+        DEFAULT_SEED,
+        build_eval_fleet,
+        check_floors,
+        generate_golden_strata,
+        golden_manifest,
+        load_floors,
+        load_golden_strata,
+        run_evaluation,
+        write_golden_strata,
+        write_report,
+    )
+    from repro.evaluation.harness.report import utc_timestamp
+    from repro.representatives import build_representative
+
+    golden_dir = Path(args.golden_dir) if args.golden_dir else None
+    n_engines = args.engines if args.engines is not None else DEFAULT_N_ENGINES
+
+    if args.write_golden:
+        if golden_dir is None:
+            print("error: --write-golden needs --golden-dir", file=sys.stderr)
+            return 2
+        seed = args.seed if args.seed is not None else DEFAULT_SEED
+        written = write_golden_strata(golden_dir, seed=seed, n_engines=n_engines)
+        for name, path in sorted(written.items()):
+            print(f"wrote {path} ({name})")
+        return 0
+
+    committed = golden_dir is not None and (golden_dir / "manifest.json").exists()
+    if committed:
+        manifest = golden_manifest(golden_dir)
+        seed = int(manifest["seed"])
+        n_engines = int(manifest["n_engines"])
+        if args.seed is not None and args.seed != seed:
+            # An explicit seed overrides the committed sets: regenerate in
+            # memory so the whole run (fleet + queries) derives from it.
+            seed, committed = args.seed, False
+            n_engines = args.engines if args.engines is not None else n_engines
+    else:
+        seed = args.seed if args.seed is not None else DEFAULT_SEED
+
+    if committed:
+        strata = load_golden_strata(golden_dir)
+        source = str(golden_dir)
+    else:
+        strata = generate_golden_strata(seed, n_engines)
+        source = f"generated (seed {seed})"
+
+    collections = build_eval_fleet(seed, n_engines)
+    engines = [SearchEngine(c) for c in collections]
+    representatives = {
+        engine.name: build_representative(engine) for engine in engines
+    }
+    print(
+        f"eval     : config {args.config}, {len(engines)} engines, "
+        f"{len(strata)} strata ({sum(s.n_queries for s in strata.values())} "
+        f"queries), seed {seed}"
+    )
+    print(f"golden   : {source}")
+    with contextlib.ExitStack() as stack:
+        try:
+            backends = _eval_backends(
+                args, args.estimators, engines, representatives, stack
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        result = run_evaluation(
+            backends,
+            engines,
+            strata,
+            config=args.config,
+            seed=seed,
+            generated_at=utc_timestamp(),
+        )
+    paths = write_report(result, args.out_dir)
+    print(f"report   : {paths['md']}")
+    print(f"report   : {paths['json']}")
+    for name in sorted(strata):
+        fired = [
+            estimator
+            for estimator, scores in result.payload["strata"][name][
+                "estimators"
+            ].items()
+            if not scores["tripwires"]["ok"]
+        ]
+        status = f"TRIPWIRES: {', '.join(fired)}" if fired else "ok"
+        print(f"stratum  : {name:<20} {status}")
+    if args.check_floors:
+        violations = check_floors(result.payload, load_floors(args.check_floors))
+        if violations:
+            for violation in violations:
+                print(f"floor    : VIOLATION {violation}", file=sys.stderr)
+            return 1
+        print(f"floors   : ok ({args.check_floors})")
+    return 0
+
+
 def _cmd_scalability(args: argparse.Namespace) -> int:
     rows = list(PAPER_COLLECTION_STATS)
     if args.synthetic:
@@ -990,6 +1147,39 @@ def build_parser() -> argparse.ArgumentParser:
                          "asyncio connection frontend")
     _common_serve_args(sp)
     sp.set_defaults(func=_cmd_serve_coordinator)
+
+    p = sub.add_parser(
+        "eval",
+        help="score engine selection as a ranking task over golden strata",
+    )
+    p.add_argument("--config", choices=("dict", "columnar", "sharded"),
+                   default="columnar",
+                   help="broker backend under test: per-engine dict "
+                        "representatives, the columnar fleet store, or a "
+                        "sharded scatter-gather topology")
+    p.add_argument("--estimators", nargs="+", default=_EVAL_ESTIMATORS,
+                   help="estimators to score (default: the five with a "
+                        "vectorized fleet path)")
+    p.add_argument("--golden-dir", default="tests/integration/golden/queries",
+                   help="directory of committed golden strata (falls back "
+                        "to in-memory generation when absent)")
+    p.add_argument("--out-dir", default="results",
+                   help="where eval_<config>.{md,json} are written")
+    p.add_argument("--seed", type=int, default=None,
+                   help="master seed for fleet + query generation; "
+                        "overrides the committed sets' seed (regenerating "
+                        "them in memory) when it differs")
+    p.add_argument("--engines", type=int, default=None,
+                   help="evaluation fleet width when generating")
+    p.add_argument("--shards", type=int, default=2,
+                   help="shard count for --config sharded")
+    p.add_argument("--write-golden", action="store_true",
+                   help="(re)generate the golden strata into --golden-dir "
+                        "and exit")
+    p.add_argument("--check-floors", default=None,
+                   help="floors JSON to gate the report against; exits 1 "
+                        "on any violation")
+    p.set_defaults(func=_cmd_eval)
 
     p = sub.add_parser("scalability", help="print the Section 3.2 sizing table")
     p.add_argument("--synthetic", action="store_true",

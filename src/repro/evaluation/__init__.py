@@ -5,7 +5,10 @@ estimated usefulness against exact usefulness; :mod:`repro.evaluation.metrics`
 defines the paper's three criteria (match/mismatch, d-N, d-S);
 :mod:`repro.evaluation.tables` renders results in the layout of the paper's
 tables; :mod:`repro.evaluation.selection` scores metasearch engine-selection
-quality against the exhaustive oracle.
+quality against the exhaustive oracle; :mod:`repro.evaluation.harness` is
+the golden-query evaluation harness — stratified committed query sets,
+rank-aware scoring (MRR/NDCG/Kendall tau) of any broker backend against
+the exact oracle, structural tripwires, and floor-gated reports.
 """
 
 from repro.evaluation.experiment import (
@@ -19,7 +22,11 @@ from repro.evaluation.report import (
     markdown_error_table,
     markdown_match_table,
 )
-from repro.evaluation.selection import SelectionQuality, evaluate_selection
+from repro.evaluation.selection import (
+    SelectionQuality,
+    evaluate_selection,
+    selection_quality_from_sets,
+)
 from repro.evaluation.tables import (
     format_combined_table,
     format_error_table,
@@ -42,4 +49,5 @@ __all__ = [
     "markdown_error_table",
     "markdown_match_table",
     "run_usefulness_experiment",
+    "selection_quality_from_sets",
 ]

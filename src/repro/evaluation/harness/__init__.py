@@ -1,0 +1,96 @@
+"""Engine-selection evaluation harness over golden query sets.
+
+The standing quality wall for every broker backend: stratified, seeded,
+*committed* query sets (:mod:`~repro.evaluation.harness.strata`,
+:mod:`~repro.evaluation.harness.golden`), rank-aware scoring of the
+usefulness ordering against the exact oracle
+(:mod:`~repro.evaluation.harness.ranking`,
+:mod:`~repro.evaluation.harness.runner`), structural-health tripwires
+(:mod:`~repro.evaluation.harness.diagnostics`), and timestamped
+markdown + JSON reports with a committed-floor regression gate
+(:mod:`~repro.evaluation.harness.report`).
+
+Run it from the CLI::
+
+    repro-usefulness eval --config columnar --out-dir results
+"""
+
+from repro.evaluation.harness.diagnostics import (
+    AGREEMENT_FLOOR,
+    EstimatorTripwires,
+    agreement_matrix,
+    run_tripwires,
+)
+from repro.evaluation.harness.golden import (
+    canonical_json_bytes,
+    golden_manifest,
+    load_golden_strata,
+    manifest_payload,
+    stratum_from_payload,
+    stratum_payload,
+    write_golden_strata,
+)
+from repro.evaluation.harness.ranking import (
+    kendall_tau_b,
+    mrr,
+    ndcg,
+    reciprocal_rank,
+    set_f1,
+    set_precision,
+    set_recall,
+)
+from repro.evaluation.harness.report import (
+    check_floors,
+    load_floors,
+    render_markdown,
+    write_report,
+)
+from repro.evaluation.harness.runner import (
+    EvalResult,
+    StratumOracle,
+    compute_oracle,
+    run_evaluation,
+)
+from repro.evaluation.harness.strata import (
+    DEFAULT_N_ENGINES,
+    DEFAULT_SEED,
+    GoldenStratum,
+    STRATUM_NAMES,
+    build_eval_fleet,
+    generate_golden_strata,
+)
+
+__all__ = [
+    "AGREEMENT_FLOOR",
+    "DEFAULT_N_ENGINES",
+    "DEFAULT_SEED",
+    "EstimatorTripwires",
+    "EvalResult",
+    "GoldenStratum",
+    "STRATUM_NAMES",
+    "StratumOracle",
+    "agreement_matrix",
+    "build_eval_fleet",
+    "canonical_json_bytes",
+    "check_floors",
+    "compute_oracle",
+    "generate_golden_strata",
+    "golden_manifest",
+    "kendall_tau_b",
+    "load_floors",
+    "load_golden_strata",
+    "manifest_payload",
+    "mrr",
+    "ndcg",
+    "reciprocal_rank",
+    "render_markdown",
+    "run_evaluation",
+    "run_tripwires",
+    "set_f1",
+    "set_precision",
+    "set_recall",
+    "stratum_from_payload",
+    "stratum_payload",
+    "write_golden_strata",
+    "write_report",
+]

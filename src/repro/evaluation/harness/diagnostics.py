@@ -1,0 +1,145 @@
+"""Structural-health diagnostics — the regression tripwires.
+
+Score-*shape* checks that hold for any correct estimator regardless of its
+accuracy, so a violation is a bug (or a quality collapse), never a tuning
+matter:
+
+* **Threshold monotonicity** — ``NoDoc(T)`` counts documents above ``T``,
+  so re-estimating at a strictly higher threshold must never *raise* any
+  engine's estimate.  Checked per (query, engine) pair against the
+  stratum's ``diagnostic_threshold``.
+* **Degenerate rankings** — a query where the estimator hands every
+  engine the *same* (NoDoc, AvgSim) while the oracle distinguishes them
+  carries no ranking signal; a spike of those is how a silently broken
+  backend looks.
+* **Missed-all** — queries with a non-empty oracle set where the
+  estimator's rounded NoDoc is zero on every engine: total recall loss,
+  the harmful direction per the paper.
+* **Inter-estimator agreement** — mean pairwise Kendall tau-b between
+  the estimators' NoDoc scorings.  The five methods disagree on
+  magnitudes but broadly agree on order; a pair falling out of band
+  flags one of them drifting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from repro.evaluation.harness.ranking import kendall_tau_b, mean
+
+__all__ = [
+    "AGREEMENT_FLOOR",
+    "EstimatorTripwires",
+    "agreement_matrix",
+    "run_tripwires",
+]
+
+# Mean pairwise tau below this marks an estimator pair as out of band in
+# reports; the committed floors file is the gate that fails CI.
+AGREEMENT_FLOOR = 0.0
+
+_MONOTONICITY_SLACK = 1e-9
+
+
+@dataclass(frozen=True)
+class EstimatorTripwires:
+    """Tripwire counters for one (stratum, estimator) cell."""
+
+    monotonicity_violations: int
+    degenerate_rankings: int
+    missed_all: int
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.monotonicity_violations == 0
+            and self.degenerate_rankings == 0
+            and self.missed_all == 0
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "monotonicity_violations": self.monotonicity_violations,
+            "degenerate_rankings": self.degenerate_rankings,
+            "missed_all": self.missed_all,
+            "ok": self.ok,
+        }
+
+
+def run_tripwires(
+    low_rows: Sequence[Mapping[str, float]],
+    high_rows: Sequence[Mapping[str, float]],
+    rounded_rows: Sequence[Mapping[str, int]],
+    oracle_rows: Sequence[Mapping[str, float]],
+) -> EstimatorTripwires:
+    """Evaluate the per-estimator tripwires over one stratum.
+
+    Args:
+        low_rows: Per-query estimated NoDoc by engine at the stratum
+            threshold.
+        high_rows: Same queries re-estimated at the (strictly higher)
+            diagnostic threshold, parallel to ``low_rows``.
+        rounded_rows: Per-query *rounded* estimated NoDoc by engine (the
+            selection integers), parallel to ``low_rows``.
+        oracle_rows: Per-query true NoDoc by engine.
+    """
+    if not (len(low_rows) == len(high_rows) == len(rounded_rows) == len(oracle_rows)):
+        raise ValueError("tripwire inputs must be parallel per query")
+    monotonicity = 0
+    degenerate = 0
+    missed_all = 0
+    for low, high, rounded, oracle in zip(
+        low_rows, high_rows, rounded_rows, oracle_rows
+    ):
+        for engine, nodoc_low in low.items():
+            if high[engine] > nodoc_low + _MONOTONICITY_SLACK:
+                monotonicity += 1
+        estimates = sorted(low.values())
+        truths = sorted(oracle.values())
+        if (
+            len(estimates) > 1
+            and estimates[0] == estimates[-1]
+            and truths[0] != truths[-1]
+        ):
+            degenerate += 1
+        if any(t >= 1.0 for t in oracle.values()) and all(
+            r == 0 for r in rounded.values()
+        ):
+            missed_all += 1
+    return EstimatorTripwires(
+        monotonicity_violations=monotonicity,
+        degenerate_rankings=degenerate,
+        missed_all=missed_all,
+    )
+
+
+def agreement_matrix(
+    scores_by_estimator: Mapping[str, Sequence[Mapping[str, float]]],
+) -> Dict[str, object]:
+    """Mean per-query Kendall tau-b for every estimator pair.
+
+    ``scores_by_estimator`` maps estimator name to its per-query NoDoc
+    scorings (parallel across estimators).  Returns ``{"pairs": {"a|b":
+    tau}, "mean_pairwise_tau": float, "below_floor": [...]}``.
+    """
+    names = sorted(scores_by_estimator)
+    pairs: Dict[str, float] = {}
+    below: List[str] = []
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            rows_a, rows_b = scores_by_estimator[a], scores_by_estimator[b]
+            if len(rows_a) != len(rows_b):
+                raise ValueError(f"estimators {a!r}/{b!r} scored different queries")
+            tau = mean(
+                [kendall_tau_b(ra, rb) for ra, rb in zip(rows_a, rows_b)]
+            )
+            key = f"{a}|{b}"
+            pairs[key] = tau
+            if tau < AGREEMENT_FLOOR:
+                below.append(key)
+    return {
+        "pairs": pairs,
+        "mean_pairwise_tau": mean(list(pairs.values())),
+        "below_floor": sorted(below),
+    }

@@ -1,0 +1,141 @@
+"""Versioned JSON persistence for golden query sets.
+
+One file per stratum plus a ``manifest.json`` naming the fleet the sets
+were generated against.  Serialization is *canonical* — sorted keys,
+two-space indent, trailing newline — so regenerating with the same seed
+reproduces the committed files byte for byte, which the regression test
+asserts (a silent generator change cannot slip past review as a diff-less
+commit).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.corpus.query import Query
+from repro.evaluation.harness.strata import (
+    DEFAULT_N_ENGINES,
+    DEFAULT_SEED,
+    GOLDEN_FORMAT,
+    GoldenStratum,
+    generate_golden_strata,
+)
+
+__all__ = [
+    "canonical_json_bytes",
+    "load_golden_strata",
+    "manifest_payload",
+    "stratum_payload",
+    "stratum_from_payload",
+    "write_golden_strata",
+]
+
+
+def canonical_json_bytes(payload: dict) -> bytes:
+    """The one true byte encoding of a golden payload."""
+    return (
+        json.dumps(payload, indent=2, sort_keys=True, ensure_ascii=True) + "\n"
+    ).encode("ascii")
+
+
+def stratum_payload(stratum: GoldenStratum) -> dict:
+    return {
+        "format": GOLDEN_FORMAT,
+        "stratum": stratum.name,
+        "description": stratum.description,
+        "seed": stratum.seed,
+        "threshold": stratum.threshold,
+        "diagnostic_threshold": stratum.diagnostic_threshold,
+        "queries": [
+            {"terms": list(q.terms), "weights": list(q.weights)}
+            for q in stratum.queries
+        ],
+    }
+
+
+def stratum_from_payload(payload: dict) -> GoldenStratum:
+    if payload.get("format") != GOLDEN_FORMAT:
+        raise ValueError(
+            f"unsupported golden format {payload.get('format')!r} "
+            f"(expected {GOLDEN_FORMAT})"
+        )
+    return GoldenStratum(
+        name=str(payload["stratum"]),
+        description=str(payload["description"]),
+        seed=int(payload["seed"]),
+        threshold=float(payload["threshold"]),
+        diagnostic_threshold=float(payload["diagnostic_threshold"]),
+        queries=tuple(
+            Query(terms=tuple(q["terms"]), weights=tuple(float(w) for w in q["weights"]))
+            for q in payload["queries"]
+        ),
+    )
+
+
+def manifest_payload(
+    strata: Dict[str, GoldenStratum],
+    seed: int,
+    n_engines: int,
+) -> dict:
+    return {
+        "format": GOLDEN_FORMAT,
+        "seed": seed,
+        "n_engines": n_engines,
+        "strata": sorted(strata),
+    }
+
+
+def write_golden_strata(
+    directory: Union[str, Path],
+    seed: int = DEFAULT_SEED,
+    n_engines: int = DEFAULT_N_ENGINES,
+    strata: Dict[str, GoldenStratum] = None,
+) -> Dict[str, Path]:
+    """Generate (unless given) and write every stratum plus the manifest;
+    returns the written paths keyed by stratum name (manifest under
+    ``"manifest"``)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if strata is None:
+        strata = generate_golden_strata(seed, n_engines)
+    written: Dict[str, Path] = {}
+    for name, stratum in sorted(strata.items()):
+        path = directory / f"{name}.json"
+        path.write_bytes(canonical_json_bytes(stratum_payload(stratum)))
+        written[name] = path
+    manifest = directory / "manifest.json"
+    manifest.write_bytes(
+        canonical_json_bytes(manifest_payload(strata, seed, n_engines))
+    )
+    written["manifest"] = manifest
+    return written
+
+
+def load_golden_strata(directory: Union[str, Path]) -> Dict[str, GoldenStratum]:
+    """Load every committed stratum named by the directory's manifest."""
+    directory = Path(directory)
+    manifest_path = directory / "manifest.json"
+    manifest = json.loads(manifest_path.read_text(encoding="ascii"))
+    if manifest.get("format") != GOLDEN_FORMAT:
+        raise ValueError(
+            f"unsupported golden manifest format {manifest.get('format')!r}"
+        )
+    strata = {}
+    for name in manifest["strata"]:
+        payload = json.loads((directory / f"{name}.json").read_text(encoding="ascii"))
+        stratum = stratum_from_payload(payload)
+        if stratum.name != name:
+            raise ValueError(
+                f"{name}.json declares stratum {stratum.name!r}"
+            )
+        strata[name] = stratum
+    return strata
+
+
+def golden_manifest(directory: Union[str, Path]) -> dict:
+    """The parsed manifest (fleet seed and width the sets were built for)."""
+    return json.loads(
+        (Path(directory) / "manifest.json").read_text(encoding="ascii")
+    )

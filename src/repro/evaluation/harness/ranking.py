@@ -1,0 +1,160 @@
+"""Rank-aware scoring of an engine ordering against the exact oracle.
+
+The paper's Section 4 criteria stop at per-database match counts; scoring
+engine *selection* as a ranking task needs the standard IR battery instead
+(Sirotkin, *On Search Engine Evaluation Metrics*): precision/recall of the
+selected set, reciprocal rank of the first truly useful engine, NDCG of
+the usefulness ordering with the true NoDoc as graded gain, and
+Kendall's tau-b between the estimated and oracle orderings.
+
+Everything here is a pure function over names and score mappings — no
+broker, no engines — so the same metrics score any backend and stay
+trivially property-testable.  Conventions for the degenerate inputs are
+pinned deliberately (and covered by regression + Hypothesis tests):
+
+* An empty oracle set cannot be missed: ``recall``/``precision`` of two
+  empty sets are 1.0, and a query with no truly useful engine has no
+  reciprocal rank (``None`` — excluded from MRR, never counted as 0).
+* An all-zero gain vector admits only perfect rankings: ``ndcg`` is 1.0.
+* ``kendall_tau_b`` is 0.0 when either side is entirely tied (the
+  correlation is undefined; 0 is the *no-signal* reading, which is what
+  the degenerate-ranking tripwires want to see).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, Dict, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "kendall_tau_b",
+    "mean",
+    "mrr",
+    "ndcg",
+    "reciprocal_rank",
+    "set_f1",
+    "set_precision",
+    "set_recall",
+]
+
+
+def set_precision(selected: AbstractSet[str], truth: AbstractSet[str]) -> float:
+    """Fraction of selected engines that are truly useful (1.0 on empty)."""
+    if not selected:
+        return 1.0
+    return len(selected & truth) / len(selected)
+
+
+def set_recall(selected: AbstractSet[str], truth: AbstractSet[str]) -> float:
+    """Fraction of truly useful engines that were selected (1.0 on empty)."""
+    if not truth:
+        return 1.0
+    return len(selected & truth) / len(truth)
+
+
+def set_f1(selected: AbstractSet[str], truth: AbstractSet[str]) -> float:
+    """Harmonic mean of set precision and recall (0.0 when both are 0)."""
+    p = set_precision(selected, truth)
+    r = set_recall(selected, truth)
+    if p + r == 0.0:
+        return 0.0
+    return 2.0 * p * r / (p + r)
+
+
+def reciprocal_rank(
+    ranking: Sequence[str], relevant: AbstractSet[str]
+) -> Optional[float]:
+    """1/rank of the first relevant name in ``ranking``.
+
+    Returns ``None`` when ``relevant`` is empty or none of its names
+    appear — the query contributes nothing to MRR rather than a zero.
+    """
+    if not relevant:
+        return None
+    for i, name in enumerate(ranking):
+        if name in relevant:
+            return 1.0 / (i + 1)
+    return None
+
+
+def mrr(
+    rankings: Sequence[Sequence[str]], relevants: Sequence[AbstractSet[str]]
+) -> Optional[float]:
+    """Mean reciprocal rank over the queries that have a relevant engine."""
+    if len(rankings) != len(relevants):
+        raise ValueError("rankings and relevants must be parallel")
+    values = [
+        rr
+        for ranking, relevant in zip(rankings, relevants)
+        if (rr := reciprocal_rank(ranking, relevant)) is not None
+    ]
+    return mean(values) if values else None
+
+
+def _dcg(gains: Sequence[float]) -> float:
+    return sum(g / math.log2(i + 2) for i, g in enumerate(gains))
+
+
+def ndcg(ranking: Sequence[str], gains: Mapping[str, float]) -> float:
+    """Normalized discounted cumulative gain of ``ranking``.
+
+    ``gains`` maps each name to its graded relevance (the oracle's true
+    NoDoc here); names absent from the mapping gain 0.  The ideal ordering
+    is the gains sorted descending.  All-zero gains yield 1.0: no ordering
+    of worthless engines can be wrong.
+    """
+    if any(g < 0 for g in gains.values()):
+        raise ValueError("gains must be non-negative")
+    achieved = _dcg([float(gains.get(name, 0.0)) for name in ranking])
+    ideal = _dcg(sorted((float(g) for g in gains.values()), reverse=True))
+    if ideal == 0.0:
+        return 1.0
+    # Ranking a strict subset of the gained names can only lose gain, so
+    # the ratio stays in [0, 1].
+    return achieved / ideal
+
+
+def kendall_tau_b(
+    scores_a: Mapping[str, float], scores_b: Mapping[str, float]
+) -> float:
+    """Kendall's tau-b between two scorings of the same names.
+
+    Tie-corrected: pairs tied in exactly one scoring count against the
+    correlation's denominator, pairs tied in both count in neither.  When
+    either side is entirely tied (or there are fewer than two names) the
+    statistic is undefined and 0.0 is returned.
+    """
+    names = sorted(scores_a)
+    if sorted(scores_b) != names:
+        raise ValueError("scorings must cover the same names")
+    n = len(names)
+    if n < 2:
+        return 0.0
+    concordant = discordant = ties_a = ties_b = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            da = scores_a[names[i]] - scores_a[names[j]]
+            db = scores_b[names[i]] - scores_b[names[j]]
+            if da == 0.0 and db == 0.0:
+                continue
+            if da == 0.0:
+                ties_a += 1
+            elif db == 0.0:
+                ties_b += 1
+            elif (da > 0.0) == (db > 0.0):
+                concordant += 1
+            else:
+                discordant += 1
+    denom_a = concordant + discordant + ties_a
+    denom_b = concordant + discordant + ties_b
+    if denom_a == 0 or denom_b == 0:
+        return 0.0
+    return (concordant - discordant) / math.sqrt(denom_a * denom_b)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence (callers that need to
+    distinguish emptiness check first — see :func:`mrr`)."""
+    if not values:
+        return 0.0
+    return float(sum(values) / len(values))

@@ -1,0 +1,267 @@
+"""Stratified golden query sets over a deterministic evaluation fleet.
+
+A golden set is not one query log but several *strata*, each isolating a
+regime where estimation quality behaves differently (the axes ROADMAP and
+the paper's Section 4 discussion call out):
+
+* ``single_term`` — the paper's guarantee cases: with the max-weight
+  subrange, single-term selection should be exact.
+* ``long`` — 5-6 term queries, where the generating-function expansion
+  is deepest and estimators diverge most.
+* ``no_above_threshold`` — queries whose true maximum similarity sits
+  below the threshold on *every* engine: the right answer is to select
+  nothing, the regime where mismatches (wasted traffic) live.
+* ``near_threshold`` — queries with at least one engine whose true
+  maximum similarity falls inside a narrow band around the threshold:
+  rounding and tie behavior decide selection.
+* ``drifted`` — queries drawn from a *drifted* twin of the corpus model
+  (same vocabulary, different topical cores): the vocabulary-mismatch
+  regime a churning corpus produces between query log and snapshot.
+
+Everything is a pure function of one ``seed``: the fleet, every stratum's
+query stream, and the filters (which consult the exact oracle on the
+fleet's engines) are all derived from it, so a committed golden set is
+byte-reproducible with ``generate_golden_strata(seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.corpus.collection import Collection
+from repro.corpus.query import Query
+from repro.corpus.synth.newsgroups import NewsgroupModel
+from repro.corpus.synth.queries import QueryLogModel
+from repro.engine.search_engine import SearchEngine
+
+__all__ = [
+    "DEFAULT_N_ENGINES",
+    "DEFAULT_SEED",
+    "GoldenStratum",
+    "STRATUM_NAMES",
+    "build_eval_fleet",
+    "generate_golden_strata",
+]
+
+GOLDEN_FORMAT = 1
+DEFAULT_SEED = 1999
+DEFAULT_N_ENGINES = 6
+DEFAULT_QUERIES_PER_STRATUM = 32
+
+# The evaluation fleet reuses the quick small-scale corpus the fleet/stats
+# CLI demos run on, truncated to the requested engine count.
+_EVAL_GROUP_SIZES = [60, 50, 40, 30, 25, 20, 15, 12]
+
+STRATUM_NAMES = (
+    "single_term",
+    "long",
+    "no_above_threshold",
+    "near_threshold",
+    "drifted",
+)
+
+
+@dataclass(frozen=True)
+class GoldenStratum:
+    """One committed stratum: its queries plus how to score them.
+
+    Attributes:
+        name: Stratum identifier (one of :data:`STRATUM_NAMES` for the
+            built-in sets; custom sets may add their own).
+        description: One-line regime description for reports.
+        seed: The master seed the stratum was derived from.
+        threshold: Similarity threshold the stratum is scored at.
+        diagnostic_threshold: Strictly higher threshold the monotonicity
+            tripwire re-estimates at (NoDoc must not increase).
+        queries: The committed queries.
+    """
+
+    name: str
+    description: str
+    seed: int
+    threshold: float
+    diagnostic_threshold: float
+    queries: Tuple[Query, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if not self.diagnostic_threshold > self.threshold:
+            raise ValueError(
+                f"diagnostic_threshold {self.diagnostic_threshold!r} must "
+                f"exceed threshold {self.threshold!r}"
+            )
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.queries)
+
+
+def build_eval_fleet(
+    seed: int = DEFAULT_SEED, n_engines: int = DEFAULT_N_ENGINES
+) -> List[Collection]:
+    """The deterministic evaluation fleet: ``n_engines`` small topical
+    collections from the quick synthetic corpus, all derived from ``seed``."""
+    model = _eval_model(seed, n_engines)
+    return [model.generate_group(g) for g in range(n_engines)]
+
+
+def _eval_model(seed: int, n_engines: int) -> NewsgroupModel:
+    if not 1 <= n_engines <= len(_EVAL_GROUP_SIZES):
+        raise ValueError(
+            f"n_engines must be in [1, {len(_EVAL_GROUP_SIZES)}], got {n_engines!r}"
+        )
+    return NewsgroupModel(
+        vocab_size=4000,
+        topic_size=120,
+        topic_band=(50, 1500),
+        mean_length=80,
+        seed=seed,
+        group_sizes=_EVAL_GROUP_SIZES[:n_engines],
+    )
+
+
+def _drifted_model(seed: int, n_engines: int) -> NewsgroupModel:
+    """The drifted twin: same shape and vocabulary, different topical
+    cores (a distinct master seed re-draws every group's topic terms)."""
+    model = _eval_model(seed, n_engines)
+    return NewsgroupModel(
+        vocab_size=model.vocab_size,
+        topic_size=model.topic_size,
+        topic_band=model.topic_band,
+        mean_length=model.mean_length,
+        seed=seed + 104729,  # a fixed large offset; any disjoint stream works
+        group_sizes=list(model.group_sizes),
+    )
+
+
+def _query_stream(
+    model: NewsgroupModel,
+    length_probs: Sequence[float],
+    seed: int,
+    n_candidates: int,
+) -> List[Query]:
+    return QueryLogModel(
+        model, length_probs=length_probs, seed=seed
+    ).generate(n_candidates)
+
+
+def _max_similarity(engines: Sequence[SearchEngine], query: Query) -> float:
+    return max(engine.max_similarity(query) for engine in engines)
+
+
+def _take(candidates: Sequence[Query], keep, n: int, stratum: str) -> Tuple[Query, ...]:
+    chosen: List[Query] = []
+    for query in candidates:
+        if keep(query):
+            chosen.append(query)
+            if len(chosen) == n:
+                return tuple(chosen)
+    raise RuntimeError(
+        f"stratum {stratum!r}: only {len(chosen)}/{n} queries passed the "
+        f"filter in {len(candidates)} candidates — widen the candidate "
+        "budget or loosen the filter"
+    )
+
+
+def generate_golden_strata(
+    seed: int = DEFAULT_SEED,
+    n_engines: int = DEFAULT_N_ENGINES,
+    n_queries: int = DEFAULT_QUERIES_PER_STRATUM,
+    engines: Optional[Sequence[SearchEngine]] = None,
+) -> Dict[str, GoldenStratum]:
+    """Generate every built-in stratum, keyed by name.
+
+    Args:
+        seed: Master seed; fleet and queries both derive from it.
+        n_engines: Evaluation fleet width.
+        n_queries: Queries per stratum.
+        engines: Pre-built engines over :func:`build_eval_fleet` output
+            (rebuilt here when omitted — passing them just saves work).
+    """
+    model = _eval_model(seed, n_engines)
+    if engines is None:
+        engines = [SearchEngine(c) for c in build_eval_fleet(seed, n_engines)]
+    budget = max(40 * n_queries, 1000)
+
+    strata: Dict[str, GoldenStratum] = {}
+
+    single = _take(
+        _query_stream(model, (1.0,), seed + 1, budget),
+        lambda q: _max_similarity(engines, q) > 0.0,
+        n_queries,
+        "single_term",
+    )
+    strata["single_term"] = GoldenStratum(
+        name="single_term",
+        description="single-term queries (the paper's selection guarantee)",
+        seed=seed,
+        threshold=0.25,
+        diagnostic_threshold=0.4,
+        queries=single,
+    )
+
+    long_queries = _take(
+        _query_stream(model, (0.0, 0.0, 0.0, 0.0, 0.45, 0.55), seed + 2, budget),
+        lambda q: _max_similarity(engines, q) > 0.0,
+        n_queries,
+        "long",
+    )
+    strata["long"] = GoldenStratum(
+        name="long",
+        description="5-6 term queries (deepest expansions)",
+        seed=seed,
+        threshold=0.15,
+        diagnostic_threshold=0.3,
+        queries=long_queries,
+    )
+
+    t_none = 0.5
+    none_above = _take(
+        _query_stream(model, (0.1, 0.3, 0.3, 0.3), seed + 3, budget),
+        lambda q: 0.0 < _max_similarity(engines, q) <= t_none,
+        n_queries,
+        "no_above_threshold",
+    )
+    strata["no_above_threshold"] = GoldenStratum(
+        name="no_above_threshold",
+        description="no engine truly above threshold (select-nothing regime)",
+        seed=seed,
+        threshold=t_none,
+        diagnostic_threshold=0.7,
+        queries=none_above,
+    )
+
+    t_near, band = 0.25, 0.06
+    near = _take(
+        _query_stream(model, (0.35, 0.35, 0.3), seed + 4, budget),
+        lambda q: any(
+            abs(engine.max_similarity(q) - t_near) <= band for engine in engines
+        ),
+        n_queries,
+        "near_threshold",
+    )
+    strata["near_threshold"] = GoldenStratum(
+        name="near_threshold",
+        description=f"true max similarity within ±{band} of the threshold",
+        seed=seed,
+        threshold=t_near,
+        diagnostic_threshold=0.4,
+        queries=near,
+    )
+
+    drifted = tuple(
+        _query_stream(
+            _drifted_model(seed, n_engines), (0.25, 0.3, 0.25, 0.2), seed + 5,
+            n_queries,
+        )
+    )
+    strata["drifted"] = GoldenStratum(
+        name="drifted",
+        description="queries from a drifted topical model (vocabulary mismatch)",
+        seed=seed,
+        threshold=0.2,
+        diagnostic_threshold=0.35,
+        queries=drifted,
+    )
+
+    return strata

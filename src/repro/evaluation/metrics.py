@@ -31,7 +31,16 @@ __all__ = ["ThresholdMetrics", "MethodAccumulator"]
 
 @dataclass(frozen=True)
 class ThresholdMetrics:
-    """Aggregated evaluation numbers for one (method, threshold) cell."""
+    """Aggregated evaluation numbers for one (method, threshold) cell.
+
+    Zero-denominator convention (pinned by regression tests): when no
+    query is truly useful (``useful_queries == 0``) there are no error
+    samples, so ``d_nodoc``/``d_avgsim`` are reported as 0.0 — "no
+    measured error", not "perfect" — and :attr:`match_rate` is 1.0, the
+    vacuous-truth reading (all zero opportunities were matched).
+    ``mismatch`` stays an absolute count; it has no natural denominator
+    at a threshold where nothing is useful.
+    """
 
     threshold: float
     useful_queries: int  # U
@@ -43,6 +52,14 @@ class ThresholdMetrics:
     def match_mismatch(self) -> str:
         """The paper's "match/mismatch" cell, e.g. ``'1423/13'``."""
         return f"{self.match}/{self.mismatch}"
+
+    @property
+    def match_rate(self) -> float:
+        """Fraction of truly useful queries the estimate also identified
+        as useful (1.0 when there were none to identify)."""
+        if self.useful_queries == 0:
+            return 1.0
+        return self.match / self.useful_queries
 
 
 class MethodAccumulator:

@@ -10,17 +10,28 @@ that truly hold above-threshold documents.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import AbstractSet, Iterable, Sequence, Tuple
 
 from repro.corpus.query import Query
 from repro.metasearch.broker import MetasearchBroker
 
-__all__ = ["SelectionQuality", "evaluate_selection"]
+__all__ = [
+    "SelectionQuality",
+    "evaluate_selection",
+    "selection_quality_from_sets",
+]
 
 
 @dataclass(frozen=True)
 class SelectionQuality:
     """Aggregate selection accuracy over a query log.
+
+    Every rate is defined on its zero-denominator edge, and the defined
+    behavior is pinned by regression tests: an empty query log (or one
+    whose oracle sets are all empty) scores *perfect*, not zero — there
+    was nothing to miss and nothing was wasted.  This is the vacuous-truth
+    convention the rank metrics in
+    :mod:`repro.evaluation.harness.ranking` share.
 
     Attributes:
         n_queries: Queries evaluated.
@@ -42,21 +53,63 @@ class SelectionQuality:
 
     @property
     def exact_rate(self) -> float:
-        return self.exact / self.n_queries if self.n_queries else 0.0
+        """Fraction of queries selected exactly right (1.0 on an empty
+        log: every one of zero queries was exact)."""
+        if self.n_queries == 0:
+            return 1.0
+        return self.exact / self.n_queries
 
     @property
     def recall(self) -> float:
-        """Fraction of truly useful engine invocations preserved."""
+        """Fraction of truly useful engine invocations preserved (1.0
+        when the oracle sets are empty — nothing could be missed)."""
         if self.true_engine_total == 0:
             return 1.0
         return 1.0 - self.missed_engines / self.true_engine_total
 
     @property
     def precision(self) -> float:
-        """Fraction of issued invocations that were actually useful."""
+        """Fraction of issued invocations that were actually useful (1.0
+        when nothing was selected — nothing was wasted)."""
         if self.selected_engine_total == 0:
             return 1.0
         return 1.0 - self.extra_engines / self.selected_engine_total
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of micro precision and recall (0.0 only when
+        both are 0, which the 1.0-on-empty conventions make unreachable
+        for empty inputs)."""
+        p, r = self.precision, self.recall
+        if p + r == 0.0:
+            return 0.0
+        return 2.0 * p * r / (p + r)
+
+
+def selection_quality_from_sets(
+    pairs: Iterable[Tuple[AbstractSet[str], AbstractSet[str]]],
+) -> SelectionQuality:
+    """Accumulate :class:`SelectionQuality` from ``(selected, truth)``
+    engine-set pairs — the shared core of :func:`evaluate_selection` and
+    the golden-set harness, which brings its own oracle."""
+    n_queries = exact = missed = extra = true_total = selected_total = 0
+    for selected, truth in pairs:
+        selected, truth = set(selected), set(truth)
+        n_queries += 1
+        if selected == truth:
+            exact += 1
+        missed += len(truth - selected)
+        extra += len(selected - truth)
+        true_total += len(truth)
+        selected_total += len(selected)
+    return SelectionQuality(
+        n_queries=n_queries,
+        exact=exact,
+        missed_engines=missed,
+        extra_engines=extra,
+        true_engine_total=true_total,
+        selected_engine_total=selected_total,
+    )
 
 
 def evaluate_selection(
@@ -65,25 +118,10 @@ def evaluate_selection(
     threshold: float,
 ) -> SelectionQuality:
     """Score the broker's selection against the oracle for every query."""
-    exact = 0
-    missed = 0
-    extra = 0
-    true_total = 0
-    selected_total = 0
-    for query in queries:
-        selected = set(broker.select(query, threshold))
-        truth = set(broker.true_selection(query, threshold))
-        if selected == truth:
-            exact += 1
-        missed += len(truth - selected)
-        extra += len(selected - truth)
-        true_total += len(truth)
-        selected_total += len(selected)
-    return SelectionQuality(
-        n_queries=len(queries),
-        exact=exact,
-        missed_engines=missed,
-        extra_engines=extra,
-        true_engine_total=true_total,
-        selected_engine_total=selected_total,
+    return selection_quality_from_sets(
+        (
+            set(broker.select(query, threshold)),
+            set(broker.true_selection(query, threshold)),
+        )
+        for query in queries
     )

@@ -1,0 +1,207 @@
+"""Property-based tests for the harness ranking metrics.
+
+The conventions pinned in :mod:`repro.evaluation.harness.ranking` —
+bounds, permutation invariance, tie handling, perfect-ranking == 1 —
+must hold for arbitrary name sets and score assignments, not just the
+hand-picked cases in the unit tests.
+"""
+
+import math
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.harness import (
+    kendall_tau_b,
+    mrr,
+    ndcg,
+    reciprocal_rank,
+    set_f1,
+    set_precision,
+    set_recall,
+)
+
+names = st.sets(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=3), min_size=1, max_size=8
+)
+scores = st.floats(
+    min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def scored_names(draw, min_size=1):
+    """A dict name -> score over a random small name set."""
+    keys = draw(
+        st.sets(
+            st.text(alphabet="abcdefgh", min_size=1, max_size=3),
+            min_size=min_size,
+            max_size=8,
+        )
+    )
+    return {k: draw(scores) for k in sorted(keys)}
+
+
+@st.composite
+def two_scorings(draw):
+    """Two scorings over the same names."""
+    a = draw(scored_names(min_size=2))
+    b = {k: draw(scores) for k in a}
+    return a, b
+
+
+def shuffled(seq, seed):
+    out = list(seq)
+    random.Random(seed).shuffle(out)
+    return out
+
+
+class TestSetMetricProperties:
+    @given(names, names)
+    @settings(max_examples=200, deadline=None)
+    def test_bounds(self, selected, truth):
+        for metric in (set_precision, set_recall, set_f1):
+            assert 0.0 <= metric(selected, truth) <= 1.0
+
+    @given(names)
+    @settings(max_examples=100, deadline=None)
+    def test_perfect_selection_scores_one(self, truth):
+        assert set_precision(truth, truth) == 1.0
+        assert set_recall(truth, truth) == 1.0
+        assert set_f1(truth, truth) == 1.0
+
+    @given(names, names)
+    @settings(max_examples=200, deadline=None)
+    def test_precision_recall_duality(self, selected, truth):
+        assert set_precision(selected, truth) == set_recall(truth, selected)
+
+    @given(names, names)
+    @settings(max_examples=200, deadline=None)
+    def test_f1_between_min_and_max(self, selected, truth):
+        p = set_precision(selected, truth)
+        r = set_recall(selected, truth)
+        f1 = set_f1(selected, truth)
+        assert min(p, r) - 1e-12 <= f1 <= max(p, r) + 1e-12
+
+
+class TestReciprocalRankProperties:
+    @given(scored_names(min_size=1), st.integers(0, 2**16))
+    @settings(max_examples=200, deadline=None)
+    def test_bounds_and_membership(self, gains, seed):
+        ranking = shuffled(gains, seed)
+        relevant = {n for n in gains if gains[n] >= 50.0}
+        rr = reciprocal_rank(ranking, relevant)
+        if relevant:
+            assert rr is not None and 0.0 < rr <= 1.0
+        else:
+            assert rr is None
+
+    @given(scored_names(min_size=2), st.integers(0, 2**16))
+    @settings(max_examples=200, deadline=None)
+    def test_relevant_first_gives_one(self, gains, seed):
+        ranking = shuffled(gains, seed)
+        assert reciprocal_rank(ranking, {ranking[0]}) == 1.0
+
+    @given(
+        st.lists(scored_names(min_size=1), min_size=1, max_size=5),
+        st.integers(0, 2**16),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_mrr_bounds(self, gain_rows, seed):
+        rankings = [shuffled(g, seed + i) for i, g in enumerate(gain_rows)]
+        relevants = [{n for n in g if g[n] > 0.0} for g in gain_rows]
+        value = mrr(rankings, relevants)
+        if any(relevants):
+            assert value is not None and 0.0 < value <= 1.0
+        else:
+            assert value is None
+
+
+class TestNdcgProperties:
+    @given(scored_names(min_size=1), st.integers(0, 2**16))
+    @settings(max_examples=200, deadline=None)
+    def test_bounds(self, gains, seed):
+        ranking = shuffled(gains, seed)
+        assert 0.0 <= ndcg(ranking, gains) <= 1.0 + 1e-12
+
+    @given(scored_names(min_size=1))
+    @settings(max_examples=200, deadline=None)
+    def test_perfect_ranking_scores_one(self, gains):
+        ideal = sorted(gains, key=lambda n: -gains[n])
+        assert math.isclose(ndcg(ideal, gains), 1.0, rel_tol=1e-12)
+
+    @given(scored_names(min_size=2), st.integers(0, 2**16))
+    @settings(max_examples=200, deadline=None)
+    def test_no_permutation_beats_ideal(self, gains, seed):
+        ideal = sorted(gains, key=lambda n: -gains[n])
+        assert ndcg(shuffled(gains, seed), gains) <= ndcg(ideal, gains) + 1e-12
+
+    @given(scored_names(min_size=1), st.integers(0, 2**16))
+    @settings(max_examples=100, deadline=None)
+    def test_constant_gains_make_every_ranking_perfect(self, gains, seed):
+        constant = {n: 2.5 for n in gains}
+        assert math.isclose(
+            ndcg(shuffled(constant, seed), constant), 1.0, rel_tol=1e-12
+        )
+
+
+class TestKendallTauProperties:
+    @given(two_scorings())
+    @settings(max_examples=200, deadline=None)
+    def test_bounds(self, pair):
+        a, b = pair
+        assert -1.0 - 1e-12 <= kendall_tau_b(a, b) <= 1.0 + 1e-12
+
+    @given(two_scorings())
+    @settings(max_examples=200, deadline=None)
+    def test_symmetry(self, pair):
+        a, b = pair
+        assert kendall_tau_b(a, b) == kendall_tau_b(b, a)
+
+    @given(scored_names(min_size=2))
+    @settings(max_examples=200, deadline=None)
+    def test_self_correlation_is_one_unless_all_tied(self, a):
+        values = set(a.values())
+        tau = kendall_tau_b(a, dict(a))
+        if len(values) == 1:
+            assert tau == 0.0  # all tied: undefined, pinned to 0
+        else:
+            assert math.isclose(tau, 1.0, rel_tol=1e-12)
+
+    @given(scored_names(min_size=2))
+    @settings(max_examples=200, deadline=None)
+    def test_negation_flips_sign(self, a):
+        assume(len(set(a.values())) > 1)
+        b = {k: -v for k, v in a.items()}
+        assert math.isclose(
+            kendall_tau_b(a, b), -kendall_tau_b(a, a), rel_tol=1e-12
+        )
+
+    @given(two_scorings(), st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=200, deadline=None)
+    def test_invariant_under_positive_scaling(self, pair, scale):
+        a, b = pair
+        scaled = {k: v * scale for k, v in b.items()}
+        # Scaling can merge distinct scores only through float rounding;
+        # skip those.
+        assume(
+            len(set(scaled.values())) == len(set(b.values()))
+            and all(
+                (b[x] > b[y]) == (scaled[x] > scaled[y])
+                for x in b
+                for y in b
+                if b[x] != b[y]
+            )
+        )
+        assert math.isclose(
+            kendall_tau_b(a, b), kendall_tau_b(a, scaled),
+            rel_tol=1e-9, abs_tol=1e-9,
+        )
+
+    @given(scored_names(min_size=2), st.integers(0, 2**16))
+    @settings(max_examples=100, deadline=None)
+    def test_all_tied_side_pins_to_zero(self, a, seed):
+        tied = {k: 1.0 for k in a}
+        assert kendall_tau_b(a, tied) == 0.0
+        assert kendall_tau_b(tied, a) == 0.0

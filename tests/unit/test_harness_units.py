@@ -1,0 +1,313 @@
+"""Unit tests for the golden-query evaluation harness.
+
+Covers the pure ranking metrics, the structural tripwires, the canonical
+golden-set serialization round-trip, and the floor gate — everything the
+``repro eval`` CLI composes, without building a fleet.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.corpus import Query
+from repro.evaluation.harness import (
+    EstimatorTripwires,
+    GoldenStratum,
+    agreement_matrix,
+    canonical_json_bytes,
+    check_floors,
+    kendall_tau_b,
+    mrr,
+    ndcg,
+    reciprocal_rank,
+    run_tripwires,
+    set_f1,
+    set_precision,
+    set_recall,
+    stratum_from_payload,
+    stratum_payload,
+)
+from repro.evaluation.harness.ranking import mean
+
+
+class TestSetMetrics:
+    def test_perfect_selection(self):
+        assert set_precision({"a", "b"}, {"a", "b"}) == 1.0
+        assert set_recall({"a", "b"}, {"a", "b"}) == 1.0
+        assert set_f1({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_partial_overlap(self):
+        selected, truth = {"a", "b"}, {"b", "c", "d"}
+        assert set_precision(selected, truth) == pytest.approx(0.5)
+        assert set_recall(selected, truth) == pytest.approx(1 / 3)
+        p, r = 0.5, 1 / 3
+        assert set_f1(selected, truth) == pytest.approx(2 * p * r / (p + r))
+
+    def test_empty_sets_are_vacuously_perfect(self):
+        assert set_precision(set(), {"a"}) == 1.0
+        assert set_recall({"a"}, set()) == 1.0
+        assert set_f1(set(), set()) == 1.0
+
+    def test_disjoint_sets(self):
+        assert set_precision({"a"}, {"b"}) == 0.0
+        assert set_recall({"a"}, {"b"}) == 0.0
+        assert set_f1({"a"}, {"b"}) == 0.0
+
+
+class TestReciprocalRank:
+    def test_first_position(self):
+        assert reciprocal_rank(["a", "b"], {"a"}) == 1.0
+
+    def test_later_position(self):
+        assert reciprocal_rank(["a", "b", "c"], {"c"}) == pytest.approx(1 / 3)
+
+    def test_no_relevant_is_none_not_zero(self):
+        assert reciprocal_rank(["a", "b"], set()) is None
+        assert reciprocal_rank(["a", "b"], {"z"}) is None
+
+    def test_mrr_excludes_none_queries(self):
+        value = mrr([["a", "b"], ["a", "b"]], [{"b"}, set()])
+        assert value == pytest.approx(0.5)
+
+    def test_mrr_all_none_is_none(self):
+        assert mrr([["a"]], [set()]) is None
+
+    def test_mrr_length_mismatch(self):
+        with pytest.raises(ValueError, match="parallel"):
+            mrr([["a"]], [{"a"}, {"a"}])
+
+
+class TestNdcg:
+    def test_perfect_ranking(self):
+        assert ndcg(["a", "b", "c"], {"a": 3.0, "b": 2.0, "c": 1.0}) == 1.0
+
+    def test_worst_ranking_is_positive_but_below_one(self):
+        value = ndcg(["c", "b", "a"], {"a": 3.0, "b": 2.0, "c": 0.0})
+        assert 0.0 < value < 1.0
+
+    def test_all_zero_gains(self):
+        assert ndcg(["a", "b"], {"a": 0.0, "b": 0.0}) == 1.0
+
+    def test_missing_names_gain_zero(self):
+        assert ndcg(["x", "a"], {"a": 1.0}) == pytest.approx(
+            (1.0 / math.log2(3)) / 1.0
+        )
+
+    def test_negative_gain_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ndcg(["a"], {"a": -1.0})
+
+
+class TestKendallTauB:
+    def test_identical_orderings(self):
+        a = {"x": 3.0, "y": 2.0, "z": 1.0}
+        assert kendall_tau_b(a, dict(a)) == 1.0
+
+    def test_reversed_orderings(self):
+        a = {"x": 3.0, "y": 2.0, "z": 1.0}
+        b = {"x": 1.0, "y": 2.0, "z": 3.0}
+        assert kendall_tau_b(a, b) == -1.0
+
+    def test_all_tied_side_returns_zero(self):
+        a = {"x": 1.0, "y": 1.0}
+        b = {"x": 2.0, "y": 1.0}
+        assert kendall_tau_b(a, b) == 0.0
+
+    def test_single_name_returns_zero(self):
+        assert kendall_tau_b({"x": 1.0}, {"x": 5.0}) == 0.0
+
+    def test_tie_correction(self):
+        # One pair tied in a only, two clean concordant pairs:
+        # tau = 2 / sqrt(3 * 2).
+        a = {"x": 2.0, "y": 2.0, "z": 1.0}
+        b = {"x": 3.0, "y": 2.0, "z": 1.0}
+        assert kendall_tau_b(a, b) == pytest.approx(2 / math.sqrt(6))
+
+    def test_name_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same names"):
+            kendall_tau_b({"x": 1.0}, {"y": 1.0})
+
+    def test_mean_empty_is_zero(self):
+        assert mean([]) == 0.0
+
+
+class TestTripwires:
+    def test_clean_run(self):
+        wires = run_tripwires(
+            low_rows=[{"e0": 2.0, "e1": 0.0}],
+            high_rows=[{"e0": 1.0, "e1": 0.0}],
+            rounded_rows=[{"e0": 2, "e1": 0}],
+            oracle_rows=[{"e0": 2.0, "e1": 0.0}],
+        )
+        assert wires.ok
+        assert wires.as_dict()["ok"] is True
+
+    def test_monotonicity_violation_counted(self):
+        wires = run_tripwires(
+            low_rows=[{"e0": 1.0}],
+            high_rows=[{"e0": 2.0}],  # more docs above a higher threshold
+            rounded_rows=[{"e0": 1}],
+            oracle_rows=[{"e0": 1.0}],
+        )
+        assert wires.monotonicity_violations == 1
+        assert not wires.ok
+
+    def test_monotonicity_tolerates_float_noise(self):
+        wires = run_tripwires(
+            low_rows=[{"e0": 1.0}],
+            high_rows=[{"e0": 1.0 + 1e-12}],
+            rounded_rows=[{"e0": 1}],
+            oracle_rows=[{"e0": 1.0}],
+        )
+        assert wires.monotonicity_violations == 0
+
+    def test_degenerate_ranking_detected(self):
+        wires = run_tripwires(
+            low_rows=[{"e0": 0.5, "e1": 0.5}],  # constant estimates
+            high_rows=[{"e0": 0.5, "e1": 0.5}],
+            rounded_rows=[{"e0": 1, "e1": 1}],
+            oracle_rows=[{"e0": 3.0, "e1": 0.0}],  # oracle distinguishes
+        )
+        assert wires.degenerate_rankings == 1
+
+    def test_constant_oracle_is_not_degenerate(self):
+        wires = run_tripwires(
+            low_rows=[{"e0": 0.5, "e1": 0.5}],
+            high_rows=[{"e0": 0.5, "e1": 0.5}],
+            rounded_rows=[{"e0": 1, "e1": 1}],
+            oracle_rows=[{"e0": 1.0, "e1": 1.0}],
+        )
+        assert wires.degenerate_rankings == 0
+
+    def test_missed_all_detected(self):
+        wires = run_tripwires(
+            low_rows=[{"e0": 0.2, "e1": 0.1}],
+            high_rows=[{"e0": 0.1, "e1": 0.0}],
+            rounded_rows=[{"e0": 0, "e1": 0}],
+            oracle_rows=[{"e0": 2.0, "e1": 0.0}],
+        )
+        assert wires.missed_all == 1
+
+    def test_parallel_inputs_enforced(self):
+        with pytest.raises(ValueError, match="parallel"):
+            run_tripwires([{"e0": 1.0}], [], [{"e0": 1}], [{"e0": 1.0}])
+
+    def test_ok_requires_all_clean(self):
+        assert not EstimatorTripwires(1, 0, 0).ok
+        assert not EstimatorTripwires(0, 1, 0).ok
+        assert not EstimatorTripwires(0, 0, 1).ok
+        assert EstimatorTripwires(0, 0, 0).ok
+
+
+class TestAgreementMatrix:
+    def test_identical_estimators_fully_agree(self):
+        rows = [{"e0": 2.0, "e1": 1.0}, {"e0": 0.0, "e1": 3.0}]
+        result = agreement_matrix({"a": rows, "b": [dict(r) for r in rows]})
+        assert result["pairs"] == {"a|b": pytest.approx(1.0)}
+        assert result["mean_pairwise_tau"] == pytest.approx(1.0)
+        assert result["below_floor"] == []
+
+    def test_opposed_estimators_flagged(self):
+        a = [{"e0": 2.0, "e1": 1.0}]
+        b = [{"e0": 1.0, "e1": 2.0}]
+        result = agreement_matrix({"a": a, "b": b})
+        assert result["pairs"]["a|b"] == pytest.approx(-1.0)
+        assert result["below_floor"] == ["a|b"]
+
+    def test_row_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="different queries"):
+            agreement_matrix({"a": [{"e0": 1.0}], "b": []})
+
+
+class TestGoldenSerialization:
+    def _stratum(self):
+        return GoldenStratum(
+            name="toy",
+            description="round-trip fixture",
+            seed=7,
+            threshold=0.2,
+            diagnostic_threshold=0.4,
+            queries=(
+                Query.from_terms(["alpha", "beta"]),
+                Query.from_terms(["gamma"]),
+            ),
+        )
+
+    def test_round_trip(self):
+        stratum = self._stratum()
+        assert stratum_from_payload(stratum_payload(stratum)) == stratum
+
+    def test_canonical_bytes_are_stable_and_ascii(self):
+        payload = stratum_payload(self._stratum())
+        raw = canonical_json_bytes(payload)
+        assert raw == canonical_json_bytes(json.loads(raw.decode("ascii")))
+        assert raw.endswith(b"\n")
+
+    def test_unknown_format_rejected(self):
+        payload = stratum_payload(self._stratum())
+        payload["format"] = 999
+        with pytest.raises(ValueError, match="format"):
+            stratum_from_payload(payload)
+
+    def test_diagnostic_threshold_must_exceed_threshold(self):
+        with pytest.raises(ValueError, match="diagnostic"):
+            GoldenStratum(
+                name="bad",
+                description="",
+                seed=1,
+                threshold=0.5,
+                diagnostic_threshold=0.5,
+                queries=(),
+            )
+
+
+class TestCheckFloors:
+    def _payload(self, precision=0.9, tripwires_ok=True):
+        return {
+            "strata": {
+                "s": {
+                    "estimators": {
+                        "basic": {
+                            "precision": precision,
+                            "mrr": None,
+                            "tripwires": {
+                                "ok": tripwires_ok,
+                                "monotonicity_violations": 0,
+                                "degenerate_rankings": 0,
+                                "missed_all": 0 if tripwires_ok else 3,
+                            },
+                        }
+                    }
+                }
+            }
+        }
+
+    def test_passing_floors(self):
+        floors = {"strata": {"s": {"basic": {"precision": 0.8}}}}
+        assert check_floors(self._payload(), floors) == []
+
+    def test_metric_below_floor(self):
+        floors = {"strata": {"s": {"basic": {"precision": 0.95}}}}
+        violations = check_floors(self._payload(), floors)
+        assert len(violations) == 1
+        assert "precision" in violations[0]
+
+    def test_null_metric_is_a_violation(self):
+        floors = {"strata": {"s": {"basic": {"mrr": 0.5}}}}
+        assert len(check_floors(self._payload(), floors)) == 1
+
+    def test_tripwires_ok_pseudo_metric(self):
+        floors = {"strata": {"s": {"basic": {"tripwires_ok": True}}}}
+        assert check_floors(self._payload(tripwires_ok=True), floors) == []
+        assert len(check_floors(self._payload(tripwires_ok=False), floors)) == 1
+
+    def test_unknown_stratum_and_estimator_are_violations(self):
+        floors = {
+            "strata": {
+                "missing": {"basic": {"precision": 0.1}},
+                "s": {"ghost": {"precision": 0.1}},
+            }
+        }
+        violations = check_floors(self._payload(), floors)
+        assert len(violations) == 2

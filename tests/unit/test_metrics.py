@@ -85,3 +85,33 @@ class TestMethodAccumulator:
         acc.add([u(0, 0.0)], [u(3, 0.1)])
         (row,) = acc.metrics()
         assert row.match_mismatch() == "1/1"
+
+
+class TestZeroDenominatorConventions:
+    """Regression tests pinning the documented zero-denominator edges."""
+
+    def test_empty_accumulator_rows_are_defined(self):
+        # No queries at all: every criterion must still be a finite number.
+        acc = MethodAccumulator([0.1, 0.5])
+        for row in acc.metrics():
+            assert row.useful_queries == 0
+            assert row.d_nodoc == 0.0
+            assert row.d_avgsim == 0.0
+            assert row.match_rate == 1.0
+
+    def test_match_rate_vacuous_truth(self):
+        # Zero useful queries: match_rate is 1.0 (nothing to miss), even
+        # when mismatches occurred — mismatch stays an absolute count.
+        acc = MethodAccumulator([0.1])
+        acc.add([u(0, 0.0)], [u(2, 0.5)])
+        (row,) = acc.metrics()
+        assert row.useful_queries == 0
+        assert row.mismatch == 1
+        assert row.match_rate == 1.0
+
+    def test_match_rate_normal_case(self):
+        acc = MethodAccumulator([0.1])
+        acc.add([u(3, 0.5)], [u(3, 0.5)])
+        acc.add([u(2, 0.4)], [u(0.2, 0.1)])
+        (row,) = acc.metrics()
+        assert row.match_rate == pytest.approx(0.5)

@@ -4,7 +4,11 @@ import pytest
 
 from repro.corpus import Collection, Document, Query
 from repro.engine import SearchEngine
-from repro.evaluation import SelectionQuality, evaluate_selection
+from repro.evaluation import (
+    SelectionQuality,
+    evaluate_selection,
+    selection_quality_from_sets,
+)
 from repro.metasearch import MetasearchBroker
 
 
@@ -44,11 +48,13 @@ class TestEvaluateSelection:
         assert quality.selected_engine_total == 1
 
     def test_empty_query_log(self, broker):
+        # Vacuous-truth convention: an empty log scores perfect, not zero.
         quality = evaluate_selection(broker, [], threshold=0.3)
         assert quality.n_queries == 0
-        assert quality.exact_rate == 0.0
+        assert quality.exact_rate == 1.0
         assert quality.recall == 1.0
         assert quality.precision == 1.0
+        assert quality.f1 == 1.0
 
 
 class TestSelectionQualityProperties:
@@ -71,5 +77,54 @@ class TestSelectionQualityProperties:
             n_queries=0, exact=0, missed_engines=0, extra_engines=0,
             true_engine_total=0, selected_engine_total=0,
         )
+        assert quality.exact_rate == 1.0
+        assert quality.recall == 1.0
+        assert quality.precision == 1.0
+        assert quality.f1 == 1.0
+
+    def test_f1_harmonic_mean(self):
+        quality = SelectionQuality(
+            n_queries=10, exact=5, missed_engines=2, extra_engines=2,
+            true_engine_total=10, selected_engine_total=10,
+        )
+        assert quality.f1 == pytest.approx(0.8)
+
+    def test_f1_zero_when_nothing_right(self):
+        # Non-empty oracle and selection, fully disjoint: both rates 0.
+        quality = SelectionQuality(
+            n_queries=1, exact=0, missed_engines=3, extra_engines=2,
+            true_engine_total=3, selected_engine_total=2,
+        )
+        assert quality.recall == 0.0
+        assert quality.precision == 0.0
+        assert quality.f1 == 0.0
+
+
+class TestSelectionQualityFromSets:
+    def test_matches_manual_accumulation(self):
+        pairs = [
+            ({"a", "b"}, {"a", "b"}),
+            ({"a"}, {"a", "c"}),
+            ({"a", "d"}, {"a"}),
+        ]
+        quality = selection_quality_from_sets(pairs)
+        assert quality.n_queries == 3
+        assert quality.exact == 1
+        assert quality.missed_engines == 1
+        assert quality.extra_engines == 1
+        assert quality.true_engine_total == 5
+        assert quality.selected_engine_total == 5
+
+    def test_empty_iterable_is_vacuously_perfect(self):
+        quality = selection_quality_from_sets([])
+        assert quality.exact_rate == 1.0
+        assert quality.recall == 1.0
+        assert quality.precision == 1.0
+        assert quality.f1 == 1.0
+
+    def test_consistent_with_evaluate_selection(self):
+        # Both empty sets per query: exact, nothing missed or extra.
+        quality = selection_quality_from_sets([(set(), set())] * 4)
+        assert quality.exact == 4
         assert quality.recall == 1.0
         assert quality.precision == 1.0
