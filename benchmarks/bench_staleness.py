@@ -7,18 +7,48 @@ of their documents and grow in ten steps to full size while a query batch
 runs after every step; refresh policies from "always" to "never" are swept
 and selection recall against the live oracle is measured, along with the
 number of (expensive) snapshot refreshes each policy paid for.
+
+The delta-refresh lane removes the tolerance trade-off entirely: instead of
+choosing between expensive freshness and cheap staleness, the broker stays
+*exactly* fresh by applying the live engines' versioned
+:class:`~repro.fleet.delta.RepresentativeDelta` stream.  Full-size engines
+churn a few percent of their documents per step (removals and re-additions,
+document count constant — the steady state of a mutating fleet) and both
+broker lanes catch up after every step: the full lane pays a representative
+rebuild plus a whole-snapshot wire round trip per engine (what a stateless
+engine server charges for ``GET /representative``), the delta lane pays
+``delta_since`` composition plus the canonical delta wire round trip plus
+an in-place apply.  Mutation-time costs on the engine side (the live
+server's incremental bookkeeping) are excluded from both lanes: they are
+paid once per mutation regardless of how many brokers subscribe.  Selections
+must match query-for-query — equal recall by construction — and the floors
+assert the delta lane is at least ``RATIO_FLOOR``x cheaper in bytes shipped
+AND catch-up wall-clock.  Machine-readable outcome lands in
+``BENCH_staleness.json`` (override: ``REPRO_BENCH_STALENESS_JSON``).
 """
 
-from repro.corpus import Document
-from repro.metasearch import EngineServer, SubscribingBroker
+import json
+import os
+import time
+from pathlib import Path
 
-from _bench_utils import emit
+from repro.corpus import Document
+from repro.fleet import LiveEngineServer
+from repro.fleet.delta import RepresentativeDelta
+from repro.metasearch import EngineServer, MetasearchBroker, SubscribingBroker
+from repro.serving.wire import representative_from_wire, representative_to_wire
 
 N_ENGINES = 6
 THRESHOLD = 0.3
-STEPS = 10
-QUERIES_PER_STEP = 40
+STEPS = int(os.environ.get("REPRO_BENCH_STALENESS_STEPS", "10"))
+QUERIES_PER_STEP = int(os.environ.get("REPRO_BENCH_STALENESS_QUERIES", "40"))
 POLICIES = (0.0, 0.1, 0.5, float("inf"))
+JSON_PATH = Path(
+    os.environ.get("REPRO_BENCH_STALENESS_JSON", "BENCH_staleness.json")
+)
+#: The delta lane must beat the full-snapshot lane by at least this factor
+#: on both bytes shipped and catch-up seconds.
+RATIO_FLOOR = 5.0
 
 
 def _engine_documents(corpus_model, group):
@@ -27,6 +57,38 @@ def _engine_documents(corpus_model, group):
         Document(collection.doc_id(i), terms=collection.terms_of(i))
         for i in range(len(collection))
     ]
+
+
+def _emit_section(header: str, body: str) -> None:
+    """Accumulate one ``=== header ===`` section into results/staleness.txt.
+
+    Both tests in this module share the results file; each owns one
+    section, replaced in place so either test can run alone without
+    clobbering the other's output.
+    """
+    results_dir = Path(
+        os.environ.get("REPRO_BENCH_RESULTS", "benchmarks/results")
+    )
+    path = results_dir / "staleness.txt"
+    sections = []
+    if path.exists():
+        current: list = []
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if line.startswith("=== "):
+                if current:
+                    sections.append(current)
+                current = [line]
+            elif current:
+                current.append(line)
+        if current:
+            sections.append(current)
+    sections = [s for s in sections if s[0] != header]
+    mine = [header] + body.splitlines()
+    sections.append(mine)
+    text = "\n\n".join("\n".join(s).rstrip() for s in sections)
+    print("\n" + header + "\n" + body)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    path.write_text(text + "\n", encoding="utf-8")
 
 
 def test_staleness_tolerance(benchmark, corpus_model, query_log):
@@ -72,9 +134,6 @@ def test_staleness_tolerance(benchmark, corpus_model, query_log):
     benchmark.pedantic(run_policy, args=(0.5,), rounds=1, iterations=1)
 
     lines = [
-        "",
-        f"=== representative staleness over {N_ENGINES} growing engines "
-        f"({STEPS} steps x {QUERIES_PER_STEP} queries) ===",
         f"{'refresh policy':>22} {'recall':>8} {'snapshots':>10}",
     ]
     results = {}
@@ -87,7 +146,11 @@ def test_staleness_tolerance(benchmark, corpus_model, query_log):
             else f"growth>{policy:.0%}"
         )
         lines.append(f"{name:>22} {recall:>8.1%} {refreshes:>10}")
-    emit("staleness", "\n".join(lines))
+    _emit_section(
+        f"=== representative staleness over {N_ENGINES} growing engines "
+        f"({STEPS} steps x {QUERIES_PER_STEP} queries) ===",
+        "\n".join(lines),
+    )
 
     always_recall, always_cost = results[0.0]
     lazy_recall, lazy_cost = results[0.5]
@@ -103,3 +166,194 @@ def test_staleness_tolerance(benchmark, corpus_model, query_log):
     # degradation is graceful, not catastrophic.
     assert never_recall < always_recall
     assert never_recall >= 0.5
+
+
+def test_delta_refresh_vs_full_snapshot(benchmark, corpus_model, query_log):
+    """Delta catch-up beats full re-snapshot >= RATIO_FLOOR x at equal
+    (identical, query-for-query) selection recall."""
+    from collections import deque
+
+    from repro.corpus import Collection
+    from repro.engine import SearchEngine
+    from repro.representatives import build_representative
+
+    all_docs = {
+        g: _engine_documents(corpus_model, g) for g in range(N_ENGINES)
+    }
+    queries = query_log[: STEPS * QUERIES_PER_STEP]
+
+    def run_lanes():
+        delta_broker = MetasearchBroker()
+        full_broker = MetasearchBroker()
+        servers = {}
+        current = {}
+        reserve = {}
+        versions = {}
+        for g, documents in all_docs.items():
+            # Engines start at full working size with a spare pool; each
+            # step churns a slice out and a slice in, so the corpus stays
+            # the same size while its contents drift.
+            keep = max(2, int(0.85 * len(documents)))
+            name = f"group{g:02d}"
+            live = LiveEngineServer(
+                name, list(documents[:keep]), log_limit=4 * STEPS
+            )
+            snapshot = live.snapshot()
+            delta_broker.register(
+                live,
+                representative=snapshot.representative,
+                version=snapshot.version,
+            )
+            full_broker.register(live, representative=snapshot.representative)
+            servers[g] = live
+            current[g] = deque(documents[:keep])
+            reserve[g] = deque(documents[keep:])
+            versions[g] = snapshot.version
+
+        totals = {
+            "delta_bytes": 0,
+            "full_bytes": 0,
+            "delta_seconds": 0.0,
+            "full_seconds": 0.0,
+        }
+        steps = []
+        mismatches = 0
+        missed = 0
+        useful_total = 0
+        for step in range(STEPS):
+            for g, live in servers.items():
+                churn = max(1, len(current[g]) // 50)
+                removed = [current[g].popleft() for __ in range(churn)]
+                live.remove_documents([d.doc_id for d in removed])
+                added = [
+                    reserve[g].popleft()
+                    for __ in range(min(churn, len(reserve[g])))
+                ]
+                if added:
+                    live.add_documents(added)
+                    current[g].extend(added)
+                # Removed documents rejoin the pool: late steps re-add
+                # previously removed ones, exercising remove-then-re-add.
+                reserve[g].extend(removed)
+
+            # Delta lane: compose the log suffix, round-trip the canonical
+            # wire form, apply in place with precise invalidation.
+            step_delta_bytes = 0
+            started = time.perf_counter()
+            for g, live in servers.items():
+                delta = live.delta_since(versions[g])
+                wire = delta.encode()
+                step_delta_bytes += len(wire)
+                delta_broker.apply_representative_delta(
+                    RepresentativeDelta.decode(wire)
+                )
+                versions[g] = delta.to_version
+            step_delta_seconds = time.perf_counter() - started
+
+            # Full lane: what a stateless engine server charges — rebuild
+            # the snapshot, round-trip the whole representative, re-register.
+            step_full_bytes = 0
+            started = time.perf_counter()
+            for g, live in servers.items():
+                rebuilt = build_representative(
+                    SearchEngine(
+                        Collection.from_documents(live.name, list(current[g]))
+                    )
+                )
+                wire = json.dumps(
+                    representative_to_wire(rebuilt),
+                    separators=(",", ":"),
+                ).encode("utf-8")
+                step_full_bytes += len(wire)
+                full_broker.register(
+                    live,
+                    representative=representative_from_wire(
+                        json.loads(wire.decode("utf-8"))
+                    ),
+                )
+            step_full_seconds = time.perf_counter() - started
+
+            batch = queries[
+                step * QUERIES_PER_STEP: (step + 1) * QUERIES_PER_STEP
+            ]
+            for query in batch:
+                delta_selected = delta_broker.select(query, THRESHOLD)
+                full_selected = full_broker.select(query, THRESHOLD)
+                if delta_selected != full_selected:
+                    mismatches += 1
+                truth = set(delta_broker.true_selection(query, THRESHOLD))
+                useful_total += len(truth)
+                missed += len(truth - set(delta_selected))
+
+            totals["delta_bytes"] += step_delta_bytes
+            totals["full_bytes"] += step_full_bytes
+            totals["delta_seconds"] += step_delta_seconds
+            totals["full_seconds"] += step_full_seconds
+            steps.append(
+                {
+                    "step": step,
+                    "delta_bytes": step_delta_bytes,
+                    "full_bytes": step_full_bytes,
+                    "delta_seconds": step_delta_seconds,
+                    "full_seconds": step_full_seconds,
+                }
+            )
+        recall = 1.0 - missed / useful_total if useful_total else 1.0
+        return totals, steps, mismatches, recall
+
+    totals, steps, mismatches, recall = benchmark.pedantic(
+        run_lanes, rounds=1, iterations=1
+    )
+    bytes_ratio = totals["full_bytes"] / max(1, totals["delta_bytes"])
+    seconds_ratio = totals["full_seconds"] / max(
+        1e-12, totals["delta_seconds"]
+    )
+
+    payload = {
+        "bench": "staleness_delta_refresh",
+        "engines": N_ENGINES,
+        "steps": STEPS,
+        "queries_per_step": QUERIES_PER_STEP,
+        "threshold": THRESHOLD,
+        "recall": recall,
+        "selection_mismatches": mismatches,
+        "totals": totals,
+        "bytes_ratio": bytes_ratio,
+        "seconds_ratio": seconds_ratio,
+        "ratio_floor": RATIO_FLOOR,
+        "per_step": steps,
+    }
+    JSON_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    _emit_section(
+        f"=== delta refresh vs full re-snapshot over {N_ENGINES} growing "
+        f"engines ({STEPS} steps x {QUERIES_PER_STEP} queries) ===",
+        "\n".join(
+            [
+                f"{'lane':>22} {'bytes':>12} {'seconds':>10} {'recall':>8}",
+                (
+                    f"{'full re-snapshot':>22} {totals['full_bytes']:>12,}"
+                    f" {totals['full_seconds']:>10.3f} {recall:>8.1%}"
+                ),
+                (
+                    f"{'delta catch-up':>22} {totals['delta_bytes']:>12,}"
+                    f" {totals['delta_seconds']:>10.3f} {recall:>8.1%}"
+                ),
+                (
+                    f"{'ratio':>22} {bytes_ratio:>11.1f}x"
+                    f" {seconds_ratio:>9.1f}x {'(identical)':>8}"
+                ),
+            ]
+        ),
+    )
+
+    # Both lanes hold value-identical representatives (the delta apply is
+    # bit-exact against a fresh rebuild), so selection agrees on every
+    # single query — "at equal selection recall" by construction.
+    assert mismatches == 0
+    # The subsystem's reason to exist: shipping only what changed is at
+    # least RATIO_FLOOR x cheaper in bytes AND catch-up wall-clock.
+    assert bytes_ratio >= RATIO_FLOOR, f"bytes ratio {bytes_ratio:.2f}"
+    assert seconds_ratio >= RATIO_FLOOR, f"seconds ratio {seconds_ratio:.2f}"

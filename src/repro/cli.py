@@ -419,8 +419,39 @@ def _serve(server, args: argparse.Namespace) -> int:
 
 def _cmd_serve_engine(args: argparse.Namespace) -> int:
     """Serve one search engine over HTTP from a saved artifact."""
-    from repro.serving import EngineApp, ServingServer
+    from repro.serving import EngineApp, LiveEngineApp, ServingServer
 
+    if args.live:
+        if not args.collection:
+            print(
+                "error: --live needs --collection (a live corpus mutates; "
+                "a frozen .npz index cannot)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.corpus.document import Document
+        from repro.fleet import LiveEngineServer
+
+        collection = load_collection(args.collection)
+        documents = [
+            Document(
+                doc_id=collection.doc_id(i), terms=collection.terms_of(i)
+            )
+            for i in range(len(collection))
+        ]
+        live = LiveEngineServer(collection.name, documents)
+        app = LiveEngineApp(
+            live,
+            registry=_serving_registry(),
+            default_deadline=args.default_deadline,
+        )
+        server = ServingServer(app, host=args.host, port=args.port)
+        print(
+            f"live engine {live.name!r}: {live.n_documents} documents, "
+            f"version {live.version}",
+            flush=True,
+        )
+        return _serve(server, args)
     engine = _load_engine(args)
     app = EngineApp(
         engine,
@@ -706,6 +737,68 @@ def _cmd_convert_rep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_any_representative(path: "Path"):
+    """A representative from JSON or the columnar ``.npz`` form, by suffix."""
+    from repro.representatives.columnar import ColumnarRepresentative
+
+    if path.suffix == ".npz":
+        return ColumnarRepresentative.load_npz(path).to_representative()
+    return DatabaseRepresentative.load(path)
+
+
+def _cmd_rep_diff(args: argparse.Namespace) -> int:
+    """Diff two representative snapshots into the equivalent delta."""
+    from pathlib import Path
+
+    from repro.fleet.delta import canonicalize, diff_representatives
+
+    old = canonicalize(_load_any_representative(Path(args.old)))
+    new = canonicalize(_load_any_representative(Path(args.new)))
+    if old.name != new.name:
+        print(
+            f"rep-diff: representatives name different databases "
+            f"({old.name!r} vs {new.name!r})",
+            file=sys.stderr,
+        )
+        return 2
+    delta = diff_representatives(
+        old, new, from_version=args.from_version, to_version=args.to_version
+    )
+    print(
+        f"{args.old} -> {args.new}: {delta.n_sets} set, {delta.n_dels} del, "
+        f"n_documents {delta.from_n_documents} -> {delta.n_documents}, "
+        f"{delta.nbytes} wire bytes"
+    )
+    shown = 0
+    for record in delta.records:
+        if shown >= args.limit:
+            remaining = len(delta.records) - shown
+            print(f"  ... {remaining} more records (raise --limit)")
+            break
+        if record.op == "del":
+            before = old.get(record.term)
+            print(f"  del {record.term!r} (was p={before.probability:.6g})")
+        else:
+            before = old.get(record.term)
+            stats = record.stats
+            was = (
+                f"was p={before.probability:.6g} w={before.mean:.6g}"
+                if before is not None
+                else "new term"
+            )
+            print(
+                f"  set {record.term!r} p={stats.probability:.6g} "
+                f"w={stats.mean:.6g} ({was})"
+            )
+        shown += 1
+    if delta.is_empty:
+        print("  (no per-term changes)")
+    if args.out:
+        Path(args.out).write_bytes(delta.encode())
+        print(f"wrote canonical delta to {args.out} ({delta.nbytes} bytes)")
+    return 0
+
+
 _EVAL_ESTIMATORS = [
     "basic",
     "binary-independence",
@@ -729,6 +822,47 @@ def _eval_backends(args, estimator_names, engines, representatives, stack):
             )
             for engine in engines:
                 broker.register(engine, representative=representatives[engine.name])
+            backends[name] = broker
+        return backends
+
+    if args.config == "delta":
+        # Live-fleet path: each engine starts registered from a *partial*
+        # corpus snapshot, then the broker catches up to the full corpus
+        # through versioned deltas (including a remove-then-re-add to
+        # exercise document removal) — the estimates the harness scores
+        # come from delta-applied representatives, not fresh builds.
+        from repro.corpus import Document
+        from repro.fleet import LiveEngineServer
+
+        for name in estimator_names:
+            broker = MetasearchBroker(estimator=get_estimator(name))
+            for engine in engines:
+                collection = engine.collection
+                documents = [
+                    Document(
+                        doc_id=collection.doc_id(i),
+                        terms=collection.terms_of(i),
+                    )
+                    for i in range(len(collection))
+                ]
+                held_back = max(1, len(documents) // 4)
+                live = LiveEngineServer(
+                    engine.name, documents[: len(documents) - held_back]
+                )
+                snapshot = live.snapshot()
+                broker.register(
+                    engine,
+                    representative=snapshot.representative,
+                    version=snapshot.version,
+                )
+                if live.n_documents:
+                    victim = documents[0]
+                    live.remove_documents([victim.doc_id])
+                    live.add_documents([victim])
+                live.add_documents(documents[len(documents) - held_back :])
+                broker.apply_representative_delta(
+                    live.delta_since(snapshot.version)
+                )
             backends[name] = broker
         return backends
 
@@ -929,6 +1063,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_convert_rep)
 
+    p = sub.add_parser(
+        "rep-diff",
+        help="diff two representative snapshots into the equivalent delta",
+    )
+    p.add_argument("old", help="older representative (.json or .npz)")
+    p.add_argument("new", help="newer representative (.json or .npz)")
+    p.add_argument("--from-version", type=int, default=0,
+                   help="version stamp of the older snapshot")
+    p.add_argument("--to-version", type=int, default=1,
+                   help="version stamp of the newer snapshot")
+    p.add_argument("--limit", type=int, default=20,
+                   help="per-term records to print before truncating")
+    p.add_argument("--out", default=None,
+                   help="write the canonical wire-form delta JSON here")
+    p.set_defaults(func=_cmd_rep_diff)
+
     p = sub.add_parser("analyze", help="corpus statistics of a collection")
     p.add_argument("--collection", required=True)
     p.set_defaults(func=_cmd_analyze)
@@ -1051,6 +1201,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="JSONL collection to index and serve")
     source.add_argument("--index", default=None,
                         help="saved .npz index to serve without re-indexing")
+    sp.add_argument("--live", action="store_true",
+                    help="serve a mutable live engine: adds POST /mutate and "
+                         "GET /representative/delta (needs --collection)")
     _common_serve_args(sp)
     sp.set_defaults(func=_cmd_serve_engine)
 
@@ -1152,11 +1305,13 @@ def build_parser() -> argparse.ArgumentParser:
         "eval",
         help="score engine selection as a ranking task over golden strata",
     )
-    p.add_argument("--config", choices=("dict", "columnar", "sharded"),
+    p.add_argument("--config", choices=("dict", "columnar", "sharded", "delta"),
                    default="columnar",
                    help="broker backend under test: per-engine dict "
-                        "representatives, the columnar fleet store, or a "
-                        "sharded scatter-gather topology")
+                        "representatives, the columnar fleet store, a "
+                        "sharded scatter-gather topology, or the live-fleet "
+                        "delta path (partial registration caught up through "
+                        "versioned deltas)")
     p.add_argument("--estimators", nargs="+", default=_EVAL_ESTIMATORS,
                    help="estimators to score (default: the five with a "
                         "vectorized fleet path)")

@@ -88,6 +88,13 @@ class UsefulnessEstimator(ABC):
     label: str = "abstract"
     #: Metrics sink; the shared no-op registry until :meth:`instrument`.
     registry = NULL_REGISTRY
+    #: True when an estimate depends only on the query terms' own
+    #: statistics plus the document count.  The broker's precise cache
+    #: invalidation (per-term eviction on a representative delta) is sound
+    #: only for term-local estimators; the conservative default keeps the
+    #: degraded whole-engine eviction for anything that reduces over the
+    #: full representative (e.g. the binary baseline's database weight).
+    term_local: bool = False
 
     def instrument(self, registry) -> "UsefulnessEstimator":
         """Route this estimator's metrics to ``registry``; returns self.
@@ -155,6 +162,12 @@ class ExpansionEstimator(UsefulnessEstimator):
             prune floor (see :meth:`GenFunc.budgeted`).  ``None`` disables
             the budget.
     """
+
+    #: The default expansion context is the document count alone, so each
+    #: term's factor depends only on that term's statistics — per-term
+    #: cache invalidation is sound.  Subclasses whose context reduces over
+    #: the whole representative must reset this to False.
+    term_local: bool = True
 
     def __init__(
         self,

@@ -42,6 +42,10 @@ class BinaryIndependenceEstimator(ExpansionEstimator):
 
     name = "binary-independence"
     label = "binary independent"
+    #: The expansion context reduces over *every* term's mean weight, so a
+    #: one-term delta can shift every cached factor — per-term cache
+    #: invalidation is unsound and the broker evicts the whole engine.
+    term_local = False
 
     def __init__(
         self,

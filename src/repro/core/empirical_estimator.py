@@ -24,6 +24,10 @@ class EmpiricalSubrangeEstimator(ExpansionEstimator):
 
     name = "subrange-empirical"
     label = "subrange (empirical medians)"
+    #: The context carries the representative-level percentile scheme, and
+    #: empirical representatives are not delta-applicable anyway — keep the
+    #: conservative whole-engine eviction.
+    term_local = False
 
     def _polynomial_context(self, representative: EmpiricalRepresentative):
         """The scheme, its masses, and ``n`` — shared by every term."""

@@ -64,6 +64,9 @@ class GlossHighCorrelationEstimator(UsefulnessEstimator):
 
     name = "gloss-hc"
     label = "high-correlation"
+    #: Bands are built from the query terms' own (df, mean) plus ``n`` —
+    #: term-local, so precise per-term estimate-cache eviction is sound.
+    term_local = True
 
     def bands(
         self, query: Query, representative: DatabaseRepresentative
@@ -106,6 +109,8 @@ class GlossDisjointEstimator(UsefulnessEstimator):
 
     name = "gloss-disjoint"
     label = "disjoint"
+    #: Same per-term inputs as the high-correlation variant — term-local.
+    term_local = True
 
     def groups(
         self, query: Query, representative: DatabaseRepresentative

@@ -1,0 +1,35 @@
+"""Live-fleet subsystem: incremental representative deltas.
+
+The paper assumes representative propagation "can be done infrequently"
+because the statistics tolerate staleness; this package makes being *right*
+cheap instead.  Engines publish version-stamped
+:class:`~repro.fleet.delta.RepresentativeDelta` objects describing exactly
+which terms changed; brokers apply them bit-exactly to dict and columnar
+representatives and evict only the affected cache entries.
+"""
+
+from repro.fleet.delta import (
+    DELTA_FORMAT,
+    DELTA_KIND,
+    DeltaCompactedError,
+    RepresentativeDelta,
+    TermDeltaRecord,
+    apply_delta,
+    canonicalize,
+    diff_representatives,
+    rescale_probability,
+)
+from repro.fleet.live import LiveEngineServer
+
+__all__ = [
+    "DELTA_FORMAT",
+    "DELTA_KIND",
+    "DeltaCompactedError",
+    "LiveEngineServer",
+    "RepresentativeDelta",
+    "TermDeltaRecord",
+    "apply_delta",
+    "canonicalize",
+    "diff_representatives",
+    "rescale_probability",
+]

@@ -1,0 +1,396 @@
+"""Representative deltas: versioned, bit-exact incremental updates.
+
+A :class:`RepresentativeDelta` carries a corpus mutation from an engine to
+the broker without re-shipping the whole representative.  Records are
+*state-based*: a ``set`` record carries the term's **final** quadruplet, a
+``del`` record retracts the term.  Application is therefore idempotent and
+trivially bit-exact — the broker ends up holding exactly the statistics a
+fresh snapshot would have produced, byte for byte.
+
+Untouched terms and the probability rescale
+-------------------------------------------
+When only the document count changes, every present term's probability
+``p = df / n`` changes even though the term's weight distribution did not.
+Shipping a record per term would defeat the delta.  Instead the delta
+carries both document counts and the receiver rescales in place::
+
+    df = rint(p_old * n_old)      # exact: df is an integer < 2**51
+    p_new = df / n_new            # identical to what a fresh snapshot computes
+
+``p_old`` was originally produced as ``df / n_old`` in float64, so
+``rint(p_old * n_old)`` recovers the integer ``df`` exactly, and ``df /
+n_new`` is the very same division a full rebuild performs — the rescaled
+probability is bit-identical, not merely close.  Mean, std and max weight
+are per-document quantities (normalization is document-local under the
+paper's Cosine model), so they are untouched by membership changes
+elsewhere.  A term thus needs a record only when its *own* posting list
+changed.
+
+Canonical ordering
+------------------
+Delta-applied representatives list their terms in sorted term-string
+order.  Estimators that reduce over the whole representative (the binary
+independence baseline averages the per-term means) are sensitive to
+iteration order in the last ulp, so the live pipeline fixes one canonical
+order at both ends: engines publish canonically ordered snapshots
+(:func:`canonicalize`) and :func:`apply_delta` re-emits sorted terms.
+
+Wire format
+-----------
+``encode()`` produces canonical ASCII JSON (sorted keys, no whitespace).
+Floats round-trip exactly: ``json`` serializes the shortest decimal string
+that parses back to the same float64.  Records are ordered deletions-first,
+each group sorted by term, so equal deltas encode to equal bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.representatives.representative import DatabaseRepresentative
+from repro.representatives.term_stats import TermStats
+
+__all__ = [
+    "DELTA_FORMAT",
+    "DELTA_KIND",
+    "DeltaCompactedError",
+    "RepresentativeDelta",
+    "TermDeltaRecord",
+    "apply_delta",
+    "canonicalize",
+    "diff_representatives",
+    "rescale_probability",
+]
+
+DELTA_KIND = "representative.delta"
+DELTA_FORMAT = 1
+
+
+class DeltaCompactedError(LookupError):
+    """The requested base version predates the engine's retained delta log.
+
+    The caller must fall back to a full snapshot — exactly the degraded
+    path :meth:`LiveEngineServer.sync_representative` takes automatically.
+    """
+
+
+def rescale_probability(probability: float, n_old: int, n_new: int) -> float:
+    """Re-express ``df / n_old`` as ``df / n_new``, bit-exactly.
+
+    ``rint`` recovers the integer document frequency exactly because
+    ``df <= n_old`` is far below 2**51 and ``probability`` was itself
+    computed as ``df / n_old`` in float64.
+    """
+    if n_old == n_new:
+        return probability
+    df = float(round(probability * n_old))
+    return df / n_new if n_new else 0.0
+
+
+@dataclass(frozen=True)
+class TermDeltaRecord:
+    """One term's change: ``set`` carries final stats, ``del`` retracts.
+
+    ``stats`` is ``None`` exactly when ``op == "del"``.  A triplet-mode
+    term is a ``set`` whose stats carry ``max_weight=None``.
+    """
+
+    op: str
+    term: str
+    stats: Optional[TermStats] = None
+
+    def __post_init__(self):
+        if self.op not in ("set", "del"):
+            raise ValueError(f"op must be 'set' or 'del', got {self.op!r}")
+        if (self.stats is None) != (self.op == "del"):
+            raise ValueError(f"op {self.op!r} inconsistent with stats {self.stats!r}")
+
+    def to_wire(self) -> list:
+        if self.op == "del":
+            return ["del", self.term]
+        s = self.stats
+        return ["set", self.term, s.probability, s.mean, s.std, s.max_weight]
+
+    @classmethod
+    def from_wire(cls, record: list) -> "TermDeltaRecord":
+        if record[0] == "del":
+            return cls(op="del", term=record[1])
+        return cls(
+            op="set",
+            term=record[1],
+            stats=TermStats(
+                probability=record[2],
+                mean=record[3],
+                std=record[4],
+                max_weight=record[5],
+            ),
+        )
+
+
+def _canonical_records(
+    records: Iterable[TermDeltaRecord],
+) -> Tuple[TermDeltaRecord, ...]:
+    """Deletions first, each group sorted by term; duplicate terms raise."""
+    dels = sorted((r for r in records if r.op == "del"), key=lambda r: r.term)
+    sets = sorted((r for r in records if r.op == "set"), key=lambda r: r.term)
+    ordered = tuple(dels + sets)
+    seen = set()
+    for record in ordered:
+        if record.term in seen:
+            raise ValueError(f"duplicate record for term {record.term!r}")
+        seen.add(record.term)
+    return ordered
+
+
+@dataclass(frozen=True)
+class RepresentativeDelta:
+    """A version-stamped change set for one engine's representative.
+
+    Applies on top of version ``from_version`` (holding
+    ``from_n_documents`` documents) and yields version ``to_version``
+    (holding ``n_documents``).  Terms without a record rescale their
+    probability via :func:`rescale_probability` and keep every other
+    statistic untouched.
+    """
+
+    name: str
+    from_version: int
+    to_version: int
+    from_n_documents: int
+    n_documents: int
+    records: Tuple[TermDeltaRecord, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "records", _canonical_records(self.records))
+
+    @property
+    def terms(self) -> Tuple[str, ...]:
+        """Every term this delta touches (sets and deletions)."""
+        return tuple(record.term for record in self.records)
+
+    @property
+    def n_sets(self) -> int:
+        return sum(1 for r in self.records if r.op == "set")
+
+    @property
+    def n_dels(self) -> int:
+        return sum(1 for r in self.records if r.op == "del")
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.records and self.from_n_documents == self.n_documents
+
+    def to_json_dict(self) -> dict:
+        return {
+            "kind": DELTA_KIND,
+            "format": DELTA_FORMAT,
+            "name": self.name,
+            "from_version": self.from_version,
+            "to_version": self.to_version,
+            "from_n_documents": self.from_n_documents,
+            "n_documents": self.n_documents,
+            "records": [record.to_wire() for record in self.records],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "RepresentativeDelta":
+        if payload.get("kind") != DELTA_KIND:
+            raise ValueError("payload is not a representative delta")
+        if payload.get("format") != DELTA_FORMAT:
+            raise ValueError(f"unsupported delta format {payload.get('format')!r}")
+        return cls(
+            name=payload["name"],
+            from_version=payload["from_version"],
+            to_version=payload["to_version"],
+            from_n_documents=payload["from_n_documents"],
+            n_documents=payload["n_documents"],
+            records=tuple(
+                TermDeltaRecord.from_wire(record) for record in payload["records"]
+            ),
+        )
+
+    def encode(self) -> bytes:
+        """Canonical wire bytes: sorted-key, whitespace-free ASCII JSON."""
+        return json.dumps(
+            self.to_json_dict(),
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=True,
+        ).encode("ascii")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RepresentativeDelta":
+        return cls.from_json_dict(json.loads(data.decode("ascii")))
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the canonical wire encoding."""
+        return len(self.encode())
+
+    def compose(self, later: "RepresentativeDelta") -> "RepresentativeDelta":
+        """The single delta equivalent to applying ``self`` then ``later``.
+
+        Earlier ``set`` records not re-touched by ``later`` are rescaled to
+        the newer document count (the same rescale an untouched term would
+        have received had the deltas been applied one by one), then
+        ``later``'s records win term-by-term.
+        """
+        if later.name != self.name:
+            raise ValueError(f"cannot compose {self.name!r} with {later.name!r}")
+        if later.from_version != self.to_version:
+            raise ValueError(
+                f"version gap: {self.to_version} -> {later.from_version}"
+            )
+        if later.from_n_documents != self.n_documents:
+            raise ValueError(
+                f"document-count gap: {self.n_documents} -> "
+                f"{later.from_n_documents}"
+            )
+        superseded = {record.term for record in later.records}
+        merged: Dict[str, TermDeltaRecord] = {}
+        for record in self.records:
+            if record.term in superseded:
+                # ``later`` carries this term's final state; rescaling the
+                # earlier record would be dead work — and can even produce
+                # an out-of-range probability when the term's document
+                # frequency shrank along with the corpus.
+                continue
+            if record.op == "set":
+                stats = record.stats
+                record = TermDeltaRecord(
+                    op="set",
+                    term=record.term,
+                    stats=TermStats(
+                        probability=rescale_probability(
+                            stats.probability,
+                            self.n_documents,
+                            later.n_documents,
+                        ),
+                        mean=stats.mean,
+                        std=stats.std,
+                        max_weight=stats.max_weight,
+                    ),
+                )
+            merged[record.term] = record
+        for record in later.records:
+            merged[record.term] = record
+        return RepresentativeDelta(
+            name=self.name,
+            from_version=self.from_version,
+            to_version=later.to_version,
+            from_n_documents=self.from_n_documents,
+            n_documents=later.n_documents,
+            records=tuple(merged.values()),
+        )
+
+
+def canonicalize(representative: DatabaseRepresentative) -> DatabaseRepresentative:
+    """The same representative with terms in sorted-string order.
+
+    The live pipeline's canonical iteration order — both the engine's
+    published snapshots and every delta-applied representative use it, so
+    order-sensitive whole-representative reductions (the binary baseline's
+    database weight) agree to the last bit on both sides.
+    """
+    return DatabaseRepresentative(
+        name=representative.name,
+        n_documents=representative.n_documents,
+        term_stats={
+            term: stats
+            for term, stats in sorted(
+                representative.items(), key=lambda item: item[0]
+            )
+        },
+    )
+
+
+def diff_representatives(
+    old: DatabaseRepresentative,
+    new: DatabaseRepresentative,
+    *,
+    from_version: int,
+    to_version: int,
+) -> RepresentativeDelta:
+    """The delta turning ``old`` into ``new`` (both for the same engine).
+
+    A term present in both snapshots is skipped when its recovered integer
+    document frequency and its mean/std/max-weight are identical — the
+    receiver's probability rescale reproduces its new stats exactly.
+    """
+    if old.name != new.name:
+        raise ValueError(f"cannot diff {old.name!r} against {new.name!r}")
+    records: List[TermDeltaRecord] = []
+    for term, old_stats in old.items():
+        if new.get(term) is None:
+            records.append(TermDeltaRecord(op="del", term=term))
+    for term, new_stats in new.items():
+        old_stats = old.get(term)
+        if old_stats is not None:
+            old_df = round(old_stats.probability * old.n_documents)
+            new_df = round(new_stats.probability * new.n_documents)
+            if (
+                old_df == new_df
+                and old_stats.mean == new_stats.mean
+                and old_stats.std == new_stats.std
+                and old_stats.max_weight == new_stats.max_weight
+            ):
+                continue
+        records.append(TermDeltaRecord(op="set", term=term, stats=new_stats))
+    return RepresentativeDelta(
+        name=old.name,
+        from_version=from_version,
+        to_version=to_version,
+        from_n_documents=old.n_documents,
+        n_documents=new.n_documents,
+        records=tuple(records),
+    )
+
+
+def apply_delta(
+    representative: DatabaseRepresentative, delta: RepresentativeDelta
+) -> DatabaseRepresentative:
+    """Apply ``delta`` to a dict representative; returns the new snapshot.
+
+    The result is bit-exact against a fresh canonical snapshot at
+    ``delta.to_version``: touched terms take the final stats the delta
+    carries, untouched terms rescale their probability exactly, and the
+    output iterates in canonical sorted-term order.  Deleting an absent
+    term is a no-op (state-based records are idempotent), but a mismatched
+    base document count is an error — it means the caller is applying the
+    delta to the wrong version.
+    """
+    if representative.name != delta.name:
+        raise ValueError(
+            f"delta for {delta.name!r} applied to {representative.name!r}"
+        )
+    if representative.n_documents != delta.from_n_documents:
+        raise ValueError(
+            f"delta expects a base of {delta.from_n_documents} documents, "
+            f"got {representative.n_documents}"
+        )
+    removed = {r.term for r in delta.records if r.op == "del"}
+    replaced = {r.term: r.stats for r in delta.records if r.op == "set"}
+    n_old = delta.from_n_documents
+    n_new = delta.n_documents
+    merged: Dict[str, TermStats] = {}
+    for term, stats in representative.items():
+        if term in removed or term in replaced:
+            continue
+        if n_old != n_new:
+            stats = TermStats(
+                probability=rescale_probability(stats.probability, n_old, n_new),
+                mean=stats.mean,
+                std=stats.std,
+                max_weight=stats.max_weight,
+            )
+        merged[term] = stats
+    merged.update(replaced)
+    if n_new == 0 and merged:
+        raise ValueError("delta empties the database but terms survive")
+    return DatabaseRepresentative(
+        name=delta.name,
+        n_documents=n_new,
+        term_stats={term: merged[term] for term in sorted(merged)},
+    )

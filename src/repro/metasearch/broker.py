@@ -54,6 +54,7 @@ from repro.core.vectorized import fleet_usefulness_grid, supports_fleet
 from repro.corpus.query import Query
 from repro.engine.results import SearchHit
 from repro.engine.search_engine import SearchEngine
+from repro.fleet.delta import RepresentativeDelta, apply_delta as _apply_dict_delta
 from repro.metasearch.cache import EstimateCache, TermPolynomialCache
 from repro.metasearch.dispatch import ConcurrentDispatcher, EngineFailure
 from repro.metasearch.merge import merge_hits
@@ -71,7 +72,12 @@ from repro.representatives.columnar import (
 )
 from repro.representatives.representative import DatabaseRepresentative
 
-__all__ = ["EngineRegistration", "MetasearchBroker", "MetasearchResponse"]
+__all__ = [
+    "DeltaApplyReport",
+    "EngineRegistration",
+    "MetasearchBroker",
+    "MetasearchResponse",
+]
 
 
 @dataclass
@@ -80,6 +86,39 @@ class EngineRegistration:
 
     engine: SearchEngine
     representative: DatabaseRepresentative
+
+
+@dataclass(frozen=True)
+class DeltaApplyReport:
+    """Outcome of applying one representative delta at the broker.
+
+    Attributes:
+        name: Engine whose representative was updated.
+        from_version: Version the delta was built against.
+        to_version: Version the representative is now at.
+        mode: ``"precise"`` when only the affected terms' cache entries
+            were evicted, ``"full"`` when the estimator is not term-local
+            and the broker fell back to whole-engine eviction.
+        nbytes: Canonical wire size of the delta.
+        terms_touched: Terms the delta adds, removes, or reweights.
+        cache_evicted / cache_retained: Estimate-cache entries for this
+            engine dropped vs. kept by the invalidation.
+        polycache_evicted / polycache_retained: Same for the term-
+            polynomial cache.
+        seconds: Wall-clock apply time (mutation plus invalidation).
+    """
+
+    name: str
+    from_version: int
+    to_version: int
+    mode: str
+    nbytes: int
+    terms_touched: int
+    cache_evicted: int
+    cache_retained: int
+    polycache_evicted: int
+    polycache_retained: int
+    seconds: float = field(compare=False)
 
 
 @dataclass(frozen=True)
@@ -212,6 +251,7 @@ class MetasearchBroker:
             else None
         )
         self._engines: Dict[str, EngineRegistration] = {}
+        self._rep_versions: Dict[str, int] = {}
         self._m_searches = self.registry.counter("broker.searches")
         self._m_degraded = self.registry.counter("broker.searches.degraded")
         self._m_invoked = self.registry.counter("broker.engines.invoked")
@@ -222,6 +262,25 @@ class MetasearchBroker:
         self._m_batch_queries = self.registry.counter("broker.batch.queries")
         self._m_batch_seconds = self.registry.histogram(
             "broker.batch.seconds", buckets=LATENCY_BUCKETS
+        )
+        self._m_delta_applies = self.registry.counter("fleet.delta.applies")
+        self._m_delta_bytes = self.registry.counter("fleet.delta.bytes")
+        self._m_delta_terms = self.registry.counter("fleet.delta.terms")
+        self._m_delta_full = self.registry.counter("fleet.delta.full_evictions")
+        self._m_delta_cache_evicted = self.registry.counter(
+            "fleet.delta.cache.evicted"
+        )
+        self._m_delta_cache_retained = self.registry.counter(
+            "fleet.delta.cache.retained"
+        )
+        self._m_delta_poly_evicted = self.registry.counter(
+            "fleet.delta.polycache.evicted"
+        )
+        self._m_delta_poly_retained = self.registry.counter(
+            "fleet.delta.polycache.retained"
+        )
+        self._m_delta_seconds = self.registry.histogram(
+            "fleet.delta.apply.seconds", buckets=LATENCY_BUCKETS
         )
 
     def _stage_seconds(self, stage: str):
@@ -235,6 +294,8 @@ class MetasearchBroker:
         self,
         engine: SearchEngine,
         representative: Optional[DatabaseRepresentative] = None,
+        *,
+        version: Optional[int] = None,
     ) -> None:
         """Register a local engine; builds its representative when omitted.
 
@@ -244,6 +305,17 @@ class MetasearchBroker:
         cached estimates for it are invalidated, so a corpus change
         becomes visible to selection immediately.  Registering a
         *different* engine under an existing name stays an error.
+
+        Args:
+            engine: The engine to register (or refresh).
+            representative: Pre-built representative; built from the
+                engine when omitted.
+            version: Mutation version of the source this representative
+                snapshots, recorded so a later
+                :meth:`apply_representative_delta` can check the delta's
+                base version and :meth:`sync_representative` can request
+                only the missing suffix.  ``None`` clears any recorded
+                version (unknown provenance).
         """
         existing = self._engines.get(engine.name)
         if existing is not None and existing.engine is not engine:
@@ -278,6 +350,10 @@ class MetasearchBroker:
         self._engines[engine.name] = EngineRegistration(
             engine=engine, representative=representative
         )
+        if version is not None:
+            self._rep_versions[engine.name] = version
+        else:
+            self._rep_versions.pop(engine.name, None)
         if self.cache is not None:
             self.cache.invalidate_engine(engine.name)
         if self.polycache is not None:
@@ -293,10 +369,153 @@ class MetasearchBroker:
     def representative_of(self, name: str) -> DatabaseRepresentative:
         return self._engines[name].representative
 
+    def representative_version(self, name: str) -> Optional[int]:
+        """Recorded source version of ``name``'s representative, if known."""
+        if name not in self._engines:
+            raise KeyError(f"engine {name!r} not registered")
+        return self._rep_versions.get(name)
+
     def engine_of(self, name: str) -> SearchEngine:
         """The registered engine object itself (shard workers dispatch to
         a requested subset of engines directly)."""
         return self._engines[name].engine
+
+    # -- live-fleet delta propagation ---------------------------------------------
+
+    def _present_terms(self, name: str, representative) -> set:
+        """Term strings currently present in ``name``'s representative."""
+        if self.fleet is not None and name in self.fleet:
+            columns = self.fleet.columnar_of(name)
+            vocab = self.fleet.vocab
+            return {vocab.term_of(int(t)) for t in columns.term_ids}
+        return {term for term, __ in representative.items()}
+
+    def apply_representative_delta(
+        self, delta: RepresentativeDelta, *, precise: bool = True
+    ) -> DeltaApplyReport:
+        """Apply one versioned delta to a registered representative in place.
+
+        The mutation is bit-exact: the updated representative equals the
+        one a full rebuild of the mutated corpus would produce (in
+        canonical sorted-term order), on both the dict and the columnar
+        fleet backend.
+
+        Cache invalidation is *precise* when the estimator declares
+        ``term_local``: only estimate-cache entries whose queries touch an
+        affected term are evicted, and only the affected terms' polynomial
+        factors.  "Affected" is the delta's own terms; when the document
+        count changes it widens to every term present before the apply
+        (all per-term probabilities rescale), which still retains entries
+        for queries over terms this engine never held.  Estimators whose
+        estimates mix in representative-global state (``term_local =
+        False``) — and ``precise=False`` — fall back to whole-engine
+        eviction, which is always sound.
+
+        Raises:
+            KeyError: ``delta.name`` is not a registered engine.
+            ValueError: The broker knows the representative's source
+                version and the delta was built against a different one,
+                or the delta's base document count does not match.
+        """
+        started = time.perf_counter()
+        registration = self._engines.get(delta.name)
+        if registration is None:
+            raise KeyError(f"engine {delta.name!r} not registered")
+        known = self._rep_versions.get(delta.name)
+        if known is not None and known != delta.from_version:
+            raise ValueError(
+                f"delta for {delta.name!r} is based on version "
+                f"{delta.from_version}, but the broker holds version {known}"
+            )
+        term_local = bool(getattr(self.estimator, "term_local", False))
+        n_changed = delta.n_documents != delta.from_n_documents
+        affected: Optional[set] = None
+        if precise and term_local:
+            affected = set(delta.terms)
+            if n_changed:
+                # Every present term's probability rescales with n; terms
+                # this engine never held keep their (zero / negative)
+                # entries — they do not depend on the document count.
+                affected |= self._present_terms(
+                    delta.name, registration.representative
+                )
+        if self.fleet is not None and delta.name in self.fleet:
+            self.fleet.apply_delta(delta)
+        else:
+            representative = registration.representative
+            if not isinstance(representative, DatabaseRepresentative):
+                raise TypeError(
+                    "cannot apply a delta to a "
+                    f"{type(representative).__name__} representative"
+                )
+            registration.representative = _apply_dict_delta(
+                representative, delta
+            )
+        cache_evicted = cache_retained = 0
+        poly_evicted = poly_retained = 0
+        if affected is not None:
+            mode = "precise"
+            if self.cache is not None:
+                cache_evicted, cache_retained = self.cache.invalidate_terms(
+                    delta.name, affected
+                )
+            if self.polycache is not None:
+                poly_evicted, poly_retained = self.polycache.invalidate_terms(
+                    delta.name, affected
+                )
+        else:
+            mode = "full"
+            if self.cache is not None:
+                cache_evicted = self.cache.invalidate_engine(delta.name)
+            if self.polycache is not None:
+                poly_evicted = self.polycache.invalidate_engine(delta.name)
+            self._m_delta_full.inc()
+        self._rep_versions[delta.name] = delta.to_version
+        elapsed = time.perf_counter() - started
+        self._m_delta_applies.inc()
+        self._m_delta_bytes.inc(delta.nbytes)
+        self._m_delta_terms.inc(len(delta.terms))
+        self._m_delta_cache_evicted.inc(cache_evicted)
+        self._m_delta_cache_retained.inc(cache_retained)
+        self._m_delta_poly_evicted.inc(poly_evicted)
+        self._m_delta_poly_retained.inc(poly_retained)
+        self._m_delta_seconds.observe(elapsed)
+        return DeltaApplyReport(
+            name=delta.name,
+            from_version=delta.from_version,
+            to_version=delta.to_version,
+            mode=mode,
+            nbytes=delta.nbytes,
+            terms_touched=len(delta.terms),
+            cache_evicted=cache_evicted,
+            cache_retained=cache_retained,
+            polycache_evicted=poly_evicted,
+            polycache_retained=poly_retained,
+            seconds=elapsed,
+        )
+
+    def sync_representative(self, engine) -> Optional[DeltaApplyReport]:
+        """Catch a registered engine's representative up to its source.
+
+        Asks ``engine.sync_representative(since=<last known version>)``
+        — live engine servers and remote engine proxies both implement
+        it — and applies whatever comes back: a
+        :class:`~repro.fleet.delta.RepresentativeDelta` is applied
+        incrementally (returning the apply report), a full snapshot
+        (the compaction fallback, or the first sync) re-registers the
+        engine and returns ``None``.
+        """
+        name = engine.name
+        since = self._rep_versions.get(name) if name in self._engines else None
+        result = engine.sync_representative(since=since)
+        if isinstance(result, RepresentativeDelta):
+            return self.apply_representative_delta(result)
+        self.register(
+            engine,
+            representative=result.representative,
+            version=result.version,
+        )
+        return None
 
     # -- estimation and search ---------------------------------------------------------
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Hashable, Optional, Tuple
+from typing import Dict, Hashable, Iterable, Optional, Set, Tuple
 
 from repro.core.types import Usefulness
 from repro.corpus.query import Query
@@ -63,6 +63,10 @@ class EstimateCache:
             raise ValueError(f"maxsize must be >= 1, got {maxsize!r}")
         self.maxsize = maxsize
         self._data: "OrderedDict[CacheKey, Usefulness]" = OrderedDict()
+        # term -> cache-key index, keyed (engine, term): the precise
+        # invalidation path drops only entries whose queries touch a
+        # delta's terms instead of the whole engine.
+        self._by_term: Dict[Tuple[str, str], Set[CacheKey]] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -109,13 +113,28 @@ class EstimateCache:
             self._m_hits.inc()
             return value
 
+    def _index(self, key: CacheKey) -> None:
+        for term in key[1]:
+            self._by_term.setdefault((key[0], term), set()).add(key)
+
+    def _unindex(self, key: CacheKey) -> None:
+        for term in key[1]:
+            bucket = self._by_term.get((key[0], term))
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._by_term[(key[0], term)]
+
     def put(self, key: CacheKey, value: Usefulness) -> None:
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
+            else:
+                self._index(key)
             self._data[key] = value
             while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
+                evicted, __ = self._data.popitem(last=False)
+                self._unindex(evicted)
                 self.evictions += 1
                 self._m_evictions.inc()
             self._m_size.set(len(self._data))
@@ -130,15 +149,44 @@ class EstimateCache:
             stale = [key for key in self._data if key[0] == engine]
             for key in stale:
                 del self._data[key]
+                self._unindex(key)
             self.invalidations += len(stale)
             self._m_invalidations.inc(len(stale))
             self._m_size.set(len(self._data))
             return len(stale)
 
+    def invalidate_terms(
+        self, engine: str, terms: Iterable[str]
+    ) -> Tuple[int, int]:
+        """Drop only ``engine`` entries whose queries touch ``terms``.
+
+        The precise path for a representative delta: an estimate is a
+        function of its query terms' statistics (plus the document count,
+        which the caller accounts for by widening ``terms``), so entries
+        over disjoint vocabulary are provably still valid and survive.
+
+        Returns:
+            ``(evicted, retained)`` — entries dropped vs. entries for
+            ``engine`` left resident.
+        """
+        with self._lock:
+            stale: Set[CacheKey] = set()
+            for term in terms:
+                stale.update(self._by_term.get((engine, term), ()))
+            for key in stale:
+                del self._data[key]
+                self._unindex(key)
+            retained = sum(1 for key in self._data if key[0] == engine)
+            self.invalidations += len(stale)
+            self._m_invalidations.inc(len(stale))
+            self._m_size.set(len(self._data))
+            return len(stale), retained
+
     def clear(self) -> None:
         """Drop all entries; the hit/miss/eviction counters survive."""
         with self._lock:
             self._data.clear()
+            self._by_term.clear()
             self._m_size.set(0)
 
     def __len__(self) -> int:
@@ -195,6 +243,10 @@ class TermPolynomialCache:
         self.maxsize = maxsize
         self._vocab = vocab
         self._data: "OrderedDict[PolyKey, object]" = OrderedDict()
+        # (engine, term slot) -> keys, for precise per-term invalidation.
+        # The term slot matches the key's third element: the interned id
+        # when a vocabulary is attached, the raw string otherwise.
+        self._by_term: Dict[Tuple[str, object], Set[PolyKey]] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -235,6 +287,16 @@ class TermPolynomialCache:
             self._m_misses.inc()
             return False, None
 
+    def _index(self, key: PolyKey) -> None:
+        self._by_term.setdefault((key[1], key[2]), set()).add(key)
+
+    def _unindex(self, key: PolyKey) -> None:
+        bucket = self._by_term.get((key[1], key[2]))
+        if bucket is not None:
+            bucket.discard(key)
+            if not bucket:
+                del self._by_term[(key[1], key[2])]
+
     def store(
         self, config: Tuple, engine: str, term: str, weight: float, value
     ) -> None:
@@ -242,9 +304,12 @@ class TermPolynomialCache:
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
+            else:
+                self._index(key)
             self._data[key] = value
             while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
+                evicted, __ = self._data.popitem(last=False)
+                self._unindex(evicted)
                 self.evictions += 1
                 self._m_evictions.inc()
             self._m_size.set(len(self._data))
@@ -259,15 +324,55 @@ class TermPolynomialCache:
             stale = [key for key in self._data if key[1] == engine]
             for key in stale:
                 del self._data[key]
+                self._unindex(key)
             self.invalidations += len(stale)
             self._m_invalidations.inc(len(stale))
             self._m_size.set(len(self._data))
             return len(stale)
 
+    def invalidate_terms(
+        self, engine: str, terms: Iterable[str]
+    ) -> Tuple[int, int]:
+        """Drop only the factors of ``engine``'s changed ``terms``.
+
+        Sound only for estimators whose per-term factor depends on that
+        term's statistics alone (``term_local`` estimators) — the broker
+        falls back to :meth:`invalidate_engine` otherwise.  Negative
+        entries for terms never present in the representative do not
+        depend on the document count and survive an ``n``-only change
+        (the caller widens ``terms`` with every present term when ``n``
+        moves).
+
+        Returns:
+            ``(evicted, retained)`` — entries dropped vs. entries for
+            ``engine`` left resident.
+        """
+        with self._lock:
+            slots: Set[object] = set()
+            for term in terms:
+                if self._vocab is not None:
+                    tid = self._vocab.id_of(term)
+                    if tid >= 0:
+                        slots.add(tid)
+                else:
+                    slots.add(term)
+            stale: Set[PolyKey] = set()
+            for slot in slots:
+                stale.update(self._by_term.get((engine, slot), ()))
+            for key in stale:
+                del self._data[key]
+                self._unindex(key)
+            retained = sum(1 for key in self._data if key[1] == engine)
+            self.invalidations += len(stale)
+            self._m_invalidations.inc(len(stale))
+            self._m_size.set(len(self._data))
+            return len(stale), retained
+
     def clear(self) -> None:
         """Drop all entries; the hit/miss/eviction counters survive."""
         with self._lock:
             self._data.clear()
+            self._by_term.clear()
             self._m_size.set(0)
 
     def __len__(self) -> int:

@@ -583,6 +583,117 @@ class FleetRepresentativeStore:
         self._mean_w_array = None
         return FleetRepresentativeRef(name, self)
 
+    def apply_delta(self, delta) -> None:
+        """Apply a :class:`~repro.fleet.delta.RepresentativeDelta` in place.
+
+        The engine's dense columns are reconstructed (bit-exactly, from the
+        pending or packed layout), edited term-by-term — deletions drop
+        rows, ``set`` records overwrite or insert rows in sorted term-id
+        order, untouched rows rescale their probability exactly via the
+        integer-df recovery — and parked as the engine's pending columns;
+        the term-major CSR layout re-packs lazily on the next read, which
+        is the store's amortized re-packing path.  The engine's binary
+        mean weight is recomputed over canonical sorted-term-string order,
+        matching what registering the engine's fresh canonical snapshot
+        would have produced.
+        """
+        index = self._by_name.get(delta.name)
+        if index is None:
+            raise KeyError(delta.name)
+        if self._n_documents[index] != delta.from_n_documents:
+            raise ValueError(
+                f"delta expects a base of {delta.from_n_documents} "
+                f"documents, engine {delta.name!r} holds "
+                f"{self._n_documents[index]}"
+            )
+        if self._packed is None and index not in self._pending:
+            self._ensure_packed()
+        cols = self._columns_at(index)
+        n_old = delta.from_n_documents
+        n_new = delta.n_documents
+
+        set_records = [r for r in delta.records if r.op == "set"]
+        set_ids = self.vocab.intern_many([r.term for r in set_records])
+        touched = set(set_ids.tolist())
+        for record in delta.records:
+            if record.op == "del":
+                tid = self.vocab.id_of(record.term)
+                if tid != UNKNOWN_TERM:
+                    touched.add(tid)
+
+        if touched:
+            touched_arr = np.array(sorted(touched), dtype=np.int64)
+            keep = ~np.isin(cols.term_ids, touched_arr)
+        else:
+            keep = np.ones(cols.term_ids.shape, dtype=bool)
+        kept_ids = cols.term_ids[keep]
+        kept_p = cols.p[keep]
+        if n_old != n_new:
+            # df = rint(p * n_old) is exact (df is an integer < 2**51 and p
+            # was computed as df / n_old in float64), so df / n_new is the
+            # very division a fresh snapshot performs — bit-identical.
+            kept_p = (
+                np.rint(kept_p * n_old) / n_new
+                if n_new
+                else np.zeros_like(kept_p)
+            )
+        kept_w = cols.w[keep]
+        kept_sigma = cols.sigma[keep]
+        kept_mw = cols.mw[keep]
+
+        n_sets = len(set_records)
+        new_ids = np.empty(n_sets, dtype=np.int64)
+        new_p = np.empty(n_sets)
+        new_w = np.empty(n_sets)
+        new_sigma = np.empty(n_sets)
+        new_mw = np.empty(n_sets)
+        for i, record in enumerate(set_records):
+            stats = record.stats
+            new_ids[i] = set_ids[i]
+            new_p[i] = stats.probability
+            new_w[i] = stats.mean
+            new_sigma[i] = stats.std
+            new_mw[i] = (
+                stats.max_weight if stats.max_weight is not None else np.nan
+            )
+
+        merged_ids = np.concatenate([kept_ids, new_ids])
+        order = np.argsort(merged_ids, kind="stable")
+        merged_ids = merged_ids[order]
+        merged_p = np.concatenate([kept_p, new_p])[order]
+        merged_w = np.concatenate([kept_w, new_w])[order]
+        merged_sigma = np.concatenate([kept_sigma, new_sigma])[order]
+        merged_mw = np.concatenate([kept_mw, new_mw])[order]
+        if n_new == 0 and merged_ids.size:
+            raise ValueError("delta empties the database but terms survive")
+
+        # The binary baseline's database weight reduces over the dict
+        # snapshot's iteration order — canonical sorted-term-string order
+        # on the live path — so recompute it in exactly that order.
+        terms = [self.vocab.term_of(t) for t in merged_ids.tolist()]
+        by_string = sorted(range(len(terms)), key=terms.__getitem__)
+        means = [float(merged_w[i]) for i in by_string]
+        binary_mean_w = float(np.mean(means)) if means else 0.0
+
+        columns = _EngineColumns(
+            name=delta.name,
+            n_documents=n_new,
+            term_ids=merged_ids,
+            p=merged_p,
+            w=merged_w,
+            sigma=merged_sigma,
+            mw=merged_mw,
+            has_max_weights=not bool(np.isnan(merged_mw).any()),
+            binary_mean_w=binary_mean_w,
+        )
+        self._n_documents[index] = n_new
+        self._has_mw_default[index] = columns.has_max_weights
+        self._binary_mean_w[index] = binary_mean_w
+        self._n_terms[index] = columns.n_terms
+        self._pending[index] = columns
+        self._docs_array = None
+        self._mean_w_array = None
+
     def remove(self, name: str) -> None:
         """Forget an engine (its packed entries are dropped on next pack)."""
         index = self._by_name.pop(name, None)

@@ -23,15 +23,21 @@ which is what makes exact incrementality possible under Cosine.
 
 from __future__ import annotations
 
+import bisect
 import math
-from typing import Dict, Iterable, Union
+from typing import Dict, Iterable, List, Set, Union
 
 from repro.engine.search_engine import SearchEngine
 from repro.index.inverted import InvertedIndex
 from repro.representatives.representative import DatabaseRepresentative
 from repro.representatives.term_stats import TermStats
 
-__all__ = ["TermAccumulator", "RepresentativeAccumulator"]
+__all__ = ["TermAccumulator", "RepresentativeAccumulator", "TOP_K"]
+
+# Largest weights retained per term so removal can restore the maximum
+# without touching the posting list.  Deleting more than TOP_K of a term's
+# top weights between refreshes marks the maximum stale (lazy recompute).
+TOP_K = 8
 
 
 class TermAccumulator:
@@ -41,15 +47,27 @@ class TermAccumulator:
     parallel merge formula, so the variance is numerically stable no matter
     how many near-identical weights are folded in; the classic ``sum`` /
     ``sum of squares`` views remain available as derived properties.
+
+    Removal subtracts from the derived sum / sum-of-squares (signed
+    sufficient statistics); the maximum is maintained through a small
+    per-term top-k of the largest weights.  When every retained top weight
+    has been removed after the top-k overflowed, the maximum becomes
+    *stale* — :meth:`to_stats` refuses to serve it until
+    :meth:`refresh_max` re-seeds it from the term's surviving weights.
     """
 
-    __slots__ = ("df", "mean", "m2", "max_weight")
+    __slots__ = ("df", "mean", "m2", "max_weight", "_topk", "_truncated")
 
     def __init__(self, df=0, mean=0.0, m2=0.0, max_weight=0.0):
         self.df = df
         self.mean = mean
         self.m2 = m2
         self.max_weight = max_weight
+        # _topk: ascending list of the largest weights seen (multiplicity
+        # preserved), capped at TOP_K.  _truncated: some weight has been
+        # pushed out, so an emptied _topk no longer implies max == 0.
+        self._topk: List[float] = [max_weight] if df > 0 else []
+        self._truncated = df > 1
 
     @property
     def weight_sum(self) -> float:
@@ -71,6 +89,65 @@ class TermAccumulator:
         self.m2 += delta * (weight - self.mean)
         if weight > self.max_weight:
             self.max_weight = weight
+        bisect.insort(self._topk, weight)
+        if len(self._topk) > TOP_K:
+            del self._topk[0]
+            self._truncated = True
+
+    def remove(self, weight: float) -> None:
+        """Retract one document's weight (signed-statistics subtraction).
+
+        The weight must be one previously folded in; removing below the
+        top-k band leaves the maximum untouched, removing within it
+        restores the maximum from the surviving top-k, and exhausting a
+        truncated top-k marks the maximum stale (see :attr:`max_is_exact`).
+        """
+        if weight < 0.0:
+            raise ValueError(f"weight must be >= 0, got {weight!r}")
+        if self.df <= 0:
+            raise ValueError("cannot remove from an unseen term")
+        if self.df == 1:
+            self.reset()
+            return
+        total = self.weight_sum - weight
+        total_sq = self.weight_sumsq - weight * weight
+        self.df -= 1
+        self.mean = total / self.df
+        self.m2 = max(total_sq - self.df * self.mean * self.mean, 0.0)
+        index = bisect.bisect_left(self._topk, weight)
+        if index < len(self._topk) and self._topk[index] == weight:
+            del self._topk[index]
+        if self._topk:
+            self.max_weight = self._topk[-1]
+        elif not self._truncated:
+            self.max_weight = 0.0
+
+    def reset(self) -> None:
+        """Return to the never-seen state."""
+        self.df = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+        self.max_weight = 0.0
+        self._topk = []
+        self._truncated = False
+
+    @property
+    def max_is_exact(self) -> bool:
+        """False when removals exhausted a truncated top-k — the stored
+        maximum is then an upper bound, not the true maximum."""
+        return bool(self._topk) or not self._truncated
+
+    def refresh_max(self, weights: Iterable[float]) -> None:
+        """Re-seed the top-k (and the maximum) from the term's surviving
+        weights — the lazy recompute resolving a stale maximum."""
+        ordered = sorted(weights)
+        if len(ordered) != self.df:
+            raise ValueError(
+                f"refresh expects {self.df} weights, got {len(ordered)}"
+            )
+        self._topk = ordered[-TOP_K:]
+        self._truncated = len(ordered) > TOP_K
+        self.max_weight = self._topk[-1] if self._topk else 0.0
 
     def merge(self, other: "TermAccumulator") -> None:
         """Fold in another accumulator (disjoint document sets assumed)."""
@@ -81,6 +158,8 @@ class TermAccumulator:
             self.mean = other.mean
             self.m2 = other.m2
             self.max_weight = other.max_weight
+            self._topk = list(other._topk)
+            self._truncated = other._truncated
             return
         total = self.df + other.df
         delta = other.mean - self.mean
@@ -89,11 +168,20 @@ class TermAccumulator:
         self.df = total
         if other.max_weight > self.max_weight:
             self.max_weight = other.max_weight
+        combined = sorted(self._topk + other._topk)
+        self._truncated = (
+            self._truncated or other._truncated or len(combined) > TOP_K
+        )
+        self._topk = combined[-TOP_K:]
 
     def to_stats(self, n_documents: int, include_max: bool = True) -> TermStats:
         """Materialize the paper's quadruplet for a database of size ``n``."""
         if self.df <= 0:
             raise ValueError("cannot materialize stats for an unseen term")
+        if include_max and not self.max_is_exact:
+            raise ValueError(
+                "maximum weight is stale after removals; call refresh_max"
+            )
         variance = max(self.m2 / self.df, 0.0)
         return TermStats(
             probability=self.df / n_documents if n_documents else 0.0,
@@ -128,6 +216,7 @@ class RepresentativeAccumulator:
         self.name = name
         self.n_documents = 0
         self._terms: Dict[str, TermAccumulator] = {}
+        self._stale_max: Set[str] = set()
 
     def add_document(self, weights: Dict[str, float]) -> None:
         """Fold one document's ``{term: normalized weight}`` mapping in.
@@ -143,6 +232,47 @@ class RepresentativeAccumulator:
             if accumulator is None:
                 accumulator = self._terms[term] = TermAccumulator()
             accumulator.add(weight)
+            if term in self._stale_max and accumulator.max_is_exact:
+                self._stale_max.discard(term)
+
+    def remove_document(self, weights: Dict[str, float]) -> None:
+        """Retract one previously added document's weight mapping.
+
+        Terms whose maximum became stale (the removed document sat in a
+        truncated top-k's retained band, and the band is now empty) are
+        recorded in :attr:`stale_max_terms`; resolve them lazily with
+        :meth:`refresh_term_max` before materializing a quadruplet.
+        """
+        if self.n_documents <= 0:
+            raise ValueError("cannot remove from an empty accumulator")
+        for term, weight in weights.items():
+            if weight != 0.0 and term not in self._terms:
+                raise KeyError(f"unknown term {term!r}")
+        self.n_documents -= 1
+        for term, weight in weights.items():
+            if weight == 0.0:
+                continue
+            accumulator = self._terms[term]
+            accumulator.remove(weight)
+            if accumulator.df == 0:
+                del self._terms[term]
+                self._stale_max.discard(term)
+            elif not accumulator.max_is_exact:
+                self._stale_max.add(term)
+
+    @property
+    def stale_max_terms(self) -> Set[str]:
+        """Terms whose stored maximum no longer reflects the live corpus."""
+        return set(self._stale_max)
+
+    def refresh_term_max(self, term: str, weights: Iterable[float]) -> None:
+        """Re-seed ``term``'s maximum from its surviving weights (the lazy
+        recompute for a member of :attr:`stale_max_terms`)."""
+        accumulator = self._terms.get(term)
+        if accumulator is None:
+            raise KeyError(f"unknown term {term!r}")
+        accumulator.refresh_max(weights)
+        self._stale_max.discard(term)
 
     def merge(self, other: "RepresentativeAccumulator") -> None:
         """Fold in another accumulator over a disjoint document set."""
@@ -152,6 +282,10 @@ class RepresentativeAccumulator:
             if mine is None:
                 mine = self._terms[term] = TermAccumulator()
             mine.merge(theirs)
+            if mine.max_is_exact:
+                self._stale_max.discard(term)
+            else:
+                self._stale_max.add(term)
 
     @classmethod
     def merged(

@@ -35,7 +35,7 @@ from repro.serving.deadlines import (
     ambient_deadline,
     deadline_scope,
 )
-from repro.serving.engine_server import EngineApp
+from repro.serving.engine_server import EngineApp, LiveEngineApp
 from repro.serving.gateway import GatewayApp
 from repro.serving.http import HTTPError, Response, ServingApp, ServingServer
 from repro.serving.remote_engine import (
@@ -73,6 +73,7 @@ __all__ = [
     "GatewayApp",
     "GatewayClient",
     "HTTPError",
+    "LiveEngineApp",
     "RemoteEngine",
     "RemoteServingError",
     "RemoteTimeout",

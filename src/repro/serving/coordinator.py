@@ -198,6 +198,35 @@ class ShardedFleet:
         for shard in self._shards:
             shard.client.close()
 
+    # -- live-fleet delta propagation ----------------------------------------
+
+    def apply_delta(self, delta) -> dict:
+        """Ship one representative delta to the shard owning its engine.
+
+        The delta travels in its canonical wire form to exactly one
+        shard's ``POST /delta`` — the fan-out is a *routing* decision,
+        not a broadcast, because each engine's representative lives on
+        one shard only.  Returns the shard's apply report (mode, cache
+        eviction counts, new version).
+
+        Raises:
+            KeyError: No attached shard owns ``delta.name``.
+            RemoteServingError: The shard rejected the delta (including
+                the 409 base-version conflict — callers should fall back
+                to re-shipping a snapshot) or answered malformed JSON.
+        """
+        shard = self._owner.get(delta.name)
+        if shard is None:
+            raise KeyError(
+                f"engine {delta.name!r} is not owned by any attached shard"
+            )
+        answer = shard.client.request("POST", "/delta", delta.to_json_dict())
+        if answer.get("kind") != "shard.delta":
+            raise RemoteServingError(
+                f"{shard.url} answered kind {answer.get('kind')!r} to /delta"
+            )
+        return answer
+
     # -- shard RPC -----------------------------------------------------------
 
     def _shard_estimates(

@@ -21,6 +21,22 @@ estimates from.  :class:`EngineApp` exposes exactly those over the wire:
 The representative is built lazily and cached per version: rebuilding is
 the expensive call a deployment batches, and repeated ``GET``\\ s at the
 same version must not repeat the work.
+
+:class:`LiveEngineApp` wraps a mutable
+:class:`~repro.fleet.live.LiveEngineServer` and adds the live-fleet
+protocol on top of the same engine surface:
+
+* ``POST /mutate`` — ``{"add": [<documents>], "remove": [<doc ids>]}``
+  mutates the corpus; each non-empty list is one versioned mutation
+  whose delta lands in the server's replay log.
+* ``GET /representative/delta?since=v`` — the composed
+  :class:`~repro.fleet.delta.RepresentativeDelta` from version ``v`` to
+  now, or the full ``representative.snapshot`` payload when ``v`` has
+  been compacted out of the log (callers discriminate on ``kind``).
+
+Versions here are *mutation counters*, not document counts — a remove
+followed by an add leaves ``n_documents`` unchanged but must still be
+visible to a syncing broker.
 """
 
 from __future__ import annotations
@@ -29,7 +45,9 @@ import io
 import threading
 from typing import Optional, Tuple
 
+from repro.corpus.document import Document
 from repro.engine.search_engine import SearchEngine
+from repro.fleet.live import LiveEngineServer
 from repro.representatives.builder import build_representative
 from repro.representatives.columnar import ColumnarRepresentative
 from repro.representatives.representative import DatabaseRepresentative
@@ -41,7 +59,7 @@ from repro.serving.wire import (
     representative_to_wire,
 )
 
-__all__ = ["EngineApp"]
+__all__ = ["EngineApp", "LiveEngineApp"]
 
 
 class EngineApp(ServingApp):
@@ -181,6 +199,139 @@ class EngineApp(ServingApp):
                 "version": version,
                 "representative": representative_to_wire(
                     representative, quantize=quantize
+                ),
+            }
+        )
+
+
+class LiveEngineApp(EngineApp):
+    """Serve one mutable :class:`~repro.fleet.live.LiveEngineServer`.
+
+    All of :class:`EngineApp`'s routes work unchanged (the live server is
+    duck-compatible with a search engine), plus the mutation and delta
+    endpoints of the live-fleet protocol.  ``/representative`` versions
+    are the server's mutation counter rather than the document count, and
+    the representative itself comes from the server's incrementally
+    maintained canonical snapshot — no rebuild per ``GET``.
+    """
+
+    role = "engine"
+
+    def __init__(self, server: LiveEngineServer, **kwargs):
+        self.server = server
+        self._last_snapshot_version: Optional[int] = None
+        super().__init__(server, **kwargs)
+        self._m_mutations = self.registry.counter("serving.engine.mutations")
+        self._m_deltas = self.registry.counter("serving.engine.deltas")
+        self._m_delta_fallbacks = self.registry.counter(
+            "serving.engine.delta.fallbacks"
+        )
+
+    def add_routes(self) -> None:
+        super().add_routes()
+        self.route("POST", "/mutate", self._route_mutate)
+        self.route("GET", "/representative/delta", self._route_delta)
+
+    def health_info(self) -> dict:
+        info = super().health_info()
+        info["live"] = True
+        info["version"] = self.server.version
+        return info
+
+    def _representative(self) -> Tuple[int, DatabaseRepresentative]:
+        """The server's maintained canonical snapshot — never rebuilt here."""
+        with self._rep_lock:
+            snapshot = self.server.snapshot()
+            if self._last_snapshot_version != snapshot.version:
+                self._last_snapshot_version = snapshot.version
+                self._m_snapshots.inc()
+            return snapshot.version, snapshot.representative
+
+    # -- live-fleet routes ---------------------------------------------------
+
+    @staticmethod
+    def _parse_document(raw) -> Document:
+        if not isinstance(raw, dict):
+            raise HTTPError(400, "each added document must be an object")
+        doc_id = raw.get("doc_id")
+        terms = raw.get("terms")
+        if not isinstance(doc_id, str) or not doc_id:
+            raise HTTPError(400, "added document missing a 'doc_id' string")
+        if not isinstance(terms, list) or not all(
+            isinstance(t, str) for t in terms
+        ):
+            raise HTTPError(
+                400, f"document {doc_id!r} needs 'terms': a list of strings"
+            )
+        text = raw.get("text")
+        if text is not None and not isinstance(text, str):
+            raise HTTPError(400, f"document {doc_id!r} has a non-string text")
+        try:
+            return Document(doc_id=doc_id, terms=list(terms), text=text)
+        except ValueError as exc:
+            raise HTTPError(400, f"bad document {doc_id!r}: {exc}") from exc
+
+    def _route_mutate(self, params, payload) -> Response:
+        raw_remove = payload.get("remove", [])
+        raw_add = payload.get("add", [])
+        if not isinstance(raw_remove, list) or not all(
+            isinstance(d, str) for d in raw_remove
+        ):
+            raise HTTPError(400, "'remove' must be a list of doc id strings")
+        if not isinstance(raw_add, list):
+            raise HTTPError(400, "'add' must be a list of documents")
+        documents = [self._parse_document(raw) for raw in raw_add]
+        with self._rep_lock:
+            try:
+                if raw_remove:
+                    self.server.remove_documents(raw_remove)
+                    self._m_mutations.inc()
+                if documents:
+                    self.server.add_documents(documents)
+                    self._m_mutations.inc()
+            except (KeyError, ValueError) as exc:
+                raise HTTPError(400, f"bad mutation: {exc}") from exc
+            # The dict representative moved; drop the stale columnar blob.
+            self._npz_cache = None
+        return Response(
+            payload={
+                "kind": "engine.mutated",
+                "engine": self.server.name,
+                "version": self.server.version,
+                "documents": self.server.n_documents,
+                "removed": len(raw_remove),
+                "added": len(documents),
+            }
+        )
+
+    def _route_delta(self, params, payload) -> Response:
+        raw_since = params.get("since")
+        since: Optional[int] = None
+        if raw_since is not None:
+            try:
+                since = int(raw_since)
+            except ValueError as exc:
+                raise HTTPError(400, f"bad since parameter: {exc}") from exc
+            if since < 0 or since > self.server.version:
+                raise HTTPError(
+                    400,
+                    f"since={since} outside [0, {self.server.version}]",
+                )
+        with self._rep_lock:
+            result = self.server.sync_representative(since=since)
+        if hasattr(result, "to_json_dict"):  # a RepresentativeDelta
+            self._m_deltas.inc()
+            return Response(payload=result.to_json_dict())
+        # Compacted past ``since`` (or no ``since``): full snapshot.
+        if since is not None:
+            self._m_delta_fallbacks.inc()
+        return Response(
+            payload={
+                "kind": "representative.snapshot",
+                "name": self.server.name,
+                "version": result.version,
+                "representative": representative_to_wire(
+                    result.representative
                 ),
             }
         )

@@ -46,6 +46,7 @@ from urllib.parse import urlsplit
 
 from repro.corpus.query import Query
 from repro.engine.results import SearchHit
+from repro.fleet.delta import DELTA_KIND, RepresentativeDelta
 from repro.metasearch.broker import MetasearchResponse
 from repro.metasearch.protocol import RepresentativeSnapshot
 from repro.metasearch.selection import EstimatedUsefulness
@@ -342,6 +343,52 @@ class RemoteEngine:
             raise RemoteServingError(
                 f"{self.base_url} returned a malformed representative: {exc}"
             ) from exc
+
+    def sync_representative(
+        self, since: Optional[int] = None
+    ) -> Union[RepresentativeDelta, RepresentativeSnapshot]:
+        """Fetch the cheapest representation of "everything after ``since``".
+
+        Asks the live engine's ``/representative/delta`` endpoint and
+        returns whatever it answers: a
+        :class:`~repro.fleet.delta.RepresentativeDelta` covering
+        ``since → now``, or a full :class:`RepresentativeSnapshot` when
+        ``since`` is ``None``, has been compacted out of the server's
+        replay log, or the server is a plain (non-live) engine server —
+        the caller discriminates with ``isinstance``.  This is the remote
+        half of :meth:`~repro.metasearch.broker.MetasearchBroker.
+        sync_representative`.
+        """
+        path = "/representative/delta"
+        if since is not None:
+            path = f"{path}?since={int(since)}"
+        try:
+            payload = self._client.request("GET", path)
+        except RemoteServingError as exc:
+            if exc.status == 404:
+                # A plain EngineApp without the live protocol: fall back
+                # to the full snapshot it does serve.
+                return self.snapshot_representative()
+            raise
+        kind = payload.get("kind") if isinstance(payload, dict) else None
+        try:
+            if kind == DELTA_KIND:
+                return RepresentativeDelta.from_json_dict(payload)
+            if kind == "representative.snapshot":
+                return RepresentativeSnapshot(
+                    name=str(payload["name"]),
+                    version=int(payload["version"]),
+                    representative=representative_from_wire(
+                        payload["representative"]
+                    ),
+                )
+        except (KeyError, TypeError, ValueError, WireFormatError) as exc:
+            raise RemoteServingError(
+                f"{self.base_url} returned a malformed sync payload: {exc}"
+            ) from exc
+        raise RemoteServingError(
+            f"{self.base_url}{path} answered unknown kind {kind!r}"
+        )
 
     def _snapshot_columnar(self) -> RepresentativeSnapshot:
         import io

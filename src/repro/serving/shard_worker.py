@@ -24,8 +24,17 @@ a slice estimates bit-identically to the full fleet.
   here — the coordinator selects centrally on the merged estimate rows,
   so any policy behaves exactly as it would in one process.
 * ``GET /slice`` — the shard's fleet slice as the columnar ``.npz``
-  bundle (``application/octet-stream``), cached after the first build;
-  the ``X-Repro-Shard`` header echoes the shard index.
+  bundle (``application/octet-stream``), cached after the first build
+  and invalidated when a delta mutates the slice; the ``X-Repro-Shard``
+  header echoes the shard index.
+* ``POST /delta`` — one :class:`~repro.fleet.delta.RepresentativeDelta`
+  document (the canonical wire form) for an engine on this shard;
+  applied through the broker's
+  :meth:`~repro.metasearch.broker.MetasearchBroker.
+  apply_representative_delta`, so the columnar slice mutates in place
+  and only the affected cache entries are evicted.  A delta whose base
+  version does not match the shard's resident representative is a 409 —
+  the caller re-ships a snapshot.
 
 The coordinator treats a dead shard as a set of per-engine failures,
 so the shard's own error story stays simple: malformed requests are
@@ -39,6 +48,7 @@ import io
 import threading
 from typing import List, Optional
 
+from repro.fleet.delta import RepresentativeDelta
 from repro.metasearch.broker import MetasearchBroker
 from repro.serving.http import HTTPError, Response, ServingApp
 from repro.serving.wire import (
@@ -88,11 +98,13 @@ class ShardApp(ServingApp):
         super().__init__(**kwargs)
         self._m_estimates = self.registry.counter("serving.shard.estimates")
         self._m_dispatches = self.registry.counter("serving.shard.dispatches")
+        self._m_deltas = self.registry.counter("serving.shard.deltas")
 
     def add_routes(self) -> None:
         self.route("POST", "/estimate", self._route_estimate)
         self.route("POST", "/dispatch", self._route_dispatch)
         self.route("GET", "/slice", self._route_slice)
+        self.route("POST", "/delta", self._route_delta)
 
     def health_info(self) -> dict:
         return {
@@ -204,8 +216,8 @@ class ShardApp(ServingApp):
         )
 
     def _slice_bytes(self) -> bytes:
-        """The fleet slice as ``.npz`` bytes, built once and cached (shard
-        slices are immutable for the life of the worker)."""
+        """The fleet slice as ``.npz`` bytes, cached until a ``/delta``
+        mutates the slice (which drops the cache)."""
         with self._slice_lock:
             if self._slice_cache is None:
                 if self.broker.fleet is None:
@@ -222,4 +234,37 @@ class ShardApp(ServingApp):
             raw=self._slice_bytes(),
             content_type="application/octet-stream",
             headers={"X-Repro-Shard": str(self.shard_index)},
+        )
+
+    def _route_delta(self, params, payload) -> Response:
+        try:
+            delta = RepresentativeDelta.from_json_dict(payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise HTTPError(400, f"bad delta: {exc}") from exc
+        try:
+            report = self.broker.apply_representative_delta(delta)
+        except KeyError:
+            raise HTTPError(
+                400,
+                f"engine {delta.name!r} is not on shard {self.shard_index}",
+            ) from None
+        except ValueError as exc:
+            # Base version / document count mismatch: the caller's view of
+            # this shard is stale — re-ship a snapshot instead.
+            raise HTTPError(409, f"delta conflict: {exc}") from exc
+        with self._slice_lock:
+            self._slice_cache = None
+        self._m_deltas.inc()
+        return Response(
+            payload={
+                "kind": "shard.delta",
+                "shard": self.shard_index,
+                "engine": report.name,
+                "to_version": report.to_version,
+                "mode": report.mode,
+                "cache_evicted": report.cache_evicted,
+                "cache_retained": report.cache_retained,
+                "polycache_evicted": report.polycache_evicted,
+                "polycache_retained": report.polycache_retained,
+            }
         )
