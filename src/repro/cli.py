@@ -512,6 +512,8 @@ def _cmd_serve_gateway(args: argparse.Namespace) -> int:
         max_queued=args.max_queued,
         max_queue_wait=args.max_queue_wait,
         retry_after=args.retry_after,
+        coalesce_window=args.coalesce_window_ms / 1000.0,
+        coalesce_max_batch=args.coalesce_max_batch,
         registry=registry,
         default_deadline=args.default_deadline,
     )
@@ -689,6 +691,8 @@ def _cmd_serve_coordinator(args: argparse.Namespace) -> int:
             max_queued=args.max_queued,
             max_queue_wait=args.max_queue_wait,
             retry_after=args.retry_after,
+            coalesce_window=args.coalesce_window_ms / 1000.0,
+            coalesce_max_batch=args.coalesce_max_batch,
             registry=registry,
             default_deadline=args.default_deadline,
         )
@@ -1236,6 +1240,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="wait cap for queued requests without a deadline")
     sp.add_argument("--retry-after", type=float, default=1.0,
                     help="Retry-After hint on shed responses")
+    sp.add_argument("--coalesce-window-ms", type=float, default=0.0,
+                    help="coalesce concurrent /estimate and /search "
+                         "requests for up to this many milliseconds into "
+                         "one broker batch (0 disables; lone requests "
+                         "always take the idle fast-path)")
+    sp.add_argument("--coalesce-max-batch", type=int, default=64,
+                    help="flush a coalescing window at this occupancy")
     sp.add_argument("--async-io", action="store_true",
                     help="serve on the asyncio connection frontend instead "
                          "of a thread per connection")
@@ -1295,6 +1306,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="wait cap for queued requests without a deadline")
     sp.add_argument("--retry-after", type=float, default=1.0,
                     help="Retry-After hint on shed responses")
+    sp.add_argument("--coalesce-window-ms", type=float, default=0.0,
+                    help="coalesce concurrent /estimate and /search "
+                         "requests for up to this many milliseconds into "
+                         "one broker batch (0 disables; lone requests "
+                         "always take the idle fast-path)")
+    sp.add_argument("--coalesce-max-batch", type=int, default=64,
+                    help="flush a coalescing window at this occupancy")
     sp.add_argument("--sync", action="store_true",
                     help="serve on the threaded server instead of the "
                          "asyncio connection frontend")

@@ -629,6 +629,38 @@ class MetasearchBroker:
         estimates.sort(key=lambda e: e.sort_key)
         return estimates
 
+    def estimate_all_cached(
+        self, query: Query, threshold: float
+    ) -> Optional[List[EstimatedUsefulness]]:
+        """:meth:`estimate_all`'s answer iff it is fully cached, else None.
+
+        Never computes anything: the row is returned only when *every*
+        registered engine's ``(engine, query, threshold)`` estimate is
+        already resident, in which case it is exactly what
+        :meth:`estimate_all` would return (same cache reads, same sort).
+        The coalescing layer uses this as its pre-window probe so repeat
+        queries keep the serial path's 100% hit behavior — including its
+        hit accounting: a full-row probe counts one hit per engine, and a
+        failed probe counts nothing (it peeks without touching stats).
+        """
+        if self.cache is None or not self._engines:
+            return None
+        threshold = float(threshold)
+        keys = [
+            EstimateCache.key_for(name, query, threshold)
+            for name in self._engines
+        ]
+        if not all(self.cache.peek(key) for key in keys):
+            return None
+        row = []
+        for name, key in zip(self._engines, keys):
+            usefulness = self.cache.get(key)
+            if usefulness is None:  # raced an eviction between peek and get
+                return None
+            row.append(EstimatedUsefulness(engine=name, usefulness=usefulness))
+        row.sort(key=lambda e: e.sort_key)
+        return row
+
     def select(self, query: Query, threshold: float) -> List[str]:
         """Names of the engines the policy picks for this query."""
         return self.policy.select(self.estimate_all(query, threshold))

@@ -113,6 +113,13 @@ class EstimateCache:
             self._m_hits.inc()
             return value
 
+    def peek(self, key: CacheKey) -> bool:
+        """Presence test with no side effects: no hit/miss accounting and
+        no recency refresh — for probes that must not distort stats when
+        they bail out partway (e.g. the coalescing cache probe)."""
+        with self._lock:
+            return key in self._data
+
     def _index(self, key: CacheKey) -> None:
         for term in key[1]:
             self._by_term.setdefault((key[0], term), set()).add(key)

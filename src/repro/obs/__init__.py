@@ -16,6 +16,7 @@ from repro.obs.registry import (
     Histogram,
     LATENCY_BUCKETS,
     MASS_BUCKETS,
+    OCCUPANCY_BUCKETS,
     MetricsRegistry,
     NULL_REGISTRY,
     NullRegistry,
@@ -29,6 +30,7 @@ __all__ = [
     "Histogram",
     "LATENCY_BUCKETS",
     "MASS_BUCKETS",
+    "OCCUPANCY_BUCKETS",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NullRegistry",

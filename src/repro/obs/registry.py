@@ -32,6 +32,7 @@ __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",
+    "OCCUPANCY_BUCKETS",
     "SIZE_BUCKETS",
 ]
 
@@ -44,6 +45,12 @@ LATENCY_BUCKETS: Tuple[float, ...] = (
 #: Count-scale buckets for expansion sizes and similar integer magnitudes.
 SIZE_BUCKETS: Tuple[float, ...] = (
     1, 4, 16, 64, 256, 1024, 4096, 16384, 65536,
+)
+
+#: Batch-occupancy buckets: how many requests/queries shared one batch
+#: (coalescing windows, shard estimate batches, scatter fan-outs).
+OCCUPANCY_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256,
 )
 
 #: Probability-mass buckets for pruned-mass observations.

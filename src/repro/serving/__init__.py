@@ -10,6 +10,10 @@ that split on the wire with nothing beyond the standard library:
   plugs into the existing brokers unchanged.
 * :mod:`repro.serving.gateway` — the broker behind bounded admission
   with load shedding and graceful drain.
+* :mod:`repro.serving.coalesce` — continuous micro-batching: concurrent
+  ``/estimate`` and ``/search`` requests coalesce into single broker
+  batch calls (enable with the gateway's ``coalesce_window`` /
+  ``--coalesce-window-ms``).
 * :mod:`repro.serving.http` — the shared server substrate (deadlines,
   body limits, metrics, drain).
 * :mod:`repro.serving.shard_worker` — one shard of a partitioned fleet:
@@ -28,6 +32,11 @@ or programmatically via :class:`ServingServer` /
 
 from repro.serving.admission import AdmissionQueue
 from repro.serving.async_gateway import AsyncServingServer
+from repro.serving.coalesce import (
+    CoalesceClosed,
+    CoalesceExpired,
+    CoalescingWindow,
+)
 from repro.serving.coordinator import CoordinatorApp, ShardedFleet
 from repro.serving.deadlines import (
     DEADLINE_HEADER,
@@ -66,6 +75,9 @@ from repro.serving.wire import (
 __all__ = [
     "AdmissionQueue",
     "AsyncServingServer",
+    "CoalesceClosed",
+    "CoalesceExpired",
+    "CoalescingWindow",
     "CoordinatorApp",
     "DEADLINE_HEADER",
     "Deadline",

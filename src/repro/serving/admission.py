@@ -17,8 +17,10 @@ requests already admitted or queued run to completion — the "finish
 in-flight work" half of graceful shutdown.
 
 The queue exports its state to the :class:`~repro.obs.MetricsRegistry`:
-``serving.admission.active`` / ``serving.admission.queued`` gauges and
-``serving.admission.{admitted,shed,expired,rejected}`` counters.
+``serving.admission.active`` / ``serving.admission.queued`` gauges,
+``serving.admission.{admitted,shed,expired,rejected}`` counters, and a
+``serving.admission.wait.seconds`` histogram of time spent queued before
+admission.
 """
 
 from __future__ import annotations
@@ -27,7 +29,7 @@ import threading
 import time
 from typing import Optional
 
-from repro.obs.registry import NULL_REGISTRY
+from repro.obs.registry import LATENCY_BUCKETS, NULL_REGISTRY
 
 __all__ = ["ADMITTED", "CLOSED", "EXPIRED", "SHED", "AdmissionQueue"]
 
@@ -66,6 +68,9 @@ class AdmissionQueue:
         self._m_shed = registry.counter("serving.admission.shed")
         self._m_expired = registry.counter("serving.admission.expired")
         self._m_rejected = registry.counter("serving.admission.rejected")
+        self._m_wait = registry.histogram(
+            "serving.admission.wait.seconds", buckets=LATENCY_BUCKETS
+        )
 
     # -- state ---------------------------------------------------------------
 
@@ -109,11 +114,13 @@ class AdmissionQueue:
                 return SHED
             self._queued += 1
             self._g_queued.set(self._queued)
-            expires = None if timeout is None else time.monotonic() + timeout
+            started = time.monotonic()
+            expires = None if timeout is None else started + timeout
             try:
                 while True:
                     if self._active < self.max_active:
                         self._admit_locked()
+                        self._m_wait.observe(time.monotonic() - started)
                         return ADMITTED
                     remaining = None
                     if expires is not None:

@@ -12,6 +12,13 @@ blocking broker work (NumPy kernels, shard RPCs) belongs — so every app
 runs unchanged under either server.  The pool is sized past the app's
 admission bound (``max_active + max_queued``) when it has one, so the
 admission queue, not the executor, decides who waits and who is shed.
+That sizing also keeps request coalescing live-locked-free under this
+frontend: a :class:`~repro.serving.coalesce.CoalescingWindow` leader
+executes a flushed batch on its own handler thread while its batchmates
+block on the window's condition variable — every one of those threads
+holds an admission slot, so at most ``max_active + max_queued`` executor
+threads can ever be parked in windows and the pool always has headroom
+to admit the leader that flushes them.
 
 Framing mirrors the threaded server's policy exactly: HTTP/1.1 with
 keep-alive, ``Content-Length`` on every response, 411 for chunked

@@ -51,7 +51,7 @@ from repro.metasearch.selection import (
     SelectionPolicy,
     ThresholdPolicy,
 )
-from repro.obs.registry import NULL_REGISTRY
+from repro.obs.registry import NULL_REGISTRY, OCCUPANCY_BUCKETS
 from repro.obs.trace import QueryTrace
 from repro.serving.gateway import GatewayApp
 from repro.serving.remote_engine import RemoteServingError, _HTTPJsonClient
@@ -135,6 +135,27 @@ class ShardedFleet:
         self._m_degraded = self.registry.counter("coordinator.searches.degraded")
         self._m_shard_failures = self.registry.counter(
             "coordinator.shard.failures"
+        )
+        # Scatter accounting: one "fanout" is one scatter-gather round
+        # (a batch of queries to all/owning shards); "rpcs" counts the
+        # per-shard calls it cost.  With front-door coalescing these are
+        # the proof that a whole window costs one RPC per shard —
+        # rpcs/fanouts stays at the shard count while queries/fanout
+        # grows with window occupancy.
+        self._m_fanouts = {
+            phase: self.registry.counter(
+                "coordinator.scatter.fanouts", labels={"phase": phase}
+            )
+            for phase in ("estimate", "dispatch")
+        }
+        self._m_rpcs = {
+            phase: self.registry.counter(
+                "coordinator.scatter.rpcs", labels={"phase": phase}
+            )
+            for phase in ("estimate", "dispatch")
+        }
+        self._m_fanout_queries = self.registry.histogram(
+            "coordinator.scatter.batch.queries", buckets=OCCUPANCY_BUCKETS
         )
 
     # -- attachment ----------------------------------------------------------
@@ -330,6 +351,9 @@ class ShardedFleet:
             )
             for shard in self._shards
         }
+        self._m_fanouts["estimate"].inc()
+        self._m_rpcs["estimate"].inc(len(calls))
+        self._m_fanout_queries.observe(len(queries))
         report = self.dispatcher.dispatch(calls)
         rows: List[List[EstimatedUsefulness]] = [[] for __ in queries]
         for shard in self._shards:
@@ -409,6 +433,9 @@ class ShardedFleet:
             )
             for shard_name, entries in entries_by_shard.items()
         }
+        if calls:
+            self._m_fanouts["dispatch"].inc()
+            self._m_rpcs["dispatch"].inc(len(calls))
         report = self.dispatcher.dispatch(calls)
         results: List[Dict[str, List[SearchHit]]] = [{} for __ in queries]
         failure_maps: List[Dict[str, EngineFailure]] = [{} for __ in queries]

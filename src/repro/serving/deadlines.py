@@ -26,6 +26,7 @@ __all__ = [
     "Deadline",
     "ambient_deadline",
     "deadline_scope",
+    "detached_deadline_scope",
 ]
 
 #: Header carrying the remaining request budget in seconds.
@@ -100,3 +101,23 @@ def deadline_scope(deadline: Optional[Deadline]):
         yield deadline
     finally:
         stack.pop()
+
+
+@contextmanager
+def detached_deadline_scope(deadline: Optional[Deadline]):
+    """Replace the ambient scope stack for the duration of the block.
+
+    Nested :func:`deadline_scope`\\ s can only *tighten* the budget, which
+    is exactly wrong for a thread executing a coalesced batch on behalf
+    of several requests: the leader's own request deadline must not cap
+    its batchmates.  This scope detaches from the caller's stack entirely
+    and makes ``deadline`` (typically the batch's loosest member
+    deadline) the sole ambient deadline — or clears ambience when
+    ``deadline`` is ``None``.  The caller's stack is restored on exit.
+    """
+    saved = getattr(_ambient, "stack", None)
+    _ambient.stack = [] if deadline is None else [deadline]
+    try:
+        yield deadline
+    finally:
+        _ambient.stack = saved if saved is not None else []

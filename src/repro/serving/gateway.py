@@ -25,13 +25,20 @@ graceful-shutdown story under SIGTERM.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List, Optional, Union
 
 from repro.corpus.query import Query
 from repro.metasearch.broker import MetasearchBroker
+from repro.metasearch.cache import EstimateCache
 from repro.obs.registry import MetricsRegistry
 from repro.serving.admission import ADMITTED, CLOSED, EXPIRED, AdmissionQueue
-from repro.serving.deadlines import Deadline
+from repro.serving.coalesce import (
+    CoalesceClosed,
+    CoalesceExpired,
+    CoalescingWindow,
+)
+from repro.serving.deadlines import Deadline, ambient_deadline
 from repro.serving.http import HTTPError, Response, Route, ServingApp
 from repro.serving.wire import (
     WireFormatError,
@@ -44,6 +51,9 @@ __all__ = ["GatewayApp"]
 
 #: Largest /batch request accepted (queries per call).
 DEFAULT_MAX_BATCH = 256
+
+#: Default coalescing window occupancy cap.
+DEFAULT_COALESCE_MAX_BATCH = 64
 
 
 class GatewayApp(ServingApp):
@@ -60,6 +70,15 @@ class GatewayApp(ServingApp):
             remaining budget).
         retry_after: The ``Retry-After`` hint sent with shed responses.
         max_batch: Queries accepted per ``/batch`` request.
+        coalesce_window: Continuous micro-batching window in *seconds*
+            (``0``, the default, disables coalescing entirely).  When
+            enabled, concurrent ``/estimate`` and ``/search`` requests
+            coalesce into single broker batch calls through a
+            :class:`~repro.serving.coalesce.CoalescingWindow` per route —
+            responses are bit-for-bit the per-request path's, and a lone
+            request under zero concurrency takes the idle fast-path
+            (never delayed).
+        coalesce_max_batch: Occupancy cap per coalesced window.
         registry: Metrics sink shared by the app, the admission queue,
             and (if constructed with it) the broker.
         max_body: Request body cap in bytes.
@@ -78,6 +97,8 @@ class GatewayApp(ServingApp):
         max_queue_wait: float = 5.0,
         retry_after: float = 1.0,
         max_batch: int = DEFAULT_MAX_BATCH,
+        coalesce_window: float = 0.0,
+        coalesce_max_batch: int = DEFAULT_COALESCE_MAX_BATCH,
         registry=None,
         **kwargs,
     ):
@@ -87,14 +108,49 @@ class GatewayApp(ServingApp):
             )
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch!r}")
+        if coalesce_window < 0:
+            raise ValueError(
+                f"coalesce_window must be >= 0, got {coalesce_window!r}"
+            )
         registry = registry if registry is not None else MetricsRegistry()
         self.broker = broker
         self.max_queue_wait = max_queue_wait
         self.retry_after = retry_after
         self.max_batch = max_batch
+        self.coalesce_window = coalesce_window
+        self.coalesce_max_batch = coalesce_max_batch
         self.admission = AdmissionQueue(
             max_active, max_queued, registry=registry
         )
+        self._coalesce_estimate: Optional[CoalescingWindow] = None
+        self._coalesce_search: Optional[CoalescingWindow] = None
+        if coalesce_window > 0:
+            # Repeat queries answer straight from the estimate cache
+            # without joining a window; backends without a full-row cache
+            # probe (e.g. a ShardedFleet) simply always batch.
+            probe_all = getattr(broker, "estimate_all_cached", None)
+            probe = None
+            if probe_all is not None:
+                probe = lambda item: probe_all(item[0], item[1])  # noqa: E731
+            self._coalesce_estimate = CoalescingWindow(
+                self._execute_estimates,
+                max_wait=coalesce_window,
+                max_batch=coalesce_max_batch,
+                key=lambda item: (EstimateCache.query_key(item[0]), item[1]),
+                probe=probe,
+                registry=registry,
+                name="estimate",
+            )
+            # Searches dispatch to engines (side effects per call), so the
+            # search window batches without intra-window dedup; the broker
+            # still shares expansions across duplicate queries internally.
+            self._coalesce_search = CoalescingWindow(
+                self._execute_searches,
+                max_wait=coalesce_window,
+                max_batch=coalesce_max_batch,
+                registry=registry,
+                name="search",
+            )
         super().__init__(registry=registry, **kwargs)
 
     def add_routes(self) -> None:
@@ -103,13 +159,19 @@ class GatewayApp(ServingApp):
         self.route("POST", "/batch", self._route_batch)
 
     def health_info(self) -> dict:
-        return {
+        info = {
             "engines": self.broker.engine_names,
             "admission": {
                 "active": self.admission.active,
                 "queued": self.admission.queued,
             },
         }
+        if self._coalesce_estimate is not None:
+            info["coalesce"] = {
+                "window_seconds": self.coalesce_window,
+                "max_batch": self.coalesce_max_batch,
+            }
+        return info
 
     # -- admission wrapping --------------------------------------------------
 
@@ -147,6 +209,42 @@ class GatewayApp(ServingApp):
     def begin_drain(self) -> None:
         super().begin_drain()
         self.admission.close()
+        # Already-queued window members still flush; new arrivals refuse.
+        if self._coalesce_estimate is not None:
+            self._coalesce_estimate.close()
+        if self._coalesce_search is not None:
+            self._coalesce_search.close()
+
+    # -- coalescing ----------------------------------------------------------
+
+    def _execute_estimates(self, items):
+        """One broker batch call for a flushed estimate window."""
+        return self.broker.estimate_batch(
+            [query for query, __ in items],
+            [threshold for __, threshold in items],
+        )
+
+    def _execute_searches(self, items):
+        """One broker batch call for a flushed search window.
+
+        Runs un-limited; each member's own ``limit`` is applied at demux
+        (``merge_hits`` sorts under a total key before truncating, so
+        ``hits[:limit]`` equals a limited merge exactly).
+        """
+        return self.broker.search_batch(
+            [query for query, __ in items],
+            [threshold for __, threshold in items],
+            limit=None,
+        )
+
+    def _coalesced(self, window: CoalescingWindow, item):
+        """Submit to a window, mapping its refusals onto HTTP errors."""
+        try:
+            return window.submit(item, deadline=ambient_deadline())
+        except CoalesceExpired as exc:
+            raise HTTPError(504, str(exc)) from exc
+        except CoalesceClosed as exc:
+            raise HTTPError(503, "gateway is draining", close=True) from exc
 
     # -- request parsing -----------------------------------------------------
 
@@ -191,7 +289,12 @@ class GatewayApp(ServingApp):
     def _route_estimate(self, params, payload) -> Response:
         query = self._parse_query(self._require(payload, "query"))
         threshold = self._parse_threshold(payload)
-        estimates = self.broker.estimate_all(query, threshold)
+        if self._coalesce_estimate is not None:
+            estimates = self._coalesced(
+                self._coalesce_estimate, (query, threshold)
+            )
+        else:
+            estimates = self.broker.estimate_all(query, threshold)
         return Response(
             payload={
                 "kind": "estimates",
@@ -203,7 +306,14 @@ class GatewayApp(ServingApp):
         query = self._parse_query(self._require(payload, "query"))
         threshold = self._parse_threshold(payload)
         limit = self._parse_limit(payload)
-        response = self.broker.search(query, threshold, limit=limit)
+        if self._coalesce_search is not None:
+            response = self._coalesced(
+                self._coalesce_search, (query, threshold)
+            )
+            if limit is not None and len(response.hits) > limit:
+                response = replace(response, hits=response.hits[:limit])
+        else:
+            response = self.broker.search(query, threshold, limit=limit)
         return Response(payload=response_to_wire(response))
 
     def _route_batch(self, params, payload) -> Response:

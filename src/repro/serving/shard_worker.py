@@ -50,6 +50,7 @@ from typing import List, Optional
 
 from repro.fleet.delta import RepresentativeDelta
 from repro.metasearch.broker import MetasearchBroker
+from repro.obs.registry import OCCUPANCY_BUCKETS
 from repro.serving.http import HTTPError, Response, ServingApp
 from repro.serving.wire import (
     WireFormatError,
@@ -99,6 +100,11 @@ class ShardApp(ServingApp):
         self._m_estimates = self.registry.counter("serving.shard.estimates")
         self._m_dispatches = self.registry.counter("serving.shard.dispatches")
         self._m_deltas = self.registry.counter("serving.shard.deltas")
+        # Occupancy of each /estimate RPC: front-door coalescing shows up
+        # here as batches > 1 where per-request scatter would show all 1s.
+        self._m_batch_occupancy = self.registry.histogram(
+            "serving.shard.batch.occupancy", buckets=OCCUPANCY_BUCKETS
+        )
 
     def add_routes(self) -> None:
         self.route("POST", "/estimate", self._route_estimate)
@@ -150,6 +156,7 @@ class ShardApp(ServingApp):
         except ValueError as exc:  # thresholds/queries length mismatch
             raise HTTPError(400, str(exc)) from exc
         self._m_estimates.inc(len(queries))
+        self._m_batch_occupancy.observe(len(queries))
         return Response(
             payload={
                 "kind": "shard.estimates",
